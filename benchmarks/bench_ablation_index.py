@@ -1,0 +1,122 @@
+"""Ablation — what each design choice in Section V buys.
+
+Three server-side configurations at matched accuracy targets:
+
+* **DCE linear scan** (no index; Section IV-B's strawman): exact but
+  O(n log k) secure comparisons per query.
+* **HNSW filter + DCE refine** (the paper's design).
+* **NSG filter + DCE refine** (Section V-A's substitutability remark).
+
+The printed table shows why the index exists (orders of magnitude fewer
+DCE comparisons) and that the graph backend is swappable.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_BETA, BENCH_HNSW, K, N_QUERIES
+from repro import PPANNS
+from repro.baselines.linear_scan import DCELinearScan
+from repro.core.dce import distance_comp
+from repro.core.dcpe import DCPEScheme, dcpe_keygen
+from repro.core.dce import DCEScheme
+from repro.datasets import compute_ground_truth, make_dataset
+from repro.eval.metrics import recall_at_k
+from repro.eval.reporting import format_table
+from repro.hnsw.heap import ComparisonMaxHeap
+from repro.hnsw.nsg import NSGIndex, NSGParams
+
+N = 800
+RATIO = 8
+EF = 120
+
+
+@pytest.fixture(scope="module")
+def ablation_setup():
+    dataset = make_dataset("deep", num_vectors=N, num_queries=N_QUERIES,
+                           rng=np.random.default_rng(111))
+    truth = compute_ground_truth(dataset.database, dataset.queries, K)
+    hnsw_scheme = PPANNS(
+        dim=dataset.dim, beta=BENCH_BETA["deep"], hnsw_params=BENCH_HNSW,
+        rng=np.random.default_rng(112),
+    ).fit(dataset.database)
+    scan = DCELinearScan(dataset.dim, np.random.default_rng(113)).fit(dataset.database)
+
+    rng = np.random.default_rng(114)
+    dcpe = DCPEScheme(dataset.dim, dcpe_keygen(BENCH_BETA["deep"], rng=rng), rng=rng)
+    dce = DCEScheme(dataset.dim, rng=rng)
+    sap = dcpe.encrypt_database(dataset.database)
+    dce_db = dce.encrypt_database(dataset.database)
+    nsg = NSGIndex(sap, NSGParams(knn=32, max_degree=16))
+    return dataset, truth, hnsw_scheme, scan, (dcpe, dce, sap, dce_db, nsg)
+
+
+def test_ablation_report(ablation_setup, benchmark):
+    dataset, truth, hnsw_scheme, scan, nsg_parts = ablation_setup
+    dcpe, dce, _, dce_db, nsg = nsg_parts
+    rows = []
+
+    # --- DCE linear scan ----------------------------------------------------
+    recalls, latencies, comps = [], [], []
+    for i, query in enumerate(dataset.queries):
+        start = time.perf_counter()
+        report = scan.query_with_report(query, K)
+        latencies.append(time.perf_counter() - start)
+        recalls.append(recall_at_k(report.ids, truth.for_query(i), K))
+        comps.append(report.refine_comparisons)
+    rows.append(["DCE linear scan", float(np.mean(recalls)),
+                 float(np.mean(latencies)) * 1e3, float(np.mean(comps))])
+    scan_ms = rows[-1][2]
+
+    # --- HNSW + DCE (the paper's design) ---------------------------------------
+    recalls, latencies, comps = [], [], []
+    for i, query in enumerate(dataset.queries):
+        encrypted = hnsw_scheme.user.encrypt_query(query, K)
+        start = time.perf_counter()
+        report = hnsw_scheme.server.answer(encrypted, ratio_k=RATIO, ef_search=EF)
+        latencies.append(time.perf_counter() - start)
+        recalls.append(recall_at_k(report.ids, truth.for_query(i), K))
+        comps.append(report.refine_comparisons)
+    rows.append(["HNSW filter + DCE refine", float(np.mean(recalls)),
+                 float(np.mean(latencies)) * 1e3, float(np.mean(comps))])
+    hnsw_ms = rows[-1][2]
+
+    # --- NSG + DCE (alternative backend) ------------------------------------------
+    recalls, latencies, comps = [], [], []
+    for i, query in enumerate(dataset.queries):
+        sap_query = dcpe.encrypt(query)
+        trapdoor = dce.trapdoor(query)
+        start = time.perf_counter()
+        candidates, _ = nsg.search(sap_query, RATIO * K, ef_search=EF)
+
+        def is_farther(a, b):
+            return distance_comp(dce_db[a], dce_db[b], trapdoor) >= 0
+
+        heap = ComparisonMaxHeap(K, is_farther)
+        for candidate in candidates:
+            heap.offer(int(candidate))
+        latencies.append(time.perf_counter() - start)
+        recalls.append(recall_at_k(np.array(heap.items()), truth.for_query(i), K))
+        comps.append(heap.oracle_calls)
+    rows.append(["NSG filter + DCE refine", float(np.mean(recalls)),
+                 float(np.mean(latencies)) * 1e3, float(np.mean(comps))])
+
+    print()
+    print(
+        format_table(
+            ["configuration", "recall@10", "latency_ms", "DCE comparisons"],
+            rows,
+            title=f"Ablation — index design (n={N}, k={K}, Ratio_k={RATIO})",
+        )
+    )
+
+    # The index is the point: it must cut DCE comparisons by >5x and be
+    # faster than the scan; both graph backends must reach high recall.
+    assert rows[1][3] < rows[0][3] / 5
+    assert hnsw_ms < scan_ms
+    assert rows[1][1] >= 0.9
+    assert rows[2][1] >= 0.85
+
+    benchmark(scan.query_with_report, dataset.queries[0], K)

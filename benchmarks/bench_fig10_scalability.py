@@ -1,0 +1,75 @@
+"""Figure 10 — scalability of the PP-ANNS scheme with database size.
+
+The paper samples Sift1B/Deep1B at 25/50/75/100M vectors and shows
+per-query latency growing sublinearly in n at fixed accuracy.  We sweep
+scaled-down sizes with identical index parameters, report latency and
+recall per size, and assert the sublinear growth (doubling n must not
+double latency).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_BETA, BENCH_HNSW, K
+from repro import PPANNS
+from repro.datasets import compute_ground_truth, make_dataset
+from repro.eval.metrics import recall_at_k
+from repro.eval.reporting import format_table
+
+SIZES = (500, 1000, 2000, 4000)
+N_QUERIES = 8
+EF = 120
+
+
+@pytest.fixture(scope="module")
+def scalability_results():
+    rows = []
+    latencies = {}
+    schemes = {}
+    for n in SIZES:
+        dataset = make_dataset("deep", num_vectors=n, num_queries=N_QUERIES,
+                               rng=np.random.default_rng(101))
+        truth = compute_ground_truth(dataset.database, dataset.queries, K)
+        scheme = PPANNS(
+            dim=dataset.dim, beta=BENCH_BETA["deep"], hnsw_params=BENCH_HNSW,
+            rng=np.random.default_rng(102),
+        ).fit(dataset.database)
+        encrypted = [scheme.user.encrypt_query(q, K) for q in dataset.queries]
+        recalls, query_seconds = [], []
+        for i, query_ct in enumerate(encrypted):
+            start = time.perf_counter()
+            report = scheme.server.answer(query_ct, ratio_k=8, ef_search=EF)
+            query_seconds.append(time.perf_counter() - start)
+            recalls.append(recall_at_k(report.ids, truth.for_query(i), K))
+        mean_latency = float(np.mean(query_seconds))
+        latencies[n] = mean_latency
+        schemes[n] = (scheme, encrypted[0])
+        rows.append([n, float(np.mean(recalls)), mean_latency * 1e3, 1.0 / mean_latency])
+    return rows, latencies, schemes
+
+
+def test_fig10_report(scalability_results, benchmark):
+    rows, latencies, schemes = scalability_results
+    print()
+    print(
+        format_table(
+            ["n", "recall@10", "latency_ms", "QPS"],
+            rows,
+            title=f"Figure 10 — scalability (deep profile, ef={EF}, Ratio_k=8)",
+        )
+    )
+
+    # Paper shape: latency grows sublinearly in n.
+    small, large = SIZES[0], SIZES[-1]
+    size_factor = large / small
+    latency_factor = latencies[large] / latencies[small]
+    print(
+        f"n grew {size_factor:.0f}x, latency grew {latency_factor:.1f}x "
+        "(sublinear, as in the paper)"
+    )
+    assert latency_factor < size_factor
+
+    scheme, encrypted = schemes[SIZES[-1]]
+    benchmark(scheme.server.answer, encrypted, ratio_k=8, ef_search=EF)

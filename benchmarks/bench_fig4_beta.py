@@ -1,0 +1,71 @@
+"""Figure 4 — effect of DCPE beta on filter-phase search performance.
+
+The paper sweeps beta per dataset and plots filter-only Recall@10 vs QPS:
+beta = 0 (no noise) gives the highest recall ceiling; increasing beta
+lowers the ceiling (more privacy, worse candidates).  We regenerate the
+same series on the Deep stand-in with four beta values including 0,
+sweeping ef_search for each curve, and assert the ceiling ordering.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_HNSW, K, N_QUERIES, N_VECTORS
+from repro import PPANNS
+from repro.datasets import compute_ground_truth, make_dataset
+from repro.eval.plotting import render_curves
+from repro.eval.reporting import format_curve
+from repro.eval.runner import sweep_filter_only
+
+BETAS = (0.0, 1.5, 3.0, 6.0)
+EF_GRID = (10, 20, 40, 80, 160)
+
+
+@pytest.fixture(scope="module")
+def beta_curves():
+    dataset = make_dataset("deep", num_vectors=N_VECTORS, num_queries=N_QUERIES,
+                           rng=np.random.default_rng(41))
+    truth_list = [
+        ids for ids in compute_ground_truth(dataset.database, dataset.queries, K).ids
+    ]
+    curves = {}
+    for beta in BETAS:
+        scheme = PPANNS(
+            dim=dataset.dim, beta=beta, hnsw_params=BENCH_HNSW,
+            rng=np.random.default_rng(42),
+        ).fit(dataset.database)
+        curves[beta] = (
+            scheme,
+            sweep_filter_only(
+                scheme, dataset.queries, truth_list, k=K, ef_grid=EF_GRID,
+                label=f"beta = {beta}",
+            ),
+        )
+    return dataset, curves
+
+
+def test_fig4_report(beta_curves, benchmark):
+    """Print the Figure 4 series and benchmark one filter-only query."""
+    dataset, curves = beta_curves
+    print()
+    for beta, (_, curve) in curves.items():
+        print(format_curve(curve, parameter_name="efSearch"))
+        print()
+    print(
+        render_curves(
+            [curve for _, curve in curves.values()],
+            title="Figure 4 — filter-only recall vs QPS per beta (deep stand-in)",
+        )
+    )
+    print()
+
+    ceilings = {beta: curve.best_recall() for beta, (_, curve) in curves.items()}
+    print("recall ceilings:", {b: round(c, 3) for b, c in ceilings.items()})
+
+    # Paper shape: beta=0 has the highest ceiling; ceilings fall as beta grows.
+    assert ceilings[0.0] == max(ceilings.values())
+    assert ceilings[BETAS[-1]] <= ceilings[0.0]
+
+    scheme, _ = curves[BETAS[1]]
+    encrypted = scheme.user.encrypt_query(dataset.queries[0], K)
+    benchmark(scheme.server.answer_filter_only, encrypted, ef_search=40)

@@ -1,0 +1,62 @@
+"""Figure 5 — effect of Ratio_k (= k'/k) on search performance.
+
+The paper sweeps Ratio_k in {1..128}: larger ratios raise the recall
+ceiling (more candidates survive into the refine phase) and lower QPS
+(more DCE comparisons).  We regenerate the same family of curves on the
+Deep stand-in at the tuned beta and assert both trends.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import K
+from repro.eval.metrics import recall_at_k
+from repro.eval.reporting import format_table
+
+RATIOS = (1, 2, 4, 8, 16, 32, 64)
+EF = 160
+
+
+def test_fig5_report(deep_scheme, deep_workload, benchmark):
+    """Print the Figure 5 series and benchmark one refine-enabled query."""
+    dataset, truth = deep_workload
+    encrypted = [deep_scheme.user.encrypt_query(q, K) for q in dataset.queries]
+
+    rows = []
+    recalls_by_ratio = {}
+    for ratio in RATIOS:
+        recalls = []
+        latencies = []
+        comparisons = []
+        for i, query_ct in enumerate(encrypted):
+            start = time.perf_counter()
+            report = deep_scheme.server.answer(query_ct, ratio_k=ratio, ef_search=EF)
+            latencies.append(time.perf_counter() - start)
+            recalls.append(recall_at_k(report.ids, truth.for_query(i), K))
+            comparisons.append(report.refine_comparisons)
+        mean_latency = float(np.mean(latencies))
+        recalls_by_ratio[ratio] = float(np.mean(recalls))
+        rows.append(
+            [
+                ratio,
+                recalls_by_ratio[ratio],
+                1.0 / mean_latency,
+                mean_latency * 1e3,
+                float(np.mean(comparisons)),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Ratio_k", "recall@10", "QPS", "latency_ms", "DCE comps"],
+            rows,
+            title=f"Figure 5 — Ratio_k sweep (efSearch={EF})",
+        )
+    )
+
+    # Paper shape: recall ceiling grows with Ratio_k, cost grows too.
+    assert recalls_by_ratio[RATIOS[-1]] >= recalls_by_ratio[RATIOS[0]]
+    assert rows[-1][3] > rows[0][3] * 1.2  # latency strictly increases
+
+    benchmark(deep_scheme.server.answer, encrypted[0], ratio_k=8, ef_search=EF)

@@ -1,0 +1,140 @@
+"""Figure 9 — server-side vs user-side cost split at Recall@10 ~ 0.9.
+
+The paper breaks each method's per-query cost into server compute and
+user compute (user cost simulated on the server machine, as here) and
+additionally reports that the whole PP-ANNS pipeline costs a small
+multiple (3-7x) of plaintext HNSW at the same recall.  We regenerate
+both: the per-method cost split table and the plaintext-multiple row.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_BETA, BENCH_HNSW, K, N_QUERIES
+from repro import PPANNS
+from repro.baselines.pacm_ann import PACMANNBaseline
+from repro.baselines.pri_ann import PRIANNBaseline
+from repro.baselines.rs_sann import RSSANNBaseline
+from repro.datasets import compute_ground_truth, make_dataset
+from repro.eval.metrics import recall_at_k
+from repro.eval.reporting import format_table
+from repro.hnsw.graph import HNSWIndex
+from repro.lsh.e2lsh import E2LSHParams
+
+N = 1200
+
+
+@pytest.fixture(scope="module")
+def fig9_setup():
+    dataset = make_dataset("deep", num_vectors=N, num_queries=N_QUERIES,
+                           rng=np.random.default_rng(91))
+    truth = compute_ground_truth(dataset.database, dataset.queries, K)
+    # Data-driven LSH width: ~2.5x the typical 10-NN distance keeps bucket
+    # recall high at the cost of large candidate sets — the regime the
+    # paper describes for the LSH baselines.
+    width = 2.5 * float(np.sqrt(truth.distances[:, -1]).mean())
+    ours = PPANNS(
+        dim=dataset.dim, beta=BENCH_BETA["deep"], hnsw_params=BENCH_HNSW,
+        rng=np.random.default_rng(92),
+    ).fit(dataset.database)
+    plain = HNSWIndex(dataset.dim, BENCH_HNSW, rng=np.random.default_rng(92)).build(
+        dataset.database
+    )
+    rs_sann = RSSANNBaseline(
+        dataset.dim,
+        E2LSHParams(num_tables=16, hashes_per_table=6, bucket_width=width,
+                    multiprobe=4),
+        rng=np.random.default_rng(93),
+    ).fit(dataset.database)
+    pacm = PACMANNBaseline(dataset.dim, BENCH_HNSW, rng=np.random.default_rng(94)).fit(
+        dataset.database
+    )
+    pri = PRIANNBaseline(
+        dataset.dim,
+        E2LSHParams(num_tables=16, hashes_per_table=6, bucket_width=width),
+        bucket_capacity=192,
+        rng=np.random.default_rng(95),
+    ).fit(dataset.database)
+    return dataset, truth, ours, plain, rs_sann, pacm, pri
+
+
+def test_fig9_report(fig9_setup, benchmark):
+    dataset, truth, ours, plain, rs_sann, pacm, pri = fig9_setup
+    rows = []
+
+    # --- ours: user = query encryption; server = Algorithm 2 ----------------
+    recalls, user_s, server_s = [], [], []
+    for i, query in enumerate(dataset.queries):
+        start = time.perf_counter()
+        encrypted = ours.user.encrypt_query(query, K)
+        user_s.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        report = ours.server.answer(encrypted, ratio_k=8, ef_search=160)
+        server_s.append(time.perf_counter() - start)
+        recalls.append(recall_at_k(report.ids, truth.for_query(i), K))
+    rows.append(
+        [
+            "PP-ANNS (ours)",
+            float(np.mean(recalls)),
+            float(np.mean(server_s)) * 1e3,
+            float(np.mean(user_s)) * 1e3,
+        ]
+    )
+    ours_mean = float(np.mean(server_s))
+
+    # --- baselines -------------------------------------------------------------
+    for label, method in (
+        ("RS-SANN", lambda q: rs_sann.query_with_cost(q, K)),
+        ("PACM-ANN", lambda q: pacm.query_with_cost(q, K, ef_search=60)),
+        ("PRI-ANN", lambda q: pri.query_with_cost(q, K)),
+    ):
+        recalls, user_s, server_s = [], [], []
+        for i, query in enumerate(dataset.queries):
+            ids, cost = method(query)
+            server_s.append(cost.server_seconds)
+            user_s.append(cost.user_seconds)
+            recalls.append(recall_at_k(ids, truth.for_query(i), K))
+        rows.append(
+            [
+                label,
+                float(np.mean(recalls)),
+                float(np.mean(server_s)) * 1e3,
+                float(np.mean(user_s)) * 1e3,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["method", "recall@10", "server_ms", "user_ms"],
+            rows,
+            title="Figure 9 — cost split per query (user cost simulated on server)",
+        )
+    )
+
+    # --- plaintext multiple (Section VII-B closing) --------------------------------
+    start = time.perf_counter()
+    for _ in range(3):
+        for query in dataset.queries:
+            plain.search(query, K, ef_search=160)
+    plain_mean = (time.perf_counter() - start) / (3 * len(dataset.queries))
+    multiple = ours_mean / plain_mean
+    print(
+        f"\nplaintext HNSW: {plain_mean * 1e3:.2f} ms/query -> "
+        f"PP-ANNS costs {multiple:.1f}x plaintext (paper: 3-7x)"
+    )
+
+    # Paper shape: the user-refine baselines (RS-SANN, PRI-ANN) burn more
+    # user-side time than our whole trapdoor generation; our user cost is
+    # absolutely small; the encrypted/plaintext multiple stays a small
+    # constant.  (PACM-ANN's pain is rounds, shown in Figure 7.)
+    ours_user = rows[0][3]
+    by_label = {row[0]: row for row in rows}
+    assert by_label["RS-SANN"][3] > ours_user
+    assert by_label["PRI-ANN"][3] > ours_user
+    assert ours_user < 5.0  # ms; O(d^2) trapdoor only
+    assert multiple < 25
+
+    benchmark(plain.search, dataset.queries[0], K, 160)

@@ -1,0 +1,54 @@
+"""Table I — dataset statistics.
+
+Regenerates the paper's dataset table for the synthetic stand-ins: name,
+dimensionality, vector count, query count (dimensions match Table I; the
+counts are the benchmark scale, see DESIGN.md §5).  The benchmark target
+measures generation throughput.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import N_QUERIES, N_VECTORS
+from repro.datasets import DATASET_PROFILES, make_dataset
+from repro.eval.reporting import format_table
+
+PAPER_DIMS = {"sift": 128, "gist": 960, "glove": 100, "deep": 96}
+
+
+def test_table1_report(benchmark):
+    """Print the Table I analogue and benchmark dataset generation."""
+    datasets = {
+        name: make_dataset(name, num_vectors=N_VECTORS, num_queries=N_QUERIES,
+                           rng=np.random.default_rng(11))
+        for name in sorted(DATASET_PROFILES)
+    }
+    rows = [
+        [
+            name,
+            dataset.dim,
+            PAPER_DIMS[name],
+            dataset.num_vectors,
+            dataset.num_queries,
+            dataset.max_abs_coordinate,
+        ]
+        for name, dataset in datasets.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["dataset", "#dims", "#dims(paper)", "#vectors", "#queries", "max|coord|"],
+            rows,
+            title="Table I — datasets (scaled stand-ins; paper: 1M vectors each)",
+        )
+    )
+
+    benchmark(
+        make_dataset,
+        "deep",
+        num_vectors=N_VECTORS,
+        num_queries=N_QUERIES,
+        rng=np.random.default_rng(12),
+    )
+
+    for name, dataset in datasets.items():
+        assert dataset.dim == PAPER_DIMS[name]

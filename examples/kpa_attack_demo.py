@@ -1,0 +1,67 @@
+"""Known-plaintext attack demo: breaking ASPE variants, DCE resisting.
+
+Re-enacts Section III of the paper as a live experiment.  For each
+"enhanced" ASPE variant (linear / exponential / logarithmic / square
+distance leakage) the attacker:
+
+1. obtains a leaked subset of plaintexts and the scheme's observable
+   leakage values (exactly the values the server ranks neighbors with),
+2. solves the Theorem-1/2 linear systems to recover a *query* vector,
+3. uses recovered queries to recover a *database* vector it never saw.
+
+The same attack shape is then pointed at DCE, where the pair-specific
+positive randomizers reduce the attacker to noise.
+
+Run:  python examples/kpa_attack_demo.py
+"""
+
+import numpy as np
+
+from repro.attacks import ASPEAttacker, dce_linear_attack_error
+from repro.baselines.aspe import ASPEScheme, DistanceTransform
+
+DIM = 16
+
+
+def attack_variant(transform: DistanceTransform, rng: np.random.Generator) -> None:
+    scheme = ASPEScheme(DIM, transform, rng)
+    attacker = ASPEAttacker(DIM, transform)
+
+    leaked = rng.standard_normal((attacker.required_leak_size + 8, DIM)) * 3.0
+    leaked_cts = scheme.encrypt_database(leaked)
+    queries = [rng.standard_normal(DIM) * 3.0 for _ in range(DIM + 4)]
+    trapdoors = [scheme.trapdoor(q) for q in queries]
+    victim = rng.standard_normal(DIM) * 3.0
+    victim_ct = scheme.encrypt(victim)
+
+    recoveries, recovered_victim = attacker.full_attack(
+        scheme, leaked, leaked_cts, trapdoors, victim_ct
+    )
+    query_err = np.linalg.norm(recoveries[0].query - queries[0]) / np.linalg.norm(queries[0])
+    victim_err = np.linalg.norm(recovered_victim - victim) / np.linalg.norm(victim)
+    print(
+        f"ASPE[{transform.value:>11}]  query recovered to {query_err:.1e} rel. error, "
+        f"database vector to {victim_err:.1e} -> BROKEN"
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(2025)
+    print(f"attacking ASPE variants in d={DIM} (Theorems 1-2, Corollaries 1-2)\n")
+    for transform in (
+        DistanceTransform.LINEAR,
+        DistanceTransform.EXPONENTIAL,
+        DistanceTransform.LOGARITHMIC,
+        DistanceTransform.SQUARE,
+    ):
+        attack_variant(transform, rng)
+
+    error = dce_linear_attack_error(DIM, num_leaked=200, rng=rng)
+    print(
+        f"\nDCE under the same attack shape: {error:.2f} rel. error "
+        "(no better than guessing the query's scale) -> attack fails"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Parameter tuning: the Section VII-A procedures, runnable.
+
+1. **beta** — bisect for the largest DCPE noise whose *filter-only*
+   recall ceiling stays near 0.5 (the paper's privacy rule: the server's
+   approximate view identifies a true neighbor only half the time).
+2. **k'** — grid-search ``ratio_k = k'/k`` for the smallest candidate
+   multiplier that reaches a recall target with the refine phase on.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+import numpy as np
+
+from repro import PPANNS
+from repro.core.params import grid_search_ratio_k, tune_beta
+from repro.datasets import make_dataset
+from repro.eval.reporting import format_table
+from repro.hnsw.graph import HNSWParams
+
+K = 10
+HNSW = HNSWParams(m=12, ef_construction=80)
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    dataset = make_dataset("deep", num_vectors=1200, num_queries=15, rng=rng)
+
+    # --- step 1: tune beta --------------------------------------------------
+    result = tune_beta(
+        dataset.database,
+        dataset.queries,
+        target_ceiling=0.5,
+        k=K,
+        num_steps=4,
+        hnsw_params=HNSW,
+        rng=rng,
+    )
+    print(
+        format_table(
+            ["beta", "filter-only recall"],
+            [[b, r] for b, r in result.trace],
+            title="beta bisection trace (target ceiling 0.5)",
+        )
+    )
+    print(f"\nchosen beta = {result.beta:.3f} (ceiling {result.recall_ceiling:.2f})\n")
+
+    # --- step 2: grid-search ratio_k at that beta ------------------------------
+    scheme = PPANNS(
+        dim=dataset.dim, beta=result.beta, hnsw_params=HNSW, rng=rng
+    ).fit(dataset.database)
+    grid = grid_search_ratio_k(
+        scheme,
+        dataset.database,
+        dataset.queries,
+        k=K,
+        recall_target=0.9,
+        ratio_grid=(1, 2, 4, 8, 16, 32),
+        ef_search=120,
+    )
+    print(
+        format_table(
+            ["ratio_k", "recall", "mean query s"],
+            [[r, rec, sec] for r, rec, sec in grid.frontier],
+            title="ratio_k grid (refine phase on)",
+        )
+    )
+    print(
+        f"\nsmallest ratio_k reaching recall 0.9: {grid.ratio_k} "
+        f"(recall {grid.recall:.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

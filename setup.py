@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package needed for PEP-660
+editable installs, so this legacy ``setup.py`` keeps ``pip install -e .``
+working; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro — reproduction of "Privacy-Preserving Approximate Nearest Neighbor
+Search on High-Dimensional Data" (Liu, Zhang, Xie, Li, Yu, Cui; ICDE 2025).
+
+The package implements the paper's complete system and its evaluation:
+
+* :mod:`repro.core` — Distance Comparison Encryption (DCE), DCPE
+  (Scale-and-Perturb), the privacy-preserving index, filter-and-refine
+  search, system roles and index maintenance.
+* :mod:`repro.hnsw` — HNSW and NSG proximity graphs built from scratch.
+* :mod:`repro.lsh` — E2LSH, the index substrate of two baselines.
+* :mod:`repro.baselines` — ASPE (+ broken enhanced variants), AME,
+  HNSW-AME, DCE linear scan, RS-SANN, PACM-ANN, PRI-ANN.
+* :mod:`repro.crypto` — AES-128/CTR, 2-server PIR, random matrices and
+  permutations.
+* :mod:`repro.attacks` — the executable KPA attacks of Section III.
+* :mod:`repro.datasets` / :mod:`repro.eval` — workloads and the
+  experiment harness regenerating every table and figure of Section VII.
+
+Quickstart::
+
+    import numpy as np
+    from repro import PPANNS
+
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((5000, 64))
+    scheme = PPANNS(dim=64, beta=1.0, rng=rng).fit(data)
+    ids = scheme.query(data[0], k=10, ratio_k=8)
+"""
+
+from repro.core import (
+    PPANNS,
+    CloudServer,
+    DataOwner,
+    DCEScheme,
+    DCPEScheme,
+    EncryptedIndex,
+    EncryptedQuery,
+    QueryUser,
+    SearchReport,
+    SecretKeyBundle,
+    filter_and_refine,
+)
+from repro.hnsw import HNSWIndex, HNSWParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PPANNS",
+    "DataOwner",
+    "QueryUser",
+    "CloudServer",
+    "SecretKeyBundle",
+    "DCEScheme",
+    "DCPEScheme",
+    "EncryptedIndex",
+    "EncryptedQuery",
+    "SearchReport",
+    "filter_and_refine",
+    "HNSWIndex",
+    "HNSWParams",
+    "__version__",
+]

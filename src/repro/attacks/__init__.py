@@ -1,0 +1,33 @@
+"""Known-plaintext attacks — Section III, executed as code.
+
+:mod:`repro.attacks.aspe_kpa` implements the constructive proofs of
+Theorem 1, Corollaries 1-2 and Theorem 2: given a leaked subset of
+plaintexts and the server's observable leakage values, the attacker
+recovers query vectors and then arbitrary database vectors from every
+"enhanced" ASPE variant.  The same module provides a control experiment
+showing the analogous linear-system attack fails against DCE.
+"""
+
+from repro.attacks.aspe_kpa import (
+    ASPEAttacker,
+    QueryRecovery,
+    dce_linear_attack_error,
+    required_leak_size,
+)
+from repro.attacks.leakage import (
+    LeakageProfile,
+    neighborhood_overlap,
+    profile_beta_leakage,
+    scaled_reconstruction_error,
+)
+
+__all__ = [
+    "ASPEAttacker",
+    "QueryRecovery",
+    "required_leak_size",
+    "dce_linear_attack_error",
+    "LeakageProfile",
+    "neighborhood_overlap",
+    "profile_beta_leakage",
+    "scaled_reconstruction_error",
+]

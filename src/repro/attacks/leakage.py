@@ -1,0 +1,152 @@
+"""Quantifying what the privacy-preserving index leaks.
+
+The paper's threat model (Section II-B) concedes that the server-side
+index leaks *approximate neighborhood relationships* — the edges of the
+HNSW graph over DCPE ciphertexts — and argues this is acceptable because
+DCPE noise makes those relationships inexact (Section V-A: "the edges of
+HNSW built on them do not reflect the exact neighborhood ... which
+enhances the data privacy").  The knob is beta, tuned in Section VII-A so
+the filter-only recall ceiling is ~0.5, i.e. "the attacker's probability
+of guessing the true neighbor correctly is only 50%".
+
+This module turns those arguments into measurements:
+
+* :func:`neighborhood_overlap` — how much of the *true* k-NN graph an
+  adversary reconstructs from the DCPE ciphertexts alone (what index
+  edges can reveal, at most).
+* :func:`scaled_reconstruction_error` — how far the DCPE ciphertext is
+  from the (secret-)scaled plaintext, relative to the data spread: the
+  plaintext leakage of ``C = s*p + noise`` if ``s`` were known.
+* :class:`LeakageProfile` / :func:`profile_beta_leakage` — both metrics
+  swept over beta, the quantified version of the paper's privacy/accuracy
+  trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dcpe import DCPEScheme, dcpe_keygen
+from repro.core.errors import ParameterError
+from repro.hnsw.bruteforce import exact_knn
+
+__all__ = [
+    "neighborhood_overlap",
+    "scaled_reconstruction_error",
+    "LeakageProfile",
+    "profile_beta_leakage",
+]
+
+
+def neighborhood_overlap(
+    plaintexts: np.ndarray,
+    ciphertexts: np.ndarray,
+    k: int = 10,
+    sample_size: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Mean overlap between true and ciphertext-space k-NN lists.
+
+    For each (sampled) vector, compute its k nearest neighbors among the
+    plaintexts and among the DCPE ciphertexts and return the average
+    Jaccard-style overlap ``|intersection| / k``.  This bounds what graph
+    edges can leak: an index built on ciphertexts cannot encode more
+    neighborhood truth than the ciphertexts themselves contain.
+    """
+    plaintexts = np.asarray(plaintexts, dtype=np.float64)
+    ciphertexts = np.asarray(ciphertexts, dtype=np.float64)
+    if plaintexts.shape[0] != ciphertexts.shape[0]:
+        raise ParameterError("plaintexts and ciphertexts must align")
+    n = plaintexts.shape[0]
+    if n < k + 2:
+        raise ParameterError(f"need at least k+2 vectors, got {n}")
+    rng = rng if rng is not None else np.random.default_rng()
+    if sample_size is not None and sample_size < n:
+        probes = rng.choice(n, size=sample_size, replace=False)
+    else:
+        probes = np.arange(n)
+    overlaps = []
+    for probe in probes:
+        mask = np.arange(n) != probe
+        others_plain = plaintexts[mask]
+        others_cipher = ciphertexts[mask]
+        true_ids, _ = exact_knn(others_plain, plaintexts[probe], k)
+        leaked_ids, _ = exact_knn(others_cipher, ciphertexts[probe], k)
+        overlaps.append(len(set(true_ids.tolist()) & set(leaked_ids.tolist())) / k)
+    return float(np.mean(overlaps))
+
+
+def scaled_reconstruction_error(
+    plaintexts: np.ndarray, ciphertexts: np.ndarray, scale: float
+) -> float:
+    """Relative plaintext reconstruction error if the scale were known.
+
+    ``C = s*p + lambda`` means an adversary knowing ``s`` recovers
+    ``p_hat = C / s`` with error ``||lambda|| / s``.  Returns the mean of
+    ``||p_hat - p|| / spread`` where ``spread`` is the dataset's RMS
+    norm — i.e. leakage as a fraction of the data's own magnitude.
+    """
+    plaintexts = np.asarray(plaintexts, dtype=np.float64)
+    recovered = np.asarray(ciphertexts, dtype=np.float64) / scale
+    errors = np.linalg.norm(recovered - plaintexts, axis=1)
+    spread = float(np.sqrt((plaintexts**2).sum(axis=1).mean()))
+    if spread == 0:
+        return float("inf") if errors.mean() > 0 else 0.0
+    return float(errors.mean() / spread)
+
+
+@dataclass(frozen=True)
+class LeakageProfile:
+    """Leakage metrics at one beta.
+
+    Attributes
+    ----------
+    beta:
+        The DCPE noise budget.
+    neighborhood_overlap:
+        Fraction of true k-NN edges recoverable from ciphertexts (1.0 =
+        index edges reveal exact neighborhoods; the paper aims ~0.5).
+    reconstruction_error:
+        Known-scale plaintext recovery error relative to data spread
+        (higher = less plaintext leakage).
+    """
+
+    beta: float
+    neighborhood_overlap: float
+    reconstruction_error: float
+
+
+def profile_beta_leakage(
+    plaintexts: np.ndarray,
+    betas: tuple[float, ...],
+    scale: float = 1024.0,
+    k: int = 10,
+    sample_size: int = 64,
+    rng: np.random.Generator | None = None,
+) -> list[LeakageProfile]:
+    """Sweep beta and measure both leakage metrics at each value.
+
+    Overlap decreases and reconstruction error increases with beta —
+    the quantified form of Figure 4's privacy side.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    profiles = []
+    for beta in betas:
+        scheme = DCPEScheme(
+            plaintexts.shape[1], dcpe_keygen(beta, scale=scale, rng=rng), rng=rng
+        )
+        ciphertexts = scheme.encrypt_database(plaintexts)
+        profiles.append(
+            LeakageProfile(
+                beta=beta,
+                neighborhood_overlap=neighborhood_overlap(
+                    plaintexts, ciphertexts, k=k, sample_size=sample_size, rng=rng
+                ),
+                reconstruction_error=scaled_reconstruction_error(
+                    plaintexts, ciphertexts, scale
+                ),
+            )
+        )
+    return profiles

@@ -1,0 +1,37 @@
+"""Baseline PP-ANNS methods the paper compares against (Sections III, VII).
+
+* :mod:`repro.baselines.aspe` — ASPE (Wong et al. 2009) and its "enhanced"
+  variants leaking linear / exponential / logarithmic / squared distance
+  transforms; all shown KPA-broken by :mod:`repro.attacks.aspe_kpa`.
+* :mod:`repro.baselines.ame` — asymmetric matrix encryption with the
+  paper-stated shapes and O(d^2) comparison cost.
+* :mod:`repro.baselines.hnsw_ame` — the paper's HNSW-AME variant: same
+  filter phase as ours, AME instead of DCE in the refine phase (Figure 6).
+* :mod:`repro.baselines.linear_scan` — k-NN by full DCE scan (no index),
+  the strawman of Section IV-B.
+* :mod:`repro.baselines.rs_sann` — AES + LSH with user-side refinement.
+* :mod:`repro.baselines.pacm_ann` — client-driven graph walk over PIR.
+* :mod:`repro.baselines.pri_ann` — LSH + single-round PIR, two servers.
+"""
+
+from repro.baselines.ame import AMEScheme, AMECiphertext, AMETrapdoor, ame_mac_count
+from repro.baselines.aspe import ASPEScheme, DistanceTransform
+from repro.baselines.hnsw_ame import HNSWAMEScheme
+from repro.baselines.linear_scan import DCELinearScan
+from repro.baselines.pacm_ann import PACMANNBaseline
+from repro.baselines.pri_ann import PRIANNBaseline
+from repro.baselines.rs_sann import RSSANNBaseline
+
+__all__ = [
+    "ASPEScheme",
+    "DistanceTransform",
+    "AMEScheme",
+    "AMECiphertext",
+    "AMETrapdoor",
+    "ame_mac_count",
+    "HNSWAMEScheme",
+    "DCELinearScan",
+    "RSSANNBaseline",
+    "PACMANNBaseline",
+    "PRIANNBaseline",
+]

@@ -1,0 +1,201 @@
+"""ASPE and its "enhanced" distance-leaking variants (Section III-A).
+
+The base scheme (Wong et al., SIGMOD 2009) encrypts a database vector
+``p`` as ``M^T p'`` and a query as ``M^{-1} q'`` with one secret invertible
+matrix ``M``, where the augmented vectors::
+
+    p' = [p, 1, ||p||^2]        q' = [-2q, ||q||^2, 1]
+
+satisfy ``p'.q' = dist(p, q)``, so the server recovers the *exact*
+distance from ``Enc(p).Trap(q)``.
+
+Later variants tried to salvage KPA security by revealing only a
+*transformation* of the distance — linear, exponential, logarithmic or
+squared, with fresh per-query randomizers.  Section III of the paper
+proves all four still fall to known-plaintext attacks; this module
+implements the schemes and :mod:`repro.attacks.aspe_kpa` executes the
+attacks against them.
+
+The leakage value the server actually observes is ``Enc(p) . Trap(q)``
+where the trapdoor folds in the per-query randomizers:
+
+=============  =========================================================
+variant        server observation per (p, q)
+=============  =========================================================
+EXACT          ``dist(p,q)``
+LINEAR         ``r1 * dist(p,q) + r2``
+EXPONENTIAL    ``exp(r1 * dist(p,q) + r2)``
+LOGARITHMIC    ``log(r1 * dist(p,q) + r2)``, args kept positive
+SQUARE         ``(r1 * dist(p,q) + r2)^2 + r3``
+=============  =========================================================
+
+All variants preserve *comparability* for nearest-neighbor ranking as
+long as the transformation is monotone in ``dist`` (``r1 > 0``) — that is
+why they were proposed — but none survive KPA.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DimensionMismatchError, KeyMismatchError
+from repro.crypto.matrices import random_invertible_matrix
+
+__all__ = ["DistanceTransform", "ASPEScheme", "ASPECiphertext", "ASPETrapdoor"]
+
+
+class DistanceTransform(enum.Enum):
+    """Which distance transformation an "enhanced" ASPE variant leaks."""
+
+    EXACT = "exact"
+    LINEAR = "linear"
+    EXPONENTIAL = "exponential"
+    LOGARITHMIC = "logarithmic"
+    SQUARE = "square"
+
+
+@dataclass(frozen=True)
+class ASPECiphertext:
+    """Encrypted database vector ``M^T p'`` (dimension ``d+2``)."""
+
+    vector: np.ndarray
+    key_id: int
+
+
+@dataclass(frozen=True)
+class ASPETrapdoor:
+    """Encrypted query with the variant's per-query randomizers baked in.
+
+    For the SQUARE variant the post-inner-product squaring needs the
+    randomizers at observation time, so they ride along (they are public
+    to the server in that variant's design: the server computes
+    ``(Enc(p).vec)^2 + r3``; here ``vec`` already folds ``r1, r2``).
+    """
+
+    vector: np.ndarray
+    transform: DistanceTransform
+    key_id: int
+    square_offset: float = 0.0
+
+
+class ASPEScheme:
+    """ASPE with selectable leakage transformation.
+
+    Parameters
+    ----------
+    dim:
+        Plaintext dimensionality.
+    transform:
+        Which variant to instantiate.
+    rng:
+        Randomness for the key and per-query randomizers.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        transform: DistanceTransform = DistanceTransform.EXACT,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError(f"dimension must be positive, got {dim}")
+        self._dim = dim
+        self._transform = transform
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._matrix, self._matrix_inv = random_invertible_matrix(dim + 2, self._rng)
+        self._key_id = int(self._rng.integers(0, 2**62))
+
+    @property
+    def dim(self) -> int:
+        """Plaintext dimensionality."""
+        return self._dim
+
+    @property
+    def transform(self) -> DistanceTransform:
+        """The variant's leakage transformation."""
+        return self._transform
+
+    def _augment_database(self, vectors: np.ndarray) -> np.ndarray:
+        """``p -> p' = [p, 1, ||p||^2]`` rows."""
+        norms = np.einsum("ij,ij->i", vectors, vectors)
+        return np.concatenate(
+            [vectors, np.ones((vectors.shape[0], 1)), norms[:, None]], axis=1
+        )
+
+    def encrypt(self, vector: np.ndarray) -> ASPECiphertext:
+        """Encrypt one database vector."""
+        vector = self._check(vector)
+        augmented = self._augment_database(vector[np.newaxis])[0]
+        return ASPECiphertext(self._matrix.T @ augmented, self._key_id)
+
+    def encrypt_database(self, vectors: np.ndarray) -> list[ASPECiphertext]:
+        """Encrypt an ``(n, d)`` database."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self._dim:
+            raise DimensionMismatchError(self._dim, vectors.shape[-1], what="database")
+        augmented = self._augment_database(vectors)
+        encrypted = augmented @ self._matrix  # row i = M^T p'_i
+        return [ASPECiphertext(row, self._key_id) for row in encrypted]
+
+    def trapdoor(self, query: np.ndarray) -> ASPETrapdoor:
+        """Encrypt one query under the variant's randomization."""
+        query = self._check(query)
+        norm = float(query @ query)
+        augmented = np.concatenate([-2.0 * query, [norm, 1.0]])
+        r1 = float(self._rng.uniform(0.5, 2.0))  # positive: order-preserving
+        r2 = float(self._rng.uniform(0.5, 2.0))
+        r3 = float(self._rng.uniform(0.5, 2.0))
+        if self._transform is DistanceTransform.EXPONENTIAL:
+            # exp(r1*dist + r2) must stay in float range; the published
+            # variants pick a small positive slope for exactly this reason.
+            r1 *= 1e-4
+        transform = self._transform
+        if transform is DistanceTransform.EXACT:
+            scaled = augmented
+            offset = 0.0
+        elif transform in (
+            DistanceTransform.LINEAR,
+            DistanceTransform.EXPONENTIAL,
+            DistanceTransform.LOGARITHMIC,
+            DistanceTransform.SQUARE,
+        ):
+            # Fold r1 into the whole augmented vector and r2 into the slot
+            # that pairs with p's constant-1 coordinate (index d, holding
+            # ||q||^2), so Enc(p).vec = r1*dist + r2.
+            scaled = r1 * augmented
+            scaled[-2] += r2
+            offset = r3 if transform is DistanceTransform.SQUARE else 0.0
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unsupported transform {transform}")
+        return ASPETrapdoor(
+            vector=self._matrix_inv @ scaled,
+            transform=transform,
+            key_id=self._key_id,
+            square_offset=offset,
+        )
+
+    def leakage(self, ciphertext: ASPECiphertext, trapdoor: ASPETrapdoor) -> float:
+        """What the server observes for one (database vector, query) pair."""
+        if ciphertext.key_id != trapdoor.key_id:
+            raise KeyMismatchError("ASPE ciphertext and trapdoor keys differ")
+        inner = float(ciphertext.vector @ trapdoor.vector)
+        transform = trapdoor.transform
+        if transform in (DistanceTransform.EXACT, DistanceTransform.LINEAR):
+            return inner
+        if transform is DistanceTransform.EXPONENTIAL:
+            return float(np.exp(np.clip(inner, -700.0, 700.0)))
+        if transform is DistanceTransform.LOGARITHMIC:
+            # r1, r2 > 0 and dist >= 0 keep the argument positive.
+            return float(np.log(inner))
+        if transform is DistanceTransform.SQUARE:
+            return inner * inner + trapdoor.square_offset
+        raise ValueError(f"unsupported transform {transform}")  # pragma: no cover
+
+    def _check(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.ndim != 1 or vector.shape[0] != self._dim:
+            raise DimensionMismatchError(self._dim, vector.shape[-1])
+        return vector

@@ -1,0 +1,126 @@
+"""HNSW-AME — the paper's ablation baseline (Section VII-B, Figure 6).
+
+Identical to the PP-ANNS scheme except the refine phase: it stores AME
+ciphertexts instead of DCE and performs the secure comparisons with AME's
+O(d^2) ``distance_comp``.  Sharing the filter phase isolates exactly the
+SDC-cost difference, which is what Figure 6 plots — the paper reports
+HNSW-DCE at least 100x faster than HNSW-AME.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.ame import AMECiphertext, AMEScheme, AMETrapdoor
+from repro.core.dcpe import DCPEScheme, dcpe_keygen
+from repro.core.errors import ParameterError
+from repro.core.search import SearchReport
+from repro.hnsw.graph import HNSWIndex, HNSWParams, SearchStats
+from repro.hnsw.heap import ComparisonMaxHeap
+
+__all__ = ["HNSWAMEScheme"]
+
+
+class HNSWAMEScheme:
+    """PP-ANNS with AME in place of DCE.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    beta:
+        DCPE perturbation budget (same filter phase as the main scheme).
+    scale:
+        DCPE scaling factor.
+    hnsw_params:
+        Graph construction parameters.
+    rng:
+        Randomness for all components.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        beta: float,
+        scale: float = 1024.0,
+        hnsw_params: HNSWParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._dim = dim
+        self._dcpe = DCPEScheme(dim, dcpe_keygen(beta, scale, self._rng), rng=self._rng)
+        self._ame = AMEScheme(dim, rng=self._rng)
+        self._hnsw_params = hnsw_params if hnsw_params is not None else HNSWParams()
+        self._graph: HNSWIndex | None = None
+        self._ame_cts: list[AMECiphertext] = []
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self._dim
+
+    @property
+    def ame_scheme(self) -> AMEScheme:
+        """The underlying AME scheme (for encryption-cost benchmarks)."""
+        return self._ame
+
+    def fit(self, vectors: np.ndarray) -> "HNSWAMEScheme":
+        """Encrypt the database (DCPE + AME) and build the filter graph."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self._dim:
+            raise ParameterError(
+                f"expected a (n, {self._dim}) database, got shape {vectors.shape}"
+            )
+        sap = self._dcpe.encrypt_database(vectors)
+        self._ame_cts = self._ame.encrypt_database(vectors)
+        self._graph = HNSWIndex(self._dim, self._hnsw_params, rng=self._rng).build(sap)
+        return self
+
+    def encrypt_query(self, query: np.ndarray) -> tuple[np.ndarray, AMETrapdoor]:
+        """User-side query encryption: DCPE ciphertext + AME trapdoor."""
+        return self._dcpe.encrypt(query), self._ame.trapdoor(query)
+
+    def query_with_report(
+        self,
+        query: np.ndarray,
+        k: int,
+        ratio_k: int = 8,
+        ef_search: int | None = None,
+    ) -> SearchReport:
+        """Filter with HNSW-on-DCPE, refine with AME comparisons."""
+        if self._graph is None:
+            raise ParameterError("call fit() before querying")
+        if k <= 0 or ratio_k < 1:
+            raise ParameterError(f"invalid k={k} / ratio_k={ratio_k}")
+        sap_query, trapdoor = self.encrypt_query(query)
+        k_prime = ratio_k * k
+
+        stats = SearchStats()
+        start = time.perf_counter()
+        ef = ef_search if ef_search is not None else None
+        if ef is not None and ef < k_prime:
+            ef = k_prime
+        candidate_ids, _ = self._graph.search(sap_query, k_prime, ef_search=ef, stats=stats)
+        filter_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cts = self._ame_cts
+
+        def is_farther(a: int, b: int) -> bool:
+            return self._ame.distance_comp(cts[a], cts[b], trapdoor) >= 0.0
+
+        heap = ComparisonMaxHeap(k, is_farther)
+        for candidate in candidate_ids:
+            heap.offer(int(candidate))
+        refine_seconds = time.perf_counter() - start
+
+        return SearchReport(
+            ids=np.array(heap.items(), dtype=np.int64),
+            filter_stats=stats,
+            refine_comparisons=heap.oracle_calls,
+            k_prime=k_prime,
+            filter_seconds=filter_seconds,
+            refine_seconds=refine_seconds,
+        )

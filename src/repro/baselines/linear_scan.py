@@ -1,0 +1,74 @@
+"""Secure k-NN by DCE linear scan — the index-free strawman.
+
+Section IV-B closes by noting that DCE alone supports exact secure k-NN
+via a full scan with a comparison max-heap, at ``O(n d log k)`` per query
+— "prohibitive, particularly for large-scale datasets", which motivates
+the privacy-preserving index of Section V.  This class implements that
+strawman for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.dce import DCEEncryptedDatabase, DCEScheme
+from repro.core.errors import ParameterError
+from repro.core.search import SearchReport
+from repro.hnsw.heap import ComparisonMaxHeap
+
+__all__ = ["DCELinearScan"]
+
+
+class DCELinearScan:
+    """Exact secure k-NN over DCE ciphertexts, no index.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    rng:
+        Randomness for the DCE scheme.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator | None = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._dce = DCEScheme(dim, rng=self._rng)
+        self._database: DCEEncryptedDatabase | None = None
+
+    @property
+    def dce_scheme(self) -> DCEScheme:
+        """The underlying DCE scheme."""
+        return self._dce
+
+    def fit(self, vectors: np.ndarray) -> "DCELinearScan":
+        """Encrypt the database under DCE."""
+        self._database = self._dce.encrypt_database(np.asarray(vectors, dtype=np.float64))
+        return self
+
+    def query_with_report(self, query: np.ndarray, k: int) -> SearchReport:
+        """Scan every ciphertext through the comparison heap."""
+        if self._database is None:
+            raise ParameterError("call fit() before querying")
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        trapdoor = self._dce.trapdoor(query)
+        database = self._database
+
+        def is_farther(a: int, b: int) -> bool:
+            from repro.core.dce import distance_comp
+
+            return distance_comp(database[a], database[b], trapdoor) >= 0.0
+
+        start = time.perf_counter()
+        heap = ComparisonMaxHeap(k, is_farther)
+        for candidate in range(len(database)):
+            heap.offer(candidate)
+        elapsed = time.perf_counter() - start
+        return SearchReport(
+            ids=np.array(heap.items(), dtype=np.int64),
+            refine_comparisons=heap.oracle_calls,
+            k_prime=len(database),
+            refine_seconds=elapsed,
+        )

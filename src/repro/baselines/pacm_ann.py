@@ -1,0 +1,175 @@
+"""PACM-ANN — client-driven graph walk over PIR (Zhou, Shi, Fanti 2024).
+
+Architecture (Section VII, "Compared Methods"): the server holds a
+proximity graph; the *client* runs the beam search, fetching each node's
+adjacency list and vector through private information retrieval so the
+server never learns the access pattern.  Every expansion is a network
+round trip, so queries pay ``O(hops)`` RTTs plus PIR bandwidth — the
+"heavy computational costs on the user side and communication overhead"
+the paper attributes to this design.
+
+We store the graph as fixed-size PIR blocks (adjacency padded to the
+degree bound, vectors as float32) over the 2-server XOR PIR from
+:mod:`repro.crypto.pir`, and the client executes a straightforward
+best-first search with an ``ef``-bounded frontier.  All client and server
+compute is measured; communication is accumulated from the PIR
+transcripts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+import numpy as np
+
+from repro.core.errors import ParameterError
+from repro.crypto.pir import TwoServerXorPIR
+from repro.crypto.serialization import bytes_to_vector, vector_to_bytes
+from repro.eval.costmodel import CostReport
+from repro.hnsw.graph import HNSWIndex, HNSWParams
+
+__all__ = ["PACMANNBaseline"]
+
+
+class PACMANNBaseline:
+    """Client-side graph ANN where every fetch goes through PIR.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    hnsw_params:
+        Parameters of the underlying (flat, layer-0) proximity graph; the
+        graph is built server-side from plaintexts (PACMANN protects the
+        *query*, not the database, from the server).
+    rng:
+        Randomness for graph construction and PIR queries.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        hnsw_params: HNSWParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._dim = dim
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._params = hnsw_params if hnsw_params is not None else HNSWParams()
+        self._graph: HNSWIndex | None = None
+        self._adjacency_pir: TwoServerXorPIR | None = None
+        self._vector_pir: TwoServerXorPIR | None = None
+        self._entry_point = 0
+        self._degree_bound = 2 * self._params.m
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self._dim
+
+    def fit(self, vectors: np.ndarray) -> "PACMANNBaseline":
+        """Build the server-side graph and PIR block stores."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self._dim:
+            raise ParameterError(
+                f"expected a (n, {self._dim}) database, got shape {vectors.shape}"
+            )
+        self._graph = HNSWIndex(self._dim, self._params, rng=self._rng).build(vectors)
+        self._entry_point = self._graph.entry_point or 0
+        adjacency_blocks = []
+        vector_blocks = []
+        for node in range(vectors.shape[0]):
+            neighbors = self._graph.neighbors(node, 0)[: self._degree_bound]
+            padded = neighbors + [-1] * (self._degree_bound - len(neighbors))
+            adjacency_blocks.append(
+                np.asarray(padded, dtype="<i4").tobytes()
+            )
+            vector_blocks.append(vector_to_bytes(vectors[node]))
+        self._adjacency_pir = TwoServerXorPIR(adjacency_blocks)
+        self._vector_pir = TwoServerXorPIR(vector_blocks)
+        return self
+
+    def query_with_cost(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef_search: int = 64,
+        max_rounds: int = 64,
+    ) -> tuple[np.ndarray, CostReport]:
+        """Client-driven best-first search; returns ``(ids, cost_report)``.
+
+        Each round privately fetches one node's adjacency block plus the
+        unseen neighbors' vector blocks (batched into the same round).
+        """
+        if self._graph is None or self._adjacency_pir is None or self._vector_pir is None:
+            raise ParameterError("call fit() before querying")
+        if k <= 0 or ef_search < k:
+            raise ParameterError(f"need ef_search >= k >= 1, got k={k}, ef={ef_search}")
+        query = np.asarray(query, dtype=np.float64)
+
+        report = CostReport(method="PACM-ANN")
+        server_seconds = 0.0
+        client_start = time.perf_counter()
+
+        # Fetch the entry point's vector.
+        pir_start = time.perf_counter()
+        block, transcript = self._vector_pir.retrieve(self._entry_point, self._rng)
+        server_seconds += time.perf_counter() - pir_start
+        report.upload_bytes += transcript.upload_bytes
+        report.download_bytes += transcript.download_bytes
+        report.rounds += transcript.rounds
+
+        entry_vector = bytes_to_vector(block)
+        entry_dist = float(((entry_vector - query) ** 2).sum())
+        visited = {self._entry_point}
+        candidates = [(entry_dist, self._entry_point)]
+        results = [(-entry_dist, self._entry_point)]
+
+        rounds_used = 0
+        while candidates and rounds_used < max_rounds:
+            dist, node = heapq.heappop(candidates)
+            if len(results) >= ef_search and dist > -results[0][0]:
+                break
+            rounds_used += 1
+            # Round part 1: privately fetch the adjacency block.
+            pir_start = time.perf_counter()
+            adjacency_raw, transcript = self._adjacency_pir.retrieve(node, self._rng)
+            server_seconds += time.perf_counter() - pir_start
+            report.upload_bytes += transcript.upload_bytes
+            report.download_bytes += transcript.download_bytes
+            report.rounds += transcript.rounds
+
+            neighbor_ids = [
+                int(x)
+                for x in np.frombuffer(adjacency_raw, dtype="<i4")
+                if x >= 0 and int(x) not in visited
+            ]
+            if not neighbor_ids:
+                continue
+            visited.update(neighbor_ids)
+            # Round part 2: batched private fetch of the neighbor vectors.
+            pir_start = time.perf_counter()
+            blocks, transcript = self._vector_pir.retrieve_many(neighbor_ids, self._rng)
+            server_seconds += time.perf_counter() - pir_start
+            report.upload_bytes += transcript.upload_bytes
+            report.download_bytes += transcript.download_bytes
+            report.rounds += transcript.rounds
+
+            neighbor_vectors = np.stack([bytes_to_vector(b) for b in blocks])
+            diffs = neighbor_vectors - query
+            dists = np.einsum("ij,ij->i", diffs, diffs)
+            for neighbor_dist, neighbor in zip(dists.tolist(), neighbor_ids):
+                if len(results) < ef_search or neighbor_dist < -results[0][0]:
+                    heapq.heappush(candidates, (neighbor_dist, neighbor))
+                    heapq.heappush(results, (-neighbor_dist, neighbor))
+                    if len(results) > ef_search:
+                        heapq.heappop(results)
+
+        ordered = sorted((-negated, node) for negated, node in results)[:k]
+        ids = np.array([node for _, node in ordered], dtype=np.int64)
+
+        total_client = time.perf_counter() - client_start
+        report.user_seconds = max(total_client - server_seconds, 0.0)
+        report.server_seconds = server_seconds
+        report.extra["expansions"] = float(rounds_used)
+        return ids, report

@@ -1,0 +1,160 @@
+"""PRI-ANN — LSH + single-round PIR from two servers (Servan-Schreiber,
+Langowski, Devadas; S&P 2022).
+
+Architecture (Section VII, "Compared Methods"): two non-colluding servers
+hold an LSH-bucketed database; the client hashes its query locally,
+privately retrieves the relevant buckets in a *single* PIR round, and
+refines the retrieved candidates locally.  Compared to PACM-ANN this
+saves rounds, but the bucket payloads are large (padded to a fixed
+capacity for PIR) and all refinement still burns user-side compute —
+"numerous candidates for high accuracy ... heavy computational
+consumption for servers and users" per the paper.
+
+Buckets are padded to ``bucket_capacity`` vectors so every PIR block has
+equal size (a real deployment requirement, and the source of the
+method's download overhead).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.errors import ParameterError
+from repro.crypto.pir import TwoServerXorPIR
+from repro.crypto.serialization import bytes_to_vectors, vectors_to_bytes
+from repro.eval.costmodel import CostReport
+from repro.lsh.e2lsh import E2LSHIndex, E2LSHParams
+
+__all__ = ["PRIANNBaseline"]
+
+
+class PRIANNBaseline:
+    """LSH bucketing + one-round 2-server PIR + user-side refine.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    lsh_params:
+        LSH configuration (the client holds the hash keys).
+    bucket_capacity:
+        Vectors per padded PIR bucket; overflowing buckets are truncated
+        (rare with adequate capacity) and short buckets padded with NaNs.
+    rng:
+        Randomness for LSH and PIR.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        lsh_params: E2LSHParams | None = None,
+        bucket_capacity: int = 64,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if bucket_capacity < 1:
+            raise ParameterError(f"bucket_capacity must be >= 1, got {bucket_capacity}")
+        self._dim = dim
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._lsh_params = lsh_params if lsh_params is not None else E2LSHParams()
+        self._capacity = bucket_capacity
+        self._index: E2LSHIndex | None = None
+        self._pir: TwoServerXorPIR | None = None
+        self._bucket_of_key: dict[tuple[int, tuple[int, ...]], int] = {}
+        self._bucket_members: list[list[int]] = []
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self._dim
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of padded PIR buckets."""
+        return len(self._bucket_members)
+
+    def fit(self, vectors: np.ndarray) -> "PRIANNBaseline":
+        """Bucket the database by LSH and materialize padded PIR blocks."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self._dim:
+            raise ParameterError(
+                f"expected a (n, {self._dim}) database, got shape {vectors.shape}"
+            )
+        self._index = E2LSHIndex(vectors, self._lsh_params, rng=self._rng)
+        blocks: list[bytes] = []
+        self._bucket_of_key = {}
+        self._bucket_members = []
+        for table_index, table in enumerate(self._index._tables):
+            for key, members in table.items():
+                kept = members[: self._capacity]
+                payload = np.full((self._capacity, self._dim + 1), np.nan)
+                payload[: len(kept), 0] = kept
+                payload[: len(kept), 1:] = vectors[kept]
+                blocks.append(vectors_to_bytes(payload))
+                self._bucket_of_key[(table_index, key)] = len(blocks) - 1
+                self._bucket_members.append(kept)
+        self._pir = TwoServerXorPIR(blocks)
+        return self
+
+    def query_with_cost(
+        self, query: np.ndarray, k: int
+    ) -> tuple[np.ndarray, CostReport]:
+        """One-round private bucket retrieval + local refine."""
+        if self._index is None or self._pir is None:
+            raise ParameterError("call fit() before querying")
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        query = np.asarray(query, dtype=np.float64)
+        report = CostReport(method="PRI-ANN")
+
+        # -- user: hash locally, resolve bucket ids --------------------------
+        start = time.perf_counter()
+        keys = self._index._hash_batch(query[np.newaxis])[:, 0, :]
+        bucket_ids = []
+        for table_index in range(self._lsh_params.num_tables):
+            bucket = self._bucket_of_key.get(
+                (table_index, tuple(keys[table_index].tolist()))
+            )
+            if bucket is not None:
+                bucket_ids.append(bucket)
+        report.user_seconds += time.perf_counter() - start
+
+        if not bucket_ids:
+            return np.empty(0, dtype=np.int64), report
+
+        # -- single PIR round for all buckets ----------------------------------
+        start = time.perf_counter()
+        blocks, transcript = self._pir.retrieve_many(bucket_ids, self._rng)
+        report.server_seconds += time.perf_counter() - start
+        report.upload_bytes += transcript.upload_bytes
+        report.download_bytes += transcript.download_bytes
+        report.rounds += transcript.rounds
+
+        # -- user: unpack, dedupe, exact refine ----------------------------------
+        start = time.perf_counter()
+        seen: set[int] = set()
+        candidate_ids: list[int] = []
+        candidate_vectors: list[np.ndarray] = []
+        for block in blocks:
+            payload = bytes_to_vectors(block, self._dim + 1)
+            for row in payload:
+                if np.isnan(row[0]):
+                    break
+                vector_id = int(row[0])
+                if vector_id in seen:
+                    continue
+                seen.add(vector_id)
+                candidate_ids.append(vector_id)
+                candidate_vectors.append(row[1:])
+        if candidate_ids:
+            stacked = np.stack(candidate_vectors)
+            diffs = stacked - query
+            dists = np.einsum("ij,ij->i", diffs, diffs)
+            order = np.argsort(dists, kind="stable")[:k]
+            ids = np.asarray(candidate_ids, dtype=np.int64)[order]
+        else:
+            ids = np.empty(0, dtype=np.int64)
+        report.user_seconds += time.perf_counter() - start
+        report.extra["candidates"] = float(len(candidate_ids))
+        return ids, report

@@ -1,0 +1,80 @@
+"""The paper's primary contribution: DCE + the PP-ANNS scheme.
+
+Public API:
+
+* :class:`repro.core.dce.DCEScheme` — distance comparison encryption
+  (Section IV): exact encrypted distance comparisons at O(d).
+* :class:`repro.core.dcpe.DCPEScheme` — Scale-and-Perturb approximate
+  DCPE (Algorithm 1), the filter phase's encryption.
+* :class:`repro.core.index.EncryptedIndex` — the server-side triplet
+  ``(C_SAP, HNSW(C_SAP), C_DCE)`` (Section V-A).
+* :func:`repro.core.search.filter_and_refine` — Algorithm 2.
+* :class:`repro.core.roles` — DataOwner / QueryUser / CloudServer.
+* :class:`repro.core.scheme.PPANNS` — a one-object facade over the whole
+  pipeline.
+* :mod:`repro.core.maintenance` — insert/delete (Section V-D).
+* :mod:`repro.core.params` — beta and k' tuning (Section VII-A).
+"""
+
+from repro.core.dce import (
+    DCECiphertext,
+    DCEEncryptedDatabase,
+    DCEScheme,
+    DCETrapdoor,
+    dce_keygen,
+    distance_comp,
+    sdc_mac_count,
+)
+from repro.core.dcpe import DCPEScheme, dcpe_keygen, beta_lower_bound, beta_upper_bound
+from repro.core.errors import (
+    CiphertextFormatError,
+    DimensionMismatchError,
+    KeyMismatchError,
+    ParameterError,
+    PPANNSError,
+)
+from repro.core.index import EncryptedIndex, IndexSizeReport
+from repro.core.keys import DCEKey, DCPEKey
+from repro.core.maintenance import delete_vector, insert_vector
+from repro.core.persistence import load_index, load_keys, save_index, save_keys
+from repro.core.roles import CloudServer, DataOwner, QueryUser, SecretKeyBundle
+from repro.core.scheme import PPANNS
+from repro.core.search import EncryptedQuery, SearchReport, filter_and_refine, filter_only
+
+__all__ = [
+    "DCEScheme",
+    "DCECiphertext",
+    "DCETrapdoor",
+    "DCEEncryptedDatabase",
+    "dce_keygen",
+    "distance_comp",
+    "sdc_mac_count",
+    "DCPEScheme",
+    "dcpe_keygen",
+    "beta_lower_bound",
+    "beta_upper_bound",
+    "DCEKey",
+    "DCPEKey",
+    "EncryptedIndex",
+    "IndexSizeReport",
+    "EncryptedQuery",
+    "SearchReport",
+    "filter_and_refine",
+    "filter_only",
+    "DataOwner",
+    "QueryUser",
+    "CloudServer",
+    "SecretKeyBundle",
+    "PPANNS",
+    "insert_vector",
+    "delete_vector",
+    "save_index",
+    "load_index",
+    "save_keys",
+    "load_keys",
+    "PPANNSError",
+    "DimensionMismatchError",
+    "KeyMismatchError",
+    "CiphertextFormatError",
+    "ParameterError",
+]

@@ -1,0 +1,41 @@
+"""Typed exceptions raised by the PP-ANNS core.
+
+Keeping a small exception hierarchy lets callers distinguish misuse (wrong
+dimensionality, mismatched keys) from integrity problems (tampered
+ciphertexts) without string-matching messages.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PPANNSError",
+    "DimensionMismatchError",
+    "KeyMismatchError",
+    "CiphertextFormatError",
+    "ParameterError",
+]
+
+
+class PPANNSError(Exception):
+    """Base class for all errors raised by :mod:`repro.core`."""
+
+
+class DimensionMismatchError(PPANNSError, ValueError):
+    """A vector's dimensionality does not match the scheme's."""
+
+    def __init__(self, expected: int, actual: int, what: str = "vector") -> None:
+        super().__init__(f"{what} has dimension {actual}, expected {expected}")
+        self.expected = expected
+        self.actual = actual
+
+
+class KeyMismatchError(PPANNSError, ValueError):
+    """Ciphertexts produced under different keys were combined."""
+
+
+class CiphertextFormatError(PPANNSError, ValueError):
+    """A ciphertext object has the wrong shape or is otherwise malformed."""
+
+
+class ParameterError(PPANNSError, ValueError):
+    """An out-of-range scheme parameter (k, k', beta, ef, ...)."""

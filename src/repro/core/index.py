@@ -1,0 +1,154 @@
+"""The privacy-preserving index (Section V-A, Figure 3 box B2).
+
+What the cloud server stores — and all it ever stores — is three pieces,
+each produced by the data owner:
+
+1. ``C_SAP``: the DCPE (Scale-and-Perturb) ciphertexts of every database
+   vector, still ``d``-dimensional, supporting cheap *approximate*
+   distances.
+2. An HNSW graph built **over** ``C_SAP`` — never over plaintexts, so its
+   edges encode only approximate neighbor relations (the paper's privacy
+   argument for index leakage).
+3. ``C_DCE``: the DCE ciphertexts of every vector, supporting exact
+   distance *comparisons* at 4x plaintext-distance cost.
+
+Vector ``i`` in the plaintext database corresponds to row ``i`` of
+``C_SAP``, node ``i`` of the graph and entry ``i`` of ``C_DCE``; the
+filter phase returns graph ids that the refine phase uses to look up DCE
+ciphertexts directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dce import DCEEncryptedDatabase
+from repro.core.errors import CiphertextFormatError
+from repro.hnsw.graph import HNSWIndex
+
+__all__ = ["EncryptedIndex", "IndexSizeReport"]
+
+
+@dataclass(frozen=True)
+class IndexSizeReport:
+    """Server-side storage accounting (Section V-C, "Space Complexity").
+
+    All counts are in floats (8 bytes each at float64).  The paper's
+    accounting: ``C_SAP`` costs the same as the plaintext database (n*d),
+    ``C_DCE`` costs ``(8 + 64/d)`` times that, and the graph is O(n*m).
+    """
+
+    num_vectors: int
+    dim: int
+    sap_floats: int
+    dce_floats: int
+    graph_edges: int
+
+    @property
+    def plaintext_floats(self) -> int:
+        """Floats the plaintext database would occupy."""
+        return self.num_vectors * self.dim
+
+    @property
+    def dce_overhead_ratio(self) -> float:
+        """``C_DCE`` size over plaintext size; paper predicts ``8 + 64/d``."""
+        if self.plaintext_floats == 0:
+            return 0.0
+        return self.dce_floats / self.plaintext_floats
+
+    @property
+    def total_floats(self) -> int:
+        """Total float storage excluding graph adjacency."""
+        return self.sap_floats + self.dce_floats
+
+
+class EncryptedIndex:
+    """The server-side index triplet ``(C_SAP, HNSW(C_SAP), C_DCE)``.
+
+    Instances are produced by :class:`repro.core.roles.DataOwner` (build)
+    and mutated only through :mod:`repro.core.maintenance` (insert /
+    delete).  The server reads but never decrypts.
+    """
+
+    def __init__(
+        self,
+        sap_vectors: np.ndarray,
+        graph: HNSWIndex,
+        dce_database: DCEEncryptedDatabase,
+    ) -> None:
+        sap_vectors = np.asarray(sap_vectors, dtype=np.float64)
+        if sap_vectors.ndim != 2:
+            raise CiphertextFormatError(
+                f"C_SAP must be a (n, d) array, got shape {sap_vectors.shape}"
+            )
+        if sap_vectors.shape[0] != len(dce_database):
+            raise CiphertextFormatError(
+                f"C_SAP has {sap_vectors.shape[0]} rows but C_DCE has "
+                f"{len(dce_database)} entries"
+            )
+        if graph.vectors.shape[0] != sap_vectors.shape[0]:
+            raise CiphertextFormatError(
+                f"graph indexes {graph.vectors.shape[0]} vectors but C_SAP has "
+                f"{sap_vectors.shape[0]}"
+            )
+        self._sap = sap_vectors
+        self._graph = graph
+        self._dce = dce_database
+        self._tombstones: set[int] = set()
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def sap_vectors(self) -> np.ndarray:
+        """The DCPE ciphertexts (``C_SAP``)."""
+        return self._sap
+
+    @property
+    def graph(self) -> HNSWIndex:
+        """The HNSW graph over ``C_SAP``."""
+        return self._graph
+
+    @property
+    def dce_database(self) -> DCEEncryptedDatabase:
+        """The DCE ciphertexts (``C_DCE``)."""
+        return self._dce
+
+    @property
+    def dim(self) -> int:
+        """Plaintext / DCPE-ciphertext dimensionality."""
+        return int(self._sap.shape[1])
+
+    @property
+    def tombstones(self) -> frozenset[int]:
+        """Ids deleted by :mod:`repro.core.maintenance`."""
+        return frozenset(self._tombstones)
+
+    def __len__(self) -> int:
+        return int(self._sap.shape[0]) - len(self._tombstones)
+
+    def is_live(self, vector_id: int) -> bool:
+        """Whether ``vector_id`` is present and not deleted."""
+        return 0 <= vector_id < self._sap.shape[0] and vector_id not in self._tombstones
+
+    # -- mutation (used by repro.core.maintenance only) --------------------------
+
+    def _append(self, sap_row: np.ndarray, dce_db: DCEEncryptedDatabase) -> None:
+        self._sap = np.vstack([self._sap, sap_row[np.newaxis]])
+        self._dce = dce_db
+
+    def _mark_deleted(self, vector_id: int) -> None:
+        self._tombstones.add(vector_id)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def size_report(self) -> IndexSizeReport:
+        """Storage accounting for the three index components."""
+        return IndexSizeReport(
+            num_vectors=self._sap.shape[0],
+            dim=self.dim,
+            sap_floats=int(self._sap.size),
+            dce_floats=int(self._dce.components.size),
+            graph_edges=self._graph.edge_count(0),
+        )

@@ -1,0 +1,105 @@
+"""Secret-key containers for the DCE and DCPE schemes.
+
+The key material mirrors Section IV-B's ``KeyGen`` output::
+
+    SK = {M1, M2, M3, pi1, pi2, r1, r2, r3, r4, kv1, kv2, kv3, kv4}
+
+plus the inverses of the matrices (held by the data owner so trapdoor
+generation never needs a linear solve).  DCPE's key is the pair
+``(s, beta)`` from the Scale-and-Perturb construction (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.permutation import Permutation
+
+__all__ = ["DCEKey", "DCPEKey"]
+
+
+@dataclass(frozen=True)
+class DCEKey:
+    """Secret key of the Distance Comparison Encryption scheme.
+
+    Attributes
+    ----------
+    dim:
+        Plaintext dimensionality ``d`` accepted by the scheme (after any
+        odd-dimension padding; see :class:`repro.core.dce.DCEScheme`).
+    m1, m1_inv, m2, m2_inv:
+        The ``(d/2+4) x (d/2+4)`` invertible matrices of randomization
+        step 4 and their inverses.
+    m_up, m_down:
+        The two ``(d+8) x (2d+16)`` halves of ``M3`` (Equation 8).
+    m3_inv:
+        Inverse of the full ``(2d+16) x (2d+16)`` matrix ``M3``.
+    pi1, pi2:
+        Random permutations on ``R^d`` and ``R^{d+8}``.
+    r1, r2, r3, r4:
+        The four scheme-wide random reals of randomization step 3.
+    kv1, kv2, kv3, kv4:
+        The four random vectors in ``R^{2d+16}`` with
+        ``kv1 * kv3 == kv2 * kv4`` elementwise (transformation phase).
+    key_id:
+        Random tag used to detect mixing ciphertexts across keys.
+    """
+
+    dim: int
+    m1: np.ndarray
+    m1_inv: np.ndarray
+    m2: np.ndarray
+    m2_inv: np.ndarray
+    m_up: np.ndarray
+    m_down: np.ndarray
+    m3_inv: np.ndarray
+    pi1: Permutation
+    pi2: Permutation
+    r1: float
+    r2: float
+    r3: float
+    r4: float
+    kv1: np.ndarray
+    kv2: np.ndarray
+    kv3: np.ndarray
+    kv4: np.ndarray
+    key_id: int = field(default=0)
+
+    @property
+    def randomized_dim(self) -> int:
+        """Dimensionality ``d + 8`` of vectors after randomization."""
+        return self.dim + 8
+
+    @property
+    def ciphertext_dim(self) -> int:
+        """Dimensionality ``2d + 16`` of each transformed component."""
+        return 2 * self.dim + 16
+
+
+@dataclass(frozen=True)
+class DCPEKey:
+    """Secret key of the DCPE / Scale-and-Perturb scheme.
+
+    Attributes
+    ----------
+    scale:
+        The scaling factor ``s`` (paper recommendation: 1024).
+    beta:
+        The perturbation budget; each ciphertext is ``s*p + lambda`` with
+        ``||lambda|| <= s*beta/4``.  ``beta == 0`` disables the noise
+        (the paper's "no noise" reference curves in Figure 4).
+    key_id:
+        Random tag used to detect mixing ciphertexts across keys.
+    """
+
+    scale: float
+    beta: float
+    key_id: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.beta < 0:
+            raise ValueError(f"beta must be non-negative, got {self.beta}")

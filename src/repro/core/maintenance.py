@@ -1,0 +1,77 @@
+"""Index maintenance: insertion and deletion (Section V-D).
+
+**Insertion** needs the data owner: they encrypt the new vector ``u`` into
+``C_SAP(u)`` and ``C_DCE(u)`` and send both to the server, which inserts
+``C_SAP(u)`` into the HNSW graph exactly like a native HNSW insertion
+(k-ANNS for the new point, diverse-neighbor selection, bidirectional
+links) and appends ``C_DCE(u)`` to the DCE store.
+
+**Deletion** is server-only: the deleted vector's *out*-neighbors are
+unaffected; each *in*-neighbor is "re-inserted" — its out-edges are
+rebuilt with a fresh k-ANN search over the current graph — and the
+vector's ciphertexts are dropped (tombstoned here, so ids stay stable for
+the aligned ``C_SAP`` / graph / ``C_DCE`` arrays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ParameterError
+from repro.core.index import EncryptedIndex
+from repro.core.roles import DataOwner
+
+__all__ = ["insert_vector", "delete_vector"]
+
+
+def insert_vector(
+    owner: DataOwner,
+    index: EncryptedIndex,
+    vector: np.ndarray,
+) -> int:
+    """Insert a new plaintext vector into an existing encrypted index.
+
+    Parameters
+    ----------
+    owner:
+        The data owner (provides the two encryptions of ``vector``).
+    index:
+        The server's index, updated in place.
+    vector:
+        The new plaintext vector ``u``.
+
+    Returns
+    -------
+    int
+        The id assigned to the new vector (consistent across ``C_SAP``,
+        the graph and ``C_DCE``).
+    """
+    vector = np.asarray(vector, dtype=np.float64)
+    if vector.ndim != 1 or vector.shape[0] != index.dim:
+        raise ParameterError(
+            f"expected a vector of dimension {index.dim}, got shape {vector.shape}"
+        )
+    sap_row, dce_ct = owner.encrypt_vector(vector)
+    new_id = index.graph.insert(sap_row)
+    index._append(sap_row, index.dce_database.append(dce_ct))
+    return new_id
+
+
+def delete_vector(index: EncryptedIndex, vector_id: int) -> None:
+    """Delete a vector from the index, server-side only.
+
+    Follows Section V-D: find the in-neighbors of ``vector_id``, remove
+    every edge touching it, repair each in-neighbor by re-running neighbor
+    selection, and tombstone the ciphertexts.
+    """
+    if not index.is_live(vector_id):
+        raise ParameterError(f"vector {vector_id} is not a live index entry")
+    graph = index.graph
+    in_neighbors = graph.in_neighbors(vector_id)
+    graph.remove_edges_to(vector_id)
+    graph.mark_deleted(vector_id)
+    index._mark_deleted(vector_id)
+    for neighbor in in_neighbors:
+        if not index.is_live(neighbor):
+            continue
+        graph.repair_node(neighbor)

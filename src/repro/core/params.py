@@ -1,0 +1,215 @@
+"""Parameter selection procedures from Section VII-A.
+
+Two knobs dominate the accuracy/efficiency/privacy trade-off:
+
+* ``beta`` (DCPE noise).  The paper's rule: choose the largest ``beta``
+  such that the *filter-only* recall ceiling stays around 0.5 — then "the
+  attacker's probability of guessing the true neighbor correctly is only
+  50%" — giving the strongest privacy that refinement can still repair.
+  :func:`tune_beta` implements that rule by bisection over candidate
+  betas, measuring filter-only recall with a wide beam.
+
+* ``k'`` (filter candidate count, expressed as ``ratio_k = k'/k``).  The
+  paper uses grid search; :func:`grid_search_ratio_k` measures the
+  recall/throughput frontier over a ratio grid and returns the smallest
+  ratio reaching a recall target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ParameterError
+from repro.core.scheme import PPANNS
+from repro.eval.metrics import recall_at_k
+from repro.hnsw.bruteforce import exact_knn
+from repro.hnsw.graph import HNSWParams
+
+__all__ = [
+    "BetaTuningResult",
+    "RatioKResult",
+    "measure_filter_recall_ceiling",
+    "tune_beta",
+    "grid_search_ratio_k",
+]
+
+
+@dataclass(frozen=True)
+class BetaTuningResult:
+    """Outcome of :func:`tune_beta`.
+
+    Attributes
+    ----------
+    beta:
+        The chosen perturbation budget.
+    recall_ceiling:
+        Measured filter-only recall at that beta.
+    trace:
+        Every ``(beta, recall)`` pair evaluated along the way.
+    """
+
+    beta: float
+    recall_ceiling: float
+    trace: tuple[tuple[float, float], ...]
+
+
+@dataclass(frozen=True)
+class RatioKResult:
+    """Outcome of :func:`grid_search_ratio_k`.
+
+    Attributes
+    ----------
+    ratio_k:
+        The smallest grid ratio whose recall met the target (or the best
+        available if none did).
+    recall:
+        The measured recall at that ratio.
+    frontier:
+        ``(ratio, recall, mean_query_seconds)`` for every grid point.
+    """
+
+    ratio_k: int
+    recall: float
+    frontier: tuple[tuple[int, float, float], ...]
+
+
+def measure_filter_recall_ceiling(
+    database: np.ndarray,
+    queries: np.ndarray,
+    beta: float,
+    k: int = 10,
+    scale: float = 1024.0,
+    hnsw_params: HNSWParams | None = None,
+    ef_search: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Filter-only Recall@k at a given beta (one point on Figure 4).
+
+    Builds a fresh scheme at ``beta``, runs every query through the filter
+    phase only with a generous beam, and averages Recall@k against exact
+    plaintext neighbors.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    scheme = PPANNS(
+        database.shape[1], beta=beta, scale=scale, hnsw_params=hnsw_params, rng=rng
+    ).fit(database)
+    ef = ef_search if ef_search is not None else max(4 * k, 100)
+    recalls = []
+    for query in queries:
+        truth, _ = exact_knn(database, query, k)
+        report = scheme.query_filter_only(query, k, ef_search=ef)
+        recalls.append(recall_at_k(report.ids, truth, k))
+    return float(np.mean(recalls))
+
+
+def tune_beta(
+    database: np.ndarray,
+    queries: np.ndarray,
+    target_ceiling: float = 0.5,
+    k: int = 10,
+    num_steps: int = 6,
+    scale: float = 1024.0,
+    hnsw_params: HNSWParams | None = None,
+    rng: np.random.Generator | None = None,
+) -> BetaTuningResult:
+    """Pick beta so the filter-only recall ceiling is ~``target_ceiling``.
+
+    Bisects over ``[0, beta_max]`` where ``beta_max = 2 M sqrt(d)`` (the
+    paper's upper bound for valid betas), evaluating the measured ceiling
+    at each midpoint.  Recall decreases monotonically in beta (more noise,
+    worse candidates), so bisection converges.
+
+    Parameters
+    ----------
+    database, queries:
+        Plaintext workload used for measurement.
+    target_ceiling:
+        Desired filter-only recall (paper: 0.5).
+    k:
+        Neighbors per query during measurement.
+    num_steps:
+        Bisection iterations; each builds one index, so keep modest.
+    """
+    if not 0.0 < target_ceiling <= 1.0:
+        raise ParameterError(
+            f"target_ceiling must be in (0, 1], got {target_ceiling}"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    max_abs = float(np.max(np.abs(database)))
+    high = 2.0 * max_abs * float(np.sqrt(database.shape[1]))
+    low = 0.0
+    trace: list[tuple[float, float]] = []
+    best_beta = 0.0
+    best_recall = 1.0
+    for _ in range(num_steps):
+        mid = (low + high) / 2.0
+        recall = measure_filter_recall_ceiling(
+            database,
+            queries,
+            beta=mid,
+            k=k,
+            scale=scale,
+            hnsw_params=hnsw_params,
+            rng=rng,
+        )
+        trace.append((mid, recall))
+        if recall >= target_ceiling:
+            # Can afford more noise: remember this beta, push higher.
+            best_beta, best_recall = mid, recall
+            low = mid
+        else:
+            high = mid
+    return BetaTuningResult(
+        beta=best_beta, recall_ceiling=best_recall, trace=tuple(trace)
+    )
+
+
+def grid_search_ratio_k(
+    scheme: PPANNS,
+    database: np.ndarray,
+    queries: np.ndarray,
+    k: int = 10,
+    recall_target: float = 0.9,
+    ratio_grid: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128),
+    ef_search: int | None = None,
+) -> RatioKResult:
+    """Grid-search ``ratio_k`` for the smallest ratio hitting a recall target.
+
+    Parameters
+    ----------
+    scheme:
+        A fitted :class:`PPANNS` instance.
+    database, queries:
+        Plaintext workload (database only used for ground truth).
+    recall_target:
+        Required mean Recall@k.
+    ratio_grid:
+        Candidate ``k'/k`` ratios, ascending (the paper sweeps 1..128).
+    """
+    if not scheme.is_fitted:
+        raise ParameterError("scheme must be fitted before grid search")
+    frontier: list[tuple[int, float, float]] = []
+    chosen: tuple[int, float] | None = None
+    for ratio in ratio_grid:
+        recalls = []
+        seconds = []
+        for query in queries:
+            truth, _ = exact_knn(database, query, k)
+            report = scheme.query_with_report(
+                query, k, ratio_k=ratio, ef_search=ef_search
+            )
+            recalls.append(recall_at_k(report.ids, truth, k))
+            seconds.append(report.total_seconds)
+        mean_recall = float(np.mean(recalls))
+        frontier.append((ratio, mean_recall, float(np.mean(seconds))))
+        if chosen is None and mean_recall >= recall_target:
+            chosen = (ratio, mean_recall)
+    if chosen is None:
+        # None reached the target; fall back to the most accurate ratio.
+        best = max(frontier, key=lambda item: item[1])
+        chosen = (best[0], best[1])
+    return RatioKResult(
+        ratio_k=chosen[0], recall=chosen[1], frontier=tuple(frontier)
+    )

@@ -1,0 +1,181 @@
+"""Persistence: saving and loading the encrypted index and key bundles.
+
+A deployed PP-ANNS system builds the index once (encryption + HNSW
+construction dominate setup cost) and serves it for a long time, so both
+sides of the trust boundary need durable state:
+
+* the **server** persists the :class:`EncryptedIndex` — ciphertexts plus
+  graph adjacency, no key material (`save_index` / `load_index`);
+* the **owner/user** persist the :class:`SecretKeyBundle`
+  (`save_keys` / `load_keys`), which must be stored separately from the
+  index (the whole point of the scheme).
+
+Everything goes through ``numpy.savez_compressed`` with a manifest of
+scalar metadata; graph adjacency is flattened to (node, level, neighbor)
+triples.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.dce import DCEEncryptedDatabase
+from repro.core.errors import CiphertextFormatError
+from repro.core.index import EncryptedIndex
+from repro.core.keys import DCEKey, DCPEKey
+from repro.core.roles import SecretKeyBundle
+from repro.crypto.permutation import Permutation
+from repro.hnsw.graph import HNSWIndex, HNSWParams, _Node
+
+__all__ = ["save_index", "load_index", "save_keys", "load_keys"]
+
+_FORMAT_VERSION = 1
+
+
+def _graph_to_arrays(graph: HNSWIndex) -> dict[str, np.ndarray]:
+    """Flatten graph structure into serializable arrays."""
+    levels = np.array([graph.node_level(i) for i in range(graph.vectors.shape[0])],
+                      dtype=np.int64)
+    edges = []
+    for node in range(graph.vectors.shape[0]):
+        for level in range(int(levels[node]) + 1):
+            for neighbor in graph.neighbors(node, level):
+                edges.append((node, level, neighbor))
+    edge_array = (
+        np.array(edges, dtype=np.int64) if edges else np.empty((0, 3), dtype=np.int64)
+    )
+    deleted = np.array(sorted(
+        i for i in range(graph.vectors.shape[0]) if graph.is_deleted(i)
+    ), dtype=np.int64)
+    return {
+        "graph_vectors": graph.vectors,
+        "graph_levels": levels,
+        "graph_edges": edge_array,
+        "graph_deleted": deleted,
+        "graph_entry_point": np.array(
+            [-1 if graph.entry_point is None else graph.entry_point], dtype=np.int64
+        ),
+        "graph_params": np.array(
+            [graph.params.m, graph.params.ef_construction], dtype=np.int64
+        ),
+    }
+
+
+def _graph_from_arrays(data: dict[str, np.ndarray]) -> HNSWIndex:
+    """Rebuild an HNSWIndex from :func:`_graph_to_arrays` output."""
+    vectors = data["graph_vectors"]
+    levels = data["graph_levels"]
+    m, ef_construction = (int(x) for x in data["graph_params"])
+    graph = HNSWIndex(vectors.shape[1], HNSWParams(m=m, ef_construction=ef_construction))
+    # Reconstruct internal state directly; going through insert() would
+    # re-run construction and change the edges.
+    count = vectors.shape[0]
+    graph._buffer = vectors.copy()
+    graph._nodes = [
+        _Node(level=int(levels[i]), neighbors=[[] for _ in range(int(levels[i]) + 1)])
+        for i in range(count)
+    ]
+    for node, level, neighbor in data["graph_edges"]:
+        graph._nodes[int(node)].neighbors[int(level)].append(int(neighbor))
+    graph._deleted = set(int(i) for i in data["graph_deleted"])
+    entry = int(data["graph_entry_point"][0])
+    graph._entry_point = None if entry < 0 else entry
+    graph._max_level = int(levels.max()) if count else -1
+    return graph
+
+
+def save_index(path: str | os.PathLike, index: EncryptedIndex) -> None:
+    """Persist an :class:`EncryptedIndex` (server-side state, no keys)."""
+    arrays = {
+        "format_version": np.array([_FORMAT_VERSION], dtype=np.int64),
+        "sap_vectors": index.sap_vectors,
+        "dce_components": index.dce_database.components,
+        "dce_key_id": np.array([index.dce_database.key_id], dtype=np.int64),
+        "tombstones": np.array(sorted(index.tombstones), dtype=np.int64),
+    }
+    arrays.update(_graph_to_arrays(index.graph))
+    np.savez_compressed(path, **arrays)
+
+
+def load_index(path: str | os.PathLike) -> EncryptedIndex:
+    """Load an :class:`EncryptedIndex` saved by :func:`save_index`."""
+    with np.load(path) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise CiphertextFormatError(
+                f"unsupported index format version {version}"
+            )
+        dce = DCEEncryptedDatabase(
+            data["dce_components"], int(data["dce_key_id"][0])
+        )
+        graph = _graph_from_arrays({key: data[key] for key in data.files})
+        index = EncryptedIndex(data["sap_vectors"], graph, dce)
+        for tombstone in data["tombstones"]:
+            index._mark_deleted(int(tombstone))
+    return index
+
+
+def save_keys(path: str | os.PathLike, keys: SecretKeyBundle) -> None:
+    """Persist a :class:`SecretKeyBundle` (owner/user-side secret state)."""
+    dce = keys.dce_key
+    np.savez_compressed(
+        path,
+        format_version=np.array([_FORMAT_VERSION], dtype=np.int64),
+        dim=np.array([keys.dim], dtype=np.int64),
+        dce_dim=np.array([dce.dim], dtype=np.int64),
+        m1=dce.m1,
+        m1_inv=dce.m1_inv,
+        m2=dce.m2,
+        m2_inv=dce.m2_inv,
+        m_up=dce.m_up,
+        m_down=dce.m_down,
+        m3_inv=dce.m3_inv,
+        pi1=dce.pi1.indices,
+        pi2=dce.pi2.indices,
+        r_values=np.array([dce.r1, dce.r2, dce.r3, dce.r4]),
+        kv=np.stack([dce.kv1, dce.kv2, dce.kv3, dce.kv4]),
+        dce_key_id=np.array([dce.key_id], dtype=np.int64),
+        dcpe=np.array([keys.dcpe_key.scale, keys.dcpe_key.beta]),
+        dcpe_key_id=np.array([keys.dcpe_key.key_id], dtype=np.int64),
+    )
+
+
+def load_keys(path: str | os.PathLike) -> SecretKeyBundle:
+    """Load a :class:`SecretKeyBundle` saved by :func:`save_keys`."""
+    with np.load(path) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise CiphertextFormatError(f"unsupported key format version {version}")
+        r_values = data["r_values"]
+        kv = data["kv"]
+        dce_key = DCEKey(
+            dim=int(data["dce_dim"][0]),
+            m1=data["m1"],
+            m1_inv=data["m1_inv"],
+            m2=data["m2"],
+            m2_inv=data["m2_inv"],
+            m_up=data["m_up"],
+            m_down=data["m_down"],
+            m3_inv=data["m3_inv"],
+            pi1=Permutation(data["pi1"]),
+            pi2=Permutation(data["pi2"]),
+            r1=float(r_values[0]),
+            r2=float(r_values[1]),
+            r3=float(r_values[2]),
+            r4=float(r_values[3]),
+            kv1=kv[0],
+            kv2=kv[1],
+            kv3=kv[2],
+            kv4=kv[3],
+            key_id=int(data["dce_key_id"][0]),
+        )
+        dcpe_key = DCPEKey(
+            scale=float(data["dcpe"][0]),
+            beta=float(data["dcpe"][1]),
+            key_id=int(data["dcpe_key_id"][0]),
+        )
+        return SecretKeyBundle(
+            dim=int(data["dim"][0]), dce_key=dce_key, dcpe_key=dcpe_key
+        )

@@ -1,0 +1,219 @@
+"""The three participants of the system model (Section II-A, Figure 1).
+
+* :class:`DataOwner` — holds the plaintext database and all secret keys;
+  encrypts the database under DCPE and DCE, builds the HNSW graph over the
+  DCPE ciphertexts, and hands the resulting :class:`EncryptedIndex` to the
+  server.  Also authorizes users by sharing the secret keys (step 0 in
+  Figure 1).
+* :class:`QueryUser` — holds the authorized keys; per query it computes
+  only the two encryptions (``C_SAP(q)`` at O(d) and ``T_q`` at O(d^2))
+  and decodes the returned ids.  This is property P3: minimal user
+  involvement.
+* :class:`CloudServer` — honest-but-curious; stores the encrypted index
+  and answers :class:`EncryptedQuery` messages with Algorithm 2.  It sees
+  ciphertexts, graph structure and comparison outcomes — nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dcpe import DCPEScheme, dcpe_keygen, DEFAULT_SCALE
+from repro.core.dce import DCEScheme
+from repro.core.errors import ParameterError
+from repro.core.index import EncryptedIndex
+from repro.core.keys import DCEKey, DCPEKey
+from repro.core.search import EncryptedQuery, SearchReport, filter_and_refine, filter_only
+from repro.hnsw.graph import HNSWIndex, HNSWParams
+
+__all__ = ["SecretKeyBundle", "DataOwner", "QueryUser", "CloudServer"]
+
+
+@dataclass(frozen=True)
+class SecretKeyBundle:
+    """The authorized secret key ``sk`` shared owner -> user (Figure 1 step 0)."""
+
+    dim: int
+    dce_key: DCEKey
+    dcpe_key: DCPEKey
+
+
+class DataOwner:
+    """Owns the plaintext database and performs all encryption.
+
+    Parameters
+    ----------
+    dim:
+        Plaintext vector dimensionality.
+    beta:
+        DCPE perturbation budget (privacy/accuracy knob of Figure 4).
+    scale:
+        DCPE scaling factor; paper default 1024.
+    hnsw_params:
+        Graph construction parameters.
+    rng:
+        Randomness for key generation, encryption and graph levels.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        beta: float,
+        scale: float = DEFAULT_SCALE,
+        hnsw_params: HNSWParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if dim <= 0:
+            raise ParameterError(f"dimension must be positive, got {dim}")
+        self._dim = dim
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._dce = DCEScheme(dim, rng=self._rng)
+        self._dcpe = DCPEScheme(dim, dcpe_keygen(beta, scale, self._rng), rng=self._rng)
+        self._hnsw_params = hnsw_params if hnsw_params is not None else HNSWParams()
+
+    @property
+    def dim(self) -> int:
+        """Plaintext dimensionality."""
+        return self._dim
+
+    @property
+    def dce_scheme(self) -> DCEScheme:
+        """The owner's DCE scheme instance (secret)."""
+        return self._dce
+
+    @property
+    def dcpe_scheme(self) -> DCPEScheme:
+        """The owner's DCPE scheme instance (secret)."""
+        return self._dcpe
+
+    def authorize_user(self) -> SecretKeyBundle:
+        """Produce the key bundle a query user needs (Figure 1, step 0)."""
+        return SecretKeyBundle(
+            dim=self._dim,
+            dce_key=self._dce.key,
+            dcpe_key=self._dcpe.key,
+        )
+
+    def build_index(self, vectors: np.ndarray) -> EncryptedIndex:
+        """Encrypt the database and build the privacy-preserving index.
+
+        This is steps B1 + B2 of Figure 3: DCE ciphertexts, DCPE
+        ciphertexts, and an HNSW graph over the *DCPE* ciphertexts.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self._dim:
+            raise ParameterError(
+                f"expected a (n, {self._dim}) database, got shape {vectors.shape}"
+            )
+        sap = self._dcpe.encrypt_database(vectors)
+        dce_db = self._dce.encrypt_database(vectors)
+        graph = HNSWIndex(self._dim, self._hnsw_params, rng=self._rng).build(sap)
+        return EncryptedIndex(sap, graph, dce_db)
+
+    def encrypt_vector(self, vector: np.ndarray) -> tuple[np.ndarray, "np.ndarray"]:
+        """Encrypt one new vector for insertion: ``(C_SAP(u), C_DCE(u))``.
+
+        Returns the SAP row and the DCE ciphertext (see
+        :func:`repro.core.maintenance.insert_vector`).
+        """
+        sap_row = self._dcpe.encrypt(vector)
+        dce_ct = self._dce.encrypt(vector)
+        return sap_row, dce_ct
+
+
+class QueryUser:
+    """An authorized query user.
+
+    Per query the user performs exactly two encryptions and nothing else;
+    the paper's user-side complexity is O(d^2), dominated by the trapdoor's
+    matrix-vector products.
+    """
+
+    def __init__(
+        self,
+        keys: SecretKeyBundle,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._dim = keys.dim
+        self._dce = DCEScheme(keys.dim, rng=self._rng, key=keys.dce_key)
+        self._dcpe = DCPEScheme(keys.dim, keys.dcpe_key, rng=self._rng)
+
+    @property
+    def dim(self) -> int:
+        """Plaintext dimensionality."""
+        return self._dim
+
+    def encrypt_query(self, query: np.ndarray, k: int) -> EncryptedQuery:
+        """Produce the query message ``(C_SAP(q), T_q, k)``."""
+        sap = self._dcpe.encrypt(query)
+        trapdoor = self._dce.trapdoor(query)
+        return EncryptedQuery(sap_vector=sap, trapdoor=trapdoor, k=k)
+
+
+class CloudServer:
+    """The honest-but-curious server: stores the index, answers queries.
+
+    Parameters
+    ----------
+    index:
+        The encrypted index received from the data owner.
+    default_ratio_k:
+        ``k' = ratio_k * k`` used when a query doesn't specify ``k'``.
+    """
+
+    def __init__(self, index: EncryptedIndex, default_ratio_k: int = 8) -> None:
+        if default_ratio_k < 1:
+            raise ParameterError(f"ratio_k must be >= 1, got {default_ratio_k}")
+        self._index = index
+        self._default_ratio_k = default_ratio_k
+
+    @property
+    def index(self) -> EncryptedIndex:
+        """The server's stored index."""
+        return self._index
+
+    @property
+    def default_ratio_k(self) -> int:
+        """Default ``k'/k`` multiplier."""
+        return self._default_ratio_k
+
+    def answer(
+        self,
+        query: EncryptedQuery,
+        ratio_k: int | None = None,
+        ef_search: int | None = None,
+    ) -> SearchReport:
+        """Run Algorithm 2 for one encrypted query."""
+        ratio = ratio_k if ratio_k is not None else self._default_ratio_k
+        if ratio < 1:
+            raise ParameterError(f"ratio_k must be >= 1, got {ratio}")
+        return filter_and_refine(
+            self._index, query, k_prime=ratio * query.k, ef_search=ef_search
+        )
+
+    def answer_filter_only(
+        self,
+        query: EncryptedQuery,
+        ef_search: int | None = None,
+        k_prime: int | None = None,
+    ) -> SearchReport:
+        """Filter phase only (the paper's HNSW(filter) reference method)."""
+        return filter_only(self._index, query, ef_search=ef_search, k_prime=k_prime)
+
+    def answer_batch(
+        self,
+        queries: list[EncryptedQuery],
+        ratio_k: int | None = None,
+        ef_search: int | None = None,
+    ) -> list[SearchReport]:
+        """Answer a batch of encrypted queries sequentially.
+
+        The paper's evaluation is single-threaded, so "batch" here means a
+        convenience loop with shared parameter resolution; QPS numbers from
+        it match the per-query path exactly.
+        """
+        return [self.answer(query, ratio_k=ratio_k, ef_search=ef_search)
+                for query in queries]

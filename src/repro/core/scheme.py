@@ -1,0 +1,141 @@
+"""Single-object facade over the full PP-ANNS scheme.
+
+:class:`PPANNS` wires a :class:`DataOwner`, a :class:`QueryUser` and a
+:class:`CloudServer` together in one process so experiments and examples
+can exercise the complete pipeline (Figure 1) in a few lines::
+
+    scheme = PPANNS(dim=128, beta=2.0, rng=rng)
+    scheme.fit(database)
+    ids = scheme.query(q, k=10, ratio_k=8)
+
+The facade preserves the trust boundaries in spirit — the server object
+only ever receives ciphertexts — while keeping everything addressable for
+instrumentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ParameterError
+from repro.core.maintenance import delete_vector, insert_vector
+from repro.core.roles import CloudServer, DataOwner, QueryUser
+from repro.core.search import SearchReport
+from repro.hnsw.graph import HNSWParams
+
+__all__ = ["PPANNS"]
+
+
+class PPANNS:
+    """The complete privacy-preserving k-ANNS scheme, end to end.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    beta:
+        DCPE perturbation budget.  The paper tunes this per dataset so the
+        filter-only recall ceiling is about 0.5; see
+        :func:`repro.core.params.tune_beta`.
+    scale:
+        DCPE scaling factor (paper default 1024).
+    hnsw_params:
+        Graph construction parameters.
+    default_ratio_k:
+        Default ``k'/k`` for queries.
+    rng:
+        Randomness for every component.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        beta: float,
+        scale: float = 1024.0,
+        hnsw_params: HNSWParams | None = None,
+        default_ratio_k: int = 8,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng()
+        self._owner = DataOwner(
+            dim, beta=beta, scale=scale, hnsw_params=hnsw_params, rng=rng
+        )
+        self._user = QueryUser(self._owner.authorize_user(), rng=rng)
+        self._server: CloudServer | None = None
+        self._default_ratio_k = default_ratio_k
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def owner(self) -> DataOwner:
+        """The data owner (holds all secret keys)."""
+        return self._owner
+
+    @property
+    def user(self) -> QueryUser:
+        """The authorized query user."""
+        return self._user
+
+    @property
+    def server(self) -> CloudServer:
+        """The cloud server; available after :meth:`fit`."""
+        if self._server is None:
+            raise ParameterError("call fit() before using the server")
+        return self._server
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._server is not None
+
+    def fit(self, vectors: np.ndarray) -> "PPANNS":
+        """Encrypt ``vectors`` and outsource the index to the server."""
+        index = self._owner.build_index(vectors)
+        self._server = CloudServer(index, default_ratio_k=self._default_ratio_k)
+        return self
+
+    # -- querying -------------------------------------------------------------------
+
+    def query(
+        self,
+        vector: np.ndarray,
+        k: int,
+        ratio_k: int | None = None,
+        ef_search: int | None = None,
+    ) -> np.ndarray:
+        """Full round trip: encrypt, search, return neighbor ids."""
+        return self.query_with_report(vector, k, ratio_k, ef_search).ids
+
+    def query_with_report(
+        self,
+        vector: np.ndarray,
+        k: int,
+        ratio_k: int | None = None,
+        ef_search: int | None = None,
+    ) -> SearchReport:
+        """Like :meth:`query` but returns the instrumented report."""
+        encrypted = self._user.encrypt_query(vector, k)
+        return self.server.answer(encrypted, ratio_k=ratio_k, ef_search=ef_search)
+
+    def query_filter_only(
+        self,
+        vector: np.ndarray,
+        k: int,
+        ef_search: int | None = None,
+        k_prime: int | None = None,
+    ) -> SearchReport:
+        """Filter-phase-only query (Figure 4 / HNSW(filter) reference)."""
+        encrypted = self._user.encrypt_query(vector, k)
+        return self.server.answer_filter_only(
+            encrypted, ef_search=ef_search, k_prime=k_prime
+        )
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Insert one vector (owner encrypts, server links); returns its id."""
+        return insert_vector(self._owner, self.server.index, vector)
+
+    def delete(self, vector_id: int) -> None:
+        """Delete a vector server-side (Section V-D)."""
+        delete_vector(self.server.index, vector_id)

@@ -1,0 +1,203 @@
+"""Filter-and-refine search (Section V-B, Algorithm 2).
+
+Given the encrypted query pair — the DCPE ciphertext ``C_SAP(q)`` for the
+filter phase and the DCE trapdoor ``T_q`` for the refine phase — the
+server:
+
+* **filter**: runs k'-ANNS (``k' = ratio_k * k > k``) on the HNSW graph
+  over ``C_SAP``, using ordinary Euclidean distances on DCPE ciphertexts
+  (same cost as plaintext distances), yielding high-quality candidates;
+* **refine**: maintains a k-bounded max-heap ordered *only* by DCE
+  ``DistanceComp`` outcomes, offering each candidate in turn; O(log k)
+  comparisons per offer, each comparison O(d).
+
+Total server cost: ``O(d (log n + k' log k))`` per query (Section V-C).
+
+The ``k'`` knob trades accuracy for refine cost (Figure 5); ``beta``
+bounds the filter phase's candidate quality (Figure 4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dce import DCETrapdoor, distance_comp
+from repro.core.errors import KeyMismatchError, ParameterError
+from repro.core.index import EncryptedIndex
+from repro.hnsw.graph import SearchStats
+from repro.hnsw.heap import ComparisonMaxHeap
+
+__all__ = ["EncryptedQuery", "SearchReport", "filter_and_refine", "filter_only"]
+
+
+@dataclass(frozen=True)
+class EncryptedQuery:
+    """What the user sends the server: ``(C_SAP(q), T_q, k)`` (Figure 1).
+
+    Attributes
+    ----------
+    sap_vector:
+        The DCPE ciphertext of the query (filter phase).
+    trapdoor:
+        The DCE trapdoor of the query (refine phase).
+    k:
+        Number of neighbors requested.
+    """
+
+    sap_vector: np.ndarray
+    trapdoor: DCETrapdoor
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ParameterError(f"k must be positive, got {self.k}")
+
+    def upload_bytes(self) -> int:
+        """Size of the query message.
+
+        ``C_SAP(q)`` travels as float32 (d * 4 bytes), the trapdoor as
+        float64 ((2d+16) * 8 bytes) and ``k`` as a 4-byte integer.
+        """
+        d = int(self.sap_vector.shape[0])
+        return 4 * d + 8 * self.trapdoor.ciphertext_dim + 4
+
+
+@dataclass
+class SearchReport:
+    """Instrumentation of one filter-and-refine query.
+
+    Attributes
+    ----------
+    ids:
+        The k returned neighbor ids (server-side ids; the user maps them
+        back to records).
+    filter_stats:
+        Graph-search instrumentation (distance computations, hops).
+    refine_comparisons:
+        DCE ``DistanceComp`` invocations in the refine phase.
+    k_prime:
+        The number of filter-phase candidates refined.
+    filter_seconds / refine_seconds:
+        Wall-clock split of the two phases.
+    """
+
+    ids: np.ndarray
+    filter_stats: SearchStats = field(default_factory=SearchStats)
+    refine_comparisons: int = 0
+    k_prime: int = 0
+    filter_seconds: float = 0.0
+    refine_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock total of both phases."""
+        return self.filter_seconds + self.refine_seconds
+
+    def download_bytes(self) -> int:
+        """Result message size: 4 bytes per returned id (Section V-C)."""
+        return 4 * int(self.ids.shape[0])
+
+
+def filter_only(
+    index: EncryptedIndex,
+    query: EncryptedQuery,
+    ef_search: int | None = None,
+    k_prime: int | None = None,
+) -> SearchReport:
+    """The filter phase alone — the paper's ``HNSW(filter)`` reference.
+
+    Runs k'-ANNS on the DCPE/HNSW index and returns the top-k of the
+    candidates *by approximate distance*, skipping DCE entirely.  Used by
+    Figure 4 (beta tuning) and as the Figure 6 lower bound.
+    """
+    k_prime = k_prime if k_prime is not None else query.k
+    if k_prime < query.k:
+        raise ParameterError(f"k' ({k_prime}) must be >= k ({query.k})")
+    stats = SearchStats()
+    start = time.perf_counter()
+    ids, _ = index.graph.search(
+        query.sap_vector,
+        k_prime,
+        ef_search=ef_search,
+        stats=stats,
+    )
+    ids = np.array([i for i in ids if index.is_live(int(i))], dtype=np.int64)
+    elapsed = time.perf_counter() - start
+    return SearchReport(
+        ids=ids[: query.k],
+        filter_stats=stats,
+        refine_comparisons=0,
+        k_prime=k_prime,
+        filter_seconds=elapsed,
+    )
+
+
+def filter_and_refine(
+    index: EncryptedIndex,
+    query: EncryptedQuery,
+    k_prime: int,
+    ef_search: int | None = None,
+) -> SearchReport:
+    """Algorithm 2: k'-ANNS filter on DCPE/HNSW, DCE comparison refine.
+
+    Parameters
+    ----------
+    index:
+        The server's encrypted index.
+    query:
+        The encrypted query pair.
+    k_prime:
+        Filter-phase candidate count ``k' >= k`` (``Ratio_k * k`` in the
+        paper's parameterization).
+    ef_search:
+        HNSW beam width; defaults to ``max(k', 2m)`` inside the graph.
+
+    Returns
+    -------
+    SearchReport
+        The k result ids plus full phase instrumentation.
+    """
+    if k_prime < query.k:
+        raise ParameterError(f"k' ({k_prime}) must be >= k ({query.k})")
+    if query.trapdoor.key_id != index.dce_database.key_id:
+        raise KeyMismatchError("query trapdoor does not match the index's DCE key")
+
+    # -- filter phase (Line 1) ------------------------------------------------
+    stats = SearchStats()
+    start = time.perf_counter()
+    effective_ef = ef_search if ef_search is not None else None
+    if effective_ef is not None and effective_ef < k_prime:
+        effective_ef = k_prime
+    candidate_ids, _ = index.graph.search(
+        query.sap_vector,
+        k_prime,
+        ef_search=effective_ef,
+        stats=stats,
+    )
+    candidates = [int(i) for i in candidate_ids if index.is_live(int(i))]
+    filter_seconds = time.perf_counter() - start
+
+    # -- refine phase (Lines 2-9) -----------------------------------------------
+    start = time.perf_counter()
+    dce = index.dce_database
+    trapdoor = query.trapdoor
+
+    def is_farther(a: int, b: int) -> bool:
+        return distance_comp(dce[a], dce[b], trapdoor) >= 0.0
+
+    heap = ComparisonMaxHeap(query.k, is_farther)
+    for candidate in candidates:
+        heap.offer(candidate)
+    refine_seconds = time.perf_counter() - start
+
+    return SearchReport(
+        ids=np.array(heap.items(), dtype=np.int64),
+        filter_stats=stats,
+        refine_comparisons=heap.oracle_calls,
+        k_prime=k_prime,
+        filter_seconds=filter_seconds,
+        refine_seconds=refine_seconds,
+    )

@@ -1,0 +1,59 @@
+"""Cryptographic substrates used by the PP-ANNS scheme and its baselines.
+
+This subpackage provides the low-level building blocks that the paper's
+constructions are assembled from:
+
+* :mod:`repro.crypto.matrices` — sampling of well-conditioned random
+  invertible matrices (secret keys of DCE, ASPE and AME).
+* :mod:`repro.crypto.permutation` — random coordinate permutations used by
+  the vector-randomization phase of DCE.
+* :mod:`repro.crypto.aes` — a from-scratch AES-128 block cipher with CTR
+  mode, the "distance incomparable" encryption used by the RS-SANN
+  baseline.
+* :mod:`repro.crypto.pir` — a 2-server XOR-based private information
+  retrieval protocol, the communication substrate of the PACM-ANN and
+  PRI-ANN baselines.
+* :mod:`repro.crypto.paillier` — Paillier additively homomorphic
+  encryption, the HE baseline the paper excludes for cost (measured in
+  the SDC micro-benchmark).
+* :mod:`repro.crypto.serialization` — byte-level vector packing used when
+  vectors travel through AES or PIR.
+"""
+
+from repro.crypto.aes import AES128, AESCTRCipher
+from repro.crypto.matrices import (
+    random_invertible_matrix,
+    random_orthogonal_matrix,
+    split_rows,
+)
+from repro.crypto.paillier import (
+    HEDistanceProtocol,
+    PaillierKeypair,
+    paillier_keygen,
+)
+from repro.crypto.permutation import Permutation
+from repro.crypto.pir import TwoServerXorPIR, PIRTranscript
+from repro.crypto.serialization import (
+    vector_to_bytes,
+    bytes_to_vector,
+    vectors_to_bytes,
+    bytes_to_vectors,
+)
+
+__all__ = [
+    "AES128",
+    "AESCTRCipher",
+    "HEDistanceProtocol",
+    "PaillierKeypair",
+    "paillier_keygen",
+    "random_invertible_matrix",
+    "random_orthogonal_matrix",
+    "split_rows",
+    "Permutation",
+    "TwoServerXorPIR",
+    "PIRTranscript",
+    "vector_to_bytes",
+    "bytes_to_vector",
+    "vectors_to_bytes",
+    "bytes_to_vectors",
+]

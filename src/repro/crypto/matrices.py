@@ -1,0 +1,123 @@
+"""Sampling of secret random matrices.
+
+The DCE, ASPE and AME schemes all hide plaintext vectors behind secret
+invertible matrices (``M1``, ``M2``, ``M3`` in Section IV of the paper).
+The constructions are algebraically exact, but a reproduction that runs on
+IEEE-754 floats must keep the matrices well conditioned or the sign of
+``DistanceComp`` — the whole point of the scheme — drowns in rounding
+noise.
+
+We therefore sample invertible matrices as ``Q @ diag(s)`` where ``Q`` is a
+Haar-ish random orthogonal matrix (QR decomposition of a Gaussian matrix
+with sign-fixed R diagonal) and ``s`` holds singular values drawn from a
+bounded range.  The condition number is then ``max(s)/min(s)``, O(1) by
+construction, and the inverse is available in closed form without an
+``np.linalg.inv`` call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "random_orthogonal_matrix",
+    "random_invertible_matrix",
+    "split_rows",
+]
+
+#: Default bounds for the singular values of sampled invertible matrices.
+DEFAULT_SINGULAR_RANGE = (0.5, 2.0)
+
+
+def random_orthogonal_matrix(dim: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample a ``dim x dim`` random orthogonal matrix.
+
+    Uses the QR decomposition of a standard Gaussian matrix; multiplying the
+    columns of ``Q`` by the signs of ``diag(R)`` makes the distribution
+    uniform (Haar) over the orthogonal group, see Mezzadri (2007).
+
+    Parameters
+    ----------
+    dim:
+        Matrix dimension; must be positive.
+    rng:
+        Source of randomness.
+
+    Returns
+    -------
+    numpy.ndarray
+        An orthogonal matrix ``Q`` with ``Q @ Q.T == I`` up to float error.
+    """
+    if dim <= 0:
+        raise ValueError(f"matrix dimension must be positive, got {dim}")
+    gauss = rng.standard_normal((dim, dim))
+    q, r = np.linalg.qr(gauss)
+    # Fix the signs so the distribution is exactly Haar rather than biased
+    # by LAPACK's sign convention.
+    signs = np.sign(np.diag(r))
+    signs[signs == 0] = 1.0
+    return q * signs
+
+
+def random_invertible_matrix(
+    dim: int,
+    rng: np.random.Generator,
+    singular_range: tuple[float, float] = DEFAULT_SINGULAR_RANGE,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample a well-conditioned invertible matrix and its exact inverse.
+
+    The matrix is ``Q @ diag(s)`` with ``Q`` orthogonal and singular values
+    ``s`` uniform in ``singular_range``; its inverse is
+    ``diag(1/s) @ Q.T``, computed without a linear solve so the pair is
+    consistent to machine precision.
+
+    Parameters
+    ----------
+    dim:
+        Matrix dimension; must be positive.
+    rng:
+        Source of randomness.
+    singular_range:
+        ``(low, high)`` bounds for the singular values; both must be
+        positive and ``low <= high``.
+
+    Returns
+    -------
+    tuple[numpy.ndarray, numpy.ndarray]
+        ``(M, M_inv)`` with ``M @ M_inv == I`` up to float error and
+        ``cond(M) <= high / low``.
+    """
+    low, high = singular_range
+    if low <= 0 or high <= 0:
+        raise ValueError(f"singular values must be positive, got {singular_range}")
+    if low > high:
+        raise ValueError(f"singular_range must satisfy low <= high, got {singular_range}")
+    q = random_orthogonal_matrix(dim, rng)
+    singular_values = rng.uniform(low, high, size=dim)
+    matrix = q * singular_values  # scales columns: Q @ diag(s)
+    inverse = (q / singular_values).T  # diag(1/s) @ Q.T
+    return matrix, inverse
+
+
+def split_rows(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a matrix with an even number of rows into top and bottom halves.
+
+    Section IV-A of the paper splits ``M3`` into ``M_up`` (first ``d+8``
+    rows) and ``M_down`` (remaining ``d+8`` rows); this helper implements
+    that split for any even-row matrix.
+
+    Parameters
+    ----------
+    matrix:
+        A 2-D array with an even number of rows.
+
+    Returns
+    -------
+    tuple[numpy.ndarray, numpy.ndarray]
+        ``(upper, lower)`` views of the input.
+    """
+    rows = matrix.shape[0]
+    if rows % 2 != 0:
+        raise ValueError(f"matrix must have an even number of rows, got {rows}")
+    half = rows // 2
+    return matrix[:half], matrix[half:]

@@ -1,0 +1,242 @@
+"""Paillier additively homomorphic encryption, from scratch.
+
+Section III of the paper *excludes* homomorphic-encryption-based secure
+distance comparison "due to their significant computational overhead".
+To make that exclusion a measured fact rather than a citation, this
+module implements the classic Paillier cryptosystem (additively
+homomorphic: ``Enc(a) * Enc(b) = Enc(a+b)``, ``Enc(a)^k = Enc(k*a)``)
+which is the standard substrate of HE-based k-NN schemes (e.g. the
+eHealthcare schemes cited as [42], [43]): the server combines encrypted
+squared norms and inner-product terms homomorphically, and a decryptor
+recovers distances.
+
+The implementation is textbook Paillier over python ints:
+
+* ``KeyGen``: n = p*q with |p| = |q| = key_bits/2, g = n+1,
+  lambda = lcm(p-1, q-1), mu = lambda^{-1} mod n.
+* ``Enc(m) = g^m * r^n mod n^2`` with fresh ``r``.
+* ``Dec(c) = L(c^lambda mod n^2) * mu mod n`` with ``L(x) = (x-1)/n``.
+
+Vectors are encoded componentwise as fixed-point integers.  Key sizes
+default to 1024 bits — small by modern standards but already slow enough
+to make the paper's point by orders of magnitude.  Do not use for real
+data protection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PaillierKeypair", "PaillierPublicKey", "PaillierPrivateKey",
+           "paillier_keygen", "HEDistanceProtocol"]
+
+# Deterministic Miller-Rabin witnesses valid for all candidates < 3.3e24;
+# for larger candidates they make the test overwhelmingly accurate.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def _is_probable_prime(candidate: int) -> bool:
+    if candidate < 2:
+        return False
+    for small in _MR_WITNESSES:
+        if candidate % small == 0:
+            return candidate == small
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in _MR_WITNESSES:
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: np.random.Generator) -> int:
+    while True:
+        raw = rng.integers(0, 256, size=bits // 8, dtype=np.uint8).tobytes()
+        candidate = int.from_bytes(raw, "big")
+        candidate |= (1 << (bits - 1)) | 1  # full length, odd
+        if _is_probable_prime(candidate):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public key ``(n, g)`` with ``g = n + 1``."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        """Modulus of the ciphertext group."""
+        return self.n * self.n
+
+    @property
+    def g(self) -> int:
+        """Standard generator ``n + 1``."""
+        return self.n + 1
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Private key ``(lambda, mu)``."""
+
+    lam: int
+    mu: int
+
+
+@dataclass(frozen=True)
+class PaillierKeypair:
+    """A public/private keypair."""
+
+    public: PaillierPublicKey
+    private: PaillierPrivateKey
+
+
+def paillier_keygen(key_bits: int = 1024, rng: np.random.Generator | None = None) -> PaillierKeypair:
+    """Generate a Paillier keypair with an ``key_bits``-bit modulus."""
+    if key_bits < 64 or key_bits % 2 != 0:
+        raise ValueError(f"key_bits must be an even integer >= 64, got {key_bits}")
+    rng = rng if rng is not None else np.random.default_rng()
+    while True:
+        p = _random_prime(key_bits // 2, rng)
+        q = _random_prime(key_bits // 2, rng)
+        if p != q:
+            break
+    n = p * q
+    lam = math.lcm(p - 1, q - 1)
+    n_squared = n * n
+    # mu = (L(g^lambda mod n^2))^{-1} mod n, with g = n+1 this simplifies,
+    # but compute it generically for clarity.
+    g_lambda = pow(n + 1, lam, n_squared)
+    l_value = (g_lambda - 1) // n
+    mu = pow(l_value, -1, n)
+    return PaillierKeypair(PaillierPublicKey(n), PaillierPrivateKey(lam, mu))
+
+
+class HEDistanceProtocol:
+    """Secure distance computation over Paillier — the excluded baseline.
+
+    Protocol (the standard HE k-NN arrangement): the data owner encrypts,
+    per database vector ``p``, the fixed-point encodings of ``||p||^2``
+    and every coordinate ``p_i``.  Given a plaintext-held query ``q`` the
+    server computes, *entirely over ciphertexts*::
+
+        Enc(dist(p, q) - ||q||^2) = Enc(||p||^2) * prod_i Enc(p_i)^{-2 q_i}
+
+    using homomorphic addition and scalar multiplication.  A decryption
+    oracle (the user, in those schemes) recovers the value; the shared
+    ``||q||^2`` offset cancels in comparisons.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    keypair:
+        Paillier keys; generated if omitted (slow for large key_bits).
+    precision:
+        Fixed-point scaling factor for float encoding.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        keypair: PaillierKeypair | None = None,
+        key_bits: int = 1024,
+        precision: int = 10**6,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError(f"dimension must be positive, got {dim}")
+        self._dim = dim
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._keys = keypair if keypair is not None else paillier_keygen(key_bits, self._rng)
+        self._precision = precision
+
+    @property
+    def public_key(self) -> PaillierPublicKey:
+        """The public key (held by the server)."""
+        return self._keys.public
+
+    # -- core Paillier operations ---------------------------------------------
+
+    def encrypt_int(self, message: int) -> int:
+        """Encrypt an integer (mod n)."""
+        public = self._keys.public
+        n, n_squared = public.n, public.n_squared
+        message %= n
+        while True:
+            raw = self._rng.integers(0, 256, size=n.bit_length() // 8, dtype=np.uint8)
+            r = int.from_bytes(raw.tobytes(), "big") % n
+            if r > 1 and math.gcd(r, n) == 1:
+                break
+        return (pow(public.g, message, n_squared) * pow(r, n, n_squared)) % n_squared
+
+    def decrypt_int(self, ciphertext: int) -> int:
+        """Decrypt to a centered integer in ``(-n/2, n/2]``."""
+        public, private = self._keys.public, self._keys.private
+        n, n_squared = public.n, public.n_squared
+        l_value = (pow(ciphertext, private.lam, n_squared) - 1) // n
+        message = (l_value * private.mu) % n
+        if message > n // 2:
+            message -= n
+        return message
+
+    def add(self, cipher_a: int, cipher_b: int) -> int:
+        """Homomorphic addition: ``Enc(a) * Enc(b) = Enc(a + b)``."""
+        return (cipher_a * cipher_b) % self._keys.public.n_squared
+
+    def scalar_multiply(self, cipher: int, scalar: int) -> int:
+        """Homomorphic scalar multiplication: ``Enc(a)^k = Enc(k a)``."""
+        n_squared = self._keys.public.n_squared
+        if scalar < 0:
+            cipher = pow(cipher, -1, n_squared)
+            scalar = -scalar
+        return pow(cipher, scalar, n_squared)
+
+    # -- the distance protocol ----------------------------------------------------
+
+    def _encode(self, value: float) -> int:
+        return int(round(value * self._precision))
+
+    def encrypt_vector(self, vector: np.ndarray) -> dict[str, object]:
+        """Owner-side encryption of one database vector."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self._dim,):
+            raise ValueError(f"expected a ({self._dim},) vector, got {vector.shape}")
+        squared_norm = float(vector @ vector)
+        return {
+            "norm": self.encrypt_int(self._encode(squared_norm) * self._precision),
+            "coords": [self.encrypt_int(self._encode(v)) for v in vector],
+        }
+
+    def encrypted_distance_term(self, ciphertext: dict[str, object], query: np.ndarray) -> int:
+        """Server-side: ``Enc((||p||^2 - 2 p.q) * precision^2)``.
+
+        One homomorphic scalar-multiply per coordinate plus d additions —
+        this is the operation whose cost rules HE out (Section III).
+        """
+        query = np.asarray(query, dtype=np.float64)
+        accumulator = ciphertext["norm"]
+        for coord_cipher, q_value in zip(ciphertext["coords"], query):
+            scalar = -2 * self._encode(q_value)
+            accumulator = self.add(accumulator, self.scalar_multiply(coord_cipher, scalar))
+        return accumulator
+
+    def decrypted_distance(self, distance_cipher: int, query: np.ndarray) -> float:
+        """Decryptor-side: recover ``dist(p, q)`` from the protocol output."""
+        query = np.asarray(query, dtype=np.float64)
+        raw = self.decrypt_int(distance_cipher)
+        partial = raw / (self._precision * self._precision)
+        return partial + float(query @ query)

@@ -1,0 +1,104 @@
+"""Random coordinate permutations.
+
+The vector-randomization phase of DCE applies two secret permutations
+(``pi_1`` on R^d and ``pi_2`` on R^{d+8}, Section IV-A steps 2 and 4) so the
+server cannot align ciphertext coordinates with plaintext coordinates.  A
+:class:`Permutation` stores the forward index map and exposes ``apply`` /
+``invert`` plus composition, all as O(d) numpy gathers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Permutation"]
+
+
+class Permutation:
+    """A fixed permutation of vector coordinates.
+
+    Parameters
+    ----------
+    indices:
+        A 1-D integer array that is a permutation of ``range(len(indices))``.
+        ``apply(x)[i] == x[indices[i]]``.
+
+    Raises
+    ------
+    ValueError
+        If ``indices`` is not a valid permutation.
+    """
+
+    def __init__(self, indices: np.ndarray) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise ValueError(f"permutation indices must be 1-D, got shape {indices.shape}")
+        size = indices.shape[0]
+        if size == 0:
+            raise ValueError("permutation must be non-empty")
+        if not np.array_equal(np.sort(indices), np.arange(size)):
+            raise ValueError("indices are not a permutation of range(n)")
+        self._forward = indices
+        self._backward = np.empty(size, dtype=np.int64)
+        self._backward[indices] = np.arange(size)
+
+    @classmethod
+    def random(cls, size: int, rng: np.random.Generator) -> "Permutation":
+        """Sample a uniformly random permutation of ``size`` coordinates."""
+        if size <= 0:
+            raise ValueError(f"permutation size must be positive, got {size}")
+        return cls(rng.permutation(size))
+
+    @classmethod
+    def identity(cls, size: int) -> "Permutation":
+        """The identity permutation (useful for ablation experiments)."""
+        return cls(np.arange(size))
+
+    @property
+    def size(self) -> int:
+        """Number of coordinates this permutation acts on."""
+        return int(self._forward.shape[0])
+
+    @property
+    def indices(self) -> np.ndarray:
+        """A copy of the forward index map."""
+        return self._forward.copy()
+
+    def apply(self, vector: np.ndarray) -> np.ndarray:
+        """Permute the last axis of ``vector``: ``out[..., i] = x[..., fwd[i]]``."""
+        self._check_width(vector)
+        return vector[..., self._forward]
+
+    def invert(self, vector: np.ndarray) -> np.ndarray:
+        """Undo :meth:`apply` on the last axis."""
+        self._check_width(vector)
+        return vector[..., self._backward]
+
+    def compose(self, other: "Permutation") -> "Permutation":
+        """Return the permutation equivalent to ``self.apply(other.apply(x))``."""
+        if other.size != self.size:
+            raise ValueError(
+                f"cannot compose permutations of sizes {self.size} and {other.size}"
+            )
+        return Permutation(other._forward[self._forward])
+
+    def is_identity(self) -> bool:
+        """Whether this permutation leaves every coordinate in place."""
+        return bool(np.array_equal(self._forward, np.arange(self.size)))
+
+    def _check_width(self, vector: np.ndarray) -> None:
+        if vector.shape[-1] != self.size:
+            raise ValueError(
+                f"vector width {vector.shape[-1]} does not match permutation size {self.size}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return np.array_equal(self._forward, other._forward)
+
+    def __hash__(self) -> int:
+        return hash(self._forward.tobytes())
+
+    def __repr__(self) -> str:
+        return f"Permutation(size={self.size})"

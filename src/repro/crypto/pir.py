@@ -1,0 +1,140 @@
+"""Two-server XOR-based private information retrieval.
+
+The PACM-ANN and PRI-ANN baselines retrieve index/database blocks from the
+cloud *without revealing which block*, via private information retrieval.
+We implement the classic information-theoretic 2-server scheme (Chor,
+Goldreich, Kushilevitz, Sudan 1995): the client sends each server a random
+subset of block indices; the subsets differ exactly in the wanted block;
+each server XORs its subset of blocks together; the client XORs the two
+replies to recover the block.  Neither server alone learns anything about
+the queried index.
+
+Each query carries a :class:`PIRTranscript` with byte counts so the
+baselines' cost model can convert communication into modelled latency —
+the dominant term in the paper's Figure 7/9 comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TwoServerXorPIR", "PIRTranscript"]
+
+
+@dataclass(frozen=True)
+class PIRTranscript:
+    """Accounting record for one PIR retrieval.
+
+    Attributes
+    ----------
+    upload_bytes:
+        Bytes sent from the client to both servers (the selection bitmaps).
+    download_bytes:
+        Bytes returned by both servers (two block-sized replies).
+    rounds:
+        Network round trips consumed (always 1 per retrieval; a protocol
+        that batches b retrievals still pays 1).
+    """
+
+    upload_bytes: int
+    download_bytes: int
+    rounds: int = 1
+
+
+class TwoServerXorPIR:
+    """A database of equal-sized byte blocks retrievable via 2-server PIR.
+
+    Parameters
+    ----------
+    blocks:
+        The database as a list of equal-length ``bytes`` objects.  Both
+        (simulated) servers hold an identical replica, matching PRI-ANN's
+        deployment model of two non-colluding servers.
+    """
+
+    def __init__(self, blocks: list[bytes]) -> None:
+        if not blocks:
+            raise ValueError("PIR database must contain at least one block")
+        block_size = len(blocks[0])
+        if block_size == 0:
+            raise ValueError("PIR blocks must be non-empty")
+        for i, block in enumerate(blocks):
+            if len(block) != block_size:
+                raise ValueError(
+                    f"block {i} has size {len(block)}, expected {block_size}"
+                )
+        self._blocks = [np.frombuffer(b, dtype=np.uint8) for b in blocks]
+        self._block_size = block_size
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks in the database."""
+        return len(self._blocks)
+
+    @property
+    def block_size(self) -> int:
+        """Size in bytes of every block."""
+        return self._block_size
+
+    def _server_answer(self, selection: np.ndarray) -> np.ndarray:
+        """XOR together the blocks selected by a 0/1 bitmap (server side)."""
+        answer = np.zeros(self._block_size, dtype=np.uint8)
+        for index in np.nonzero(selection)[0]:
+            answer ^= self._blocks[index]
+        return answer
+
+    def retrieve(
+        self, index: int, rng: np.random.Generator
+    ) -> tuple[bytes, PIRTranscript]:
+        """Privately retrieve block ``index``.
+
+        Parameters
+        ----------
+        index:
+            Block index in ``[0, num_blocks)``.
+        rng:
+            Client-side randomness for the selection bitmaps.
+
+        Returns
+        -------
+        tuple[bytes, PIRTranscript]
+            The recovered block and the communication transcript.
+        """
+        if not 0 <= index < self.num_blocks:
+            raise IndexError(f"block index {index} out of range [0, {self.num_blocks})")
+        selection_a = rng.integers(0, 2, size=self.num_blocks, dtype=np.uint8)
+        selection_b = selection_a.copy()
+        selection_b[index] ^= 1
+        answer_a = self._server_answer(selection_a)
+        answer_b = self._server_answer(selection_b)
+        block = (answer_a ^ answer_b).tobytes()
+        # Each bitmap is num_blocks bits; both servers receive one.
+        upload_bits = 2 * self.num_blocks
+        transcript = PIRTranscript(
+            upload_bytes=(upload_bits + 7) // 8,
+            download_bytes=2 * self._block_size,
+            rounds=1,
+        )
+        return block, transcript
+
+    def retrieve_many(
+        self, indices: list[int], rng: np.random.Generator
+    ) -> tuple[list[bytes], PIRTranscript]:
+        """Retrieve several blocks in one batched round.
+
+        The queries are issued in parallel, so the transcript sums bytes
+        across retrievals but counts a single round trip.
+        """
+        if not indices:
+            raise ValueError("retrieve_many needs at least one index")
+        blocks: list[bytes] = []
+        upload = 0
+        download = 0
+        for index in indices:
+            block, transcript = self.retrieve(index, rng)
+            blocks.append(block)
+            upload += transcript.upload_bytes
+            download += transcript.download_bytes
+        return blocks, PIRTranscript(upload_bytes=upload, download_bytes=download, rounds=1)

@@ -1,0 +1,58 @@
+"""Byte-level packing of vectors.
+
+RS-SANN ships AES-encrypted vectors over the (modelled) network and the PIR
+baselines serve fixed-size database blocks; both need a canonical byte
+layout for float vectors.  We use little-endian float32 — the layout of the
+classic ``.fvecs`` ANN benchmark files — so byte counts in the cost model
+match what the paper's testbed would transfer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "vector_to_bytes",
+    "bytes_to_vector",
+    "vectors_to_bytes",
+    "bytes_to_vectors",
+    "BYTES_PER_COMPONENT",
+]
+
+#: Serialized size of one vector component (float32).
+BYTES_PER_COMPONENT = 4
+
+
+def vector_to_bytes(vector: np.ndarray) -> bytes:
+    """Serialize a 1-D vector as little-endian float32 bytes."""
+    vector = np.asarray(vector)
+    if vector.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {vector.shape}")
+    return vector.astype("<f4").tobytes()
+
+
+def bytes_to_vector(data: bytes) -> np.ndarray:
+    """Inverse of :func:`vector_to_bytes`; returns float64 for computation."""
+    if len(data) % BYTES_PER_COMPONENT != 0:
+        raise ValueError(
+            f"byte length {len(data)} is not a multiple of {BYTES_PER_COMPONENT}"
+        )
+    return np.frombuffer(data, dtype="<f4").astype(np.float64)
+
+
+def vectors_to_bytes(vectors: np.ndarray) -> bytes:
+    """Serialize a 2-D ``(n, d)`` array row-major as float32 bytes."""
+    vectors = np.asarray(vectors)
+    if vectors.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {vectors.shape}")
+    return vectors.astype("<f4").tobytes()
+
+
+def bytes_to_vectors(data: bytes, dim: int) -> np.ndarray:
+    """Inverse of :func:`vectors_to_bytes` for a known dimensionality."""
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    flat = bytes_to_vector(data)
+    if flat.size % dim != 0:
+        raise ValueError(f"{flat.size} components do not divide into rows of {dim}")
+    return flat.reshape(-1, dim)

@@ -1,0 +1,32 @@
+"""Workloads: synthetic generators, file loaders, ground truth.
+
+The paper evaluates on Sift1M / Gist / Glove / Deep1M (Table I) plus
+samples of Sift1B / Deep1B.  Offline, :mod:`repro.datasets.synthetic`
+generates clustered datasets with the same dimensionalities and ANN
+difficulty profile at laptop scale; :mod:`repro.datasets.loaders` reads
+the real ``.fvecs`` / ``.ivecs`` / ``.bvecs`` files when present.
+"""
+
+from repro.datasets.ground_truth import GroundTruth, compute_ground_truth
+from repro.datasets.loaders import read_fvecs, read_ivecs, read_bvecs, write_fvecs
+from repro.datasets.synthetic import (
+    DATASET_PROFILES,
+    Dataset,
+    DatasetProfile,
+    make_dataset,
+    make_clustered,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetProfile",
+    "DATASET_PROFILES",
+    "make_dataset",
+    "make_clustered",
+    "GroundTruth",
+    "compute_ground_truth",
+    "read_fvecs",
+    "read_ivecs",
+    "read_bvecs",
+    "write_fvecs",
+]

@@ -1,0 +1,60 @@
+"""Exact nearest-neighbor ground truth for a workload.
+
+Computed once per (database, queries, k) and reused across sweeps — recall
+measurement is by far the most repeated operation in the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ParameterError
+from repro.hnsw.bruteforce import exact_knn
+
+__all__ = ["GroundTruth", "compute_ground_truth"]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Exact neighbors for a query workload.
+
+    Attributes
+    ----------
+    k:
+        Neighbors stored per query.
+    ids:
+        ``(num_queries, k)`` exact neighbor ids, nearest first.
+    distances:
+        Matching squared distances.
+    """
+
+    k: int
+    ids: np.ndarray
+    distances: np.ndarray
+
+    def for_query(self, query_index: int) -> np.ndarray:
+        """Exact neighbor ids of one query."""
+        return self.ids[query_index]
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+
+def compute_ground_truth(
+    database: np.ndarray, queries: np.ndarray, k: int
+) -> GroundTruth:
+    """Brute-force exact k-NN for every query."""
+    database = np.asarray(database, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2:
+        raise ParameterError(f"queries must be 2-D, got shape {queries.shape}")
+    all_ids = []
+    all_dists = []
+    for query in queries:
+        ids, dists = exact_knn(database, query, k)
+        all_ids.append(ids)
+        all_dists.append(dists)
+    return GroundTruth(k=k, ids=np.stack(all_ids), distances=np.stack(all_dists))

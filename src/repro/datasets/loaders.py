@@ -1,0 +1,70 @@
+"""Readers/writers for the classic ANN benchmark file formats.
+
+``.fvecs`` / ``.ivecs`` / ``.bvecs`` (TexMex / corpus-texmex.irisa.fr
+layout): each vector is stored as a little-endian int32 dimension header
+followed by ``d`` components (float32 / int32 / uint8 respectively).
+When the real Sift1M/Gist/Deep files are available these loaders let the
+benchmarks run on them unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.errors import ParameterError
+
+__all__ = ["read_fvecs", "read_ivecs", "read_bvecs", "write_fvecs"]
+
+
+def _read_vecs(path: str | os.PathLike, component_dtype: np.dtype, component_size: int,
+               limit: int | None) -> np.ndarray:
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    if len(raw) < 4:
+        raise ParameterError(f"{path}: file too small to contain a vector header")
+    dim = int(np.frombuffer(raw[:4], dtype="<i4")[0])
+    if dim <= 0:
+        raise ParameterError(f"{path}: invalid dimension header {dim}")
+    record_bytes = 4 + dim * component_size
+    if len(raw) % record_bytes != 0:
+        raise ParameterError(
+            f"{path}: size {len(raw)} is not a multiple of record size {record_bytes}"
+        )
+    count = len(raw) // record_bytes
+    if limit is not None:
+        count = min(count, limit)
+    buffer = np.frombuffer(raw, dtype=np.uint8)[: count * record_bytes]
+    records = buffer.reshape(count, record_bytes)
+    payload = records[:, 4:].copy()
+    return payload.view(component_dtype).reshape(count, dim)
+
+
+def read_fvecs(path: str | os.PathLike, limit: int | None = None) -> np.ndarray:
+    """Read an ``.fvecs`` file into an ``(n, d)`` float64 array."""
+    return _read_vecs(path, np.dtype("<f4"), 4, limit).astype(np.float64)
+
+
+def read_ivecs(path: str | os.PathLike, limit: int | None = None) -> np.ndarray:
+    """Read an ``.ivecs`` file (e.g. ground-truth ids) into int64."""
+    return _read_vecs(path, np.dtype("<i4"), 4, limit).astype(np.int64)
+
+
+def read_bvecs(path: str | os.PathLike, limit: int | None = None) -> np.ndarray:
+    """Read a ``.bvecs`` file (byte vectors, e.g. Sift1B) into float64."""
+    return _read_vecs(path, np.dtype("u1"), 1, limit).astype(np.float64)
+
+
+def write_fvecs(path: str | os.PathLike, vectors: np.ndarray) -> None:
+    """Write an ``(n, d)`` array as ``.fvecs`` (float32 payload)."""
+    vectors = np.asarray(vectors)
+    if vectors.ndim != 2:
+        raise ParameterError(f"expected a 2-D array, got shape {vectors.shape}")
+    count, dim = vectors.shape
+    header = np.full((count, 1), dim, dtype="<i4")
+    payload = vectors.astype("<f4")
+    with open(path, "wb") as handle:
+        for i in range(count):
+            handle.write(header[i].tobytes())
+            handle.write(payload[i].tobytes())

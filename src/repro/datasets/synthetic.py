@@ -1,0 +1,194 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+Table I datasets (Sift1M, Gist, Glove, Deep1M) are real-world corpora we
+cannot download offline.  What the paper's curves actually depend on is
+the datasets' *ANN difficulty*: clustered mass with varying local
+intrinsic dimensionality, so graph search exhibits the familiar
+recall-vs-ef trade-off and DCPE noise degrades neighbor identity
+smoothly.  :func:`make_clustered` generates a Gaussian-mixture dataset
+with heavy-tailed cluster sizes and per-cluster anisotropy that
+reproduces that regime; :data:`DATASET_PROFILES` parameterizes one
+profile per paper dataset (matching dimensionality and value scale).
+
+Queries are drawn from the same mixture (held out), matching how the
+benchmark query sets were collected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ParameterError
+
+__all__ = [
+    "Dataset",
+    "DatasetProfile",
+    "DATASET_PROFILES",
+    "make_clustered",
+    "make_dataset",
+]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A generated workload: database, queries and its profile name.
+
+    Attributes
+    ----------
+    name:
+        Profile name (e.g. ``"sift"``).
+    database:
+        ``(n, d)`` float64 database vectors.
+    queries:
+        ``(m, d)`` float64 query vectors (held out of the database).
+    """
+
+    name: str
+    database: np.ndarray
+    queries: np.ndarray
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return int(self.database.shape[1])
+
+    @property
+    def num_vectors(self) -> int:
+        """Database size."""
+        return int(self.database.shape[0])
+
+    @property
+    def num_queries(self) -> int:
+        """Query-set size."""
+        return int(self.queries.shape[0])
+
+    @property
+    def max_abs_coordinate(self) -> float:
+        """``M = max |p_i|`` — enters the valid beta range (Section V-A)."""
+        return float(np.max(np.abs(self.database)))
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Generation parameters mimicking one of the paper's datasets.
+
+    Attributes
+    ----------
+    dim:
+        Dimensionality from Table I.
+    num_clusters:
+        Mixture components (descriptors cluster strongly; embeddings less).
+    cluster_spread:
+        Within-cluster standard deviation relative to between-cluster
+        spread — controls ANN difficulty.
+    value_scale:
+        Coordinate magnitude scale (SIFT-like descriptors live in
+        [0, 255]; GloVe embeddings are small reals).
+    nonnegative:
+        Clip to non-negative coordinates (true for SIFT/GIST histograms).
+    """
+
+    dim: int
+    num_clusters: int
+    cluster_spread: float
+    value_scale: float
+    nonnegative: bool
+
+
+#: One profile per Table I dataset, matching its dimensionality.
+DATASET_PROFILES: dict[str, DatasetProfile] = {
+    "sift": DatasetProfile(
+        dim=128, num_clusters=64, cluster_spread=0.35, value_scale=128.0, nonnegative=True
+    ),
+    "gist": DatasetProfile(
+        dim=960, num_clusters=32, cluster_spread=0.30, value_scale=1.0, nonnegative=True
+    ),
+    "glove": DatasetProfile(
+        dim=100, num_clusters=48, cluster_spread=0.45, value_scale=4.0, nonnegative=False
+    ),
+    "deep": DatasetProfile(
+        dim=96, num_clusters=64, cluster_spread=0.35, value_scale=1.0, nonnegative=False
+    ),
+}
+
+
+def make_clustered(
+    num_vectors: int,
+    dim: int,
+    num_queries: int,
+    num_clusters: int = 32,
+    cluster_spread: float = 0.35,
+    value_scale: float = 1.0,
+    nonnegative: bool = False,
+    rng: np.random.Generator | None = None,
+    name: str = "clustered",
+) -> Dataset:
+    """Generate a clustered Gaussian-mixture dataset.
+
+    Cluster sizes follow a Zipf-like distribution (real corpora are
+    unbalanced), and each cluster gets a random anisotropic covariance via
+    per-axis scale draws, which keeps local intrinsic dimensionality below
+    the ambient dimension — the property that makes graph ANN effective.
+    """
+    if num_vectors <= 0 or num_queries <= 0:
+        raise ParameterError("num_vectors and num_queries must be positive")
+    if dim <= 0:
+        raise ParameterError(f"dim must be positive, got {dim}")
+    if num_clusters <= 0:
+        raise ParameterError(f"num_clusters must be positive, got {num_clusters}")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    centers = rng.standard_normal((num_clusters, dim)) * value_scale
+    # Zipf-ish cluster weights.
+    weights = 1.0 / np.arange(1, num_clusters + 1)
+    weights /= weights.sum()
+    # Per-cluster anisotropy: each axis scaled by a lognormal draw.
+    axis_scales = np.exp(rng.normal(0.0, 0.5, size=(num_clusters, dim)))
+
+    def sample(count: int) -> np.ndarray:
+        assignments = rng.choice(num_clusters, size=count, p=weights)
+        noise = rng.standard_normal((count, dim))
+        scaled = noise * axis_scales[assignments] * (cluster_spread * value_scale)
+        points = centers[assignments] + scaled
+        if nonnegative:
+            points = np.abs(points)
+        return points
+
+    database = sample(num_vectors)
+    queries = sample(num_queries)
+    return Dataset(name=name, database=database, queries=queries)
+
+
+def make_dataset(
+    profile_name: str,
+    num_vectors: int = 10_000,
+    num_queries: int = 100,
+    rng: np.random.Generator | None = None,
+) -> Dataset:
+    """Generate the scaled-down stand-in for a named paper dataset.
+
+    Parameters
+    ----------
+    profile_name:
+        One of ``"sift"``, ``"gist"``, ``"glove"``, ``"deep"``.
+    num_vectors, num_queries:
+        Scale (the paper used 1M vectors; benchmarks here default smaller).
+    """
+    if profile_name not in DATASET_PROFILES:
+        raise ParameterError(
+            f"unknown profile {profile_name!r}; choose from {sorted(DATASET_PROFILES)}"
+        )
+    profile = DATASET_PROFILES[profile_name]
+    return make_clustered(
+        num_vectors=num_vectors,
+        dim=profile.dim,
+        num_queries=num_queries,
+        num_clusters=profile.num_clusters,
+        cluster_spread=profile.cluster_spread,
+        value_scale=profile.value_scale,
+        nonnegative=profile.nonnegative,
+        rng=rng,
+        name=profile_name,
+    )

@@ -1,0 +1,103 @@
+"""Accuracy and throughput metrics (Section VII, "Performance Metrics").
+
+The paper reports efficiency as queries per second (QPS) and accuracy as
+``Recall@k(q) = |N*(q) ∩ N(q)| / k`` averaged over the query set, with
+``k = 10`` by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ParameterError
+
+__all__ = [
+    "recall_at_k",
+    "mean_recall",
+    "qps_from_latencies",
+    "LatencySummary",
+    "summarize_latencies",
+]
+
+
+def recall_at_k(found: np.ndarray, truth: np.ndarray, k: int) -> float:
+    """``|N*(q) ∩ N(q)| / k`` for one query.
+
+    Parameters
+    ----------
+    found:
+        Ids returned by the method under test (at most ``k`` used).
+    truth:
+        The exact k-nearest ids.
+    k:
+        The divisor; the paper always divides by ``k`` even if the method
+        returned fewer ids.
+    """
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+    found_set = set(int(i) for i in np.asarray(found).ravel()[:k])
+    truth_set = set(int(i) for i in np.asarray(truth).ravel()[:k])
+    return len(found_set & truth_set) / k
+
+
+def mean_recall(
+    found_lists: list[np.ndarray], truth_lists: list[np.ndarray], k: int
+) -> float:
+    """Average Recall@k over a query workload."""
+    if len(found_lists) != len(truth_lists):
+        raise ParameterError(
+            f"got {len(found_lists)} result lists but {len(truth_lists)} truth lists"
+        )
+    if not found_lists:
+        raise ParameterError("need at least one query")
+    return float(
+        np.mean(
+            [recall_at_k(f, t, k) for f, t in zip(found_lists, truth_lists)]
+        )
+    )
+
+
+def qps_from_latencies(latencies_seconds: np.ndarray) -> float:
+    """Queries per second implied by per-query latencies (single thread)."""
+    latencies = np.asarray(latencies_seconds, dtype=np.float64)
+    if latencies.size == 0:
+        raise ParameterError("need at least one latency sample")
+    total = float(latencies.sum())
+    if total <= 0:
+        raise ParameterError("latencies sum to zero; cannot compute QPS")
+    return latencies.size / total
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Latency distribution summary for one configuration.
+
+    Attributes are all in seconds.
+    """
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @property
+    def qps(self) -> float:
+        """Single-thread QPS implied by the mean latency."""
+        return 1.0 / self.mean if self.mean > 0 else float("inf")
+
+
+def summarize_latencies(latencies_seconds: np.ndarray) -> LatencySummary:
+    """Compute a :class:`LatencySummary` from raw per-query latencies."""
+    latencies = np.asarray(latencies_seconds, dtype=np.float64)
+    if latencies.size == 0:
+        raise ParameterError("need at least one latency sample")
+    return LatencySummary(
+        mean=float(latencies.mean()),
+        p50=float(np.percentile(latencies, 50)),
+        p95=float(np.percentile(latencies, 95)),
+        p99=float(np.percentile(latencies, 99)),
+        maximum=float(latencies.max()),
+    )

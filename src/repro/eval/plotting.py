@@ -1,0 +1,123 @@
+"""ASCII rendering of recall/throughput curves.
+
+The paper's figures are log-scale recall-vs-QPS plots; without a plotting
+stack in the offline environment, this module renders
+:class:`~repro.eval.runner.MethodCurve` families as fixed-width ASCII
+charts so benchmark output shows the curve *shapes*, not just tables.
+Different curves get different glyphs; the y-axis is log-scaled when the
+value range spans more than a decade (as in every figure of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import ParameterError
+from repro.eval.runner import MethodCurve
+
+__all__ = ["render_curves"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def render_curves(
+    curves: list[MethodCurve],
+    width: int = 60,
+    height: int = 16,
+    y_metric: str = "qps",
+    title: str | None = None,
+) -> str:
+    """Render recall-vs-metric curves as an ASCII chart.
+
+    Parameters
+    ----------
+    curves:
+        The curve family (max 8; one glyph each).
+    width, height:
+        Plot area size in characters.
+    y_metric:
+        ``"qps"`` or ``"latency"`` (mean seconds).
+    title:
+        Optional heading line.
+
+    Returns
+    -------
+    str
+        A multi-line chart with axes, legend and log-scale annotation.
+    """
+    if not curves:
+        raise ParameterError("need at least one curve")
+    if len(curves) > len(_GLYPHS):
+        raise ParameterError(f"at most {len(_GLYPHS)} curves supported")
+    if width < 10 or height < 4:
+        raise ParameterError("plot area too small")
+
+    def y_value(point) -> float:
+        if y_metric == "qps":
+            return point.qps
+        if y_metric == "latency":
+            return point.mean_latency_seconds
+        raise ParameterError(f"unknown y_metric {y_metric!r}")
+
+    points = [
+        (point.recall, y_value(point), glyph)
+        for curve, glyph in zip(curves, _GLYPHS)
+        for point in curve.points
+    ]
+    x_values = [x for x, _, _ in points]
+    y_values = [y for _, y, _ in points if y > 0]
+    if not y_values:
+        raise ParameterError("no positive y values to plot")
+    x_low, x_high = min(x_values), max(x_values)
+    y_low, y_high = min(y_values), max(y_values)
+    log_scale = y_high / max(y_low, 1e-300) > 10.0
+
+    def x_column(x: float) -> int:
+        if x_high == x_low:
+            return width // 2
+        return round((x - x_low) / (x_high - x_low) * (width - 1))
+
+    def y_row(y: float) -> int:
+        if log_scale:
+            low, high = math.log10(y_low), math.log10(y_high)
+            value = math.log10(max(y, y_low))
+        else:
+            low, high = y_low, y_high
+            value = y
+        if high == low:
+            return height // 2
+        fraction = (value - low) / (high - low)
+        return (height - 1) - round(fraction * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        if y <= 0:
+            continue
+        grid[y_row(y)][x_column(x)] = glyph
+
+    unit = "QPS" if y_metric == "qps" else "s"
+    lines = []
+    if title:
+        lines.append(title)
+    scale_note = " (log y)" if log_scale else ""
+    lines.append(f"{unit}{scale_note}")
+    top_label = f"{y_high:.3g}"
+    bottom_label = f"{y_low:.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    axis = f"recall {x_low:.2f}"
+    lines.append(
+        " " * (label_width + 2) + axis
+        + f"{x_high:.2f}".rjust(width - len(axis))
+    )
+    for curve, glyph in zip(curves, _GLYPHS):
+        lines.append(f"  {glyph} = {curve.label}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Fixed-width text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and diff-friendly (the
+EXPERIMENTS.md tables are generated from them).
+"""
+
+from __future__ import annotations
+
+from repro.eval.runner import MethodCurve
+
+__all__ = ["format_table", "format_curve"]
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Render a fixed-width table.
+
+    Floats are shown with four significant digits; everything else via
+    ``str``.
+    """
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_curve(curve: MethodCurve, parameter_name: str = "ef") -> str:
+    """Render one recall/QPS curve as a table."""
+    rows = [
+        [point.parameter, point.recall, point.qps, point.mean_latency_seconds * 1e3]
+        for point in curve.points
+    ]
+    return format_table(
+        [parameter_name, "recall", "QPS", "latency_ms"],
+        rows,
+        title=curve.label,
+    )

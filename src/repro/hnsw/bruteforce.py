@@ -1,0 +1,66 @@
+"""Exact k-NN by linear scan — the recall ground truth.
+
+Every Recall@k number in the paper is measured against exact neighbors
+(Section VII, "Performance Metrics"); this module provides the reference
+implementation plus a tiny index-shaped wrapper so the evaluation harness
+can treat exact search like any other method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import DimensionMismatchError, ParameterError
+from repro.hnsw.distance import squared_distances_to_many
+
+__all__ = ["exact_knn", "BruteForceIndex"]
+
+
+def exact_knn(
+    vectors: np.ndarray, query: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact k nearest neighbors of ``query`` among the rows of ``vectors``.
+
+    Returns ``(ids, squared_distances)`` sorted nearest-first.  Uses
+    ``argpartition`` so the cost is O(n + k log k) beyond the distance pass.
+    """
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+    vectors = np.asarray(vectors, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    if vectors.ndim != 2:
+        raise ParameterError(f"vectors must be 2-D, got shape {vectors.shape}")
+    if query.shape[-1] != vectors.shape[1]:
+        raise DimensionMismatchError(vectors.shape[1], query.shape[-1], what="query")
+    k = min(k, vectors.shape[0])
+    dists = squared_distances_to_many(query, vectors)
+    nearest = np.argpartition(dists, k - 1)[:k]
+    order = np.argsort(dists[nearest], kind="stable")
+    ids = nearest[order]
+    return ids.astype(np.int64), dists[ids]
+
+
+class BruteForceIndex:
+    """Linear-scan index with the same ``search`` signature as HNSW."""
+
+    def __init__(self, vectors: np.ndarray) -> None:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[0] == 0:
+            raise ParameterError(
+                f"need a non-empty (n, d) array, got shape {vectors.shape}"
+            )
+        self._vectors = vectors
+
+    @property
+    def size(self) -> int:
+        """Number of indexed vectors."""
+        return int(self._vectors.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return int(self._vectors.shape[1])
+
+    def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exact search; see :func:`exact_knn`."""
+        return exact_knn(self._vectors, query, k)

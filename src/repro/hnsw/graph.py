@@ -1,0 +1,529 @@
+"""Hierarchical Navigable Small World graphs, from scratch.
+
+Implements Malkov & Yashunin (TPAMI 2020): a multi-layer proximity graph
+where layer assignment is geometric (``floor(-ln U * mL)``), upper layers
+form a coarse navigation skeleton and layer 0 contains every vector.
+Insertion greedily descends from the entry point, then runs an
+``ef_construction``-wide beam search per layer and links to ``M`` diverse
+neighbors chosen by the *heuristic* selection rule (Algorithm 4 of the
+HNSW paper), which prunes candidates dominated by an already-selected
+neighbor.
+
+In the PP-ANNS scheme the vectors handed to this index are **DCPE
+ciphertexts**, never plaintexts (Section V-A): the graph's edges then only
+reflect approximate neighbor relations, which is part of the privacy
+argument.  The index itself is metric-agnostic — it just sees vectors.
+
+Search (``search``) is the standard layered beam search returning the
+``ef_search``-quality top-k with per-query :class:`SearchStats` so the
+evaluation harness can report distance-computation counts and hops.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import DimensionMismatchError, ParameterError
+from repro.hnsw.distance import squared_distances_to_many
+
+__all__ = ["HNSWParams", "HNSWIndex", "SearchStats"]
+
+
+@dataclass(frozen=True)
+class HNSWParams:
+    """Construction parameters of an HNSW graph.
+
+    Attributes
+    ----------
+    m:
+        Out-degree target for layers >= 1; layer 0 allows ``2*m``.
+        The paper's experiments use ``m=40`` on million-scale data; our
+        scaled-down defaults follow the common ``m=16``.
+    ef_construction:
+        Beam width during insertion (paper: 600 at million scale).
+    level_multiplier:
+        ``mL`` of the geometric level distribution; defaults to
+        ``1/ln(m)`` as recommended.
+    extend_candidates:
+        Whether the selection heuristic also examines neighbors of
+        candidates (HNSW paper Algorithm 4 option).
+    keep_pruned:
+        Whether to backfill pruned candidates up to ``M`` links.
+    """
+
+    m: int = 16
+    ef_construction: int = 200
+    level_multiplier: float | None = None
+    extend_candidates: bool = False
+    keep_pruned: bool = True
+
+    def __post_init__(self) -> None:
+        if self.m < 2:
+            raise ParameterError(f"m must be >= 2, got {self.m}")
+        if self.ef_construction < 1:
+            raise ParameterError(
+                f"ef_construction must be >= 1, got {self.ef_construction}"
+            )
+
+    @property
+    def ml(self) -> float:
+        """Effective level multiplier."""
+        if self.level_multiplier is not None:
+            return self.level_multiplier
+        return 1.0 / math.log(self.m)
+
+    def max_degree(self, level: int) -> int:
+        """Maximum out-degree at ``level`` (``2m`` at level 0, ``m`` above)."""
+        return 2 * self.m if level == 0 else self.m
+
+
+@dataclass
+class SearchStats:
+    """Per-query instrumentation of a graph search.
+
+    Attributes
+    ----------
+    distance_computations:
+        Number of query-to-vector distance evaluations.
+    hops:
+        Number of node expansions across all layers.
+    """
+
+    distance_computations: int = 0
+    hops: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another query's stats into this one."""
+        self.distance_computations += other.distance_computations
+        self.hops += other.hops
+
+
+@dataclass
+class _Node:
+    """Internal per-vector record: its top level and per-level adjacency."""
+
+    level: int
+    neighbors: list[list[int]] = field(default_factory=list)
+
+
+class HNSWIndex:
+    """An HNSW graph over a set of vectors.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    params:
+        Construction parameters.
+    rng:
+        Randomness for level assignment.
+
+    Notes
+    -----
+    Vectors are stored in insertion order and addressed by integer ids
+    ``0..n-1``; the PP-ANNS scheme uses the same ids for the DCE ciphertext
+    array, so the refine phase can cross-reference candidates directly.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        params: HNSWParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if dim <= 0:
+            raise ParameterError(f"dimension must be positive, got {dim}")
+        self._dim = dim
+        self._params = params if params is not None else HNSWParams()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        # Amortized-doubling storage so bulk builds avoid O(n^2) copying.
+        self._buffer = np.empty((16, dim))
+        self._nodes: list[_Node] = []
+        self._entry_point: int | None = None
+        self._max_level = -1
+        self._deleted: set[int] = set()
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self._dim
+
+    @property
+    def params(self) -> HNSWParams:
+        """Construction parameters."""
+        return self._params
+
+    @property
+    def size(self) -> int:
+        """Number of live (non-deleted) vectors."""
+        return len(self._nodes) - len(self._deleted)
+
+    @property
+    def max_level(self) -> int:
+        """Highest layer currently in the graph (-1 when empty)."""
+        return self._max_level
+
+    @property
+    def entry_point(self) -> int | None:
+        """Id of the current global entry point."""
+        return self._entry_point
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The stored vectors, including any deleted slots."""
+        return self._buffer[: len(self._nodes)]
+
+    def neighbors(self, node: int, level: int = 0) -> list[int]:
+        """Out-neighbors of ``node`` at ``level`` (copy)."""
+        record = self._nodes[node]
+        if level > record.level:
+            return []
+        return list(record.neighbors[level])
+
+    def node_level(self, node: int) -> int:
+        """Top layer of ``node``."""
+        return self._nodes[node].level
+
+    def is_deleted(self, node: int) -> bool:
+        """Whether ``node`` has been marked deleted."""
+        return node in self._deleted
+
+    # -- construction ---------------------------------------------------------
+
+    def _draw_level(self) -> int:
+        uniform = self._rng.uniform(0.0, 1.0)
+        # Guard against log(0).
+        uniform = max(uniform, 1e-300)
+        return int(-math.log(uniform) * self._params.ml)
+
+    def build(self, vectors: np.ndarray) -> "HNSWIndex":
+        """Bulk-build the graph by inserting each row in order.
+
+        Returns ``self`` for chaining.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self._dim:
+            raise DimensionMismatchError(self._dim, vectors.shape[-1], what="build input")
+        for row in vectors:
+            self.insert(row)
+        return self
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Insert one vector, returning its id."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.ndim != 1 or vector.shape[0] != self._dim:
+            raise DimensionMismatchError(self._dim, vector.shape[-1])
+        node_id = len(self._nodes)
+        level = self._draw_level()
+        if node_id >= self._buffer.shape[0]:
+            grown = np.empty((2 * self._buffer.shape[0], self._dim))
+            grown[:node_id] = self._buffer[:node_id]
+            self._buffer = grown
+        self._buffer[node_id] = vector
+        self._nodes.append(
+            _Node(level=level, neighbors=[[] for _ in range(level + 1)])
+        )
+        if self._entry_point is None:
+            self._entry_point = node_id
+            self._max_level = level
+            return node_id
+
+        current = self._entry_point
+        # Greedy descent through layers above the new node's level.
+        for layer in range(self._max_level, level, -1):
+            current = self._greedy_closest(vector, current, layer)
+        # Beam search + heuristic linking on the remaining layers.
+        ef = max(self._params.ef_construction, 1)
+        for layer in range(min(level, self._max_level), -1, -1):
+            candidates = self._search_layer(vector, [current], ef, layer)
+            selected = self._select_neighbors(vector, candidates, self._params.m, layer)
+            self._nodes[node_id].neighbors[layer] = [item for _, item in selected]
+            for _, neighbor in selected:
+                self._link(neighbor, node_id, layer)
+            if candidates:
+                current = candidates[0][1]
+        if level > self._max_level:
+            self._max_level = level
+            self._entry_point = node_id
+        return node_id
+
+    def _link(self, source: int, target: int, layer: int) -> None:
+        """Add edge source->target at ``layer``, shrinking with the heuristic."""
+        neighbor_list = self._nodes[source].neighbors[layer]
+        if target in neighbor_list:
+            return
+        neighbor_list.append(target)
+        max_degree = self._params.max_degree(layer)
+        if len(neighbor_list) > max_degree:
+            source_vector = self._buffer[source]
+            dists = squared_distances_to_many(
+                source_vector, self._buffer[neighbor_list]
+            )
+            candidates = sorted(zip(dists.tolist(), neighbor_list))
+            selected = self._heuristic_prune(source_vector, candidates, max_degree)
+            self._nodes[source].neighbors[layer] = [item for _, item in selected]
+
+    def _select_neighbors(
+        self,
+        vector: np.ndarray,
+        candidates: list[tuple[float, int]],
+        count: int,
+        layer: int,
+    ) -> list[tuple[float, int]]:
+        """HNSW Algorithm 4: pick up to ``count`` diverse neighbors."""
+        if self._params.extend_candidates:
+            seen = {item for _, item in candidates}
+            extended = list(candidates)
+            for _, item in candidates:
+                for neighbor in self._nodes[item].neighbors[layer] if layer <= self._nodes[item].level else []:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        dist = float(
+                            squared_distances_to_many(
+                                vector, self._buffer[neighbor][np.newaxis]
+                            )[0]
+                        )
+                        extended.append((dist, neighbor))
+            candidates = sorted(extended)
+        return self._heuristic_prune(vector, candidates, count)
+
+    def _heuristic_prune(
+        self,
+        vector: np.ndarray,
+        candidates: list[tuple[float, int]],
+        count: int,
+    ) -> list[tuple[float, int]]:
+        """Keep candidates not dominated by an already-selected neighbor.
+
+        A candidate ``c`` is dominated when some selected ``s`` satisfies
+        ``dist(c, s) < dist(c, query_vector)`` — the core diversification
+        rule that gives HNSW graphs their navigability.
+        """
+        selected: list[tuple[float, int]] = []
+        pruned: list[tuple[float, int]] = []
+        for dist, item in sorted(candidates):
+            if len(selected) >= count:
+                break
+            item_vector = self._buffer[item]
+            dominated = False
+            if selected:
+                selected_ids = [sid for _, sid in selected]
+                to_selected = squared_distances_to_many(
+                    item_vector, self._buffer[selected_ids]
+                )
+                dominated = bool(np.any(to_selected < dist))
+            if dominated:
+                pruned.append((dist, item))
+            else:
+                selected.append((dist, item))
+        if self._params.keep_pruned:
+            for dist, item in pruned:
+                if len(selected) >= count:
+                    break
+                selected.append((dist, item))
+        return selected
+
+    # -- search ----------------------------------------------------------------
+
+    def _greedy_closest(self, query: np.ndarray, start: int, layer: int) -> int:
+        """Greedy walk to a local minimum of distance-to-query at ``layer``."""
+        current = start
+        current_dist = float(
+            squared_distances_to_many(query, self._buffer[current][np.newaxis])[0]
+        )
+        improved = True
+        while improved:
+            improved = False
+            neighbor_ids = self._nodes[current].neighbors[layer]
+            if not neighbor_ids:
+                break
+            dists = squared_distances_to_many(query, self._buffer[neighbor_ids])
+            best = int(np.argmin(dists))
+            if dists[best] < current_dist:
+                current = neighbor_ids[best]
+                current_dist = float(dists[best])
+                improved = True
+        return current
+
+    def _search_layer(
+        self,
+        query: np.ndarray,
+        entry_points: list[int],
+        ef: int,
+        layer: int,
+        stats: SearchStats | None = None,
+    ) -> list[tuple[float, int]]:
+        """Beam search at one layer; returns up to ``ef`` (dist, id) ascending."""
+        visited = set(entry_points)
+        entry_dists = squared_distances_to_many(query, self._buffer[entry_points])
+        if stats is not None:
+            stats.distance_computations += len(entry_points)
+        candidates = [(float(d), p) for d, p in zip(entry_dists, entry_points)]
+        heapq.heapify(candidates)  # min-heap by distance
+        results = [(-float(d), p) for d, p in zip(entry_dists, entry_points)]
+        heapq.heapify(results)  # max-heap via negation
+        while len(results) > ef:
+            heapq.heappop(results)
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if results and dist > -results[0][0] and len(results) >= ef:
+                break
+            if stats is not None:
+                stats.hops += 1
+            neighbor_ids = [
+                n for n in self._nodes[node].neighbors[layer] if n not in visited
+            ]
+            if not neighbor_ids:
+                continue
+            visited.update(neighbor_ids)
+            dists = squared_distances_to_many(query, self._buffer[neighbor_ids])
+            if stats is not None:
+                stats.distance_computations += len(neighbor_ids)
+            bound = -results[0][0] if len(results) >= ef else math.inf
+            for neighbor_dist, neighbor in zip(dists.tolist(), neighbor_ids):
+                if neighbor_dist < bound or len(results) < ef:
+                    heapq.heappush(candidates, (neighbor_dist, neighbor))
+                    heapq.heappush(results, (-neighbor_dist, neighbor))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    bound = -results[0][0] if len(results) >= ef else math.inf
+        ordered = sorted((-negated, item) for negated, item in results)
+        return ordered
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef_search: int | None = None,
+        stats: SearchStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """k-ANN search: returns ``(ids, squared_distances)`` nearest-first.
+
+        Parameters
+        ----------
+        query:
+            Query vector (same space as the indexed vectors — DCPE
+            ciphertexts in the PP-ANNS scheme).
+        k:
+            Number of neighbors to return.
+        ef_search:
+            Beam width at layer 0; defaults to ``max(k, 2m)``.  Larger
+            values trade throughput for recall (the x-axis sweeps in the
+            paper's figures).
+        stats:
+            Optional accumulator for instrumentation.
+        """
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1 or query.shape[0] != self._dim:
+            raise DimensionMismatchError(self._dim, query.shape[-1], what="query")
+        if self._entry_point is None:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        ef = ef_search if ef_search is not None else max(k, 2 * self._params.m)
+        if ef < k:
+            raise ParameterError(f"ef_search ({ef}) must be >= k ({k})")
+        current = self._entry_point
+        for layer in range(self._max_level, 0, -1):
+            current = self._greedy_closest(query, current, layer)
+        found = self._search_layer(query, [current], ef, 0, stats=stats)
+        live = [(dist, item) for dist, item in found if item not in self._deleted]
+        top = live[:k]
+        ids = np.array([item for _, item in top], dtype=np.int64)
+        dists = np.array([dist for dist, _ in top])
+        return ids, dists
+
+    # -- maintenance -------------------------------------------------------------
+
+    def mark_deleted(self, node: int) -> None:
+        """Mark ``node`` deleted so searches skip it (edges remain)."""
+        if not 0 <= node < len(self._nodes):
+            raise IndexError(f"node {node} out of range")
+        self._deleted.add(node)
+        if node == self._entry_point:
+            self._reassign_entry_point()
+
+    def in_neighbors(self, node: int, layer: int = 0) -> list[int]:
+        """Ids of live nodes with an edge *into* ``node`` at ``layer``."""
+        sources = []
+        for candidate, record in enumerate(self._nodes):
+            if candidate in self._deleted or candidate == node:
+                continue
+            if layer <= record.level and node in record.neighbors[layer]:
+                sources.append(candidate)
+        return sources
+
+    def remove_edges_to(self, node: int) -> None:
+        """Drop every edge pointing at ``node`` (deletion, Section V-D)."""
+        for record in self._nodes:
+            for layer_neighbors in record.neighbors:
+                if node in layer_neighbors:
+                    layer_neighbors.remove(node)
+
+    def repair_node(self, node: int) -> None:
+        """Re-link ``node`` by re-running neighbor selection on every layer.
+
+        Used after a deletion disturbed this node's out-neighborhood
+        (Section V-D: re-insert each in-neighbor of the deleted vector).
+        """
+        vector = self._buffer[node]
+        entry = self._entry_point
+        if entry is None or entry == node:
+            return
+        current = entry
+        node_level = self._nodes[node].level
+        for layer in range(self._max_level, node_level, -1):
+            current = self._greedy_closest(vector, current, layer)
+        ef = max(self._params.ef_construction, 1)
+        for layer in range(min(node_level, self._max_level), -1, -1):
+            candidates = self._search_layer(vector, [current], ef, layer)
+            candidates = [
+                (dist, item)
+                for dist, item in candidates
+                if item != node and item not in self._deleted
+            ]
+            selected = self._select_neighbors(vector, candidates, self._params.m, layer)
+            self._nodes[node].neighbors[layer] = [item for _, item in selected]
+            for _, neighbor in selected:
+                self._link(neighbor, node, layer)
+            if candidates:
+                current = candidates[0][1]
+
+    def _reassign_entry_point(self) -> None:
+        """Pick a new entry point after the old one was deleted."""
+        best: int | None = None
+        best_level = -1
+        for candidate, record in enumerate(self._nodes):
+            if candidate in self._deleted:
+                continue
+            if record.level > best_level:
+                best = candidate
+                best_level = record.level
+        self._entry_point = best
+        self._max_level = best_level
+
+    # -- introspection -------------------------------------------------------------
+
+    def degree_histogram(self, layer: int = 0) -> dict[int, int]:
+        """Histogram of out-degrees at ``layer`` over live nodes."""
+        histogram: dict[int, int] = {}
+        for node, record in enumerate(self._nodes):
+            if node in self._deleted or layer > record.level:
+                continue
+            degree = len(record.neighbors[layer])
+            histogram[degree] = histogram.get(degree, 0) + 1
+        return histogram
+
+    def edge_count(self, layer: int = 0) -> int:
+        """Total directed edges at ``layer`` over live nodes."""
+        return sum(
+            len(record.neighbors[layer])
+            for node, record in enumerate(self._nodes)
+            if node not in self._deleted and layer <= record.level
+        )

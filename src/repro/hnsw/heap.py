@@ -1,0 +1,195 @@
+"""Bounded heaps for k-NN result maintenance.
+
+Two flavours:
+
+* :class:`BoundedMaxHeap` — the ordinary value-keyed heap used by plaintext
+  search and the filter phase, where distances are visible numbers.
+* :class:`ComparisonMaxHeap` — a max-heap that never sees a distance value;
+  it orders items purely through a caller-supplied *comparison oracle*.
+  This is exactly what the refine phase of Algorithm 2 needs: the server
+  can evaluate ``sign(dist(o,q) - dist(p,q))`` via DCE's ``DistanceComp``
+  but learns no magnitudes, so heap maintenance must be comparison-only.
+  Each push/replace performs O(log k) oracle calls, matching the paper's
+  ``O(k' log k)`` refine-cost analysis.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["BoundedMaxHeap", "ComparisonMaxHeap"]
+
+
+class BoundedMaxHeap:
+    """Keep the ``k`` smallest-valued items seen so far.
+
+    Internally a min-heap of negated values (Python's ``heapq`` is a
+    min-heap); ``top`` is the *largest* retained value, i.e. the current
+    k-th best distance — the pruning bound used throughout graph search.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"heap capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._heap: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained items."""
+        return self._capacity
+
+    def is_full(self) -> bool:
+        """Whether the heap holds ``capacity`` items."""
+        return len(self._heap) >= self._capacity
+
+    def top_value(self) -> float:
+        """The largest retained value (current pruning bound)."""
+        if not self._heap:
+            raise IndexError("top_value on an empty heap")
+        return -self._heap[0][0]
+
+    def push(self, value: float, item: int) -> bool:
+        """Offer ``(value, item)``; returns True if it was retained."""
+        if len(self._heap) < self._capacity:
+            heapq.heappush(self._heap, (-value, item))
+            return True
+        if value < self.top_value():
+            heapq.heapreplace(self._heap, (-value, item))
+            return True
+        return False
+
+    def items_sorted(self) -> list[tuple[float, int]]:
+        """Retained ``(value, item)`` pairs, ascending by value."""
+        return sorted((-negated, item) for negated, item in self._heap)
+
+
+class ComparisonMaxHeap:
+    """A bounded max-heap ordered only by a binary comparison oracle.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of items (the ``k`` of Algorithm 2).
+    is_farther:
+        ``is_farther(a, b) -> bool`` must return True iff item ``a`` is at
+        least as far from the query as item ``b``.  With DCE this is
+        ``DistanceComp(C_a, C_b, T_q) >= 0``.
+    """
+
+    def __init__(self, capacity: int, is_farther: Callable[[int, int], bool]) -> None:
+        if capacity <= 0:
+            raise ValueError(f"heap capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._is_farther = is_farther
+        self._items: list[int] = []
+        self._oracle_calls = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained items."""
+        return self._capacity
+
+    @property
+    def oracle_calls(self) -> int:
+        """Total comparison-oracle invocations (for cost accounting)."""
+        return self._oracle_calls
+
+    def is_full(self) -> bool:
+        """Whether the heap holds ``capacity`` items."""
+        return len(self._items) >= self._capacity
+
+    def top(self) -> int:
+        """The farthest retained item (heap root)."""
+        if not self._items:
+            raise IndexError("top on an empty heap")
+        return self._items[0]
+
+    def _farther(self, a: int, b: int) -> bool:
+        self._oracle_calls += 1
+        return self._is_farther(a, b)
+
+    def _sift_up(self, index: int) -> None:
+        while index > 0:
+            parent = (index - 1) // 2
+            if self._farther(self._items[index], self._items[parent]):
+                self._items[index], self._items[parent] = (
+                    self._items[parent],
+                    self._items[index],
+                )
+                index = parent
+            else:
+                break
+
+    def _sift_down(self, index: int) -> None:
+        size = len(self._items)
+        while True:
+            left = 2 * index + 1
+            right = left + 1
+            largest = index
+            if left < size and self._farther(self._items[left], self._items[largest]):
+                largest = left
+            if right < size and self._farther(self._items[right], self._items[largest]):
+                largest = right
+            if largest == index:
+                return
+            self._items[index], self._items[largest] = (
+                self._items[largest],
+                self._items[index],
+            )
+            index = largest
+
+    def push(self, item: int) -> None:
+        """Insert ``item``; requires the heap not to be full."""
+        if self.is_full():
+            raise IndexError("push on a full ComparisonMaxHeap; use offer()")
+        self._items.append(item)
+        self._sift_up(len(self._items) - 1)
+
+    def replace_top(self, item: int) -> int:
+        """Replace the farthest item with ``item``; returns the evicted item."""
+        if not self._items:
+            raise IndexError("replace_top on an empty heap")
+        evicted = self._items[0]
+        self._items[0] = item
+        self._sift_down(0)
+        return evicted
+
+    def offer(self, item: int) -> bool:
+        """Algorithm 2's insertion: retain ``item`` if it beats the top.
+
+        Returns True if the item was retained.  On a non-full heap the item
+        is always retained; on a full heap one oracle call decides, then
+        O(log k) calls restore the heap property.
+        """
+        if not self.is_full():
+            self.push(item)
+            return True
+        if self._farther(self.top(), item):
+            self.replace_top(item)
+            return True
+        return False
+
+    def items(self) -> list[int]:
+        """Retained items in arbitrary (heap) order — what the server returns."""
+        return list(self._items)
+
+    def items_sorted_by_oracle(self) -> list[int]:
+        """Retained items sorted nearest-first using the oracle (O(k^2))."""
+        remaining = list(self._items)
+        ordered: list[int] = []
+        while remaining:
+            best = remaining[0]
+            for candidate in remaining[1:]:
+                if self._farther(best, candidate):
+                    best = candidate
+            remaining.remove(best)
+            ordered.append(best)
+        return ordered

@@ -1,0 +1,189 @@
+"""IVF-Flat — inverted-file index with a k-means coarse quantizer.
+
+Inverted files are the third classical ANN index family the paper
+discusses (Section I and VIII cite Jegou et al.'s product-quantization
+IVF [13]); like HNSW and LSH they operate purely on vector geometry, so
+an IVF index can also be built **over DCPE ciphertexts** as yet another
+filter-phase backend (Section V-A's substitutability remark, exercised by
+the ablation tests).
+
+Construction: Lloyd's k-means (from scratch, k-means++ seeding) assigns
+every vector to its nearest of ``num_lists`` centroids; each centroid
+keeps a posting list.  Search probes the ``nprobe`` closest centroids and
+re-ranks their members exactly — ``nprobe`` is the recall/throughput
+knob, playing the role HNSW's ``ef_search`` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DimensionMismatchError, ParameterError
+from repro.hnsw.distance import pairwise_squared_distances, squared_distances_to_many
+from repro.hnsw.graph import SearchStats
+
+__all__ = ["IVFParams", "IVFFlatIndex", "kmeans"]
+
+
+@dataclass(frozen=True)
+class IVFParams:
+    """IVF configuration.
+
+    Attributes
+    ----------
+    num_lists:
+        Number of coarse clusters (posting lists).
+    train_iterations:
+        Lloyd iterations for the quantizer.
+    """
+
+    num_lists: int = 16
+    train_iterations: int = 10
+
+    def __post_init__(self) -> None:
+        if self.num_lists < 1:
+            raise ParameterError(f"num_lists must be >= 1, got {self.num_lists}")
+        if self.train_iterations < 1:
+            raise ParameterError(
+                f"train_iterations must be >= 1, got {self.train_iterations}"
+            )
+
+
+def kmeans(
+    vectors: np.ndarray,
+    num_clusters: int,
+    iterations: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means with k-means++ seeding.
+
+    Returns ``(centroids, assignments)``.  Empty clusters are re-seeded
+    from the points farthest from their current centroid.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    n = vectors.shape[0]
+    if num_clusters > n:
+        num_clusters = n
+    # k-means++ seeding.
+    first = int(rng.integers(0, n))
+    centroids = [vectors[first]]
+    closest = squared_distances_to_many(vectors[first], vectors)
+    for _ in range(num_clusters - 1):
+        total = float(closest.sum())
+        if total <= 0:
+            centroids.append(vectors[int(rng.integers(0, n))])
+            continue
+        probabilities = closest / total
+        chosen = int(rng.choice(n, p=probabilities))
+        centroids.append(vectors[chosen])
+        closest = np.minimum(
+            closest, squared_distances_to_many(vectors[chosen], vectors)
+        )
+    centroid_array = np.stack(centroids)
+
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(iterations):
+        distances = pairwise_squared_distances(vectors, centroid_array)
+        assignments = np.argmin(distances, axis=1)
+        for cluster in range(centroid_array.shape[0]):
+            members = vectors[assignments == cluster]
+            if members.shape[0] > 0:
+                centroid_array[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the worst-served point.
+                worst = int(np.argmax(distances[np.arange(n), assignments]))
+                centroid_array[cluster] = vectors[worst]
+    distances = pairwise_squared_distances(vectors, centroid_array)
+    assignments = np.argmin(distances, axis=1)
+    return centroid_array, assignments
+
+
+class IVFFlatIndex:
+    """Inverted-file index over a fixed vector set.
+
+    Parameters
+    ----------
+    vectors:
+        ``(n, d)`` vectors to index (DCPE ciphertexts in the PP-ANNS
+        setting).
+    params:
+        IVF configuration.
+    rng:
+        Randomness for quantizer training.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        params: IVFParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[0] == 0:
+            raise ParameterError(
+                f"need a non-empty (n, d) array, got shape {vectors.shape}"
+            )
+        self._vectors = vectors
+        self._params = params if params is not None else IVFParams()
+        rng = rng if rng is not None else np.random.default_rng()
+        self._centroids, assignments = kmeans(
+            vectors, self._params.num_lists, self._params.train_iterations, rng
+        )
+        self._lists: list[np.ndarray] = [
+            np.nonzero(assignments == cluster)[0]
+            for cluster in range(self._centroids.shape[0])
+        ]
+
+    @property
+    def size(self) -> int:
+        """Number of indexed vectors."""
+        return int(self._vectors.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return int(self._vectors.shape[1])
+
+    @property
+    def num_lists(self) -> int:
+        """Number of posting lists actually trained."""
+        return int(self._centroids.shape[0])
+
+    def list_sizes(self) -> list[int]:
+        """Posting-list occupancy (for balance diagnostics)."""
+        return [int(posting.shape[0]) for posting in self._lists]
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int = 4,
+        stats: SearchStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Probe the ``nprobe`` nearest lists, exact-rerank their members.
+
+        Same result contract as the graph indexes: ``(ids, squared
+        distances)`` nearest-first.
+        """
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        if nprobe < 1:
+            raise ParameterError(f"nprobe must be >= 1, got {nprobe}")
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1 or query.shape[0] != self.dim:
+            raise DimensionMismatchError(self.dim, query.shape[-1], what="query")
+        centroid_dists = squared_distances_to_many(query, self._centroids)
+        if stats is not None:
+            stats.distance_computations += self.num_lists
+        probe_order = np.argsort(centroid_dists, kind="stable")[: min(nprobe, self.num_lists)]
+        candidates = np.concatenate([self._lists[int(c)] for c in probe_order])
+        if candidates.shape[0] == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        dists = squared_distances_to_many(query, self._vectors[candidates])
+        if stats is not None:
+            stats.distance_computations += candidates.shape[0]
+            stats.hops += len(probe_order)
+        order = np.argsort(dists, kind="stable")[:k]
+        return candidates[order].astype(np.int64), dists[order]

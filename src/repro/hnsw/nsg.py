@@ -1,0 +1,219 @@
+"""A navigating-spreading-out-style flat proximity graph.
+
+Section V-A of the paper notes the privacy-preserving index "can leverage
+other proximity graph-based approaches ... like the navigating
+spreading-out graph [NSG]" in place of HNSW.  This module provides that
+alternative backend so the claim is exercised: a single-layer graph built
+by
+
+1. computing an exact k-NN graph over the (encrypted) vectors,
+2. picking the medoid as the fixed navigation entry point,
+3. pruning each node's candidate set with NSG's monotonic-path edge
+   selection (the same dominance rule as HNSW's heuristic), and
+4. adding reverse edges and connecting any stragglers to the medoid.
+
+Search is the standard best-first beam search from the medoid.  The build
+is O(n^2) from the exact k-NN graph — fine at the scaled-down sizes this
+reproduction targets, and it keeps the substrate dependency-free.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DimensionMismatchError, ParameterError
+from repro.hnsw.distance import pairwise_squared_distances, squared_distances_to_many
+from repro.hnsw.graph import SearchStats
+
+__all__ = ["NSGParams", "NSGIndex"]
+
+
+@dataclass(frozen=True)
+class NSGParams:
+    """Construction parameters for the NSG-style graph.
+
+    Attributes
+    ----------
+    knn:
+        Size of the initial exact k-NN candidate lists.
+    max_degree:
+        Out-degree cap after pruning (NSG's ``R``).
+    """
+
+    knn: int = 32
+    max_degree: int = 16
+
+    def __post_init__(self) -> None:
+        if self.knn < 1:
+            raise ParameterError(f"knn must be >= 1, got {self.knn}")
+        if self.max_degree < 1:
+            raise ParameterError(f"max_degree must be >= 1, got {self.max_degree}")
+
+
+class NSGIndex:
+    """A flat proximity graph with a medoid entry point.
+
+    Parameters
+    ----------
+    vectors:
+        The ``(n, d)`` vectors to index (DCPE ciphertexts in the PP-ANNS
+        setting).
+    params:
+        Construction parameters.
+    """
+
+    def __init__(self, vectors: np.ndarray, params: NSGParams | None = None) -> None:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[0] == 0:
+            raise ParameterError(
+                f"need a non-empty (n, d) array, got shape {vectors.shape}"
+            )
+        self._vectors = vectors
+        self._params = params if params is not None else NSGParams()
+        self._medoid = 0
+        self._neighbors: list[list[int]] = []
+        self._build()
+
+    @property
+    def size(self) -> int:
+        """Number of indexed vectors."""
+        return int(self._vectors.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return int(self._vectors.shape[1])
+
+    @property
+    def medoid(self) -> int:
+        """Id of the navigation entry point."""
+        return self._medoid
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The indexed vectors."""
+        return self._vectors
+
+    def neighbors(self, node: int) -> list[int]:
+        """Out-neighbors of ``node`` (copy)."""
+        return list(self._neighbors[node])
+
+    def _build(self) -> None:
+        n = self.size
+        knn = min(self._params.knn, n - 1)
+        all_dists = pairwise_squared_distances(self._vectors, self._vectors)
+        # Medoid: vector minimizing total distance to the rest.
+        self._medoid = int(np.argmin(all_dists.sum(axis=1)))
+        self._neighbors = []
+        if n == 1:
+            self._neighbors.append([])
+            return
+        for node in range(n):
+            dists = all_dists[node]
+            order = np.argsort(dists, kind="stable")
+            candidates = [int(i) for i in order if i != node][:knn]
+            pruned = self._prune(node, candidates, dists)
+            self._neighbors.append(pruned)
+        # Reverse edges improve reachability, then cap degrees again.
+        for node in range(n):
+            for neighbor in list(self._neighbors[node]):
+                if node not in self._neighbors[neighbor]:
+                    self._neighbors[neighbor].append(node)
+        for node in range(n):
+            if len(self._neighbors[node]) > self._params.max_degree:
+                dists = all_dists[node]
+                self._neighbors[node] = self._prune(
+                    node, sorted(self._neighbors[node], key=lambda i: dists[i]), dists
+                )
+        # Guarantee connectivity through the medoid.
+        reachable = self._reachable_from(self._medoid)
+        for node in range(n):
+            if node not in reachable:
+                self._neighbors[self._medoid].append(node)
+                self._neighbors[node].append(self._medoid)
+
+    def _prune(self, node: int, candidates: list[int], dists: np.ndarray) -> list[int]:
+        """NSG edge selection: keep candidates not dominated by a kept one."""
+        selected: list[int] = []
+        for candidate in candidates:
+            if len(selected) >= self._params.max_degree:
+                break
+            dominated = False
+            for kept in selected:
+                edge = squared_distances_to_many(
+                    self._vectors[candidate], self._vectors[kept][np.newaxis]
+                )[0]
+                if edge < dists[candidate]:
+                    dominated = True
+                    break
+            if not dominated:
+                selected.append(candidate)
+        return selected
+
+    def _reachable_from(self, start: int) -> set[int]:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in self._neighbors[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef_search: int | None = None,
+        stats: SearchStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Best-first beam search from the medoid.
+
+        Same contract as :meth:`repro.hnsw.graph.HNSWIndex.search`.
+        """
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1 or query.shape[0] != self.dim:
+            raise DimensionMismatchError(self.dim, query.shape[-1], what="query")
+        ef = ef_search if ef_search is not None else max(k, 2 * self._params.max_degree)
+        if ef < k:
+            raise ParameterError(f"ef_search ({ef}) must be >= k ({k})")
+        start_dist = float(
+            squared_distances_to_many(query, self._vectors[self._medoid][np.newaxis])[0]
+        )
+        if stats is not None:
+            stats.distance_computations += 1
+        visited = {self._medoid}
+        candidates = [(start_dist, self._medoid)]
+        results = [(-start_dist, self._medoid)]
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if len(results) >= ef and dist > -results[0][0]:
+                break
+            if stats is not None:
+                stats.hops += 1
+            unvisited = [n for n in self._neighbors[node] if n not in visited]
+            if not unvisited:
+                continue
+            visited.update(unvisited)
+            dists = squared_distances_to_many(query, self._vectors[unvisited])
+            if stats is not None:
+                stats.distance_computations += len(unvisited)
+            bound = -results[0][0] if len(results) >= ef else math.inf
+            for neighbor_dist, neighbor in zip(dists.tolist(), unvisited):
+                if neighbor_dist < bound or len(results) < ef:
+                    heapq.heappush(candidates, (neighbor_dist, neighbor))
+                    heapq.heappush(results, (-neighbor_dist, neighbor))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    bound = -results[0][0] if len(results) >= ef else math.inf
+        ordered = sorted((-negated, node) for negated, node in results)[:k]
+        ids = np.array([node for _, node in ordered], dtype=np.int64)
+        dists_out = np.array([dist for dist, _ in ordered])
+        return ids, dists_out

@@ -1,0 +1,206 @@
+"""Product quantization — the embedding-based ANN family (Section VIII).
+
+The paper's related work divides plaintext k-ANNS into index-based and
+*embedding-based* methods, citing product quantization (Jegou, Douze,
+Schmid, TPAMI 2011) as the canonical example: vectors are compressed
+into short codes and the expensive distance is replaced by a fast
+approximate one computed from per-subspace lookup tables.
+
+This module implements classic PQ:
+
+* **training**: split the d dimensions into ``num_subspaces`` contiguous
+  blocks and run k-means (``2^code_bits`` centroids) per block;
+* **encoding**: each vector becomes ``num_subspaces`` centroid ids;
+* **ADC search** (asymmetric distance computation): per query, build a
+  ``(num_subspaces, 2^code_bits)`` table of query-block-to-centroid
+  distances; a database vector's approximate distance is then a sum of
+  ``num_subspaces`` table lookups.
+
+It rounds out the substrate trio (graphs / LSH / quantization), and —
+because it only sees vector geometry — also works over DCPE ciphertexts
+as a compressed filter backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DimensionMismatchError, ParameterError
+from repro.hnsw.ivf import kmeans
+
+__all__ = ["PQParams", "ProductQuantizer", "PQIndex"]
+
+
+@dataclass(frozen=True)
+class PQParams:
+    """Product-quantizer configuration.
+
+    Attributes
+    ----------
+    num_subspaces:
+        ``m`` — how many blocks the dimensions are split into; must
+        divide the dimensionality.
+    code_bits:
+        Bits per subspace code (``2^code_bits`` centroids each).
+    train_iterations:
+        k-means iterations per subspace.
+    """
+
+    num_subspaces: int = 8
+    code_bits: int = 4
+    train_iterations: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_subspaces < 1:
+            raise ParameterError(f"num_subspaces must be >= 1, got {self.num_subspaces}")
+        if not 1 <= self.code_bits <= 16:
+            raise ParameterError(f"code_bits must be in [1, 16], got {self.code_bits}")
+        if self.train_iterations < 1:
+            raise ParameterError(
+                f"train_iterations must be >= 1, got {self.train_iterations}"
+            )
+
+    @property
+    def codebook_size(self) -> int:
+        """Centroids per subspace."""
+        return 1 << self.code_bits
+
+
+class ProductQuantizer:
+    """A trained product quantizer.
+
+    Parameters
+    ----------
+    training_vectors:
+        ``(n, d)`` sample to train the codebooks on.
+    params:
+        Quantizer configuration; ``num_subspaces`` must divide ``d``.
+    rng:
+        Randomness for k-means.
+    """
+
+    def __init__(
+        self,
+        training_vectors: np.ndarray,
+        params: PQParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        training_vectors = np.asarray(training_vectors, dtype=np.float64)
+        if training_vectors.ndim != 2 or training_vectors.shape[0] == 0:
+            raise ParameterError(
+                f"need a non-empty (n, d) array, got shape {training_vectors.shape}"
+            )
+        self._params = params if params is not None else PQParams()
+        dim = training_vectors.shape[1]
+        if dim % self._params.num_subspaces != 0:
+            raise ParameterError(
+                f"num_subspaces {self._params.num_subspaces} must divide d={dim}"
+            )
+        self._dim = dim
+        self._sub_dim = dim // self._params.num_subspaces
+        rng = rng if rng is not None else np.random.default_rng()
+        self._codebooks = []
+        for block in range(self._params.num_subspaces):
+            sub = training_vectors[:, self._slice(block)]
+            centroids, _ = kmeans(
+                sub, self._params.codebook_size, self._params.train_iterations, rng
+            )
+            self._codebooks.append(centroids)
+
+    def _slice(self, block: int) -> slice:
+        return slice(block * self._sub_dim, (block + 1) * self._sub_dim)
+
+    @property
+    def dim(self) -> int:
+        """Full vector dimensionality."""
+        return self._dim
+
+    @property
+    def params(self) -> PQParams:
+        """Quantizer configuration."""
+        return self._params
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Compress ``(n, d)`` vectors into ``(n, num_subspaces)`` codes."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self._dim:
+            raise DimensionMismatchError(self._dim, vectors.shape[-1], what="vectors")
+        codes = np.empty((vectors.shape[0], self._params.num_subspaces), dtype=np.uint16)
+        for block, codebook in enumerate(self._codebooks):
+            sub = vectors[:, self._slice(block)]
+            diffs = sub[:, None, :] - codebook[None, :, :]
+            dists = np.einsum("nkd,nkd->nk", diffs, diffs)
+            codes[:, block] = np.argmin(dists, axis=1)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct approximate vectors from codes."""
+        codes = np.asarray(codes)
+        if codes.ndim != 2 or codes.shape[1] != self._params.num_subspaces:
+            raise ParameterError(f"bad code shape {codes.shape}")
+        output = np.empty((codes.shape[0], self._dim))
+        for block, codebook in enumerate(self._codebooks):
+            output[:, self._slice(block)] = codebook[codes[:, block]]
+        return output
+
+    def distance_table(self, query: np.ndarray) -> np.ndarray:
+        """ADC table: squared distance from each query block to each centroid."""
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1 or query.shape[0] != self._dim:
+            raise DimensionMismatchError(self._dim, query.shape[-1], what="query")
+        table = np.empty((self._params.num_subspaces, self._params.codebook_size))
+        for block, codebook in enumerate(self._codebooks):
+            diffs = codebook - query[self._slice(block)]
+            table[block] = np.einsum("kd,kd->k", diffs, diffs)
+        return table
+
+    def adc_distances(self, table: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Approximate squared distances via table lookups (the fast path)."""
+        block_index = np.arange(self._params.num_subspaces)
+        return table[block_index[None, :], codes].sum(axis=1)
+
+
+class PQIndex:
+    """Exhaustive-ADC index: every vector scanned, distances via lookups.
+
+    The classic "PQ scan" baseline — compressed storage, approximate
+    distances, no graph.  Search cost is O(n * num_subspaces) lookups.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        params: PQParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._quantizer = ProductQuantizer(vectors, params, rng)
+        self._codes = self._quantizer.encode(np.asarray(vectors, dtype=np.float64))
+
+    @property
+    def quantizer(self) -> ProductQuantizer:
+        """The trained quantizer."""
+        return self._quantizer
+
+    @property
+    def size(self) -> int:
+        """Number of indexed vectors."""
+        return int(self._codes.shape[0])
+
+    @property
+    def code_bytes_per_vector(self) -> int:
+        """Compressed size (2 bytes per subspace code as stored)."""
+        return 2 * self._quantizer.params.num_subspaces
+
+    def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """ADC scan; returns approximate ``(ids, squared_distances)``."""
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        table = self._quantizer.distance_table(query)
+        dists = self._quantizer.adc_distances(table, self._codes)
+        k = min(k, self.size)
+        nearest = np.argpartition(dists, k - 1)[:k]
+        order = np.argsort(dists[nearest], kind="stable")
+        ids = nearest[order]
+        return ids.astype(np.int64), dists[ids]

@@ -1,0 +1,11 @@
+"""Locality-sensitive hashing substrate.
+
+RS-SANN and PRI-ANN both index with LSH (the paper, Section VII-B:
+"[RS-SANN] uses LSH as the index and has to retrieve many more candidates
+to reach the same accuracy as ours").  :mod:`repro.lsh.e2lsh` implements
+E2LSH for Euclidean distance with optional multi-probe.
+"""
+
+from repro.lsh.e2lsh import E2LSHIndex, E2LSHParams
+
+__all__ = ["E2LSHIndex", "E2LSHParams"]

@@ -1,0 +1,177 @@
+"""E2LSH — locality-sensitive hashing for Euclidean distance.
+
+Datar, Immorlica, Indyk, Mirrokni (SoCG 2004): each hash function is
+``h(v) = floor((a.v + b) / w)`` with Gaussian ``a`` and uniform ``b``; a
+table key concatenates ``k`` such hashes, and ``L`` independent tables
+are probed per query.  Optional multi-probe (Lv et al., VLDB 2007,
+simplified to +-1 perturbations of each hash coordinate) boosts recall per
+table.
+
+This is the candidate-generation substrate of the RS-SANN and PRI-ANN
+baselines: a query probes its buckets, the union of bucket members is the
+candidate set, and (in the baselines) candidates travel to the user for
+refinement — the communication cost the paper's comparisons hinge on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DimensionMismatchError, ParameterError
+
+__all__ = ["E2LSHParams", "E2LSHIndex"]
+
+
+@dataclass(frozen=True)
+class E2LSHParams:
+    """E2LSH configuration.
+
+    Attributes
+    ----------
+    num_tables:
+        ``L`` — independent hash tables.
+    hashes_per_table:
+        ``k`` — concatenated hashes per table key.
+    bucket_width:
+        ``w`` — quantization width; should scale with typical distances.
+    multiprobe:
+        Number of extra +-1 perturbation probes per table (0 disables).
+    """
+
+    num_tables: int = 8
+    hashes_per_table: int = 8
+    bucket_width: float = 4.0
+    multiprobe: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_tables < 1:
+            raise ParameterError(f"num_tables must be >= 1, got {self.num_tables}")
+        if self.hashes_per_table < 1:
+            raise ParameterError(
+                f"hashes_per_table must be >= 1, got {self.hashes_per_table}"
+            )
+        if self.bucket_width <= 0:
+            raise ParameterError(
+                f"bucket_width must be positive, got {self.bucket_width}"
+            )
+        if self.multiprobe < 0:
+            raise ParameterError(f"multiprobe must be >= 0, got {self.multiprobe}")
+
+
+class E2LSHIndex:
+    """An E2LSH index over a fixed set of vectors.
+
+    Parameters
+    ----------
+    vectors:
+        ``(n, d)`` database to index.
+    params:
+        LSH configuration.
+    rng:
+        Randomness for the hash functions.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        params: E2LSHParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[0] == 0:
+            raise ParameterError(
+                f"need a non-empty (n, d) array, got shape {vectors.shape}"
+            )
+        self._vectors = vectors
+        self._params = params if params is not None else E2LSHParams()
+        rng = rng if rng is not None else np.random.default_rng()
+        n, dim = vectors.shape
+        p = self._params
+        # Projections: (L, k, d); offsets: (L, k).
+        self._projections = rng.standard_normal((p.num_tables, p.hashes_per_table, dim))
+        self._offsets = rng.uniform(0.0, p.bucket_width, size=(p.num_tables, p.hashes_per_table))
+        self._tables: list[dict[tuple[int, ...], list[int]]] = []
+        all_keys = self._hash_batch(vectors)  # (L, n, k)
+        for table_index in range(p.num_tables):
+            table: dict[tuple[int, ...], list[int]] = {}
+            for vector_id in range(n):
+                key = tuple(all_keys[table_index, vector_id].tolist())
+                table.setdefault(key, []).append(vector_id)
+            self._tables.append(table)
+
+    @property
+    def params(self) -> E2LSHParams:
+        """The LSH configuration."""
+        return self._params
+
+    @property
+    def size(self) -> int:
+        """Number of indexed vectors."""
+        return int(self._vectors.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return int(self._vectors.shape[1])
+
+    def _hash_batch(self, vectors: np.ndarray) -> np.ndarray:
+        """Hash keys for each vector under every table: ``(L, n, k)`` ints."""
+        p = self._params
+        # (L, k, d) @ (d, n) -> (L, k, n) -> transpose to (L, n, k).
+        raw = np.einsum("lkd,nd->lnk", self._projections, vectors)
+        keys = np.floor((raw + self._offsets[:, None, :]) / p.bucket_width)
+        return keys.astype(np.int64)
+
+    def _probe_keys(self, base_key: np.ndarray) -> list[tuple[int, ...]]:
+        """The base bucket key plus up to ``multiprobe`` perturbed keys."""
+        keys = [tuple(base_key.tolist())]
+        probes_left = self._params.multiprobe
+        if probes_left <= 0:
+            return keys
+        # Simple perturbation sequence: single-coordinate +-1 shifts first,
+        # then pairs, until the probe budget runs out.
+        coords = range(len(base_key))
+        for radius in (1, 2):
+            for positions in itertools.combinations(coords, radius):
+                for signs in itertools.product((-1, 1), repeat=radius):
+                    if probes_left <= 0:
+                        return keys
+                    perturbed = base_key.copy()
+                    for position, sign in zip(positions, signs):
+                        perturbed[position] += sign
+                    keys.append(tuple(perturbed.tolist()))
+                    probes_left -= 1
+        return keys
+
+    def candidates(self, query: np.ndarray) -> list[int]:
+        """Union of bucket members over all tables (and probes), unranked."""
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1 or query.shape[0] != self.dim:
+            raise DimensionMismatchError(self.dim, query.shape[-1], what="query")
+        keys = self._hash_batch(query[np.newaxis])[:, 0, :]  # (L, k)
+        seen: set[int] = set()
+        ordered: list[int] = []
+        for table_index, table in enumerate(self._tables):
+            for key in self._probe_keys(keys[table_index]):
+                for vector_id in table.get(key, ()):
+                    if vector_id not in seen:
+                        seen.add(vector_id)
+                        ordered.append(vector_id)
+        return ordered
+
+    def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """LSH candidate generation + exact re-ranking (plaintext use)."""
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        candidate_ids = self.candidates(query)
+        if not candidate_ids:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        subset = self._vectors[candidate_ids]
+        diffs = subset - query
+        dists = np.einsum("ij,ij->i", diffs, diffs)
+        order = np.argsort(dists, kind="stable")[:k]
+        ids = np.asarray(candidate_ids, dtype=np.int64)[order]
+        return ids, dists[order]

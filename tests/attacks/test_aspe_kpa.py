@@ -1,0 +1,141 @@
+"""KPA attack tests: Theorems 1-2 and Corollaries 1-2 executed, plus the
+DCE control experiment."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.aspe_kpa import (
+    ASPEAttacker,
+    dce_linear_attack_error,
+    required_leak_size,
+)
+from repro.baselines.aspe import ASPEScheme, DistanceTransform
+from repro.core.errors import ParameterError
+
+DIM = 10
+
+ALL_BROKEN = [
+    DistanceTransform.LINEAR,
+    DistanceTransform.EXPONENTIAL,
+    DistanceTransform.LOGARITHMIC,
+    DistanceTransform.SQUARE,
+]
+
+
+def _run_attack(transform, seed=0):
+    rng = np.random.default_rng(seed)
+    scheme = ASPEScheme(DIM, transform, rng)
+    attacker = ASPEAttacker(DIM, transform)
+    leaked = rng.standard_normal((attacker.required_leak_size + 6, DIM)) * 3.0
+    leaked_cts = scheme.encrypt_database(leaked)
+    queries = [rng.standard_normal(DIM) * 3.0 for _ in range(DIM + 4)]
+    trapdoors = [scheme.trapdoor(q) for q in queries]
+    victim = rng.standard_normal(DIM) * 3.0
+    victim_ct = scheme.encrypt(victim)
+    recoveries, recovered_victim = attacker.full_attack(
+        scheme, leaked, leaked_cts, trapdoors, victim_ct
+    )
+    return queries, recoveries, victim, recovered_victim
+
+
+class TestQueryRecovery:
+    @pytest.mark.parametrize("transform", ALL_BROKEN)
+    def test_queries_recovered(self, transform):
+        queries, recoveries, _, _ = _run_attack(transform)
+        for true_query, recovery in zip(queries, recoveries):
+            error = np.linalg.norm(recovery.query - true_query) / np.linalg.norm(true_query)
+            assert error < 1e-6, f"{transform.value}: {error}"
+
+    def test_insufficient_leak_rejected(self):
+        attacker = ASPEAttacker(DIM, DistanceTransform.LINEAR)
+        with pytest.raises(ParameterError):
+            attacker.recover_query(np.zeros((3, DIM)), np.zeros(3))
+
+
+class TestDatabaseRecovery:
+    @pytest.mark.parametrize("transform", ALL_BROKEN)
+    def test_victim_recovered(self, transform):
+        _, _, victim, recovered = _run_attack(transform)
+        error = np.linalg.norm(recovered - victim) / np.linalg.norm(victim)
+        assert error < 1e-6, f"{transform.value}: {error}"
+
+    def test_insufficient_queries_rejected(self):
+        attacker = ASPEAttacker(DIM, DistanceTransform.LINEAR)
+        with pytest.raises(ParameterError):
+            attacker.recover_database_vector([], np.zeros(0))
+
+
+class TestLeakSizes:
+    def test_linear_family(self):
+        for transform in (
+            DistanceTransform.LINEAR,
+            DistanceTransform.EXPONENTIAL,
+            DistanceTransform.LOGARITHMIC,
+        ):
+            assert required_leak_size(DIM, transform) == DIM + 2
+
+    def test_square_is_quadratic(self):
+        # (d+2)(d+3)/2 + 1 = 0.5 d^2 + 2.5 d + 4 unknowns (paper's
+        # 0.5 d^2 + 2.5 d + 3 features plus the r3 constant).
+        assert required_leak_size(DIM, DistanceTransform.SQUARE) == (DIM + 2) * (DIM + 3) // 2 + 1
+
+    def test_attacker_validation(self):
+        with pytest.raises(ParameterError):
+            ASPEAttacker(0, DistanceTransform.LINEAR)
+
+
+class TestDCEResists:
+    def test_attack_error_large(self):
+        # The identical attack shape against DCE: reconstruction error is
+        # ~10 orders of magnitude worse than against any ASPE variant.
+        error = dce_linear_attack_error(DIM, num_leaked=80, rng=np.random.default_rng(5))
+        assert error > 0.02
+
+    def test_requires_enough_leaks(self):
+        with pytest.raises(ParameterError):
+            dce_linear_attack_error(DIM, num_leaked=3, rng=np.random.default_rng(0))
+
+    def test_gap_between_aspe_and_dce(self):
+        queries, recoveries, _, _ = _run_attack(DistanceTransform.LINEAR, seed=9)
+        aspe_error = np.linalg.norm(recoveries[0].query - queries[0]) / np.linalg.norm(queries[0])
+        dce_error = dce_linear_attack_error(DIM, num_leaked=80, rng=np.random.default_rng(9))
+        assert dce_error / max(aspe_error, 1e-300) > 1e6
+
+    def test_wide_randomizers_harden_further(self):
+        # The EXPERIMENTS.md reproduction note: log-uniform randomizers
+        # over several decades dilute the |Z|-magnitude signal.
+        narrow = np.mean([
+            dce_linear_attack_error(DIM, 80, np.random.default_rng(s))
+            for s in range(4)
+        ])
+        wide = np.mean([
+            dce_linear_attack_error(
+                DIM, 80, np.random.default_rng(s), randomizer_range=(2**-8, 2**8)
+            )
+            for s in range(4)
+        ])
+        assert wide > 2 * narrow
+
+    def test_wide_randomizers_keep_comparisons_exact(self):
+        from repro.core.dce import DCEScheme, distance_comp
+
+        rng = np.random.default_rng(13)
+        scheme = DCEScheme(DIM, rng=rng, randomizer_range=(2**-8, 2**8))
+        vectors = rng.standard_normal((15, DIM)) * 4.0
+        q = rng.standard_normal(DIM) * 4.0
+        db = scheme.encrypt_database(vectors)
+        t = scheme.trapdoor(q)
+        dists = ((vectors - q) ** 2).sum(axis=1)
+        for i in range(15):
+            for j in range(15):
+                if i != j:
+                    z = distance_comp(db[i], db[j], t)
+                    assert (z < 0) == (dists[i] < dists[j])
+
+    def test_invalid_randomizer_range(self):
+        from repro.core.dce import DCEScheme
+
+        with pytest.raises(ValueError):
+            DCEScheme(8, randomizer_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            DCEScheme(8, randomizer_range=(2.0, 1.0))

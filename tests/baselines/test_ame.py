@@ -1,0 +1,119 @@
+"""AME tests: exact comparisons at the paper-stated shapes and costs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ame import AME_SHARES, AMEScheme, ame_mac_count
+from repro.core.errors import DimensionMismatchError, KeyMismatchError
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    scheme = AMEScheme(10, rng)
+    database = rng.standard_normal((25, 10)) * 4.0
+    query = rng.standard_normal(10) * 4.0
+    cts = scheme.encrypt_database(database)
+    trapdoor = scheme.trapdoor(query)
+    dists = ((database - query) ** 2).sum(axis=1)
+    return scheme, database, cts, trapdoor, dists
+
+
+class TestShapes:
+    def test_ciphertext_is_32_vectors(self, workload):
+        _, _, cts, _, _ = workload
+        ct = cts[0]
+        width = 2 * 10 + 6
+        assert ct.x_parts.shape == (AME_SHARES, width)
+        assert ct.y_parts.shape == (AME_SHARES, width)
+        assert ct.size_in_floats == 32 * width
+
+    def test_trapdoor_is_16_matrices(self, workload):
+        _, _, _, trapdoor, _ = workload
+        width = 2 * 10 + 6
+        assert trapdoor.matrices.shape == (AME_SHARES, width, width)
+        assert trapdoor.size_in_floats == 16 * width * width
+
+    def test_mac_count_matches_paper(self):
+        # Section III-C: 64 d^2 + 416 d + 676 (we are within the rounding
+        # of the paper's constant term).
+        for d in (96, 100, 128, 960):
+            paper = 64 * d * d + 416 * d + 676
+            assert abs(ame_mac_count(d) - paper) <= 8
+
+
+class TestComparisons:
+    def test_sign_correctness(self, workload):
+        scheme, _, cts, trapdoor, dists = workload
+        n = len(cts)
+        for i in range(0, n, 3):
+            for j in range(0, n, 4):
+                if i == j:
+                    continue
+                z = scheme.distance_comp(cts[i], cts[j], trapdoor)
+                assert (z < 0) == (dists[i] < dists[j])
+
+    def test_sign_flips_with_argument_order(self, workload):
+        scheme, _, cts, trapdoor, _ = workload
+        z_ij = scheme.distance_comp(cts[0], cts[1], trapdoor)
+        z_ji = scheme.distance_comp(cts[1], cts[0], trapdoor)
+        assert np.sign(z_ij) == -np.sign(z_ji)
+
+    def test_key_mismatch(self, workload):
+        scheme, database, cts, _, _ = workload
+        other = AMEScheme(10, np.random.default_rng(9))
+        foreign = other.trapdoor(database[0])
+        with pytest.raises(KeyMismatchError):
+            scheme.distance_comp(cts[0], cts[1], foreign)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_sign_property(self, seed):
+        rng = np.random.default_rng(seed)
+        dim = int(rng.integers(2, 12))
+        scheme = AMEScheme(dim, rng)
+        vectors = rng.standard_normal((4, dim)) * 3.0
+        q = rng.standard_normal(dim) * 3.0
+        cts = scheme.encrypt_database(vectors)
+        t = scheme.trapdoor(q)
+        dists = ((vectors - q) ** 2).sum(axis=1)
+        for i in range(4):
+            for j in range(4):
+                if i == j:
+                    continue
+                gap = dists[i] - dists[j]
+                if abs(gap) < 1e-6 * max(dists.max(), 1.0):
+                    continue
+                z = scheme.distance_comp(cts[i], cts[j], t)
+                assert (z < 0) == (gap < 0)
+
+
+class TestRandomization:
+    def test_same_plaintext_encrypts_differently(self):
+        rng = np.random.default_rng(1)
+        scheme = AMEScheme(8, rng)
+        a = scheme.encrypt(np.ones(8))
+        b = scheme.encrypt(np.ones(8))
+        assert not np.allclose(a.x_parts, b.x_parts)
+
+    def test_trapdoors_randomized(self):
+        rng = np.random.default_rng(2)
+        scheme = AMEScheme(8, rng)
+        a = scheme.trapdoor(np.ones(8))
+        b = scheme.trapdoor(np.ones(8))
+        assert not np.allclose(a.matrices, b.matrices)
+
+
+class TestValidation:
+    def test_dim_checks(self):
+        scheme = AMEScheme(8)
+        with pytest.raises(DimensionMismatchError):
+            scheme.encrypt(np.zeros(5))
+        with pytest.raises(DimensionMismatchError):
+            scheme.trapdoor(np.zeros(5))
+
+    def test_nonpositive_dim(self):
+        with pytest.raises(ValueError):
+            AMEScheme(0)

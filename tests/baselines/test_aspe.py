@@ -1,0 +1,98 @@
+"""ASPE scheme tests: leakage semantics per variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.aspe import ASPEScheme, DistanceTransform
+from repro.core.errors import DimensionMismatchError, KeyMismatchError
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    database = rng.standard_normal((30, 10)) * 4.0
+    query = rng.standard_normal(10) * 4.0
+    dists = ((database - query) ** 2).sum(axis=1)
+    return database, query, dists
+
+
+class TestExactVariant:
+    def test_leaks_exact_distance(self, workload):
+        database, query, dists = workload
+        scheme = ASPEScheme(10, DistanceTransform.EXACT, np.random.default_rng(1))
+        trapdoor = scheme.trapdoor(query)
+        leaks = np.array([scheme.leakage(ct, trapdoor) for ct in scheme.encrypt_database(database)])
+        assert np.allclose(leaks, dists, rtol=1e-8)
+
+
+class TestEnhancedVariants:
+    @pytest.mark.parametrize(
+        "transform",
+        [
+            DistanceTransform.LINEAR,
+            DistanceTransform.EXPONENTIAL,
+            DistanceTransform.LOGARITHMIC,
+            DistanceTransform.SQUARE,
+        ],
+    )
+    def test_order_preserved(self, workload, transform):
+        # Monotone leakage is the design goal of every variant (they must
+        # still rank neighbors) — and also what the KPA attacks exploit.
+        database, query, dists = workload
+        scheme = ASPEScheme(10, transform, np.random.default_rng(2))
+        trapdoor = scheme.trapdoor(query)
+        leaks = np.array([scheme.leakage(ct, trapdoor) for ct in scheme.encrypt_database(database)])
+        assert np.array_equal(np.argsort(leaks), np.argsort(dists))
+
+    def test_linear_hides_raw_distance(self, workload):
+        database, query, dists = workload
+        scheme = ASPEScheme(10, DistanceTransform.LINEAR, np.random.default_rng(3))
+        trapdoor = scheme.trapdoor(query)
+        leaks = np.array([scheme.leakage(ct, trapdoor) for ct in scheme.encrypt_database(database)])
+        assert not np.allclose(leaks, dists, rtol=1e-3)
+
+    def test_randomizers_fresh_per_query(self, workload):
+        database, query, _ = workload
+        scheme = ASPEScheme(10, DistanceTransform.LINEAR, np.random.default_rng(4))
+        cts = scheme.encrypt_database(database)
+        leak_a = scheme.leakage(cts[0], scheme.trapdoor(query))
+        leak_b = scheme.leakage(cts[0], scheme.trapdoor(query))
+        assert leak_a != leak_b  # fresh r1, r2 each trapdoor
+
+
+class TestValidation:
+    def test_dim_checks(self):
+        scheme = ASPEScheme(10)
+        with pytest.raises(DimensionMismatchError):
+            scheme.encrypt(np.zeros(5))
+        with pytest.raises(DimensionMismatchError):
+            scheme.trapdoor(np.zeros(5))
+        with pytest.raises(DimensionMismatchError):
+            scheme.encrypt_database(np.zeros((3, 5)))
+
+    def test_key_mismatch(self, workload):
+        database, query, _ = workload
+        scheme_a = ASPEScheme(10, rng=np.random.default_rng(5))
+        scheme_b = ASPEScheme(10, rng=np.random.default_rng(6))
+        ct = scheme_a.encrypt(database[0])
+        trapdoor = scheme_b.trapdoor(query)
+        with pytest.raises(KeyMismatchError):
+            scheme_a.leakage(ct, trapdoor)
+
+    def test_nonpositive_dim(self):
+        with pytest.raises(ValueError):
+            ASPEScheme(0)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_nearest_neighbor_invariant_under_encryption(self, seed):
+        rng = np.random.default_rng(seed)
+        scheme = ASPEScheme(6, DistanceTransform.LINEAR, rng)
+        database = rng.standard_normal((10, 6))
+        query = rng.standard_normal(6)
+        dists = ((database - query) ** 2).sum(axis=1)
+        trapdoor = scheme.trapdoor(query)
+        leaks = [scheme.leakage(ct, trapdoor) for ct in scheme.encrypt_database(database)]
+        assert int(np.argmin(leaks)) == int(np.argmin(dists))

@@ -1,0 +1,203 @@
+"""End-to-end tests for the four baseline pipelines.
+
+All share a module-scoped clustered workload; recall floors are set
+generously because the baselines' parameters are intentionally modest for
+speed — the benchmarks tune them per figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hnsw_ame import HNSWAMEScheme
+from repro.baselines.linear_scan import DCELinearScan
+from repro.baselines.pacm_ann import PACMANNBaseline
+from repro.baselines.pri_ann import PRIANNBaseline
+from repro.baselines.rs_sann import RSSANNBaseline
+from repro.core.errors import ParameterError
+from repro.datasets import compute_ground_truth, make_clustered
+from repro.eval.metrics import recall_at_k
+from repro.lsh.e2lsh import E2LSHParams
+from tests.conftest import FAST_HNSW
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = make_clustered(
+        num_vectors=400,
+        dim=12,
+        num_queries=8,
+        num_clusters=10,
+        value_scale=2.0,
+        rng=np.random.default_rng(50),
+    )
+    truth = compute_ground_truth(dataset.database, dataset.queries, 10)
+    return dataset, truth
+
+
+LSH_GENEROUS = E2LSHParams(num_tables=14, hashes_per_table=5, bucket_width=10.0, multiprobe=4)
+
+
+class TestHNSWAME:
+    def test_recall(self, workload):
+        dataset, truth = workload
+        scheme = HNSWAMEScheme(
+            dataset.dim, beta=0.2, hnsw_params=FAST_HNSW, rng=np.random.default_rng(1)
+        ).fit(dataset.database)
+        recalls = [
+            recall_at_k(
+                scheme.query_with_report(q, 10, ratio_k=8, ef_search=100).ids,
+                truth.for_query(i),
+                10,
+            )
+            for i, q in enumerate(dataset.queries)
+        ]
+        assert np.mean(recalls) >= 0.9
+
+    def test_unfitted_rejected(self, workload):
+        dataset, _ = workload
+        scheme = HNSWAMEScheme(dataset.dim, beta=0.2)
+        with pytest.raises(ParameterError):
+            scheme.query_with_report(dataset.queries[0], 10)
+
+    def test_refine_comparisons_counted(self, workload):
+        dataset, _ = workload
+        scheme = HNSWAMEScheme(
+            dataset.dim, beta=0.2, hnsw_params=FAST_HNSW, rng=np.random.default_rng(2)
+        ).fit(dataset.database)
+        report = scheme.query_with_report(dataset.queries[0], 10, ratio_k=4)
+        assert report.refine_comparisons > 0
+        assert report.k_prime == 40
+
+
+class TestDCELinearScan:
+    def test_exact_results(self, workload):
+        # Linear scan with an exact comparator must return the true top-k.
+        dataset, truth = workload
+        scheme = DCELinearScan(dataset.dim, np.random.default_rng(3)).fit(dataset.database)
+        for i, query in enumerate(dataset.queries[:3]):
+            report = scheme.query_with_report(query, 10)
+            assert set(report.ids.tolist()) == set(truth.for_query(i).tolist())
+
+    def test_scans_everything(self, workload):
+        dataset, _ = workload
+        scheme = DCELinearScan(dataset.dim, np.random.default_rng(4)).fit(dataset.database)
+        report = scheme.query_with_report(dataset.queries[0], 5)
+        assert report.k_prime == dataset.num_vectors
+        assert report.refine_comparisons >= dataset.num_vectors - 5
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ParameterError):
+            DCELinearScan(4).query_with_report(np.zeros(4), 3)
+
+
+class TestRSSANN:
+    @pytest.fixture(scope="class")
+    def fitted(self, workload):
+        dataset, _ = workload
+        return RSSANNBaseline(
+            dataset.dim, LSH_GENEROUS, rng=np.random.default_rng(5)
+        ).fit(dataset.database)
+
+    def test_recall(self, workload, fitted):
+        dataset, truth = workload
+        recalls = []
+        for i, query in enumerate(dataset.queries):
+            ids, _ = fitted.query_with_cost(query, 10)
+            recalls.append(recall_at_k(ids, truth.for_query(i), 10))
+        assert np.mean(recalls) >= 0.5  # LSH at modest settings
+
+    def test_cost_report_structure(self, workload, fitted):
+        dataset, _ = workload
+        _, cost = fitted.query_with_cost(dataset.queries[0], 10)
+        assert cost.method == "RS-SANN"
+        assert cost.rounds == 1
+        assert cost.upload_bytes > 0
+        # Whole encrypted vectors travel: download scales with candidates.
+        assert cost.download_bytes >= cost.extra["candidates"] * 4 * dataset.dim
+
+    def test_user_does_decryption_work(self, workload, fitted):
+        dataset, _ = workload
+        _, cost = fitted.query_with_cost(dataset.queries[0], 10)
+        assert cost.user_seconds > 0
+
+    def test_unfitted_rejected(self, workload):
+        dataset, _ = workload
+        with pytest.raises(ParameterError):
+            RSSANNBaseline(dataset.dim).query_with_cost(dataset.queries[0], 5)
+
+
+class TestPACMANN:
+    @pytest.fixture(scope="class")
+    def fitted(self, workload):
+        dataset, _ = workload
+        return PACMANNBaseline(
+            dataset.dim, FAST_HNSW, rng=np.random.default_rng(6)
+        ).fit(dataset.database)
+
+    def test_recall(self, workload, fitted):
+        dataset, truth = workload
+        recalls = []
+        for i, query in enumerate(dataset.queries[:4]):
+            ids, _ = fitted.query_with_cost(query, 10, ef_search=40)
+            recalls.append(recall_at_k(ids, truth.for_query(i), 10))
+        assert np.mean(recalls) >= 0.8
+
+    def test_multi_round_protocol(self, workload, fitted):
+        dataset, _ = workload
+        _, cost = fitted.query_with_cost(dataset.queries[0], 10, ef_search=40)
+        # One round per expansion (plus vector fetches): inherently chatty.
+        assert cost.rounds > 10
+        assert cost.extra["expansions"] > 0
+
+    def test_round_budget_respected(self, workload, fitted):
+        dataset, _ = workload
+        _, cost = fitted.query_with_cost(
+            dataset.queries[0], 10, ef_search=40, max_rounds=5
+        )
+        assert cost.extra["expansions"] <= 5
+
+    def test_validation(self, workload, fitted):
+        dataset, _ = workload
+        with pytest.raises(ParameterError):
+            fitted.query_with_cost(dataset.queries[0], 0)
+        with pytest.raises(ParameterError):
+            PACMANNBaseline(dataset.dim).query_with_cost(dataset.queries[0], 5)
+
+
+class TestPRIANN:
+    @pytest.fixture(scope="class")
+    def fitted(self, workload):
+        dataset, _ = workload
+        return PRIANNBaseline(
+            dataset.dim,
+            E2LSHParams(num_tables=14, hashes_per_table=4, bucket_width=10.0),
+            bucket_capacity=48,
+            rng=np.random.default_rng(7),
+        ).fit(dataset.database)
+
+    def test_recall(self, workload, fitted):
+        dataset, truth = workload
+        recalls = []
+        for i, query in enumerate(dataset.queries):
+            ids, _ = fitted.query_with_cost(query, 10)
+            recalls.append(recall_at_k(ids, truth.for_query(i), 10))
+        assert np.mean(recalls) >= 0.5
+
+    def test_single_round(self, workload, fitted):
+        dataset, _ = workload
+        _, cost = fitted.query_with_cost(dataset.queries[0], 10)
+        assert cost.rounds == 1
+
+    def test_padded_buckets_inflate_download(self, workload, fitted):
+        dataset, _ = workload
+        _, cost = fitted.query_with_cost(dataset.queries[0], 10)
+        # Each retrieved bucket is padded to capacity * (d+1) float32 * 2 servers.
+        bucket_bytes = 48 * (dataset.dim + 1) * 4 * 2
+        assert cost.download_bytes % bucket_bytes == 0
+
+    def test_validation(self, workload):
+        dataset, _ = workload
+        with pytest.raises(ParameterError):
+            PRIANNBaseline(dataset.dim, bucket_capacity=0)
+        with pytest.raises(ParameterError):
+            PRIANNBaseline(dataset.dim).query_with_cost(dataset.queries[0], 5)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (fitted schemes, built graphs) are session-scoped so the
+suite stays fast; tests must not mutate them — mutation tests build their
+own instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PPANNS
+from repro.datasets import compute_ground_truth, make_clustered
+from repro.hnsw.graph import HNSWParams
+
+#: Small, fast graph parameters used across the suite.
+FAST_HNSW = HNSWParams(m=8, ef_construction=60)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session randomness with a fixed seed; do not consume destructively."""
+    return np.random.default_rng(20250612)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small clustered workload: 500 x 24, 10 queries."""
+    return make_clustered(
+        num_vectors=500,
+        dim=24,
+        num_queries=10,
+        num_clusters=12,
+        value_scale=2.0,
+        rng=np.random.default_rng(101),
+        name="small",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_ground_truth(small_dataset):
+    """Exact 10-NN for the small workload."""
+    return compute_ground_truth(small_dataset.database, small_dataset.queries, 10)
+
+
+@pytest.fixture(scope="session")
+def fitted_scheme(small_dataset) -> PPANNS:
+    """A fitted PP-ANNS scheme over the small workload (read-only)."""
+    scheme = PPANNS(
+        dim=small_dataset.dim,
+        beta=0.3,
+        hnsw_params=FAST_HNSW,
+        rng=np.random.default_rng(202),
+    )
+    return scheme.fit(small_dataset.database)

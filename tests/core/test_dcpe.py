@@ -1,0 +1,134 @@
+"""DCPE / Scale-and-Perturb tests: Algorithm 1 and the beta-DCP contract."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dcpe import (
+    DCPEScheme,
+    beta_lower_bound,
+    beta_upper_bound,
+    dcpe_keygen,
+)
+from repro.core.errors import DimensionMismatchError, ParameterError
+from repro.core.keys import DCPEKey
+
+
+@pytest.fixture()
+def scheme():
+    return DCPEScheme(8, dcpe_keygen(2.0, scale=100.0), rng=np.random.default_rng(0))
+
+
+class TestKey:
+    def test_keygen(self):
+        key = dcpe_keygen(1.5, scale=512.0)
+        assert key.beta == 1.5
+        assert key.scale == 512.0
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ValueError):
+            DCPEKey(scale=1024.0, beta=-1.0)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            DCPEKey(scale=0.0, beta=1.0)
+
+    def test_beta_bounds(self):
+        assert beta_lower_bound(256.0) == 16.0
+        assert np.isclose(beta_upper_bound(256.0, 128), 2 * 256 * np.sqrt(128))
+
+    def test_beta_bound_validation(self):
+        with pytest.raises(ParameterError):
+            beta_lower_bound(-1.0)
+        with pytest.raises(ParameterError):
+            beta_upper_bound(1.0, 0)
+
+
+class TestEncryption:
+    def test_noise_radius(self, scheme):
+        # x <= s*beta/4 (Algorithm 1, lines 2-4).
+        assert scheme.noise_radius == 100.0 * 2.0 / 4.0
+
+    def test_perturbation_within_ball(self, scheme):
+        rng = np.random.default_rng(1)
+        vectors = rng.standard_normal((200, 8))
+        encrypted = scheme.encrypt_database(vectors)
+        deviations = np.linalg.norm(encrypted - 100.0 * vectors, axis=1)
+        assert np.all(deviations <= scheme.noise_radius + 1e-9)
+
+    def test_perturbations_fill_the_ball(self, scheme):
+        # Ball-uniform sampling: some draws should land beyond half radius.
+        rng = np.random.default_rng(2)
+        vectors = np.zeros((300, 8))
+        encrypted = scheme.encrypt_database(vectors)
+        radii = np.linalg.norm(encrypted, axis=1)
+        assert radii.max() > 0.5 * scheme.noise_radius
+
+    def test_beta_zero_is_pure_scaling(self):
+        scheme = DCPEScheme(8, dcpe_keygen(0.0, scale=10.0), rng=np.random.default_rng(3))
+        vector = np.arange(8.0)
+        assert np.allclose(scheme.encrypt(vector), 10.0 * vector)
+
+    def test_single_vs_batch_shapes(self, scheme):
+        rng = np.random.default_rng(4)
+        single = scheme.encrypt(rng.standard_normal(8))
+        batch = scheme.encrypt_database(rng.standard_normal((5, 8)))
+        assert single.shape == (8,)
+        assert batch.shape == (5, 8)
+
+    def test_ciphertext_keeps_dimensionality(self, scheme):
+        # DCPE ciphertexts are still d-dimensional (Section III-B), so
+        # encrypted distances cost the same as plaintext distances.
+        assert scheme.encrypt(np.zeros(8)).shape[0] == scheme.dim
+
+    def test_dimension_validation(self, scheme):
+        with pytest.raises(DimensionMismatchError):
+            scheme.encrypt(np.zeros(9))
+        with pytest.raises(DimensionMismatchError):
+            scheme.encrypt_database(np.zeros((3, 9)))
+
+    def test_nonpositive_dim(self):
+        with pytest.raises(ParameterError):
+            DCPEScheme(0, dcpe_keygen(1.0))
+
+
+class TestBetaDCPContract:
+    """Definition 3: comparisons with gap > beta survive encryption."""
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=30, deadline=None)
+    def test_definition_3(self, seed):
+        rng = np.random.default_rng(seed)
+        dim = int(rng.integers(2, 16))
+        beta = float(rng.uniform(0.5, 4.0))
+        scale = 64.0
+        scheme = DCPEScheme(dim, dcpe_keygen(beta, scale=scale), rng=rng)
+        o, p, q = rng.standard_normal((3, dim)) * 5.0
+        dist_oq = np.linalg.norm(o - q)
+        dist_pq = np.linalg.norm(p - q)
+        if dist_oq >= dist_pq - beta:
+            return  # contract only binds when the gap exceeds beta
+        enc_o, enc_p, enc_q = (scheme.encrypt(v) for v in (o, p, q))
+        assert np.linalg.norm(enc_o - enc_q) < np.linalg.norm(enc_p - enc_q)
+
+    def test_distance_approximation_error_bounded(self):
+        # ||C_a - C_b|| differs from s*||a-b|| by at most 2 * noise radius.
+        rng = np.random.default_rng(7)
+        scheme = DCPEScheme(8, dcpe_keygen(1.0, scale=50.0), rng=rng)
+        a = rng.standard_normal(8)
+        b = rng.standard_normal(8)
+        true = 50.0 * np.linalg.norm(a - b)
+        approx = np.linalg.norm(scheme.encrypt(a) - scheme.encrypt(b))
+        assert abs(approx - true) <= 2 * scheme.noise_radius + 1e-9
+
+    def test_larger_beta_means_more_noise(self):
+        rng = np.random.default_rng(8)
+        norms = []
+        for beta in (0.5, 4.0):
+            scheme = DCPEScheme(
+                8, dcpe_keygen(beta, scale=50.0), rng=np.random.default_rng(9)
+            )
+            encrypted = scheme.encrypt_database(np.zeros((200, 8)))
+            norms.append(np.linalg.norm(encrypted, axis=1).mean())
+        assert norms[1] > norms[0] * 2

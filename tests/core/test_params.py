@@ -1,0 +1,106 @@
+"""Parameter tuning tests (Section VII-A procedures)."""
+
+import numpy as np
+import pytest
+
+from repro import PPANNS
+from repro.core.errors import ParameterError
+from repro.core.params import (
+    grid_search_ratio_k,
+    measure_filter_recall_ceiling,
+    tune_beta,
+)
+from repro.datasets import make_clustered
+from tests.conftest import FAST_HNSW
+
+
+@pytest.fixture(scope="module")
+def tuning_workload():
+    return make_clustered(
+        num_vectors=300,
+        dim=10,
+        num_queries=8,
+        num_clusters=8,
+        value_scale=2.0,
+        rng=np.random.default_rng(71),
+    )
+
+
+class TestFilterRecallCeiling:
+    def test_beta_zero_gives_high_ceiling(self, tuning_workload):
+        recall = measure_filter_recall_ceiling(
+            tuning_workload.database,
+            tuning_workload.queries,
+            beta=0.0,
+            k=10,
+            hnsw_params=FAST_HNSW,
+            rng=np.random.default_rng(1),
+        )
+        assert recall >= 0.85
+
+    def test_recall_decreases_with_beta(self, tuning_workload):
+        recalls = [
+            measure_filter_recall_ceiling(
+                tuning_workload.database,
+                tuning_workload.queries,
+                beta=beta,
+                k=10,
+                hnsw_params=FAST_HNSW,
+                rng=np.random.default_rng(2),
+            )
+            for beta in (0.0, 20.0)
+        ]
+        assert recalls[1] < recalls[0]
+
+
+class TestTuneBeta:
+    def test_bisection_hits_target_region(self, tuning_workload):
+        result = tune_beta(
+            tuning_workload.database,
+            tuning_workload.queries,
+            target_ceiling=0.5,
+            k=10,
+            num_steps=4,
+            hnsw_params=FAST_HNSW,
+            rng=np.random.default_rng(3),
+        )
+        assert result.beta > 0
+        assert result.recall_ceiling >= 0.5
+        assert len(result.trace) == 4
+
+    def test_invalid_target_rejected(self, tuning_workload):
+        with pytest.raises(ParameterError):
+            tune_beta(
+                tuning_workload.database,
+                tuning_workload.queries,
+                target_ceiling=0.0,
+            )
+
+
+class TestGridSearchRatioK:
+    def test_recall_monotone_in_ratio(self, tuning_workload):
+        scheme = PPANNS(
+            dim=tuning_workload.dim,
+            beta=1.5,
+            hnsw_params=FAST_HNSW,
+            rng=np.random.default_rng(4),
+        ).fit(tuning_workload.database)
+        result = grid_search_ratio_k(
+            scheme,
+            tuning_workload.database,
+            tuning_workload.queries,
+            k=10,
+            recall_target=0.9,
+            ratio_grid=(1, 4, 16),
+            ef_search=160,
+        )
+        recalls = [r for _, r, _ in result.frontier]
+        assert recalls == sorted(recalls) or recalls[-1] >= recalls[0]
+        assert result.ratio_k in (1, 4, 16)
+
+    def test_unfitted_scheme_rejected(self, tuning_workload):
+        scheme = PPANNS(dim=tuning_workload.dim, beta=1.0)
+        with pytest.raises(ParameterError):
+            grid_search_ratio_k(
+                scheme, tuning_workload.database, tuning_workload.queries
+            )

@@ -1,0 +1,102 @@
+"""Persistence tests: index and key round-trips through disk."""
+
+import numpy as np
+import pytest
+
+from repro.core.dce import DCEScheme, distance_comp
+from repro.core.errors import CiphertextFormatError
+from repro.core.persistence import load_index, load_keys, save_index, save_keys
+from repro.core.roles import CloudServer, DataOwner, QueryUser
+from repro.core.maintenance import delete_vector
+from tests.conftest import FAST_HNSW
+
+
+@pytest.fixture(scope="module")
+def deployed(tmp_path_factory):
+    rng = np.random.default_rng(0)
+    vectors = rng.standard_normal((150, 12)) * 3.0
+    owner = DataOwner(12, beta=0.2, hnsw_params=FAST_HNSW, rng=rng)
+    index = owner.build_index(vectors)
+    return owner, index, vectors
+
+
+class TestIndexRoundtrip:
+    def test_search_results_identical(self, deployed, tmp_path):
+        owner, index, vectors = deployed
+        path = tmp_path / "index.npz"
+        save_index(path, index)
+        loaded = load_index(path)
+
+        user = QueryUser(owner.authorize_user(), rng=np.random.default_rng(1))
+        query = vectors[5] + 0.01
+        encrypted = user.encrypt_query(query, 10)
+        original = CloudServer(index).answer(encrypted, ef_search=100)
+        restored = CloudServer(loaded).answer(encrypted, ef_search=100)
+        assert set(original.ids.tolist()) == set(restored.ids.tolist())
+
+    def test_graph_structure_preserved(self, deployed, tmp_path):
+        _, index, _ = deployed
+        path = tmp_path / "index.npz"
+        save_index(path, index)
+        loaded = load_index(path)
+        assert loaded.graph.entry_point == index.graph.entry_point
+        assert loaded.graph.max_level == index.graph.max_level
+        for node in range(0, 150, 17):
+            assert loaded.graph.neighbors(node, 0) == index.graph.neighbors(node, 0)
+
+    def test_tombstones_preserved(self, deployed, tmp_path):
+        owner, _, vectors = deployed
+        index = owner.build_index(vectors)
+        delete_vector(index, 3)
+        path = tmp_path / "index.npz"
+        save_index(path, index)
+        loaded = load_index(path)
+        assert not loaded.is_live(3)
+        assert len(loaded) == len(index)
+
+    def test_version_check(self, deployed, tmp_path):
+        _, index, _ = deployed
+        path = tmp_path / "index.npz"
+        save_index(path, index)
+        data = dict(np.load(path))
+        data["format_version"] = np.array([99], dtype=np.int64)
+        np.savez_compressed(path, **data)
+        with pytest.raises(CiphertextFormatError):
+            load_index(path)
+
+
+class TestKeyRoundtrip:
+    def test_loaded_keys_interoperate(self, deployed, tmp_path):
+        owner, index, vectors = deployed
+        path = tmp_path / "keys.npz"
+        save_keys(path, owner.authorize_user())
+        keys = load_keys(path)
+        assert keys.dim == 12
+        user = QueryUser(keys, rng=np.random.default_rng(2))
+        encrypted = user.encrypt_query(vectors[7] + 0.01, 5)
+        report = CloudServer(index).answer(encrypted, ef_search=100)
+        assert 7 in report.ids
+
+    def test_dce_key_exact(self, deployed, tmp_path):
+        owner, _, vectors = deployed
+        path = tmp_path / "keys.npz"
+        save_keys(path, owner.authorize_user())
+        keys = load_keys(path)
+        # A fresh DCE scheme from loaded keys must produce ciphertexts
+        # compatible with the owner's trapdoors and vice versa.
+        loaded_scheme = DCEScheme(12, rng=np.random.default_rng(3), key=keys.dce_key)
+        db = loaded_scheme.encrypt_database(vectors[:4])
+        trapdoor = owner.dce_scheme.trapdoor(vectors[0])
+        dists = ((vectors[:4] - vectors[0]) ** 2).sum(axis=1)
+        z = distance_comp(db[1], db[2], trapdoor)
+        assert (z < 0) == (dists[1] < dists[2])
+
+    def test_key_version_check(self, deployed, tmp_path):
+        owner, _, _ = deployed
+        path = tmp_path / "keys.npz"
+        save_keys(path, owner.authorize_user())
+        data = dict(np.load(path))
+        data["format_version"] = np.array([99], dtype=np.int64)
+        np.savez_compressed(path, **data)
+        with pytest.raises(CiphertextFormatError):
+            load_keys(path)

@@ -1,0 +1,109 @@
+"""System-model tests: owner / user / server interplay (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.core.roles import CloudServer, DataOwner, QueryUser
+from tests.conftest import FAST_HNSW
+
+
+@pytest.fixture(scope="module")
+def actors():
+    rng = np.random.default_rng(0)
+    vectors = rng.standard_normal((120, 10)) * 3.0
+    owner = DataOwner(10, beta=0.2, hnsw_params=FAST_HNSW, rng=rng)
+    index = owner.build_index(vectors)
+    server = CloudServer(index)
+    user = QueryUser(owner.authorize_user(), rng=np.random.default_rng(1))
+    return owner, user, server, vectors
+
+
+class TestDataOwner:
+    def test_build_index_alignment(self, actors):
+        _, _, server, vectors = actors
+        assert len(server.index) == vectors.shape[0]
+
+    def test_rejects_bad_shapes(self):
+        owner = DataOwner(10, beta=0.2, rng=np.random.default_rng(0))
+        with pytest.raises(ParameterError):
+            owner.build_index(np.zeros((5, 4)))
+
+    def test_rejects_nonpositive_dim(self):
+        with pytest.raises(ParameterError):
+            DataOwner(0, beta=0.2)
+
+    def test_encrypt_vector_pair(self, actors):
+        owner, _, _, vectors = actors
+        sap, dce = owner.encrypt_vector(vectors[0])
+        assert sap.shape == (10,)
+        assert dce.components.shape == (4, 2 * 10 + 16)
+
+
+class TestQueryUser:
+    def test_authorized_user_queries_succeed(self, actors):
+        _, user, server, vectors = actors
+        query = vectors[3] + 0.01
+        encrypted = user.encrypt_query(query, 5)
+        report = server.answer(encrypted, ef_search=80)
+        assert 3 in report.ids
+
+    def test_unauthorized_user_rejected(self, actors):
+        _, _, server, vectors = actors
+        rogue_owner = DataOwner(10, beta=0.2, rng=np.random.default_rng(99))
+        rogue = QueryUser(rogue_owner.authorize_user())
+        encrypted = rogue.encrypt_query(vectors[0], 5)
+        from repro.core.errors import KeyMismatchError
+
+        with pytest.raises(KeyMismatchError):
+            server.answer(encrypted)
+
+    def test_key_bundle_contents(self, actors):
+        owner, _, _, _ = actors
+        bundle = owner.authorize_user()
+        assert bundle.dim == 10
+        assert bundle.dce_key is owner.dce_scheme.key
+        assert bundle.dcpe_key is owner.dcpe_scheme.key
+
+
+class TestCloudServer:
+    def test_default_ratio_k(self, actors):
+        _, user, server, vectors = actors
+        encrypted = user.encrypt_query(vectors[0], 5)
+        report = server.answer(encrypted)
+        assert report.k_prime == server.default_ratio_k * 5
+
+    def test_explicit_ratio_k(self, actors):
+        _, user, server, vectors = actors
+        encrypted = user.encrypt_query(vectors[0], 5)
+        report = server.answer(encrypted, ratio_k=4)
+        assert report.k_prime == 20
+
+    def test_invalid_ratio_k(self, actors):
+        _, user, server, vectors = actors
+        encrypted = user.encrypt_query(vectors[0], 5)
+        with pytest.raises(ParameterError):
+            server.answer(encrypted, ratio_k=0)
+
+    def test_invalid_default_ratio(self, actors):
+        _, _, server, _ = actors
+        with pytest.raises(ParameterError):
+            CloudServer(server.index, default_ratio_k=0)
+
+    def test_filter_only_endpoint(self, actors):
+        _, user, server, vectors = actors
+        encrypted = user.encrypt_query(vectors[0], 5)
+        report = server.answer_filter_only(encrypted, ef_search=60)
+        assert report.ids.shape[0] == 5
+        assert report.refine_comparisons == 0
+
+
+class TestTrustBoundary:
+    def test_server_never_sees_plaintext(self, actors):
+        # The server's whole state is the EncryptedIndex; none of its
+        # arrays may (numerically) contain the plaintext database.
+        _, _, server, vectors = actors
+        sap = server.index.sap_vectors
+        assert not np.allclose(sap[: vectors.shape[0]], vectors)
+        dce = server.index.dce_database.components
+        assert dce.shape[2] == 2 * 10 + 16  # transformed, not raw width

@@ -1,0 +1,131 @@
+"""AES-128 / CTR tests, including the FIPS-197 known-answer vector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128, AESCTRCipher
+
+
+class TestAES128Block:
+    def test_fips197_appendix_c_vector(self):
+        # FIPS-197 Appendix C.1: the canonical AES-128 known-answer test.
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_decrypt_inverts(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        expected = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert AES128(key).decrypt_block(ciphertext) == expected
+
+    def test_rejects_short_key(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_rejects_long_key(self):
+        with pytest.raises(ValueError):
+            AES128(b"x" * 17)
+
+    def test_rejects_wrong_block_size_encrypt(self):
+        aes = AES128(b"k" * 16)
+        with pytest.raises(ValueError):
+            aes.encrypt_block(b"too short")
+
+    def test_rejects_wrong_block_size_decrypt(self):
+        aes = AES128(b"k" * 16)
+        with pytest.raises(ValueError):
+            aes.decrypt_block(b"x" * 15)
+
+    def test_deterministic(self):
+        aes = AES128(b"k" * 16)
+        block = b"m" * 16
+        assert aes.encrypt_block(block) == aes.encrypt_block(block)
+
+    def test_different_keys_differ(self):
+        block = b"m" * 16
+        assert AES128(b"a" * 16).encrypt_block(block) != AES128(b"b" * 16).encrypt_block(block)
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, key, block):
+        aes = AES128(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    def test_encrypt_changes_every_block(self):
+        aes = AES128(b"k" * 16)
+        block = bytes(16)
+        assert aes.encrypt_block(block) != block
+
+
+class TestAESBatch:
+    def test_batch_matches_single(self):
+        aes = AES128(b"batchkey12345678")
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(0, 256, size=(37, 16)).astype(np.uint8)
+        batch = aes.encrypt_blocks(blocks)
+        for i in range(blocks.shape[0]):
+            assert bytes(batch[i]) == aes.encrypt_block(bytes(blocks[i]))
+
+    def test_batch_rejects_bad_shape(self):
+        aes = AES128(b"k" * 16)
+        with pytest.raises(ValueError):
+            aes.encrypt_blocks(np.zeros((4, 8), dtype=np.uint8))
+
+    def test_batch_does_not_mutate_input(self):
+        aes = AES128(b"k" * 16)
+        blocks = np.zeros((3, 16), dtype=np.uint8)
+        aes.encrypt_blocks(blocks)
+        assert np.all(blocks == 0)
+
+
+class TestAESCTR:
+    def test_roundtrip(self):
+        cipher = AESCTRCipher(b"k" * 16)
+        message = b"the quick brown fox jumps over the lazy dog"
+        encrypted = cipher.process(b"12345678", message)
+        assert cipher.process(b"12345678", encrypted) == message
+
+    def test_ciphertext_differs_from_plaintext(self):
+        cipher = AESCTRCipher(b"k" * 16)
+        message = b"x" * 64
+        assert cipher.process(b"12345678", message) != message
+
+    def test_nonce_separates_streams(self):
+        cipher = AESCTRCipher(b"k" * 16)
+        message = b"x" * 64
+        assert cipher.process(b"nonce--1", message) != cipher.process(b"nonce--2", message)
+
+    def test_empty_message(self):
+        cipher = AESCTRCipher(b"k" * 16)
+        assert cipher.process(b"12345678", b"") == b""
+
+    def test_length_preserving(self):
+        cipher = AESCTRCipher(b"k" * 16)
+        for length in (1, 15, 16, 17, 100):
+            assert len(cipher.process(b"12345678", b"z" * length)) == length
+
+    def test_keystream_prefix_consistency(self):
+        cipher = AESCTRCipher(b"k" * 16)
+        long = cipher.keystream(b"12345678", 256)
+        short = cipher.keystream(b"12345678", 100)
+        assert long[:100] == short
+
+    def test_rejects_bad_nonce(self):
+        cipher = AESCTRCipher(b"k" * 16)
+        with pytest.raises(ValueError):
+            cipher.keystream(b"short", 16)
+
+    def test_rejects_negative_length(self):
+        cipher = AESCTRCipher(b"k" * 16)
+        with pytest.raises(ValueError):
+            cipher.keystream(b"12345678", -1)
+
+    @given(st.binary(min_size=0, max_size=200), st.binary(min_size=8, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, message, nonce):
+        cipher = AESCTRCipher(b"propkey123456789"[:16])
+        assert cipher.process(nonce, cipher.process(nonce, message)) == message

@@ -1,0 +1,90 @@
+"""Random matrix sampling tests: orthogonality, invertibility, conditioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.matrices import (
+    random_invertible_matrix,
+    random_orthogonal_matrix,
+    split_rows,
+)
+
+
+class TestOrthogonal:
+    def test_orthogonality(self):
+        rng = np.random.default_rng(0)
+        q = random_orthogonal_matrix(16, rng)
+        assert np.allclose(q @ q.T, np.eye(16), atol=1e-12)
+
+    def test_determinant_magnitude_one(self):
+        rng = np.random.default_rng(1)
+        q = random_orthogonal_matrix(10, rng)
+        assert abs(abs(np.linalg.det(q)) - 1.0) < 1e-10
+
+    def test_rejects_nonpositive_dim(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_orthogonal_matrix(0, rng)
+
+    def test_dim_one(self):
+        rng = np.random.default_rng(0)
+        q = random_orthogonal_matrix(1, rng)
+        assert q.shape == (1, 1)
+        assert abs(abs(q[0, 0]) - 1.0) < 1e-12
+
+    def test_distribution_varies(self):
+        rng = np.random.default_rng(2)
+        a = random_orthogonal_matrix(8, rng)
+        b = random_orthogonal_matrix(8, rng)
+        assert not np.allclose(a, b)
+
+
+class TestInvertible:
+    def test_inverse_is_exact(self):
+        rng = np.random.default_rng(3)
+        m, m_inv = random_invertible_matrix(20, rng)
+        assert np.allclose(m @ m_inv, np.eye(20), atol=1e-10)
+        assert np.allclose(m_inv @ m, np.eye(20), atol=1e-10)
+
+    def test_condition_number_bounded(self):
+        rng = np.random.default_rng(4)
+        m, _ = random_invertible_matrix(30, rng, singular_range=(0.5, 2.0))
+        assert np.linalg.cond(m) <= 4.0 + 1e-6
+
+    def test_custom_singular_range(self):
+        rng = np.random.default_rng(5)
+        m, _ = random_invertible_matrix(12, rng, singular_range=(1.0, 1.0))
+        singular_values = np.linalg.svd(m, compute_uv=False)
+        assert np.allclose(singular_values, 1.0, atol=1e-10)
+
+    def test_rejects_nonpositive_singular_values(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_invertible_matrix(4, rng, singular_range=(0.0, 1.0))
+
+    def test_rejects_inverted_range(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_invertible_matrix(4, rng, singular_range=(2.0, 1.0))
+
+    @given(st.integers(min_value=1, max_value=24))
+    @settings(max_examples=15, deadline=None)
+    def test_invertibility_property(self, dim):
+        rng = np.random.default_rng(dim)
+        m, m_inv = random_invertible_matrix(dim, rng)
+        assert np.allclose(m @ m_inv, np.eye(dim), atol=1e-9)
+
+
+class TestSplitRows:
+    def test_splits_evenly(self):
+        matrix = np.arange(24).reshape(6, 4)
+        upper, lower = split_rows(matrix)
+        assert upper.shape == (3, 4)
+        assert lower.shape == (3, 4)
+        assert np.array_equal(np.vstack([upper, lower]), matrix)
+
+    def test_rejects_odd_rows(self):
+        with pytest.raises(ValueError):
+            split_rows(np.zeros((5, 4)))

@@ -1,0 +1,86 @@
+"""Paillier / HE distance-protocol tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.paillier import (
+    HEDistanceProtocol,
+    PaillierKeypair,
+    paillier_keygen,
+)
+
+#: One shared small keypair — keygen is the slow part.
+KEYPAIR = paillier_keygen(256, np.random.default_rng(7))
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return HEDistanceProtocol(6, keypair=KEYPAIR, rng=np.random.default_rng(8))
+
+
+class TestPaillierCore:
+    def test_encrypt_decrypt_roundtrip(self, protocol):
+        for message in (0, 1, 12345, -987):
+            assert protocol.decrypt_int(protocol.encrypt_int(message)) == message
+
+    def test_homomorphic_addition(self, protocol):
+        a, b = 1234, 5678
+        combined = protocol.add(protocol.encrypt_int(a), protocol.encrypt_int(b))
+        assert protocol.decrypt_int(combined) == a + b
+
+    def test_homomorphic_scalar_multiplication(self, protocol):
+        cipher = protocol.encrypt_int(321)
+        assert protocol.decrypt_int(protocol.scalar_multiply(cipher, 7)) == 2247
+
+    def test_negative_scalar(self, protocol):
+        cipher = protocol.encrypt_int(50)
+        assert protocol.decrypt_int(protocol.scalar_multiply(cipher, -3)) == -150
+
+    def test_probabilistic_encryption(self, protocol):
+        assert protocol.encrypt_int(42) != protocol.encrypt_int(42)
+
+    def test_keygen_validation(self):
+        with pytest.raises(ValueError):
+            paillier_keygen(32)
+        with pytest.raises(ValueError):
+            paillier_keygen(127)
+
+    @given(st.integers(min_value=-10**6, max_value=10**6),
+           st.integers(min_value=-10**6, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_additive_homomorphism_property(self, a, b):
+        protocol = HEDistanceProtocol(2, keypair=KEYPAIR, rng=np.random.default_rng(abs(a) + 1))
+        combined = protocol.add(protocol.encrypt_int(a), protocol.encrypt_int(b))
+        assert protocol.decrypt_int(combined) == a + b
+
+
+class TestHEDistanceProtocol:
+    def test_distance_recovery(self, protocol):
+        rng = np.random.default_rng(9)
+        p = rng.standard_normal(6)
+        q = rng.standard_normal(6)
+        ciphertext = protocol.encrypt_vector(p)
+        term = protocol.encrypted_distance_term(ciphertext, q)
+        recovered = protocol.decrypted_distance(term, q)
+        assert recovered == pytest.approx(float(((p - q) ** 2).sum()), abs=1e-4)
+
+    def test_comparison_via_he(self, protocol):
+        rng = np.random.default_rng(10)
+        o, p, q = rng.standard_normal((3, 6))
+        ct_o = protocol.encrypt_vector(o)
+        ct_p = protocol.encrypt_vector(p)
+        dist_o = protocol.decrypted_distance(protocol.encrypted_distance_term(ct_o, q), q)
+        dist_p = protocol.decrypted_distance(protocol.encrypted_distance_term(ct_p, q), q)
+        true_o = float(((o - q) ** 2).sum())
+        true_p = float(((p - q) ** 2).sum())
+        assert (dist_o < dist_p) == (true_o < true_p)
+
+    def test_vector_shape_validation(self, protocol):
+        with pytest.raises(ValueError):
+            protocol.encrypt_vector(np.zeros(3))
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            HEDistanceProtocol(0, keypair=KEYPAIR)

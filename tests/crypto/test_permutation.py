@@ -1,0 +1,126 @@
+"""Permutation tests: roundtrip, composition, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.permutation import Permutation
+
+
+class TestConstruction:
+    def test_valid_permutation(self):
+        p = Permutation(np.array([2, 0, 1]))
+        assert p.size == 3
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Permutation(np.array([0, 0, 1]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Permutation(np.array([0, 1, 3]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Permutation(np.array([], dtype=np.int64))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Permutation(np.zeros((2, 2), dtype=np.int64))
+
+    def test_random_is_valid(self):
+        rng = np.random.default_rng(0)
+        p = Permutation.random(50, rng)
+        assert p.size == 50
+        assert np.array_equal(np.sort(p.indices), np.arange(50))
+
+    def test_random_rejects_nonpositive(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Permutation.random(0, rng)
+
+    def test_identity(self):
+        p = Permutation.identity(5)
+        assert p.is_identity()
+        x = np.arange(5.0)
+        assert np.array_equal(p.apply(x), x)
+
+
+class TestApplyInvert:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        p = Permutation.random(20, rng)
+        x = rng.standard_normal(20)
+        assert np.allclose(p.invert(p.apply(x)), x)
+        assert np.allclose(p.apply(p.invert(x)), x)
+
+    def test_apply_semantics(self):
+        p = Permutation(np.array([2, 0, 1]))
+        x = np.array([10.0, 20.0, 30.0])
+        assert np.array_equal(p.apply(x), np.array([30.0, 10.0, 20.0]))
+
+    def test_batch_apply(self):
+        rng = np.random.default_rng(2)
+        p = Permutation.random(8, rng)
+        batch = rng.standard_normal((5, 8))
+        applied = p.apply(batch)
+        for i in range(5):
+            assert np.array_equal(applied[i], p.apply(batch[i]))
+
+    def test_preserves_inner_products(self):
+        # The property DCE relies on: permuting both sides of a dot product
+        # with the same pi leaves the product unchanged.
+        rng = np.random.default_rng(3)
+        p = Permutation.random(32, rng)
+        a = rng.standard_normal(32)
+        b = rng.standard_normal(32)
+        assert np.isclose(p.apply(a) @ p.apply(b), a @ b)
+
+    def test_width_mismatch_raises(self):
+        p = Permutation.identity(4)
+        with pytest.raises(ValueError):
+            p.apply(np.zeros(5))
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, size):
+        rng = np.random.default_rng(size)
+        p = Permutation.random(size, rng)
+        x = rng.standard_normal(size)
+        assert np.allclose(p.invert(p.apply(x)), x)
+
+
+class TestCompose:
+    def test_compose_semantics(self):
+        rng = np.random.default_rng(4)
+        p = Permutation.random(10, rng)
+        q = Permutation.random(10, rng)
+        x = rng.standard_normal(10)
+        assert np.array_equal(p.compose(q).apply(x), p.apply(q.apply(x)))
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Permutation.identity(3).compose(Permutation.identity(4))
+
+    def test_compose_with_inverse_is_identity(self):
+        rng = np.random.default_rng(5)
+        p = Permutation.random(12, rng)
+        inverse = Permutation(np.argsort(p.indices))
+        assert p.compose(inverse).is_identity()
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a = Permutation(np.array([1, 0, 2]))
+        b = Permutation(np.array([1, 0, 2]))
+        c = Permutation(np.array([2, 0, 1]))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_eq_other_type(self):
+        assert Permutation.identity(3) != "not a permutation"
+
+    def test_repr(self):
+        assert "size=3" in repr(Permutation.identity(3))

@@ -1,0 +1,66 @@
+"""Vector byte-packing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.serialization import (
+    BYTES_PER_COMPONENT,
+    bytes_to_vector,
+    bytes_to_vectors,
+    vector_to_bytes,
+    vectors_to_bytes,
+)
+
+
+class TestSingleVector:
+    def test_roundtrip(self):
+        vector = np.array([1.5, -2.25, 0.0, 1e6])
+        recovered = bytes_to_vector(vector_to_bytes(vector))
+        assert np.allclose(recovered, vector)
+
+    def test_size(self):
+        vector = np.zeros(13)
+        assert len(vector_to_bytes(vector)) == 13 * BYTES_PER_COMPONENT
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            vector_to_bytes(np.zeros((2, 3)))
+
+    def test_rejects_misaligned_bytes(self):
+        with pytest.raises(ValueError):
+            bytes_to_vector(b"abc")
+
+    def test_float32_precision_loss_is_bounded(self):
+        vector = np.array([1.0 / 3.0])
+        recovered = bytes_to_vector(vector_to_bytes(vector))
+        assert abs(recovered[0] - vector[0]) < 1e-7
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=32))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, values):
+        vector = np.array(values)
+        recovered = bytes_to_vector(vector_to_bytes(vector))
+        assert np.allclose(recovered, vector, rtol=1e-6, atol=1e-3)
+
+
+class TestBatch:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((5, 7))
+        recovered = bytes_to_vectors(vectors_to_bytes(vectors), 7)
+        assert np.allclose(recovered, vectors, rtol=1e-6)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            vectors_to_bytes(np.zeros(4))
+
+    def test_rejects_bad_dim(self):
+        data = vectors_to_bytes(np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            bytes_to_vectors(data, 3)
+
+    def test_rejects_nonpositive_dim(self):
+        with pytest.raises(ValueError):
+            bytes_to_vectors(b"\x00" * 8, 0)

@@ -1,0 +1,32 @@
+"""Ground-truth computation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.datasets.ground_truth import compute_ground_truth
+from repro.hnsw.bruteforce import exact_knn
+
+
+class TestComputeGroundTruth:
+    def test_matches_exact_knn(self):
+        rng = np.random.default_rng(0)
+        database = rng.standard_normal((80, 6))
+        queries = rng.standard_normal((7, 6))
+        gt = compute_ground_truth(database, queries, 5)
+        assert len(gt) == 7
+        assert gt.k == 5
+        for i, query in enumerate(queries):
+            expected, _ = exact_knn(database, query, 5)
+            assert np.array_equal(gt.for_query(i), expected)
+
+    def test_distances_sorted(self):
+        rng = np.random.default_rng(1)
+        gt = compute_ground_truth(
+            rng.standard_normal((50, 4)), rng.standard_normal((3, 4)), 10
+        )
+        assert np.all(np.diff(gt.distances, axis=1) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            compute_ground_truth(np.zeros((5, 4)), np.zeros(4), 3)

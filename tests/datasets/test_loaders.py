@@ -1,0 +1,73 @@
+"""fvecs/ivecs/bvecs loader tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.datasets.loaders import read_bvecs, read_fvecs, read_ivecs, write_fvecs
+
+
+class TestFvecsRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((20, 6)).astype(np.float32).astype(np.float64)
+        path = tmp_path / "test.fvecs"
+        write_fvecs(path, vectors)
+        loaded = read_fvecs(path)
+        assert np.allclose(loaded, vectors, rtol=1e-6)
+
+    def test_limit(self, tmp_path):
+        vectors = np.arange(40, dtype=np.float64).reshape(10, 4)
+        path = tmp_path / "test.fvecs"
+        write_fvecs(path, vectors)
+        loaded = read_fvecs(path, limit=3)
+        assert loaded.shape == (3, 4)
+        assert np.allclose(loaded, vectors[:3])
+
+    def test_write_validation(self, tmp_path):
+        with pytest.raises(ParameterError):
+            write_fvecs(tmp_path / "bad.fvecs", np.zeros(4))
+
+
+class TestIvecs:
+    def test_roundtrip_via_manual_write(self, tmp_path):
+        ids = np.array([[1, 2, 3], [4, 5, 6]], dtype="<i4")
+        path = tmp_path / "gt.ivecs"
+        with open(path, "wb") as handle:
+            for row in ids:
+                handle.write(np.int32(3).tobytes())
+                handle.write(row.tobytes())
+        loaded = read_ivecs(path)
+        assert np.array_equal(loaded, ids)
+
+
+class TestBvecs:
+    def test_roundtrip_via_manual_write(self, tmp_path):
+        data = np.array([[0, 128, 255], [1, 2, 3]], dtype=np.uint8)
+        path = tmp_path / "base.bvecs"
+        with open(path, "wb") as handle:
+            for row in data:
+                handle.write(np.int32(3).tobytes())
+                handle.write(row.tobytes())
+        loaded = read_bvecs(path)
+        assert np.array_equal(loaded, data.astype(np.float64))
+
+
+class TestCorruptFiles:
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        path.write_bytes(b"\x01")
+        with pytest.raises(ParameterError):
+            read_fvecs(path)
+
+    def test_bad_dimension(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        path.write_bytes(np.int32(-4).tobytes() + b"\x00" * 16)
+        with pytest.raises(ParameterError):
+            read_fvecs(path)
+
+    def test_misaligned_size(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        path.write_bytes(np.int32(4).tobytes() + b"\x00" * 15)
+        with pytest.raises(ParameterError):
+            read_fvecs(path)

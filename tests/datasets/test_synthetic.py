@@ -1,0 +1,86 @@
+"""Synthetic dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.datasets.synthetic import (
+    DATASET_PROFILES,
+    make_clustered,
+    make_dataset,
+)
+
+
+class TestMakeClustered:
+    def test_shapes(self):
+        dataset = make_clustered(100, 16, 10, rng=np.random.default_rng(0))
+        assert dataset.database.shape == (100, 16)
+        assert dataset.queries.shape == (10, 16)
+        assert dataset.dim == 16
+        assert dataset.num_vectors == 100
+        assert dataset.num_queries == 10
+
+    def test_deterministic_with_seed(self):
+        a = make_clustered(50, 8, 5, rng=np.random.default_rng(7))
+        b = make_clustered(50, 8, 5, rng=np.random.default_rng(7))
+        assert np.array_equal(a.database, b.database)
+        assert np.array_equal(a.queries, b.queries)
+
+    def test_nonnegative_option(self):
+        dataset = make_clustered(
+            200, 8, 5, nonnegative=True, rng=np.random.default_rng(1)
+        )
+        assert np.all(dataset.database >= 0)
+
+    def test_clustering_structure(self):
+        # Clustered data must have lower nearest-neighbor distances than
+        # i.i.d. Gaussian data of the same scale.
+        rng = np.random.default_rng(2)
+        clustered = make_clustered(
+            300, 8, 5, num_clusters=5, cluster_spread=0.1, value_scale=10.0, rng=rng
+        )
+        from repro.hnsw.bruteforce import exact_knn
+
+        _, cluster_dists = exact_knn(clustered.database[1:], clustered.database[0], 1)
+        uniform = rng.standard_normal((300, 8)) * 10.0
+        _, uniform_dists = exact_knn(uniform[1:], uniform[0], 1)
+        assert cluster_dists[0] < uniform_dists[0]
+
+    def test_max_abs_coordinate(self):
+        dataset = make_clustered(50, 4, 5, rng=np.random.default_rng(3))
+        assert dataset.max_abs_coordinate == np.max(np.abs(dataset.database))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            make_clustered(0, 4, 5)
+        with pytest.raises(ParameterError):
+            make_clustered(10, 0, 5)
+        with pytest.raises(ParameterError):
+            make_clustered(10, 4, 0)
+        with pytest.raises(ParameterError):
+            make_clustered(10, 4, 5, num_clusters=0)
+
+
+class TestProfiles:
+    def test_all_profiles_have_paper_dimensions(self):
+        # Table I dimensionalities.
+        assert DATASET_PROFILES["sift"].dim == 128
+        assert DATASET_PROFILES["gist"].dim == 960
+        assert DATASET_PROFILES["glove"].dim == 100
+        assert DATASET_PROFILES["deep"].dim == 96
+
+    @pytest.mark.parametrize("name", sorted(DATASET_PROFILES))
+    def test_profile_generates(self, name):
+        dataset = make_dataset(name, num_vectors=50, num_queries=5,
+                               rng=np.random.default_rng(4))
+        assert dataset.name == name
+        assert dataset.dim == DATASET_PROFILES[name].dim
+
+    def test_sift_like_nonnegative(self):
+        dataset = make_dataset("sift", num_vectors=50, num_queries=5,
+                               rng=np.random.default_rng(5))
+        assert np.all(dataset.database >= 0)
+
+    def test_unknown_profile(self):
+        with pytest.raises(ParameterError):
+            make_dataset("imagenet")

@@ -1,0 +1,65 @@
+"""Network cost model tests."""
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.eval.costmodel import CostReport, NetworkModel
+
+
+class TestNetworkModel:
+    def test_latency_formula(self):
+        model = NetworkModel(rtt_seconds=0.01, bandwidth_bytes_per_second=1000.0)
+        assert model.latency(total_bytes=500, rounds=2) == pytest.approx(0.02 + 0.5)
+
+    def test_zero_transfer(self):
+        model = NetworkModel()
+        assert model.latency(0, 0) == 0.0
+
+    def test_localhost_is_cheap(self):
+        model = NetworkModel.localhost()
+        assert model.latency(10_000, 10) < 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            NetworkModel(rtt_seconds=-1.0)
+        with pytest.raises(ParameterError):
+            NetworkModel(bandwidth_bytes_per_second=0.0)
+        with pytest.raises(ParameterError):
+            NetworkModel().latency(-1, 0)
+
+
+class TestCostReport:
+    def test_total(self):
+        model = NetworkModel(rtt_seconds=0.1, bandwidth_bytes_per_second=1e6)
+        report = CostReport(
+            method="x",
+            server_seconds=0.2,
+            user_seconds=0.3,
+            upload_bytes=500_000,
+            download_bytes=500_000,
+            rounds=1,
+        )
+        assert report.network_seconds(model) == pytest.approx(0.1 + 1.0)
+        assert report.total_seconds(model) == pytest.approx(0.2 + 0.3 + 1.1)
+
+    def test_merge(self):
+        a = CostReport(method="x", server_seconds=1.0, upload_bytes=10, rounds=1,
+                       extra={"candidates": 5.0})
+        b = CostReport(method="x", server_seconds=2.0, upload_bytes=20, rounds=2,
+                       extra={"candidates": 7.0})
+        a.merge(b)
+        assert a.server_seconds == 3.0
+        assert a.upload_bytes == 30
+        assert a.rounds == 3
+        assert a.extra["candidates"] == 12.0
+
+    def test_scaled(self):
+        report = CostReport(method="x", server_seconds=2.0, user_seconds=4.0,
+                            upload_bytes=100, download_bytes=200, rounds=10)
+        half = report.scaled(0.5)
+        assert half.server_seconds == 1.0
+        assert half.user_seconds == 2.0
+        assert half.upload_bytes == 50
+        assert half.rounds == 5
+        # Original untouched.
+        assert report.server_seconds == 2.0

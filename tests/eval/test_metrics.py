@@ -1,0 +1,69 @@
+"""Metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.eval.metrics import (
+    mean_recall,
+    qps_from_latencies,
+    recall_at_k,
+    summarize_latencies,
+)
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall_at_k(np.array([1, 2, 3]), np.array([3, 2, 1]), 3) == 1.0
+
+    def test_partial(self):
+        assert recall_at_k(np.array([1, 2, 9]), np.array([1, 2, 3]), 3) == pytest.approx(2 / 3)
+
+    def test_zero(self):
+        assert recall_at_k(np.array([7, 8]), np.array([1, 2]), 2) == 0.0
+
+    def test_divides_by_k_even_if_short(self):
+        # The paper always divides by k.
+        assert recall_at_k(np.array([1]), np.array([1, 2, 3, 4]), 4) == 0.25
+
+    def test_only_first_k_found_count(self):
+        found = np.array([9, 8, 1, 2])
+        truth = np.array([1, 2])
+        assert recall_at_k(found, truth, 2) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            recall_at_k(np.array([1]), np.array([1]), 0)
+
+    def test_mean_recall(self):
+        found = [np.array([1, 2]), np.array([3, 9])]
+        truth = [np.array([1, 2]), np.array([3, 4])]
+        assert mean_recall(found, truth, 2) == pytest.approx(0.75)
+
+    def test_mean_recall_validation(self):
+        with pytest.raises(ParameterError):
+            mean_recall([np.array([1])], [], 1)
+        with pytest.raises(ParameterError):
+            mean_recall([], [], 1)
+
+
+class TestThroughput:
+    def test_qps(self):
+        assert qps_from_latencies(np.array([0.01, 0.01])) == pytest.approx(100.0)
+
+    def test_qps_validation(self):
+        with pytest.raises(ParameterError):
+            qps_from_latencies(np.array([]))
+        with pytest.raises(ParameterError):
+            qps_from_latencies(np.array([0.0]))
+
+    def test_summary(self):
+        latencies = np.linspace(0.001, 0.1, 100)
+        summary = summarize_latencies(latencies)
+        assert summary.mean == pytest.approx(latencies.mean())
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+        assert summary.qps == pytest.approx(1.0 / summary.mean)
+
+    def test_summary_validation(self):
+        with pytest.raises(ParameterError):
+            summarize_latencies(np.array([]))

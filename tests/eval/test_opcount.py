@@ -1,0 +1,77 @@
+"""Analytic cost model vs measured instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.eval.opcount import predict_query_cost
+
+
+class TestFormulas:
+    def test_refine_scales_linearly_in_k_prime(self):
+        base = predict_query_cost(1000, 96, 10, 4, 100)
+        double = predict_query_cost(1000, 96, 10, 8, 100)
+        assert double.refine_comparisons == 2 * base.refine_comparisons
+        assert double.refine_macs == 2 * base.refine_macs
+
+    def test_refine_macs_use_dce_rate(self):
+        model = predict_query_cost(1000, 96, 10, 4, 100)
+        assert model.refine_macs == model.refine_comparisons * (4 * 96 + 32)
+
+    def test_filter_grows_logarithmically_in_n(self):
+        small = predict_query_cost(1_000, 96, 10, 8, 100)
+        large = predict_query_cost(1_000_000, 96, 10, 8, 100)
+        # 1000x the data, only log-factor more filter work.
+        assert large.filter_macs < 1.5 * small.filter_macs
+
+    def test_download_is_4k(self):
+        assert predict_query_cost(1000, 96, 10, 8, 100).download_bytes == 40
+
+    def test_upload_formulas(self):
+        model = predict_query_cost(1000, 128, 10, 8, 100)
+        assert model.upload_bytes_paper == 36 * 128 + 260
+        assert model.upload_bytes_actual == 4 * 128 + 8 * (2 * 128 + 16) + 4
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            predict_query_cost(0, 96, 10, 8, 100)
+
+
+class TestAgainstMeasurement:
+    def test_refine_comparison_bound_holds(self, fitted_scheme, small_dataset):
+        # The model's refine_comparisons is an upper bound on the measured
+        # count from the comparison heap.
+        k, ratio, ef = 10, 8, 100
+        model = predict_query_cost(
+            len(small_dataset.database), small_dataset.dim, k, ratio, ef
+        )
+        for query in small_dataset.queries[:5]:
+            report = fitted_scheme.query_with_report(query, k, ratio_k=ratio, ef_search=ef)
+            assert report.refine_comparisons <= model.refine_comparisons
+
+    def test_filter_distance_prediction_within_factor(self, fitted_scheme, small_dataset):
+        # Order-of-magnitude agreement between the model and measured
+        # filter-phase distance computations.
+        k, ratio, ef = 10, 8, 100
+        model = predict_query_cost(
+            len(small_dataset.database),
+            small_dataset.dim,
+            k,
+            ratio,
+            ef,
+            graph_degree=2 * fitted_scheme.server.index.graph.params.m,
+        )
+        measured = []
+        for query in small_dataset.queries:
+            report = fitted_scheme.query_with_report(query, k, ratio_k=ratio, ef_search=ef)
+            measured.append(report.filter_stats.distance_computations)
+        mean_measured = float(np.mean(measured))
+        assert model.filter_distance_computations / 10 < mean_measured
+        assert mean_measured < model.filter_distance_computations * 10
+
+    def test_upload_actual_matches_encrypted_query(self, fitted_scheme, small_dataset):
+        model = predict_query_cost(
+            len(small_dataset.database), small_dataset.dim, 10, 8, 100
+        )
+        encrypted = fitted_scheme.user.encrypt_query(small_dataset.queries[0], 10)
+        assert encrypted.upload_bytes() == model.upload_bytes_actual

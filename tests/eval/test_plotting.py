@@ -1,0 +1,66 @@
+"""ASCII plot rendering tests."""
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.eval.plotting import render_curves
+from repro.eval.runner import CurvePoint, MethodCurve
+
+
+def _curve(label, pairs):
+    return MethodCurve(
+        label=label,
+        points=tuple(
+            CurvePoint(parameter=i, recall=r, mean_latency_seconds=1.0 / q)
+            for i, (r, q) in enumerate(pairs)
+        ),
+    )
+
+
+class TestRenderCurves:
+    def test_contains_points_and_legend(self):
+        curve = _curve("method-a", [(0.5, 100.0), (0.9, 10.0)])
+        output = render_curves([curve], width=40, height=8)
+        assert "o = method-a" in output
+        plot_lines = [line for line in output.splitlines() if "|" in line]
+        assert any("o" in line.split("|", 1)[1] for line in plot_lines)
+        assert "recall" in output
+
+    def test_log_scale_detection(self):
+        wide = _curve("wide", [(0.5, 1.0), (0.9, 1000.0)])
+        narrow = _curve("narrow", [(0.5, 90.0), (0.9, 100.0)])
+        assert "(log y)" in render_curves([wide])
+        assert "(log y)" not in render_curves([narrow])
+
+    def test_multiple_curves_distinct_glyphs(self):
+        curves = [
+            _curve("a", [(0.5, 100.0)]),
+            _curve("b", [(0.6, 50.0)]),
+        ]
+        output = render_curves(curves)
+        assert "o = a" in output
+        assert "x = b" in output
+
+    def test_latency_metric(self):
+        curve = _curve("m", [(0.5, 100.0), (0.9, 10.0)])
+        output = render_curves([curve], y_metric="latency")
+        assert output.splitlines()[0].startswith("s")
+
+    def test_title(self):
+        curve = _curve("m", [(0.5, 100.0)])
+        assert render_curves([curve], title="Figure X").splitlines()[0] == "Figure X"
+
+    def test_validation(self):
+        curve = _curve("m", [(0.5, 100.0)])
+        with pytest.raises(ParameterError):
+            render_curves([])
+        with pytest.raises(ParameterError):
+            render_curves([curve], width=5)
+        with pytest.raises(ParameterError):
+            render_curves([curve], y_metric="nope")
+        with pytest.raises(ParameterError):
+            render_curves([_curve(str(i), [(0.5, 1.0)]) for i in range(9)])
+
+    def test_identical_points_do_not_crash(self):
+        curve = _curve("flat", [(0.5, 100.0), (0.5, 100.0)])
+        assert "flat" in render_curves([curve])

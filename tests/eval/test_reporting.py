@@ -1,0 +1,37 @@
+"""Reporting format tests."""
+
+from repro.eval.reporting import format_curve, format_table
+from repro.eval.runner import CurvePoint, MethodCurve
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [30, 4.123456]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[1.23456789]])
+        assert "1.235" in table
+
+    def test_empty_rows(self):
+        table = format_table(["col"], [])
+        assert "col" in table
+
+
+class TestFormatCurve:
+    def test_curve_rendering(self):
+        curve = MethodCurve(
+            label="test-method",
+            points=(CurvePoint(parameter=10, recall=0.9, mean_latency_seconds=0.001),),
+        )
+        rendered = format_curve(curve, parameter_name="ef")
+        assert "test-method" in rendered
+        assert "ef" in rendered
+        assert "0.9" in rendered

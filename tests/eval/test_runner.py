@@ -1,0 +1,54 @@
+"""Sweep runner tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.eval.runner import ground_truth, sweep_filter_only, sweep_ppanns
+
+
+class TestSweeps:
+    def test_sweep_ppanns(self, fitted_scheme, small_dataset):
+        truth = ground_truth(small_dataset.database, small_dataset.queries, 10)
+        curve = sweep_ppanns(
+            fitted_scheme,
+            small_dataset.queries,
+            truth,
+            k=10,
+            ratio_k=8,
+            ef_grid=(20, 80),
+        )
+        assert len(curve.points) == 2
+        assert curve.points[0].parameter == 20
+        # Wider beam: recall no worse (small tolerance for measurement noise).
+        assert curve.points[1].recall >= curve.points[0].recall - 0.05
+        for point in curve.points:
+            assert 0 <= point.recall <= 1
+            assert point.qps > 0
+
+    def test_sweep_filter_only(self, fitted_scheme, small_dataset):
+        truth = ground_truth(small_dataset.database, small_dataset.queries, 10)
+        curve = sweep_filter_only(
+            fitted_scheme, small_dataset.queries, truth, k=10, ef_grid=(40,)
+        )
+        assert curve.label == "HNSW(filter)"
+        assert len(curve.points) == 1
+
+    def test_truth_mismatch_rejected(self, fitted_scheme, small_dataset):
+        with pytest.raises(ParameterError):
+            sweep_ppanns(
+                fitted_scheme, small_dataset.queries, [], k=10, ratio_k=4, ef_grid=(20,)
+            )
+
+
+class TestMethodCurve:
+    def test_qps_at_recall(self, fitted_scheme, small_dataset):
+        truth = ground_truth(small_dataset.database, small_dataset.queries, 10)
+        curve = sweep_ppanns(
+            fitted_scheme, small_dataset.queries, truth, k=10, ratio_k=8,
+            ef_grid=(40, 120),
+        )
+        floor = curve.points[0].recall
+        assert curve.qps_at_recall(floor) is not None
+        assert curve.qps_at_recall(1.1) is None
+        assert curve.best_recall() == max(p.recall for p in curve.points)

@@ -1,0 +1,57 @@
+"""Exact k-NN tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionMismatchError, ParameterError
+from repro.hnsw.bruteforce import BruteForceIndex, exact_knn
+
+
+class TestExactKnn:
+    def test_known_neighbors(self):
+        vectors = np.array([[0.0], [1.0], [5.0], [6.0]])
+        ids, dists = exact_knn(vectors, np.array([0.9]), 2)
+        assert ids.tolist() == [1, 0]
+        assert np.allclose(dists, [0.01, 0.81])
+
+    def test_sorted_output(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((100, 6))
+        _, dists = exact_knn(vectors, rng.standard_normal(6), 10)
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_k_clamped_to_n(self):
+        vectors = np.zeros((3, 2))
+        ids, _ = exact_knn(vectors, np.zeros(2), 10)
+        assert ids.shape[0] == 3
+
+    def test_matches_full_sort(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.standard_normal((200, 4))
+        query = rng.standard_normal(4)
+        ids, _ = exact_knn(vectors, query, 7)
+        full = np.argsort(((vectors - query) ** 2).sum(axis=1), kind="stable")[:7]
+        assert ids.tolist() == full.tolist()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            exact_knn(np.zeros((3, 2)), np.zeros(2), 0)
+        with pytest.raises(DimensionMismatchError):
+            exact_knn(np.zeros((3, 2)), np.zeros(3), 1)
+        with pytest.raises(ParameterError):
+            exact_knn(np.zeros(3), np.zeros(3), 1)
+
+
+class TestBruteForceIndex:
+    def test_search(self):
+        rng = np.random.default_rng(2)
+        vectors = rng.standard_normal((50, 4))
+        index = BruteForceIndex(vectors)
+        assert index.size == 50
+        assert index.dim == 4
+        ids, _ = index.search(vectors[7], 1)
+        assert ids[0] == 7
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            BruteForceIndex(np.zeros((0, 4)))

@@ -1,0 +1,63 @@
+"""Distance kernel tests."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hnsw.distance import (
+    distance_mac_count,
+    pairwise_squared_distances,
+    squared_distance,
+    squared_distances_to_many,
+)
+
+
+class TestSquaredDistance:
+    def test_known_value(self):
+        assert squared_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 25.0
+
+    def test_zero_for_identical(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert squared_distance(v, v) == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((2, 16))
+        assert np.isclose(squared_distance(a, b), squared_distance(b, a))
+
+    @given(st.integers(min_value=1, max_value=32))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_numpy(self, dim):
+        rng = np.random.default_rng(dim)
+        a = rng.standard_normal(dim)
+        b = rng.standard_normal(dim)
+        assert np.isclose(squared_distance(a, b), np.sum((a - b) ** 2))
+
+
+class TestBatchKernels:
+    def test_to_many_matches_loop(self):
+        rng = np.random.default_rng(1)
+        q = rng.standard_normal(8)
+        vs = rng.standard_normal((20, 8))
+        batch = squared_distances_to_many(q, vs)
+        for i in range(20):
+            assert np.isclose(batch[i], squared_distance(q, vs[i]))
+
+    def test_pairwise_matches_loop(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((6, 5))
+        b = rng.standard_normal((9, 5))
+        pairwise = pairwise_squared_distances(a, b)
+        assert pairwise.shape == (6, 9)
+        for i in range(6):
+            for j in range(9):
+                assert np.isclose(pairwise[i, j], squared_distance(a[i], b[j]), atol=1e-8)
+
+    def test_pairwise_non_negative(self):
+        # The expansion ||a||^2 - 2ab + ||b||^2 can dip below 0 in floats;
+        # the kernel must clip.
+        a = np.ones((3, 4)) * 1e8
+        assert np.all(pairwise_squared_distances(a, a) >= 0.0)
+
+    def test_mac_count(self):
+        assert distance_mac_count(128) == 128

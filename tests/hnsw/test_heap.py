@@ -1,0 +1,147 @@
+"""Heap tests: numeric bounded heap and the comparison-oracle heap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hnsw.heap import BoundedMaxHeap, ComparisonMaxHeap
+
+
+class TestBoundedMaxHeap:
+    def test_keeps_k_smallest(self):
+        heap = BoundedMaxHeap(3)
+        for value in [9.0, 1.0, 7.0, 3.0, 5.0]:
+            heap.push(value, int(value))
+        kept = [item for _, item in heap.items_sorted()]
+        assert kept == [1, 3, 5]
+
+    def test_top_value_is_bound(self):
+        heap = BoundedMaxHeap(2)
+        heap.push(4.0, 4)
+        heap.push(2.0, 2)
+        assert heap.top_value() == 4.0
+        heap.push(3.0, 3)
+        assert heap.top_value() == 3.0
+
+    def test_push_returns_retention(self):
+        heap = BoundedMaxHeap(1)
+        assert heap.push(5.0, 5)
+        assert not heap.push(9.0, 9)
+        assert heap.push(1.0, 1)
+
+    def test_empty_top_raises(self):
+        with pytest.raises(IndexError):
+            BoundedMaxHeap(2).top_value()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedMaxHeap(0)
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_sorted_property(self, values, k):
+        heap = BoundedMaxHeap(k)
+        for i, value in enumerate(values):
+            heap.push(value, i)
+        kept_values = [v for v, _ in heap.items_sorted()]
+        assert kept_values == sorted(values)[:k]
+
+
+def _oracle_for(dists):
+    def is_farther(a: int, b: int) -> bool:
+        return dists[a] >= dists[b]
+
+    return is_farther
+
+
+class TestComparisonMaxHeap:
+    def test_keeps_k_nearest_by_oracle(self):
+        rng = np.random.default_rng(0)
+        dists = rng.uniform(0, 100, size=40)
+        heap = ComparisonMaxHeap(5, _oracle_for(dists))
+        for item in range(40):
+            heap.offer(item)
+        expected = set(np.argsort(dists)[:5].tolist())
+        assert set(heap.items()) == expected
+
+    def test_top_is_farthest(self):
+        dists = {0: 1.0, 1: 9.0, 2: 5.0}
+        heap = ComparisonMaxHeap(3, _oracle_for(dists))
+        for item in range(3):
+            heap.offer(item)
+        assert heap.top() == 1
+
+    def test_offer_rejects_farther_when_full(self):
+        dists = {0: 1.0, 1: 2.0, 2: 99.0}
+        heap = ComparisonMaxHeap(2, _oracle_for(dists))
+        assert heap.offer(0)
+        assert heap.offer(1)
+        assert not heap.offer(2)
+        assert set(heap.items()) == {0, 1}
+
+    def test_oracle_calls_logarithmic(self):
+        # Each full-heap offer costs at most 1 + O(log k) comparisons.
+        rng = np.random.default_rng(1)
+        dists = rng.uniform(0, 100, size=200)
+        k = 16
+        heap = ComparisonMaxHeap(k, _oracle_for(dists))
+        for item in range(200):
+            heap.offer(item)
+        per_offer = heap.oracle_calls / 200
+        assert per_offer <= 2 * (np.log2(k) + 1)
+
+    def test_items_sorted_by_oracle(self):
+        rng = np.random.default_rng(2)
+        dists = rng.uniform(0, 10, size=30)
+        heap = ComparisonMaxHeap(6, _oracle_for(dists))
+        for item in range(30):
+            heap.offer(item)
+        ordered = heap.items_sorted_by_oracle()
+        ordered_dists = [dists[i] for i in ordered]
+        assert ordered_dists == sorted(ordered_dists)
+
+    def test_push_full_raises(self):
+        heap = ComparisonMaxHeap(1, _oracle_for({0: 1.0, 1: 2.0}))
+        heap.push(0)
+        with pytest.raises(IndexError):
+            heap.push(1)
+
+    def test_empty_top_raises(self):
+        with pytest.raises(IndexError):
+            ComparisonMaxHeap(2, _oracle_for({})).top()
+
+    def test_replace_top_empty_raises(self):
+        with pytest.raises(IndexError):
+            ComparisonMaxHeap(2, _oracle_for({})).replace_top(0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ComparisonMaxHeap(0, _oracle_for({}))
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60,
+                    unique=True),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_sorted_property(self, values, k):
+        dists = {i: float(v) for i, v in enumerate(values)}
+        heap = ComparisonMaxHeap(k, _oracle_for(dists))
+        for item in range(len(values)):
+            heap.offer(item)
+        expected = set(sorted(range(len(values)), key=lambda i: dists[i])[:k])
+        assert set(heap.items()) == expected
+
+    def test_never_observes_distance_values(self):
+        # The heap's only interface to "distance" is the boolean oracle —
+        # verify by feeding an oracle that works on opaque tokens.
+        order = ["near", "mid", "far"]
+        token_rank = {t: i for i, t in enumerate(order)}
+
+        def is_farther(a, b):
+            return token_rank[a] >= token_rank[b]
+
+        heap = ComparisonMaxHeap(2, is_farther)
+        for token in ("far", "near", "mid"):
+            heap.offer(token)
+        assert set(heap.items()) == {"near", "mid"}

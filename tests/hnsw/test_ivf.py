@@ -1,0 +1,137 @@
+"""IVF-Flat index tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionMismatchError, ParameterError
+from repro.hnsw.bruteforce import exact_knn
+from repro.hnsw.graph import SearchStats
+from repro.hnsw.ivf import IVFFlatIndex, IVFParams, kmeans
+
+
+@pytest.fixture(scope="module")
+def built():
+    rng = np.random.default_rng(0)
+    centers = rng.standard_normal((8, 10)) * 8
+    assignments = rng.integers(0, 8, size=400)
+    vectors = centers[assignments] + rng.standard_normal((400, 10))
+    index = IVFFlatIndex(vectors, IVFParams(num_lists=8, train_iterations=8),
+                         rng=np.random.default_rng(1))
+    return index, vectors
+
+
+class TestKMeans:
+    def test_partitions_everything(self):
+        rng = np.random.default_rng(2)
+        vectors = rng.standard_normal((100, 4))
+        centroids, assignments = kmeans(vectors, 5, 5, rng)
+        assert centroids.shape == (5, 4)
+        assert assignments.shape == (100,)
+        assert set(np.unique(assignments)) <= set(range(5))
+
+    def test_recovers_separated_clusters(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((50, 3)) + 100
+        b = rng.standard_normal((50, 3)) - 100
+        vectors = np.vstack([a, b])
+        _, assignments = kmeans(vectors, 2, 10, rng)
+        assert len(set(assignments[:50])) == 1
+        assert len(set(assignments[50:])) == 1
+        assert assignments[0] != assignments[50]
+
+    def test_clamps_k_to_n(self):
+        rng = np.random.default_rng(4)
+        centroids, _ = kmeans(rng.standard_normal((3, 2)), 10, 3, rng)
+        assert centroids.shape[0] == 3
+
+
+class TestIVFIndex:
+    def test_all_vectors_in_some_list(self, built):
+        index, vectors = built
+        assert sum(index.list_sizes()) == vectors.shape[0]
+
+    def test_full_probe_is_exact(self, built):
+        index, vectors = built
+        rng = np.random.default_rng(5)
+        query = rng.standard_normal(10)
+        ids, _ = index.search(query, 10, nprobe=index.num_lists)
+        exact, _ = exact_knn(vectors, query, 10)
+        assert set(ids.tolist()) == set(exact.tolist())
+
+    def test_recall_grows_with_nprobe(self, built):
+        index, vectors = built
+        rng = np.random.default_rng(6)
+        queries = rng.standard_normal((15, 10)) * 4
+
+        def recall(nprobe):
+            total = 0.0
+            for query in queries:
+                ids, _ = index.search(query, 10, nprobe=nprobe)
+                exact, _ = exact_knn(vectors, query, 10)
+                total += len(set(ids.tolist()) & set(exact.tolist())) / 10
+            return total / len(queries)
+
+        assert recall(8) >= recall(1)
+
+    def test_results_sorted(self, built):
+        index, _ = built
+        _, dists = index.search(np.zeros(10), 10, nprobe=4)
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_stats(self, built):
+        index, _ = built
+        stats = SearchStats()
+        index.search(np.zeros(10), 5, nprobe=2, stats=stats)
+        assert stats.hops == 2
+        assert stats.distance_computations > index.num_lists
+
+    def test_validation(self, built):
+        index, _ = built
+        with pytest.raises(ParameterError):
+            index.search(np.zeros(10), 0)
+        with pytest.raises(ParameterError):
+            index.search(np.zeros(10), 5, nprobe=0)
+        with pytest.raises(DimensionMismatchError):
+            index.search(np.zeros(4), 5)
+        with pytest.raises(ParameterError):
+            IVFFlatIndex(np.zeros((0, 4)))
+        with pytest.raises(ParameterError):
+            IVFParams(num_lists=0)
+        with pytest.raises(ParameterError):
+            IVFParams(train_iterations=0)
+
+
+class TestIVFAsFilterBackend:
+    def test_ivf_over_dcpe_ciphertexts(self):
+        # Section V-A substitutability: IVF built over DCPE ciphertexts
+        # plus DCE refine reaches high recall, like HNSW and NSG.
+        from repro.core.dce import DCEScheme, distance_comp
+        from repro.core.dcpe import DCPEScheme, dcpe_keygen
+        from repro.datasets import compute_ground_truth, make_clustered
+        from repro.eval.metrics import recall_at_k
+        from repro.hnsw.heap import ComparisonMaxHeap
+
+        rng = np.random.default_rng(7)
+        dataset = make_clustered(300, 12, 6, num_clusters=8, value_scale=2.0, rng=rng)
+        truth = compute_ground_truth(dataset.database, dataset.queries, 10)
+        dcpe = DCPEScheme(12, dcpe_keygen(0.3, rng=rng), rng=rng)
+        dce = DCEScheme(12, rng=rng)
+        sap = dcpe.encrypt_database(dataset.database)
+        dce_db = dce.encrypt_database(dataset.database)
+        index = IVFFlatIndex(sap, IVFParams(num_lists=8), rng=rng)
+
+        recalls = []
+        for i, query in enumerate(dataset.queries):
+            candidates, _ = index.search(dcpe.encrypt(query), 60, nprobe=4)
+            trapdoor = dce.trapdoor(query)
+
+            def is_farther(a, b):
+                return distance_comp(dce_db[a], dce_db[b], trapdoor) >= 0
+
+            heap = ComparisonMaxHeap(10, is_farther)
+            for candidate in candidates:
+                heap.offer(int(candidate))
+            recalls.append(
+                recall_at_k(np.array(heap.items()), truth.for_query(i), 10)
+            )
+        assert np.mean(recalls) >= 0.8

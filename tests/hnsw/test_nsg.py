@@ -1,0 +1,92 @@
+"""NSG-style flat graph tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionMismatchError, ParameterError
+from repro.hnsw.bruteforce import exact_knn
+from repro.hnsw.graph import SearchStats
+from repro.hnsw.nsg import NSGIndex, NSGParams
+
+
+@pytest.fixture(scope="module")
+def built():
+    rng = np.random.default_rng(0)
+    vectors = rng.standard_normal((300, 10))
+    return NSGIndex(vectors, NSGParams(knn=24, max_degree=12)), vectors
+
+
+class TestConstruction:
+    def test_size_and_medoid(self, built):
+        index, vectors = built
+        assert index.size == 300
+        assert 0 <= index.medoid < 300
+
+    def test_medoid_is_central(self, built):
+        index, vectors = built
+        totals = ((vectors[:, None, :] - vectors[None, :, :]) ** 2).sum(axis=2).sum(axis=1)
+        assert index.medoid == int(np.argmin(totals))
+
+    def test_degree_bound(self, built):
+        index, _ = built
+        for node in range(index.size):
+            # +1 slack: the connectivity pass may add a medoid edge.
+            assert len(index.neighbors(node)) <= index._params.max_degree + 1
+
+    def test_all_nodes_reachable_from_medoid(self, built):
+        index, _ = built
+        seen = {index.medoid}
+        frontier = [index.medoid]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in index.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        assert len(seen) == index.size
+
+    def test_single_vector(self):
+        index = NSGIndex(np.zeros((1, 4)))
+        ids, _ = index.search(np.zeros(4), 1)
+        assert ids.tolist() == [0]
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            NSGIndex(np.zeros((0, 3)))
+        with pytest.raises(ParameterError):
+            NSGParams(knn=0)
+        with pytest.raises(ParameterError):
+            NSGParams(max_degree=0)
+
+
+class TestSearch:
+    def test_recall_floor(self, built):
+        index, vectors = built
+        rng = np.random.default_rng(1)
+        recalls = []
+        for _ in range(15):
+            query = rng.standard_normal(10)
+            found, _ = index.search(query, 10, ef_search=60)
+            exact, _ = exact_knn(vectors, query, 10)
+            recalls.append(len(set(found.tolist()) & set(exact.tolist())) / 10)
+        assert np.mean(recalls) >= 0.85
+
+    def test_sorted_results(self, built):
+        index, _ = built
+        _, dists = index.search(np.random.default_rng(2).standard_normal(10), 8)
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_stats(self, built):
+        index, _ = built
+        stats = SearchStats()
+        index.search(np.zeros(10), 5, ef_search=30, stats=stats)
+        assert stats.distance_computations > 0
+
+    def test_validation(self, built):
+        index, _ = built
+        with pytest.raises(ParameterError):
+            index.search(np.zeros(10), 0)
+        with pytest.raises(ParameterError):
+            index.search(np.zeros(10), 10, ef_search=2)
+        with pytest.raises(DimensionMismatchError):
+            index.search(np.zeros(5), 3)

@@ -1,0 +1,109 @@
+"""Product quantization tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionMismatchError, ParameterError
+from repro.hnsw.bruteforce import exact_knn
+from repro.hnsw.pq import PQIndex, PQParams, ProductQuantizer
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    centers = rng.standard_normal((10, 16)) * 6
+    assignments = rng.integers(0, 10, size=500)
+    return centers[assignments] + rng.standard_normal((500, 16)) * 0.8
+
+
+@pytest.fixture(scope="module")
+def quantizer(workload):
+    return ProductQuantizer(
+        workload, PQParams(num_subspaces=4, code_bits=5), rng=np.random.default_rng(1)
+    )
+
+
+class TestParams:
+    def test_codebook_size(self):
+        assert PQParams(code_bits=6).codebook_size == 64
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PQParams(num_subspaces=0)
+        with pytest.raises(ParameterError):
+            PQParams(code_bits=0)
+        with pytest.raises(ParameterError):
+            PQParams(code_bits=20)
+        with pytest.raises(ParameterError):
+            PQParams(train_iterations=0)
+
+    def test_subspaces_must_divide_dim(self, workload):
+        with pytest.raises(ParameterError):
+            ProductQuantizer(workload, PQParams(num_subspaces=5))
+
+
+class TestQuantizer:
+    def test_code_shape_and_range(self, quantizer, workload):
+        codes = quantizer.encode(workload[:50])
+        assert codes.shape == (50, 4)
+        assert codes.max() < 32
+
+    def test_reconstruction_reduces_error_vs_random(self, quantizer, workload):
+        codes = quantizer.encode(workload[:100])
+        reconstructed = quantizer.decode(codes)
+        pq_error = np.linalg.norm(reconstructed - workload[:100], axis=1).mean()
+        random_error = np.linalg.norm(
+            workload[:100] - workload[100:200], axis=1
+        ).mean()
+        assert pq_error < random_error / 2
+
+    def test_adc_matches_explicit_reconstruction(self, quantizer, workload):
+        rng = np.random.default_rng(2)
+        query = rng.standard_normal(16)
+        codes = quantizer.encode(workload[:30])
+        table = quantizer.distance_table(query)
+        adc = quantizer.adc_distances(table, codes)
+        reconstructed = quantizer.decode(codes)
+        explicit = ((reconstructed - query) ** 2).sum(axis=1)
+        assert np.allclose(adc, explicit, rtol=1e-9)
+
+    def test_dim_validation(self, quantizer):
+        with pytest.raises(DimensionMismatchError):
+            quantizer.encode(np.zeros((3, 10)))
+        with pytest.raises(DimensionMismatchError):
+            quantizer.distance_table(np.zeros(10))
+        with pytest.raises(ParameterError):
+            quantizer.decode(np.zeros((3, 7), dtype=np.uint16))
+
+
+class TestPQIndex:
+    def test_search_recall(self, workload):
+        index = PQIndex(
+            workload, PQParams(num_subspaces=8, code_bits=6),
+            rng=np.random.default_rng(3),
+        )
+        rng = np.random.default_rng(4)
+        recalls = []
+        for _ in range(10):
+            query = workload[rng.integers(0, 500)] + rng.standard_normal(16) * 0.1
+            found, _ = index.search(query, 10)
+            exact, _ = exact_knn(workload, query, 10)
+            recalls.append(len(set(found.tolist()) & set(exact.tolist())) / 10)
+        assert np.mean(recalls) >= 0.5  # approximate distances, small codes
+
+    def test_compression(self, workload):
+        index = PQIndex(workload, PQParams(num_subspaces=4, code_bits=4),
+                        rng=np.random.default_rng(5))
+        assert index.code_bytes_per_vector == 8  # vs 16*8 = 128 raw bytes
+
+    def test_k_validation(self, workload):
+        index = PQIndex(workload, PQParams(num_subspaces=4, code_bits=3),
+                        rng=np.random.default_rng(6))
+        with pytest.raises(ParameterError):
+            index.search(workload[0], 0)
+
+    def test_k_clamped(self, workload):
+        index = PQIndex(workload[:5], PQParams(num_subspaces=4, code_bits=2),
+                        rng=np.random.default_rng(7))
+        ids, _ = index.search(workload[0], 10)
+        assert ids.shape[0] == 5

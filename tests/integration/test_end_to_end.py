@@ -1,0 +1,144 @@
+"""Cross-module integration tests: full pipelines on every dataset profile."""
+
+import numpy as np
+import pytest
+
+from repro import PPANNS
+from repro.datasets import DATASET_PROFILES, compute_ground_truth, make_dataset
+from repro.eval.metrics import recall_at_k
+from repro.hnsw.graph import HNSWParams
+
+SMALL_HNSW = HNSWParams(m=8, ef_construction=50)
+
+
+@pytest.mark.parametrize("profile", sorted(DATASET_PROFILES))
+def test_full_pipeline_per_profile(profile):
+    """Owner->server->user flow reaches high recall on every Table I stand-in."""
+    rng = np.random.default_rng(hash(profile) % 2**32)
+    dataset = make_dataset(profile, num_vectors=250, num_queries=5, rng=rng)
+    # Modest beta relative to each profile's coordinate scale.
+    beta = 0.05 * dataset.max_abs_coordinate
+    scheme = PPANNS(
+        dim=dataset.dim, beta=beta, hnsw_params=SMALL_HNSW, rng=rng
+    ).fit(dataset.database)
+    truth = compute_ground_truth(dataset.database, dataset.queries, 10)
+    recalls = [
+        recall_at_k(
+            scheme.query(q, k=10, ratio_k=8, ef_search=120), truth.for_query(i), 10
+        )
+        for i, q in enumerate(dataset.queries)
+    ]
+    assert np.mean(recalls) >= 0.8, f"profile {profile}: {np.mean(recalls)}"
+
+
+def test_refine_repairs_filter_noise(small_dataset, small_ground_truth):
+    """The core claim of the filter-and-refine design: with heavy DCPE
+    noise the filter alone degrades, but DCE refinement restores accuracy
+    given enough candidates."""
+    from tests.conftest import FAST_HNSW
+
+    scheme = PPANNS(
+        dim=small_dataset.dim,
+        beta=4.0,
+        hnsw_params=FAST_HNSW,
+        rng=np.random.default_rng(3),
+    ).fit(small_dataset.database)
+    filter_recall = np.mean(
+        [
+            recall_at_k(
+                scheme.query_filter_only(q, 10, ef_search=200).ids,
+                small_ground_truth.for_query(i),
+                10,
+            )
+            for i, q in enumerate(small_dataset.queries)
+        ]
+    )
+    refined_recall = np.mean(
+        [
+            recall_at_k(
+                scheme.query_with_report(q, 10, ratio_k=16, ef_search=200).ids,
+                small_ground_truth.for_query(i),
+                10,
+            )
+            for i, q in enumerate(small_dataset.queries)
+        ]
+    )
+    assert filter_recall < 0.98  # noise must actually bite
+    assert refined_recall > filter_recall
+
+
+def test_communication_is_two_messages(fitted_scheme, small_dataset):
+    """Section V-C: one upload (C_SAP(q), T_q, k), one download (k ids)."""
+    d = small_dataset.dim
+    query = small_dataset.queries[0]
+    encrypted = fitted_scheme.user.encrypt_query(query, 10)
+    report = fitted_scheme.server.answer(encrypted)
+    upload = encrypted.upload_bytes()
+    download = report.download_bytes()
+    assert upload == 4 * d + 8 * (2 * d + 16) + 4
+    assert download == 40
+    # Against RS-SANN: candidate vectors would dominate at any useful k'.
+    assert upload + download < 100 * d
+
+
+def test_plaintext_hnsw_vs_encrypted_cost_multiple(small_dataset, small_ground_truth):
+    """Section VII-B: PP-ANNS costs a small multiple (paper: 3-7x) of
+    plaintext HNSW at matched recall.  We assert the multiple is bounded."""
+    import time
+
+    from repro.hnsw.graph import HNSWIndex
+    from tests.conftest import FAST_HNSW
+
+    rng = np.random.default_rng(4)
+    plain = HNSWIndex(small_dataset.dim, FAST_HNSW, rng=rng).build(small_dataset.database)
+    scheme = PPANNS(
+        dim=small_dataset.dim, beta=0.3, hnsw_params=FAST_HNSW, rng=rng
+    ).fit(small_dataset.database)
+
+    encrypted_queries = [scheme.user.encrypt_query(q, 10) for q in small_dataset.queries]
+    start = time.perf_counter()
+    for _ in range(3):
+        for query in small_dataset.queries:
+            plain.search(query, 10, ef_search=100)
+    plain_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(3):
+        for encrypted in encrypted_queries:
+            scheme.server.answer(encrypted, ratio_k=8, ef_search=100)
+    encrypted_seconds = time.perf_counter() - start
+
+    multiple = encrypted_seconds / plain_seconds
+    assert multiple < 25, f"encrypted pipeline is {multiple:.1f}x plaintext"
+
+
+def test_alternative_graph_backend(small_dataset, small_ground_truth):
+    """Section V-A: the index can substitute NSG for HNSW.  Exercise an
+    NSG-filtered pipeline manually and check recall."""
+    from repro.core.dce import DCEScheme, distance_comp
+    from repro.core.dcpe import DCPEScheme, dcpe_keygen
+    from repro.hnsw.heap import ComparisonMaxHeap
+    from repro.hnsw.nsg import NSGIndex, NSGParams
+
+    rng = np.random.default_rng(5)
+    dcpe = DCPEScheme(small_dataset.dim, dcpe_keygen(0.3, rng=rng), rng=rng)
+    dce = DCEScheme(small_dataset.dim, rng=rng)
+    sap = dcpe.encrypt_database(small_dataset.database)
+    dce_db = dce.encrypt_database(small_dataset.database)
+    graph = NSGIndex(sap, NSGParams(knn=24, max_degree=12))
+
+    recalls = []
+    for i, query in enumerate(small_dataset.queries):
+        candidates, _ = graph.search(dcpe.encrypt(query), 80, ef_search=120)
+        trapdoor = dce.trapdoor(query)
+
+        def is_farther(a, b):
+            return distance_comp(dce_db[a], dce_db[b], trapdoor) >= 0
+
+        heap = ComparisonMaxHeap(10, is_farther)
+        for candidate in candidates:
+            heap.offer(int(candidate))
+        recalls.append(
+            recall_at_k(np.array(heap.items()), small_ground_truth.for_query(i), 10)
+        )
+    assert np.mean(recalls) >= 0.85

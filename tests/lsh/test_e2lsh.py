@@ -1,0 +1,105 @@
+"""E2LSH tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionMismatchError, ParameterError
+from repro.lsh.e2lsh import E2LSHIndex, E2LSHParams
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    rng = np.random.default_rng(0)
+    centers = rng.standard_normal((5, 8)) * 10
+    assignments = rng.integers(0, 5, size=400)
+    vectors = centers[assignments] + rng.standard_normal((400, 8)) * 0.5
+    return vectors, assignments
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            E2LSHParams(num_tables=0)
+        with pytest.raises(ParameterError):
+            E2LSHParams(hashes_per_table=0)
+        with pytest.raises(ParameterError):
+            E2LSHParams(bucket_width=0.0)
+        with pytest.raises(ParameterError):
+            E2LSHParams(multiprobe=-1)
+
+
+class TestIndex:
+    def test_candidates_contain_near_duplicates(self, clustered):
+        vectors, _ = clustered
+        index = E2LSHIndex(
+            vectors,
+            E2LSHParams(num_tables=10, hashes_per_table=4, bucket_width=8.0),
+            rng=np.random.default_rng(1),
+        )
+        hits = 0
+        for probe in range(20):
+            candidates = index.candidates(vectors[probe] + 1e-6)
+            if probe in candidates:
+                hits += 1
+        assert hits >= 18  # near-duplicates hash to the same buckets
+
+    def test_multiprobe_expands_candidates(self, clustered):
+        vectors, _ = clustered
+        base = E2LSHIndex(
+            vectors,
+            E2LSHParams(num_tables=4, hashes_per_table=6, bucket_width=4.0, multiprobe=0),
+            rng=np.random.default_rng(2),
+        )
+        probed = E2LSHIndex(
+            vectors,
+            E2LSHParams(num_tables=4, hashes_per_table=6, bucket_width=4.0, multiprobe=8),
+            rng=np.random.default_rng(2),
+        )
+        query = vectors[0] + 0.3
+        assert len(probed.candidates(query)) >= len(base.candidates(query))
+
+    def test_search_reranks_exactly(self, clustered):
+        vectors, _ = clustered
+        index = E2LSHIndex(
+            vectors,
+            E2LSHParams(num_tables=12, hashes_per_table=4, bucket_width=8.0),
+            rng=np.random.default_rng(3),
+        )
+        query = vectors[5] + 0.01
+        ids, dists = index.search(query, 5)
+        assert ids.shape[0] <= 5
+        assert np.all(np.diff(dists) >= 0)
+        assert 5 in ids
+
+    def test_search_k_validation(self, clustered):
+        vectors, _ = clustered
+        index = E2LSHIndex(vectors, rng=np.random.default_rng(4))
+        with pytest.raises(ParameterError):
+            index.search(vectors[0], 0)
+
+    def test_query_dim_validation(self, clustered):
+        vectors, _ = clustered
+        index = E2LSHIndex(vectors, rng=np.random.default_rng(5))
+        with pytest.raises(DimensionMismatchError):
+            index.candidates(np.zeros(4))
+
+    def test_rejects_empty_database(self):
+        with pytest.raises(ParameterError):
+            E2LSHIndex(np.zeros((0, 4)))
+
+    def test_properties(self, clustered):
+        vectors, _ = clustered
+        index = E2LSHIndex(vectors, rng=np.random.default_rng(6))
+        assert index.size == 400
+        assert index.dim == 8
+
+    def test_empty_result_for_far_query(self, clustered):
+        vectors, _ = clustered
+        index = E2LSHIndex(
+            vectors,
+            E2LSHParams(num_tables=2, hashes_per_table=10, bucket_width=0.5),
+            rng=np.random.default_rng(7),
+        )
+        ids, dists = index.search(np.full(8, 1e6), 5)
+        # A query far from all mass typically hits no occupied bucket.
+        assert ids.shape[0] == dists.shape[0]

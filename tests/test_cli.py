@@ -1,0 +1,97 @@
+"""CLI tests: build / query / demo round trip through real files."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.loaders import write_fvecs
+
+
+@pytest.fixture(scope="module")
+def cli_workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    rng = np.random.default_rng(0)
+    database = rng.standard_normal((120, 10)) * 2.0
+    queries = database[:3] + 0.01
+    np.save(root / "db.npy", database)
+    write_fvecs(root / "queries.fvecs", queries)
+    return root, database, queries
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_args(self):
+        args = build_parser().parse_args(
+            ["build", "db.npy", "--index", "i.npz", "--keys", "k.npz", "--beta", "1.0"]
+        )
+        assert args.command == "build"
+        assert args.beta == 1.0
+
+
+class TestBuildAndQuery:
+    def test_roundtrip(self, cli_workspace, capsys):
+        root, database, queries = cli_workspace
+        index_path = str(root / "index.npz")
+        keys_path = str(root / "keys.npz")
+        code = main(
+            [
+                "build",
+                str(root / "db.npy"),
+                "--index", index_path,
+                "--keys", keys_path,
+                "--beta", "0.2",
+                "--m", "8",
+                "--ef-construction", "40",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "built index over n=120 d=10" in out
+
+        code = main(
+            [
+                "query",
+                "--index", index_path,
+                "--keys", keys_path,
+                "--queries", str(root / "queries.fvecs"),
+                "-k", "5",
+                "--ef-search", "60",
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.startswith("query")]
+        assert len(lines) == 3
+        # Self-queries: query i is database[i] + epsilon, so id i must appear.
+        for i, line in enumerate(lines):
+            ids = [int(x) for x in line.split(":")[1].split()]
+            assert i in ids
+
+    def test_unsupported_format(self, cli_workspace):
+        root, _, _ = cli_workspace
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "build",
+                    str(root / "db.csv"),
+                    "--index", str(root / "x.npz"),
+                    "--keys", str(root / "y.npz"),
+                    "--beta", "1.0",
+                ]
+            )
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        code = main(
+            ["demo", "--profile", "deep", "-n", "200", "--queries", "3",
+             "--beta", "0.5", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Recall@10" in out

@@ -1,0 +1,43 @@
+"""Smoke tests for the example scripts.
+
+Full example runs are minutes of work (they build real indexes at demo
+scale), so the default suite verifies each script compiles and exposes a
+``main``; the fastest one is executed end to end.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_compiles_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), f"{path.name} lacks main()"
+
+
+def test_kpa_attack_demo_runs():
+    # The attack demo has no index build, so it is fast enough to execute.
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "kpa_attack_demo.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "BROKEN" in result.stdout
+    assert "attack fails" in result.stdout
