@@ -1,0 +1,108 @@
+"""Batch-vs-loop throughput: the payoff of the batch-first API.
+
+User side: ``QueryUser.encrypt_queries`` computes all DCPE ciphertexts
+and DCE trapdoors as matrix-matrix products — one BLAS call per phase —
+where the per-query loop performs n independent O(d^2) matrix-vector
+products.  Server side: ``CloudServer.answer`` on an
+``EncryptedQueryBatch`` amortizes parameter resolution, the key check
+and liveness filtering across queries.
+
+The acceptance bar for the API redesign: batched user-side encryption
+must beat the n-matvec loop by at least 2x at n=256 queries.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.roles import CloudServer, DataOwner, QueryUser
+from repro.eval.reporting import format_table
+from repro.hnsw.graph import HNSWParams
+
+DIM = 96
+N_QUERIES = 256
+K = 10
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Min wall-clock over a few repeats (robust against scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batch_encryption_throughput(benchmark):
+    rng = np.random.default_rng(90)
+    owner = DataOwner(DIM, beta=1.2, rng=rng)
+    user = QueryUser(owner.authorize_user(), rng=np.random.default_rng(91))
+    queries = rng.standard_normal((N_QUERIES, DIM)) * 2.0
+
+    loop_seconds = _best_of(
+        lambda: [user.encrypt_query(q, K) for q in queries]
+    )
+    batch_seconds = _best_of(lambda: user.encrypt_queries(queries, K))
+    speedup = loop_seconds / batch_seconds
+
+    print()
+    print(
+        format_table(
+            ["path", "total ms", "us / query", "QPS"],
+            [
+                ["loop (n matvecs)", loop_seconds * 1e3,
+                 loop_seconds / N_QUERIES * 1e6, N_QUERIES / loop_seconds],
+                ["batch (matmul)", batch_seconds * 1e3,
+                 batch_seconds / N_QUERIES * 1e6, N_QUERIES / batch_seconds],
+                ["speedup", "", "", speedup],
+            ],
+            title=f"user-side encryption, d={DIM}, n={N_QUERIES}",
+        )
+    )
+
+    # The redesign's acceptance bar.
+    assert speedup >= 2.0, f"batch encryption only {speedup:.2f}x over the loop"
+
+    benchmark(user.encrypt_queries, queries, K)
+
+
+def test_batch_answer_matches_loop_and_amortizes(benchmark):
+    rng = np.random.default_rng(92)
+    database = rng.standard_normal((1500, 32)) * 2.0
+    owner = DataOwner(
+        32, beta=0.5, hnsw_params=HNSWParams(m=12, ef_construction=80), rng=rng
+    )
+    index = owner.build_index(database)
+    server = CloudServer(index)
+    user = QueryUser(owner.authorize_user(), rng=np.random.default_rng(93))
+    queries = rng.standard_normal((64, 32)) * 2.0
+    batch = user.encrypt_queries(queries, K, ratio_k=8, ef_search=100)
+
+    loop_seconds = _best_of(
+        lambda: [server.answer(batch[i]) for i in range(len(batch))], repeats=2
+    )
+    batch_seconds = _best_of(lambda: server.answer(batch), repeats=2)
+
+    results = server.answer(batch)
+    for i in range(len(batch)):
+        assert np.array_equal(results[i].ids, server.answer(batch[i]).ids)
+
+    print()
+    print(
+        format_table(
+            ["path", "total ms", "QPS"],
+            [
+                ["loop", loop_seconds * 1e3, len(batch) / loop_seconds],
+                ["batch", batch_seconds * 1e3, len(batch) / batch_seconds],
+                ["ratio", "", loop_seconds / batch_seconds],
+            ],
+            title=f"server-side answering, n={len(batch)} queries",
+        )
+    )
+
+    # The batch path amortizes setup, so it must never be slower than the
+    # loop by more than measurement noise.
+    assert batch_seconds <= loop_seconds * 1.1
+
+    benchmark(server.answer, batch)

@@ -50,19 +50,18 @@ def main() -> None:
     # --- query user side ----------------------------------------------------
     user = QueryUser(keys, rng=rng)
     truth = compute_ground_truth(dataset.database, dataset.queries, K)
-    total_up = total_down = 0
-    recalls = []
-    for i, query in enumerate(dataset.queries):
-        encrypted = user.encrypt_query(query, K)  # step 2
-        result = server.answer(encrypted, ef_search=120)  # step 3
-        total_up += encrypted.upload_bytes()
-        total_down += result.download_bytes()
-        recalls.append(recall_at_k(result.ids, truth.for_query(i), K))
+    batch = user.encrypt_queries(dataset.queries, K, ef_search=120)  # step 2
+    results = server.answer(batch)  # step 3
+    recalls = [
+        recall_at_k(result.ids, truth.for_query(i), K)
+        for i, result in enumerate(results)
+    ]
 
     print(f"Recall@{K} = {np.mean(recalls):.3f}")
     print(
-        f"communication per query: {total_up // len(dataset.queries)} B up, "
-        f"{total_down // len(dataset.queries)} B down "
+        f"communication per query: "
+        f"{batch.upload_bytes() // len(batch)} B up, "
+        f"{results.download_bytes() // len(batch)} B down "
         "(two messages total — no interaction during search)"
     )
 

@@ -16,15 +16,22 @@ The package implements the paper's complete system and its evaluation:
 * :mod:`repro.datasets` / :mod:`repro.eval` — workloads and the
   experiment harness regenerating every table and figure of Section VII.
 
-Quickstart::
+Quickstart (batch-first API)::
 
     import numpy as np
     from repro import PPANNS
 
     rng = np.random.default_rng(0)
     data = rng.standard_normal((5000, 64))
+    queries = rng.standard_normal((256, 64))
+
     scheme = PPANNS(dim=64, beta=1.0, rng=rng).fit(data)
-    ids = scheme.query(data[0], k=10, ratio_k=8)
+    batch = scheme.query_batch(queries, k=10, ratio_k=8)
+    ids = batch.ids                      # (256, 10) neighbor-id matrix
+
+    # Single queries and other filter backends work the same way:
+    ids0 = scheme.query(queries[0], k=10)
+    nsg = PPANNS(dim=64, beta=1.0, backend="nsg", rng=rng).fit(data)
 """
 
 from repro.core import (
@@ -35,9 +42,17 @@ from repro.core import (
     DCPEScheme,
     EncryptedIndex,
     EncryptedQuery,
+    EncryptedQueryBatch,
+    FilterBackend,
     QueryUser,
     SearchReport,
+    SearchRequest,
+    SearchResult,
+    SearchResultBatch,
     SecretKeyBundle,
+    available_backends,
+    build_backend,
+    execute_batch,
     filter_and_refine,
 )
 from repro.hnsw import HNSWIndex, HNSWParams
@@ -53,9 +68,17 @@ __all__ = [
     "DCEScheme",
     "DCPEScheme",
     "EncryptedIndex",
+    "SearchRequest",
     "EncryptedQuery",
+    "EncryptedQueryBatch",
+    "SearchResult",
+    "SearchResultBatch",
     "SearchReport",
+    "FilterBackend",
+    "available_backends",
+    "build_backend",
     "filter_and_refine",
+    "execute_batch",
     "HNSWIndex",
     "HNSWParams",
     "__version__",

@@ -3,10 +3,13 @@
 A deployable front-end over the library for the three lifecycle stages:
 
 * ``build``  — data-owner side: read a database (``.fvecs`` or ``.npy``),
-  encrypt it, build the privacy-preserving index, write the index and the
-  key bundle to separate files.
-* ``query``  — user+server side: load index + keys, answer queries from a
-  file (or self-queries sampled from the index), print neighbor ids.
+  encrypt it, build the privacy-preserving index over the chosen filter
+  backend (``--backend hnsw|nsg|ivf|bruteforce``), write the index and
+  the key bundle to separate files.
+* ``query``  — user+server side: load index + keys, batch-encrypt the
+  queries from a file, answer them in one amortized pass, print neighbor
+  ids (or a JSON report with ``--json``).  ``--filter-only`` runs the
+  filter phase alone.
 * ``demo``   — one-command end-to-end demo on a synthetic dataset with a
   recall report.
 
@@ -17,11 +20,13 @@ the owner/user only (see ``repro.core.persistence``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 import numpy as np
 
+from repro.core.backends import available_backends
 from repro.core.persistence import load_index, load_keys, save_index, save_keys
 from repro.core.roles import CloudServer, DataOwner, QueryUser
 from repro.datasets import compute_ground_truth, make_dataset
@@ -55,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--keys", required=True, help="output secret key file (.npz)")
     build.add_argument("--beta", type=float, required=True, help="DCPE noise budget")
     build.add_argument("--scale", type=float, default=1024.0, help="DCPE scale")
+    build.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="hnsw",
+        help="filter-phase backend over the DCPE ciphertexts",
+    )
     build.add_argument("--m", type=int, default=16, help="HNSW degree")
     build.add_argument("--ef-construction", type=int, default=200)
     build.add_argument("--seed", type=int, default=None)
@@ -64,8 +75,23 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--keys", required=True, help="key file from 'build'")
     query.add_argument("--queries", required=True, help="query vectors (.fvecs or .npy)")
     query.add_argument("-k", type=int, default=10)
-    query.add_argument("--ratio-k", type=int, default=8)
+    query.add_argument(
+        "--ratio-k",
+        type=int,
+        default=None,
+        help="k'/k multiplier (default: 8 for full search, 1 for --filter-only)",
+    )
     query.add_argument("--ef-search", type=int, default=None)
+    query.add_argument(
+        "--filter-only",
+        action="store_true",
+        help="run the filter phase only (skip DCE refinement)",
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON report (ids, timings, byte accounting)",
+    )
     query.add_argument("--seed", type=int, default=None)
 
     demo = commands.add_parser("demo", help="end-to-end demo on synthetic data")
@@ -74,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--queries", type=int, default=10)
     demo.add_argument("--beta", type=float, default=1.0)
     demo.add_argument("-k", type=int, default=10)
+    demo.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="hnsw",
+        help="filter-phase backend",
+    )
     demo.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -86,6 +118,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         beta=args.beta,
         scale=args.scale,
         hnsw_params=HNSWParams(m=args.m, ef_construction=args.ef_construction),
+        backend=args.backend,
         rng=rng,
     )
     start = time.perf_counter()
@@ -95,7 +128,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
     save_keys(args.keys, owner.authorize_user())
     report = index.size_report()
     print(
-        f"built index over n={len(index)} d={index.dim} in {elapsed:.1f}s; "
+        f"built index over n={len(index)} d={index.dim} "
+        f"backend={index.backend_kind} in {elapsed:.1f}s; "
         f"storage {report.total_floats} floats "
         f"({report.dce_overhead_ratio:.2f}x plaintext for C_DCE)"
     )
@@ -108,12 +142,39 @@ def _cmd_query(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     keys = load_keys(args.keys)
     user = QueryUser(keys, rng=np.random.default_rng(args.seed))
-    server = CloudServer(index, default_ratio_k=args.ratio_k)
+    server = CloudServer(index)
     queries = _load_vectors(args.queries)
-    for i, query in enumerate(queries):
-        encrypted = user.encrypt_query(query, args.k)
-        report = server.answer(encrypted, ef_search=args.ef_search)
-        print(f"query {i}: {' '.join(str(x) for x in report.ids.tolist())}")
+
+    encrypt_start = time.perf_counter()
+    batch = user.encrypt_queries(
+        queries,
+        args.k,
+        ratio_k=args.ratio_k,
+        ef_search=args.ef_search,
+        mode="filter_only" if args.filter_only else "full",
+    )
+    encrypt_seconds = time.perf_counter() - encrypt_start
+    results = server.answer(batch)
+
+    if args.json:
+        payload = {
+            "backend": index.backend_kind,
+            "k": args.k,
+            "mode": batch.request.mode,
+            "num_queries": len(batch),
+            "ids": [result.ids.tolist() for result in results],
+            "encrypt_seconds": encrypt_seconds,
+            "server_seconds": results.total_seconds,
+            "qps": results.qps,
+            "upload_bytes": batch.upload_bytes(),
+            "download_bytes": results.download_bytes(),
+            "refine_comparisons": results.refine_comparisons,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    for i, result in enumerate(results):
+        print(f"query {i}: {' '.join(str(x) for x in result.ids.tolist())}")
     return 0
 
 
@@ -121,22 +182,22 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     dataset = make_dataset(args.profile, num_vectors=args.n,
                            num_queries=args.queries, rng=rng)
-    owner = DataOwner(dataset.dim, beta=args.beta, rng=rng)
+    owner = DataOwner(dataset.dim, beta=args.beta, backend=args.backend, rng=rng)
     index = owner.build_index(dataset.database)
     server = CloudServer(index)
     user = QueryUser(owner.authorize_user(), rng=rng)
     truth = compute_ground_truth(dataset.database, dataset.queries, args.k)
-    recalls, latencies = [], []
-    for i, query in enumerate(dataset.queries):
-        encrypted = user.encrypt_query(query, args.k)
-        start = time.perf_counter()
-        report = server.answer(encrypted, ef_search=120)
-        latencies.append(time.perf_counter() - start)
-        recalls.append(recall_at_k(report.ids, truth.for_query(i), args.k))
+    batch = user.encrypt_queries(dataset.queries, args.k, ef_search=120)
+    results = server.answer(batch)
+    recalls = [
+        recall_at_k(result.ids, truth.for_query(i), args.k)
+        for i, result in enumerate(results)
+    ]
     print(
-        f"profile={args.profile} n={args.n} d={dataset.dim} beta={args.beta}: "
+        f"profile={args.profile} n={args.n} d={dataset.dim} beta={args.beta} "
+        f"backend={index.backend_kind}: "
         f"Recall@{args.k} = {np.mean(recalls):.3f}, "
-        f"{1.0 / np.mean(latencies):.0f} QPS (server-side)"
+        f"{results.qps:.0f} QPS (server-side)"
     )
     return 0
 

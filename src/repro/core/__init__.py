@@ -7,8 +7,16 @@ Public API:
 * :class:`repro.core.dcpe.DCPEScheme` — Scale-and-Perturb approximate
   DCPE (Algorithm 1), the filter phase's encryption.
 * :class:`repro.core.index.EncryptedIndex` — the server-side triplet
-  ``(C_SAP, HNSW(C_SAP), C_DCE)`` (Section V-A).
-* :func:`repro.core.search.filter_and_refine` — Algorithm 2.
+  ``(C_SAP, backend(C_SAP), C_DCE)`` (Section V-A).
+* :mod:`repro.core.protocol` — the batch-first request/response types:
+  :class:`SearchRequest`, :class:`EncryptedQuery` /
+  :class:`EncryptedQueryBatch`, :class:`SearchResult` /
+  :class:`SearchResultBatch`.
+* :mod:`repro.core.backends` — the :class:`FilterBackend` protocol and
+  the HNSW / NSG / IVF / brute-force adapters (Section V-A's
+  substitutability remark).
+* :func:`repro.core.search.filter_and_refine` — Algorithm 2;
+  :func:`repro.core.search.execute_batch` — the amortized batch path.
 * :class:`repro.core.roles` — DataOwner / QueryUser / CloudServer.
 * :class:`repro.core.scheme.PPANNS` — a one-object facade over the whole
   pipeline.
@@ -16,6 +24,16 @@ Public API:
 * :mod:`repro.core.params` — beta and k' tuning (Section VII-A).
 """
 
+from repro.core.backends import (
+    BACKENDS,
+    BruteForceBackend,
+    FilterBackend,
+    HNSWBackend,
+    IVFBackend,
+    NSGBackend,
+    available_backends,
+    build_backend,
+)
 from repro.core.dce import (
     DCECiphertext,
     DCEEncryptedDatabase,
@@ -37,9 +55,18 @@ from repro.core.index import EncryptedIndex, IndexSizeReport
 from repro.core.keys import DCEKey, DCPEKey
 from repro.core.maintenance import delete_vector, insert_vector
 from repro.core.persistence import load_index, load_keys, save_index, save_keys
+from repro.core.protocol import (
+    EncryptedQuery,
+    EncryptedQueryBatch,
+    SearchRequest,
+    SearchReport,
+    SearchResult,
+    SearchResultBatch,
+    resolve_ef_search,
+)
 from repro.core.roles import CloudServer, DataOwner, QueryUser, SecretKeyBundle
 from repro.core.scheme import PPANNS
-from repro.core.search import EncryptedQuery, SearchReport, filter_and_refine, filter_only
+from repro.core.search import execute_batch, filter_and_refine, filter_only
 
 __all__ = [
     "DCEScheme",
@@ -57,10 +84,24 @@ __all__ = [
     "DCPEKey",
     "EncryptedIndex",
     "IndexSizeReport",
+    "SearchRequest",
     "EncryptedQuery",
+    "EncryptedQueryBatch",
+    "SearchResult",
+    "SearchResultBatch",
     "SearchReport",
+    "resolve_ef_search",
+    "FilterBackend",
+    "HNSWBackend",
+    "NSGBackend",
+    "IVFBackend",
+    "BruteForceBackend",
+    "BACKENDS",
+    "available_backends",
+    "build_backend",
     "filter_and_refine",
     "filter_only",
+    "execute_batch",
     "DataOwner",
     "QueryUser",
     "CloudServer",

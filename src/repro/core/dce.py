@@ -317,6 +317,11 @@ class DCEScheme:
         """Width ``2d+16`` of each ciphertext component."""
         return self._key.ciphertext_dim
 
+    @property
+    def key_id(self) -> int:
+        """Tag of this scheme's key (shared by all its ciphertexts)."""
+        return self._key.key_id
+
     # -- phase 1: vector randomization (Equations 1-5) -----------------------
 
     def _pad(self, vectors: np.ndarray) -> np.ndarray:
@@ -396,6 +401,44 @@ class DCEScheme:
         combined = np.concatenate([key.m1_inv @ part1, key.m2_inv @ part2])
         return key.pi2.apply(combined)
 
+    def _randomize_queries(self, vectors: np.ndarray) -> np.ndarray:
+        """Steps 1-4 for many queries: ``(n, d) -> (n, d+8)`` bar-vectors.
+
+        Identical math to :meth:`_randomize_query`, expressed as two
+        matrix-matrix products (``part @ M^-T == (M^-1 @ part^T)^T``) so a
+        whole workload's randomization is two BLAS calls instead of ``2n``
+        matrix-vector products.
+        """
+        key = self._key
+        n = vectors.shape[0]
+        half = key.dim // 2
+        hatted = key.pi1.apply(self._pairwise_mix(vectors, negate=True))
+        norms = np.linalg.norm(vectors, axis=1)
+        beta = self._rng.standard_normal((n, 2)) * (norms + 1.0)[:, None]
+        constants = np.ones((n, 1))
+        part1 = np.concatenate(
+            [
+                hatted[:, :half],
+                beta[:, 0:1],
+                beta[:, 0:1],
+                key.r1 * constants,
+                key.r2 * constants,
+            ],
+            axis=1,
+        )
+        part2 = np.concatenate(
+            [
+                hatted[:, half:],
+                beta[:, 1:2],
+                -beta[:, 1:2],
+                key.r3 * constants,
+                key.r4 * constants,
+            ],
+            axis=1,
+        )
+        combined = np.concatenate([part1 @ key.m1_inv.T, part2 @ key.m2_inv.T], axis=1)
+        return key.pi2.apply(combined)
+
     # -- phase 2: vector transformation (Equations 8-16) ----------------------
 
     def _transform_database(self, bar_vectors: np.ndarray) -> np.ndarray:
@@ -448,6 +491,29 @@ class DCEScheme:
         r_q = float(self._draw_randomizers(()))
         vector = r_q * (self._key.m3_inv @ stacked) * (self._key.kv2 * self._key.kv4)
         return DCETrapdoor(vector, self._key.key_id)
+
+    def trapdoor_batch(self, queries: np.ndarray) -> np.ndarray:
+        """``TrapGen`` for a whole ``(n, d)`` query workload at once.
+
+        Returns the ``(n, 2d+16)`` matrix of trapdoor vectors (row ``i``
+        is the vector of query ``i``'s :class:`DCETrapdoor`).  The
+        randomization and the ``M3^-1`` projection run as matrix-matrix
+        products — one BLAS call each instead of ``n`` matrix-vector
+        products, which is where the batch encryption speedup comes from.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2:
+            raise CiphertextFormatError(
+                f"expected a (n, d) array of query vectors, got {queries.shape}"
+            )
+        if queries.shape[1] != self._plain_dim:
+            raise DimensionMismatchError(
+                self._plain_dim, queries.shape[1], what="query batch"
+            )
+        bar = self._randomize_queries(self._pad(queries))
+        stacked = np.concatenate([bar, -bar], axis=1)
+        r_q = self._draw_randomizers((queries.shape[0], 1))
+        return r_q * (stacked @ self._key.m3_inv.T) * (self._key.kv2 * self._key.kv4)
 
     def compare(
         self, cipher_o: DCECiphertext, cipher_p: DCECiphertext, trapdoor: DCETrapdoor

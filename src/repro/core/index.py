@@ -6,16 +6,19 @@ each produced by the data owner:
 1. ``C_SAP``: the DCPE (Scale-and-Perturb) ciphertexts of every database
    vector, still ``d``-dimensional, supporting cheap *approximate*
    distances.
-2. An HNSW graph built **over** ``C_SAP`` — never over plaintexts, so its
-   edges encode only approximate neighbor relations (the paper's privacy
-   argument for index leakage).
+2. A filter-phase :class:`~repro.core.backends.FilterBackend` built
+   **over** ``C_SAP`` — never over plaintexts, so its structure encodes
+   only approximate neighbor relations (the paper's privacy argument for
+   index leakage).  HNSW is the paper's choice; NSG, IVF-Flat and a
+   linear scan are interchangeable (Section V-A's substitutability
+   remark).
 3. ``C_DCE``: the DCE ciphertexts of every vector, supporting exact
    distance *comparisons* at 4x plaintext-distance cost.
 
 Vector ``i`` in the plaintext database corresponds to row ``i`` of
-``C_SAP``, node ``i`` of the graph and entry ``i`` of ``C_DCE``; the
-filter phase returns graph ids that the refine phase uses to look up DCE
-ciphertexts directly.
+``C_SAP``, id ``i`` of the backend and entry ``i`` of ``C_DCE``; the
+filter phase returns backend ids that the refine phase uses to look up
+DCE ciphertexts directly.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.backends import FilterBackend, HNSWBackend
 from repro.core.dce import DCEEncryptedDatabase
 from repro.core.errors import CiphertextFormatError
 from repro.hnsw.graph import HNSWIndex
@@ -65,17 +69,22 @@ class IndexSizeReport:
 
 
 class EncryptedIndex:
-    """The server-side index triplet ``(C_SAP, HNSW(C_SAP), C_DCE)``.
+    """The server-side triplet ``(C_SAP, backend(C_SAP), C_DCE)``.
 
     Instances are produced by :class:`repro.core.roles.DataOwner` (build)
     and mutated only through :mod:`repro.core.maintenance` (insert /
     delete).  The server reads but never decrypts.
+
+    The second component accepts either a :class:`FilterBackend` or — for
+    backward compatibility with the seed API — a bare
+    :class:`~repro.hnsw.graph.HNSWIndex`, which is wrapped in an
+    :class:`~repro.core.backends.HNSWBackend`.
     """
 
     def __init__(
         self,
         sap_vectors: np.ndarray,
-        graph: HNSWIndex,
+        backend: FilterBackend | HNSWIndex,
         dce_database: DCEEncryptedDatabase,
     ) -> None:
         sap_vectors = np.asarray(sap_vectors, dtype=np.float64)
@@ -83,18 +92,20 @@ class EncryptedIndex:
             raise CiphertextFormatError(
                 f"C_SAP must be a (n, d) array, got shape {sap_vectors.shape}"
             )
+        if isinstance(backend, HNSWIndex):
+            backend = HNSWBackend(backend)
         if sap_vectors.shape[0] != len(dce_database):
             raise CiphertextFormatError(
                 f"C_SAP has {sap_vectors.shape[0]} rows but C_DCE has "
                 f"{len(dce_database)} entries"
             )
-        if graph.vectors.shape[0] != sap_vectors.shape[0]:
+        if backend.vectors.shape[0] != sap_vectors.shape[0]:
             raise CiphertextFormatError(
-                f"graph indexes {graph.vectors.shape[0]} vectors but C_SAP has "
-                f"{sap_vectors.shape[0]}"
+                f"backend indexes {backend.vectors.shape[0]} vectors but C_SAP "
+                f"has {sap_vectors.shape[0]}"
             )
         self._sap = sap_vectors
-        self._graph = graph
+        self._backend = backend
         self._dce = dce_database
         self._tombstones: set[int] = set()
 
@@ -106,9 +117,23 @@ class EncryptedIndex:
         return self._sap
 
     @property
-    def graph(self) -> HNSWIndex:
-        """The HNSW graph over ``C_SAP``."""
-        return self._graph
+    def backend(self) -> FilterBackend:
+        """The filter-phase backend over ``C_SAP``."""
+        return self._backend
+
+    @property
+    def backend_kind(self) -> str:
+        """The backend's registry kind (``hnsw``, ``nsg``, ...)."""
+        return self._backend.kind
+
+    @property
+    def graph(self):
+        """The backend's substrate index.
+
+        Deprecated accessor from the HNSW-only era — for an HNSW backend
+        it returns the :class:`~repro.hnsw.graph.HNSWIndex` as before.
+        """
+        return self._backend.substrate
 
     @property
     def dce_database(self) -> DCEEncryptedDatabase:
@@ -132,6 +157,14 @@ class EncryptedIndex:
         """Whether ``vector_id`` is present and not deleted."""
         return 0 <= vector_id < self._sap.shape[0] and vector_id not in self._tombstones
 
+    def live_mask(self) -> np.ndarray:
+        """Boolean liveness per id slot — amortizes :meth:`is_live` for
+        batch answering (one array build instead of per-candidate calls)."""
+        mask = np.ones(self._sap.shape[0], dtype=bool)
+        if self._tombstones:
+            mask[np.fromiter(self._tombstones, dtype=np.int64)] = False
+        return mask
+
     # -- mutation (used by repro.core.maintenance only) --------------------------
 
     def _append(self, sap_row: np.ndarray, dce_db: DCEEncryptedDatabase) -> None:
@@ -150,5 +183,5 @@ class EncryptedIndex:
             dim=self.dim,
             sap_floats=int(self._sap.size),
             dce_floats=int(self._dce.components.size),
-            graph_edges=self._graph.edge_count(0),
+            graph_edges=self._backend.edge_count(),
         )

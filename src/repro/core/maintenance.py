@@ -2,15 +2,18 @@
 
 **Insertion** needs the data owner: they encrypt the new vector ``u`` into
 ``C_SAP(u)`` and ``C_DCE(u)`` and send both to the server, which inserts
-``C_SAP(u)`` into the HNSW graph exactly like a native HNSW insertion
-(k-ANNS for the new point, diverse-neighbor selection, bidirectional
-links) and appends ``C_DCE(u)`` to the DCE store.
+``C_SAP(u)`` into the filter backend (for HNSW: exactly like a native
+insertion — k-ANNS for the new point, diverse-neighbor selection,
+bidirectional links) and appends ``C_DCE(u)`` to the DCE store.
 
-**Deletion** is server-only: the deleted vector's *out*-neighbors are
-unaffected; each *in*-neighbor is "re-inserted" — its out-edges are
-rebuilt with a fresh k-ANN search over the current graph — and the
-vector's ciphertexts are dropped (tombstoned here, so ids stay stable for
-the aligned ``C_SAP`` / graph / ``C_DCE`` arrays).
+**Deletion** is server-only: the backend drops the vector (for HNSW,
+Section V-D: each *in*-neighbor is "re-inserted" — its out-edges are
+rebuilt with a fresh k-ANN search over the current graph) and the
+vector's ciphertexts are tombstoned, so ids stay stable for the aligned
+``C_SAP`` / backend / ``C_DCE`` arrays.
+
+Both operations go through the :class:`~repro.core.backends.FilterBackend`
+protocol, so they work identically for every backend kind.
 """
 
 from __future__ import annotations
@@ -52,7 +55,7 @@ def insert_vector(
             f"expected a vector of dimension {index.dim}, got shape {vector.shape}"
         )
     sap_row, dce_ct = owner.encrypt_vector(vector)
-    new_id = index.graph.insert(sap_row)
+    new_id = index.backend.insert(sap_row)
     index._append(sap_row, index.dce_database.append(dce_ct))
     return new_id
 
@@ -60,18 +63,10 @@ def insert_vector(
 def delete_vector(index: EncryptedIndex, vector_id: int) -> None:
     """Delete a vector from the index, server-side only.
 
-    Follows Section V-D: find the in-neighbors of ``vector_id``, remove
-    every edge touching it, repair each in-neighbor by re-running neighbor
-    selection, and tombstone the ciphertexts.
+    The backend performs its substrate-specific removal (for HNSW,
+    Section V-D's in-neighbor repair) and the ciphertexts are tombstoned.
     """
     if not index.is_live(vector_id):
         raise ParameterError(f"vector {vector_id} is not a live index entry")
-    graph = index.graph
-    in_neighbors = graph.in_neighbors(vector_id)
-    graph.remove_edges_to(vector_id)
-    graph.mark_deleted(vector_id)
+    index.backend.mark_deleted(vector_id)
     index._mark_deleted(vector_id)
-    for neighbor in in_neighbors:
-        if not index.is_live(neighbor):
-            continue
-        graph.repair_node(neighbor)

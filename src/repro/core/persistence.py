@@ -5,14 +5,16 @@ construction dominate setup cost) and serves it for a long time, so both
 sides of the trust boundary need durable state:
 
 * the **server** persists the :class:`EncryptedIndex` — ciphertexts plus
-  graph adjacency, no key material (`save_index` / `load_index`);
+  the filter backend's structure, no key material (`save_index` /
+  `load_index`);
 * the **owner/user** persist the :class:`SecretKeyBundle`
   (`save_keys` / `load_keys`), which must be stored separately from the
   index (the whole point of the scheme).
 
 Everything goes through ``numpy.savez_compressed`` with a manifest of
-scalar metadata; graph adjacency is flattened to (node, level, neighbor)
-triples.
+scalar metadata.  Format version 2 records the backend kind and its
+state arrays (via :meth:`FilterBackend.state_arrays`); version-1 files
+(HNSW-only) load transparently.
 """
 
 from __future__ import annotations
@@ -21,81 +23,34 @@ import os
 
 import numpy as np
 
+from repro.core.backends import backend_from_state
 from repro.core.dce import DCEEncryptedDatabase
 from repro.core.errors import CiphertextFormatError
 from repro.core.index import EncryptedIndex
 from repro.core.keys import DCEKey, DCPEKey
 from repro.core.roles import SecretKeyBundle
 from repro.crypto.permutation import Permutation
-from repro.hnsw.graph import HNSWIndex, HNSWParams, _Node
 
 __all__ = ["save_index", "load_index", "save_keys", "load_keys"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
-
-def _graph_to_arrays(graph: HNSWIndex) -> dict[str, np.ndarray]:
-    """Flatten graph structure into serializable arrays."""
-    levels = np.array([graph.node_level(i) for i in range(graph.vectors.shape[0])],
-                      dtype=np.int64)
-    edges = []
-    for node in range(graph.vectors.shape[0]):
-        for level in range(int(levels[node]) + 1):
-            for neighbor in graph.neighbors(node, level):
-                edges.append((node, level, neighbor))
-    edge_array = (
-        np.array(edges, dtype=np.int64) if edges else np.empty((0, 3), dtype=np.int64)
-    )
-    deleted = np.array(sorted(
-        i for i in range(graph.vectors.shape[0]) if graph.is_deleted(i)
-    ), dtype=np.int64)
-    return {
-        "graph_vectors": graph.vectors,
-        "graph_levels": levels,
-        "graph_edges": edge_array,
-        "graph_deleted": deleted,
-        "graph_entry_point": np.array(
-            [-1 if graph.entry_point is None else graph.entry_point], dtype=np.int64
-        ),
-        "graph_params": np.array(
-            [graph.params.m, graph.params.ef_construction], dtype=np.int64
-        ),
-    }
-
-
-def _graph_from_arrays(data: dict[str, np.ndarray]) -> HNSWIndex:
-    """Rebuild an HNSWIndex from :func:`_graph_to_arrays` output."""
-    vectors = data["graph_vectors"]
-    levels = data["graph_levels"]
-    m, ef_construction = (int(x) for x in data["graph_params"])
-    graph = HNSWIndex(vectors.shape[1], HNSWParams(m=m, ef_construction=ef_construction))
-    # Reconstruct internal state directly; going through insert() would
-    # re-run construction and change the edges.
-    count = vectors.shape[0]
-    graph._buffer = vectors.copy()
-    graph._nodes = [
-        _Node(level=int(levels[i]), neighbors=[[] for _ in range(int(levels[i]) + 1)])
-        for i in range(count)
-    ]
-    for node, level, neighbor in data["graph_edges"]:
-        graph._nodes[int(node)].neighbors[int(level)].append(int(neighbor))
-    graph._deleted = set(int(i) for i in data["graph_deleted"])
-    entry = int(data["graph_entry_point"][0])
-    graph._entry_point = None if entry < 0 else entry
-    graph._max_level = int(levels.max()) if count else -1
-    return graph
+#: Versions load_index understands; v1 predates pluggable backends and
+#: implies an HNSW graph serialized under the same ``graph_*`` keys.
+_READABLE_VERSIONS = (1, 2)
 
 
 def save_index(path: str | os.PathLike, index: EncryptedIndex) -> None:
     """Persist an :class:`EncryptedIndex` (server-side state, no keys)."""
     arrays = {
         "format_version": np.array([_FORMAT_VERSION], dtype=np.int64),
+        "backend_kind": np.array([index.backend_kind]),
         "sap_vectors": index.sap_vectors,
         "dce_components": index.dce_database.components,
         "dce_key_id": np.array([index.dce_database.key_id], dtype=np.int64),
         "tombstones": np.array(sorted(index.tombstones), dtype=np.int64),
     }
-    arrays.update(_graph_to_arrays(index.graph))
+    arrays.update(index.backend.state_arrays())
     np.savez_compressed(path, **arrays)
 
 
@@ -103,15 +58,19 @@ def load_index(path: str | os.PathLike) -> EncryptedIndex:
     """Load an :class:`EncryptedIndex` saved by :func:`save_index`."""
     with np.load(path) as data:
         version = int(data["format_version"][0])
-        if version != _FORMAT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise CiphertextFormatError(
                 f"unsupported index format version {version}"
             )
+        kind = str(data["backend_kind"][0]) if version >= 2 else "hnsw"
         dce = DCEEncryptedDatabase(
             data["dce_components"], int(data["dce_key_id"][0])
         )
-        graph = _graph_from_arrays({key: data[key] for key in data.files})
-        index = EncryptedIndex(data["sap_vectors"], graph, dce)
+        sap_vectors = data["sap_vectors"]
+        backend = backend_from_state(
+            kind, sap_vectors, {key: data[key] for key in data.files}
+        )
+        index = EncryptedIndex(sap_vectors, backend, dce)
         for tombstone in data["tombstones"]:
             index._mark_deleted(int(tombstone))
     return index

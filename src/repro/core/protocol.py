@@ -1,0 +1,411 @@
+"""The request/response message protocol between query user and server.
+
+The paper's system model (Figure 1, Algorithm 2) is a message exchange:
+the user sends ``(C_SAP(q), T_q, k)``, the server answers with k ids.
+This module gives that protocol explicit, batch-first types:
+
+* :class:`SearchRequest` — the plaintext search parameters a query
+  carries (``k``, ``ratio_k``, ``ef_search``, ``mode``).  Frozen, so a
+  request resolved once can be shared across a whole batch.
+* :class:`EncryptedQuery` / :class:`EncryptedQueryBatch` — the encrypted
+  query message(s).  The batch form stores the DCPE ciphertexts and DCE
+  trapdoors as two matrices so user-side encryption and server-side
+  parameter resolution amortize across queries.
+* :class:`SearchResult` / :class:`SearchResultBatch` — the answer(s),
+  with per-query and aggregate instrumentation plus byte accounting.
+  :data:`SearchReport` remains as a deprecated alias of
+  :class:`SearchResult` for the seed API.
+
+``ef_search`` clamping lives here, in :func:`resolve_ef_search`, so the
+full and filter-only paths cannot drift apart again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.dce import DCETrapdoor
+from repro.core.errors import KeyMismatchError, ParameterError
+from repro.hnsw.graph import SearchStats
+
+__all__ = [
+    "MODES",
+    "SearchRequest",
+    "EncryptedQuery",
+    "EncryptedQueryBatch",
+    "SearchResult",
+    "SearchResultBatch",
+    "SearchReport",
+    "resolve_ef_search",
+]
+
+#: Valid search modes: the full filter-and-refine pipeline (Algorithm 2)
+#: or the filter phase alone (the paper's HNSW(filter) reference method).
+MODES = ("full", "filter_only")
+
+
+def resolve_ef_search(ef_search: int | None, k_prime: int) -> int | None:
+    """The single ``ef_search`` clamping authority.
+
+    A beam narrower than the candidate count ``k'`` cannot produce ``k'``
+    candidates, so an explicit ``ef_search`` below ``k'`` is raised to
+    ``k'``.  ``None`` keeps the backend's own default.  Both the full and
+    filter-only paths must call this — historically only one of them
+    clamped, which made the two modes disagree for small ``ef_search``.
+    """
+    if ef_search is not None and ef_search < k_prime:
+        return k_prime
+    return ef_search
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """Plaintext search parameters carried inside an encrypted query.
+
+    Attributes
+    ----------
+    k:
+        Number of neighbors requested.
+    ratio_k:
+        ``k' = ratio_k * k`` filter-phase multiplier; ``None`` defers to
+        the server's default.
+    ef_search:
+        Filter-phase beam width; ``None`` defers to the backend default.
+    mode:
+        ``"full"`` (Algorithm 2) or ``"filter_only"`` (filter phase only).
+    """
+
+    k: int
+    ratio_k: int | None = None
+    ef_search: int | None = None
+    mode: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ParameterError(f"k must be positive, got {self.k}")
+        if self.ratio_k is not None and self.ratio_k < 1:
+            raise ParameterError(f"ratio_k must be >= 1, got {self.ratio_k}")
+        if self.ef_search is not None and self.ef_search < 1:
+            raise ParameterError(f"ef_search must be >= 1, got {self.ef_search}")
+        if self.mode not in MODES:
+            raise ParameterError(f"mode must be one of {MODES}, got {self.mode!r}")
+
+    def resolve(
+        self,
+        default_ratio_k: int,
+        ratio_k: int | None = None,
+        ef_search: int | None = None,
+        mode: str | None = None,
+    ) -> "SearchRequest":
+        """Fill server-side defaults / per-call overrides into a concrete request.
+
+        Precedence per field: explicit override argument, then the value
+        carried by the request, then the server default.  The returned
+        request always has a concrete ``ratio_k``.
+        """
+        resolved_ratio = ratio_k if ratio_k is not None else self.ratio_k
+        if resolved_ratio is None:
+            resolved_ratio = default_ratio_k
+        if resolved_ratio < 1:
+            raise ParameterError(f"ratio_k must be >= 1, got {resolved_ratio}")
+        return replace(
+            self,
+            ratio_k=resolved_ratio,
+            ef_search=ef_search if ef_search is not None else self.ef_search,
+            mode=mode if mode is not None else self.mode,
+        )
+
+    @property
+    def k_prime(self) -> int:
+        """``k' = ratio_k * k``; requires a resolved ``ratio_k``."""
+        if self.ratio_k is None:
+            raise ParameterError("k_prime is undefined until ratio_k is resolved")
+        return self.ratio_k * self.k
+
+
+@dataclass(frozen=True, init=False)
+class EncryptedQuery:
+    """One encrypted query message: ``(C_SAP(q), T_q, request)`` (Figure 1).
+
+    Attributes
+    ----------
+    sap_vector:
+        The DCPE ciphertext of the query (filter phase).
+    trapdoor:
+        The DCE trapdoor of the query (refine phase).
+    request:
+        The plaintext search parameters.
+    """
+
+    sap_vector: np.ndarray
+    trapdoor: DCETrapdoor
+    request: SearchRequest
+
+    def __init__(
+        self,
+        sap_vector: np.ndarray,
+        trapdoor: DCETrapdoor,
+        request: SearchRequest | None = None,
+        k: int | None = None,
+    ) -> None:
+        # Seed callers passed a bare ``k``; fold it into a SearchRequest.
+        if request is None:
+            if k is None:
+                raise ParameterError("EncryptedQuery needs a request (or legacy k)")
+            request = SearchRequest(k=k)
+        elif k is not None:
+            raise ParameterError("pass either a request or a legacy k, not both")
+        object.__setattr__(self, "sap_vector", sap_vector)
+        object.__setattr__(self, "trapdoor", trapdoor)
+        object.__setattr__(self, "request", request)
+
+    @property
+    def k(self) -> int:
+        """Number of neighbors requested (from the carried request)."""
+        return self.request.k
+
+    def upload_bytes(self) -> int:
+        """Size of the query message.
+
+        ``C_SAP(q)`` travels as float32 (d * 4 bytes), the trapdoor as
+        float64 ((2d+16) * 8 bytes) and the request as a 4-byte integer
+        (the optional knobs ride in the same word).
+        """
+        d = int(self.sap_vector.shape[0])
+        return 4 * d + 8 * self.trapdoor.ciphertext_dim + 4
+
+
+@dataclass(frozen=True, init=False)
+class EncryptedQueryBatch:
+    """A batch of encrypted queries sharing one :class:`SearchRequest`.
+
+    The DCPE ciphertexts and DCE trapdoors are stored as two matrices —
+    ``(n, d)`` and ``(n, 2d+16)`` — which is what lets the user encrypt a
+    whole workload with two BLAS matrix products and the server amortize
+    per-batch setup.
+
+    Attributes
+    ----------
+    sap_vectors:
+        DCPE ciphertexts, one row per query.
+    trapdoor_vectors:
+        DCE trapdoor vectors, one row per query.
+    key_id:
+        The DCE key tag shared by every trapdoor in the batch.
+    request:
+        The search parameters shared by every query in the batch.
+    """
+
+    sap_vectors: np.ndarray
+    trapdoor_vectors: np.ndarray
+    key_id: int
+    request: SearchRequest
+
+    def __init__(
+        self,
+        sap_vectors: np.ndarray,
+        trapdoor_vectors: np.ndarray,
+        key_id: int,
+        request: SearchRequest,
+    ) -> None:
+        sap_vectors = np.asarray(sap_vectors, dtype=np.float64)
+        trapdoor_vectors = np.asarray(trapdoor_vectors, dtype=np.float64)
+        if sap_vectors.ndim != 2:
+            raise ParameterError(
+                f"sap_vectors must be a (n, d) matrix, got shape {sap_vectors.shape}"
+            )
+        if trapdoor_vectors.ndim != 2:
+            raise ParameterError(
+                "trapdoor_vectors must be a (n, 2d+16) matrix, got shape "
+                f"{trapdoor_vectors.shape}"
+            )
+        if sap_vectors.shape[0] != trapdoor_vectors.shape[0]:
+            raise ParameterError(
+                f"{sap_vectors.shape[0]} SAP rows but "
+                f"{trapdoor_vectors.shape[0]} trapdoor rows"
+            )
+        object.__setattr__(self, "sap_vectors", sap_vectors)
+        object.__setattr__(self, "trapdoor_vectors", trapdoor_vectors)
+        object.__setattr__(self, "key_id", int(key_id))
+        object.__setattr__(self, "request", request)
+
+    @classmethod
+    def from_queries(cls, queries: Sequence[EncryptedQuery]) -> "EncryptedQueryBatch":
+        """Stack individually encrypted queries into a batch.
+
+        All queries must share the same request and DCE key.
+        """
+        if not queries:
+            raise ParameterError("cannot build a batch from zero queries")
+        request = queries[0].request
+        key_id = queries[0].trapdoor.key_id
+        for query in queries[1:]:
+            if query.request != request:
+                raise ParameterError("all queries in a batch must share one request")
+            if query.trapdoor.key_id != key_id:
+                raise KeyMismatchError("queries in a batch come from different keys")
+        return cls(
+            np.stack([q.sap_vector for q in queries]),
+            np.stack([q.trapdoor.vector for q in queries]),
+            key_id,
+            request,
+        )
+
+    def __len__(self) -> int:
+        return int(self.sap_vectors.shape[0])
+
+    def __getitem__(self, index: int) -> EncryptedQuery:
+        return EncryptedQuery(
+            self.sap_vectors[index],
+            DCETrapdoor(self.trapdoor_vectors[index], self.key_id),
+            request=self.request,
+        )
+
+    def __iter__(self) -> Iterator[EncryptedQuery]:
+        for index in range(len(self)):
+            yield self[index]
+
+    @property
+    def dim(self) -> int:
+        """DCPE-ciphertext (= plaintext) dimensionality."""
+        return int(self.sap_vectors.shape[1])
+
+    def upload_bytes(self) -> int:
+        """Total size of the batched query message (per-query size * n)."""
+        if len(self) == 0:
+            return 0
+        return len(self) * self[0].upload_bytes()
+
+
+@dataclass
+class SearchResult:
+    """Instrumented answer to one query (formerly ``SearchReport``).
+
+    Attributes
+    ----------
+    ids:
+        The returned neighbor ids (server-side ids; the user maps them
+        back to records).
+    filter_stats:
+        Graph-search instrumentation (distance computations, hops).
+    refine_comparisons:
+        DCE ``DistanceComp`` invocations in the refine phase.
+    k_prime:
+        The number of filter-phase candidates refined.
+    filter_seconds / refine_seconds:
+        Wall-clock split of the two phases.
+    request:
+        The resolved request this result answers (None on legacy paths).
+    """
+
+    ids: np.ndarray
+    filter_stats: SearchStats = field(default_factory=SearchStats)
+    refine_comparisons: int = 0
+    k_prime: int = 0
+    filter_seconds: float = 0.0
+    refine_seconds: float = 0.0
+    request: SearchRequest | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock total of both phases."""
+        return self.filter_seconds + self.refine_seconds
+
+    def download_bytes(self) -> int:
+        """Result message size: 4 bytes per returned id (Section V-C)."""
+        return 4 * int(self.ids.shape[0])
+
+
+#: Deprecated alias kept for the seed API; new code uses SearchResult.
+SearchReport = SearchResult
+
+
+@dataclass
+class SearchResultBatch:
+    """The server's answer to an :class:`EncryptedQueryBatch`.
+
+    Wraps the per-query :class:`SearchResult` objects and aggregates their
+    instrumentation, so batch callers get both the ids matrix and the
+    totals without re-deriving them.
+    """
+
+    results: list[SearchResult]
+    request: SearchRequest | None = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> SearchResult:
+        return self.results[index]
+
+    def __iter__(self) -> Iterator[SearchResult]:
+        return iter(self.results)
+
+    def ids_matrix(self, fill: int = -1) -> np.ndarray:
+        """The ``(n, k)`` id matrix; short rows are padded with ``fill``.
+
+        A row can be short when tombstoned candidates reduced the live
+        result set below ``k``.
+        """
+        if not self.results:
+            return np.empty((0, 0), dtype=np.int64)
+        width = max(int(r.ids.shape[0]) for r in self.results)
+        matrix = np.full((len(self.results), width), fill, dtype=np.int64)
+        for row, result in enumerate(self.results):
+            matrix[row, : result.ids.shape[0]] = result.ids
+        return matrix
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Alias of :meth:`ids_matrix` with the default fill."""
+        return self.ids_matrix()
+
+    @property
+    def filter_seconds(self) -> float:
+        """Total filter-phase wall clock across the batch."""
+        return sum(r.filter_seconds for r in self.results)
+
+    @property
+    def refine_seconds(self) -> float:
+        """Total refine-phase wall clock across the batch."""
+        return sum(r.refine_seconds for r in self.results)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall clock across the batch."""
+        return sum(r.total_seconds for r in self.results)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean per-query wall clock."""
+        if not self.results:
+            return 0.0
+        return self.total_seconds / len(self.results)
+
+    @property
+    def qps(self) -> float:
+        """Single-thread throughput implied by the mean latency."""
+        mean = self.mean_seconds
+        if mean <= 0:
+            return float("inf")
+        return 1.0 / mean
+
+    @property
+    def refine_comparisons(self) -> int:
+        """Total DCE comparisons across the batch."""
+        return sum(r.refine_comparisons for r in self.results)
+
+    @property
+    def filter_stats(self) -> SearchStats:
+        """Merged graph-search instrumentation across the batch."""
+        merged = SearchStats()
+        for result in self.results:
+            merged.merge(result.filter_stats)
+        return merged
+
+    def download_bytes(self) -> int:
+        """Total result message size across the batch."""
+        return sum(r.download_bytes() for r in self.results)

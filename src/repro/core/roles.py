@@ -1,17 +1,20 @@
 """The three participants of the system model (Section II-A, Figure 1).
 
 * :class:`DataOwner` — holds the plaintext database and all secret keys;
-  encrypts the database under DCPE and DCE, builds the HNSW graph over the
-  DCPE ciphertexts, and hands the resulting :class:`EncryptedIndex` to the
-  server.  Also authorizes users by sharing the secret keys (step 0 in
-  Figure 1).
+  encrypts the database under DCPE and DCE, builds the filter backend
+  over the DCPE ciphertexts, and hands the resulting
+  :class:`EncryptedIndex` to the server.  Also authorizes users by
+  sharing the secret keys (step 0 in Figure 1).
 * :class:`QueryUser` — holds the authorized keys; per query it computes
   only the two encryptions (``C_SAP(q)`` at O(d) and ``T_q`` at O(d^2))
   and decodes the returned ids.  This is property P3: minimal user
-  involvement.
+  involvement.  :meth:`QueryUser.encrypt_queries` encrypts a whole
+  workload with matrix-matrix products — one BLAS call per phase instead
+  of ``n`` matrix-vector products.
 * :class:`CloudServer` — honest-but-curious; stores the encrypted index
-  and answers :class:`EncryptedQuery` messages with Algorithm 2.  It sees
-  ciphertexts, graph structure and comparison outcomes — nothing else.
+  and answers :class:`EncryptedQuery` / :class:`EncryptedQueryBatch`
+  messages with Algorithm 2.  It sees ciphertexts, index structure and
+  comparison outcomes — nothing else.
 """
 
 from __future__ import annotations
@@ -20,13 +23,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.backends import build_backend
 from repro.core.dcpe import DCPEScheme, dcpe_keygen, DEFAULT_SCALE
-from repro.core.dce import DCEScheme
+from repro.core.dce import DCEScheme, DCETrapdoor
 from repro.core.errors import ParameterError
 from repro.core.index import EncryptedIndex
 from repro.core.keys import DCEKey, DCPEKey
-from repro.core.search import EncryptedQuery, SearchReport, filter_and_refine, filter_only
-from repro.hnsw.graph import HNSWIndex, HNSWParams
+from repro.core.protocol import (
+    EncryptedQuery,
+    EncryptedQueryBatch,
+    SearchRequest,
+    SearchResult,
+    SearchResultBatch,
+)
+from repro.core.search import execute_batch, filter_and_refine, filter_only
+from repro.hnsw.graph import HNSWParams
 
 __all__ = ["SecretKeyBundle", "DataOwner", "QueryUser", "CloudServer"]
 
@@ -52,9 +63,15 @@ class DataOwner:
     scale:
         DCPE scaling factor; paper default 1024.
     hnsw_params:
-        Graph construction parameters.
+        Graph construction parameters (used by the ``hnsw`` backend).
+    backend:
+        Filter-backend kind to build over the DCPE ciphertexts; one of
+        :func:`repro.core.backends.available_backends`.
+    backend_params:
+        Construction parameters for non-HNSW backends (e.g.
+        :class:`~repro.hnsw.nsg.NSGParams`).
     rng:
-        Randomness for key generation, encryption and graph levels.
+        Randomness for key generation, encryption and index construction.
     """
 
     def __init__(
@@ -63,6 +80,8 @@ class DataOwner:
         beta: float,
         scale: float = DEFAULT_SCALE,
         hnsw_params: HNSWParams | None = None,
+        backend: str = "hnsw",
+        backend_params=None,
         rng: np.random.Generator | None = None,
     ) -> None:
         if dim <= 0:
@@ -72,11 +91,18 @@ class DataOwner:
         self._dce = DCEScheme(dim, rng=self._rng)
         self._dcpe = DCPEScheme(dim, dcpe_keygen(beta, scale, self._rng), rng=self._rng)
         self._hnsw_params = hnsw_params if hnsw_params is not None else HNSWParams()
+        self._backend = backend
+        self._backend_params = backend_params
 
     @property
     def dim(self) -> int:
         """Plaintext dimensionality."""
         return self._dim
+
+    @property
+    def backend_kind(self) -> str:
+        """The filter-backend kind this owner builds."""
+        return self._backend
 
     @property
     def dce_scheme(self) -> DCEScheme:
@@ -100,7 +126,8 @@ class DataOwner:
         """Encrypt the database and build the privacy-preserving index.
 
         This is steps B1 + B2 of Figure 3: DCE ciphertexts, DCPE
-        ciphertexts, and an HNSW graph over the *DCPE* ciphertexts.
+        ciphertexts, and the filter backend built over the *DCPE*
+        ciphertexts.
         """
         vectors = np.asarray(vectors, dtype=np.float64)
         if vectors.ndim != 2 or vectors.shape[1] != self._dim:
@@ -109,8 +136,11 @@ class DataOwner:
             )
         sap = self._dcpe.encrypt_database(vectors)
         dce_db = self._dce.encrypt_database(vectors)
-        graph = HNSWIndex(self._dim, self._hnsw_params, rng=self._rng).build(sap)
-        return EncryptedIndex(sap, graph, dce_db)
+        params = self._backend_params
+        if params is None and self._backend == "hnsw":
+            params = self._hnsw_params
+        backend = build_backend(self._backend, sap, rng=self._rng, params=params)
+        return EncryptedIndex(sap, backend, dce_db)
 
     def encrypt_vector(self, vector: np.ndarray) -> tuple[np.ndarray, "np.ndarray"]:
         """Encrypt one new vector for insertion: ``(C_SAP(u), C_DCE(u))``.
@@ -128,7 +158,9 @@ class QueryUser:
 
     Per query the user performs exactly two encryptions and nothing else;
     the paper's user-side complexity is O(d^2), dominated by the trapdoor's
-    matrix-vector products.
+    matrix-vector products.  For a workload of n queries,
+    :meth:`encrypt_queries` performs the same work as two matrix-matrix
+    products, which BLAS executes far faster than n independent matvecs.
     """
 
     def __init__(
@@ -146,11 +178,69 @@ class QueryUser:
         """Plaintext dimensionality."""
         return self._dim
 
-    def encrypt_query(self, query: np.ndarray, k: int) -> EncryptedQuery:
-        """Produce the query message ``(C_SAP(q), T_q, k)``."""
+    def _check_query(self, query: np.ndarray) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1 or query.shape[0] != self._dim:
+            raise ParameterError(
+                f"expected a 1-D query of dimension {self._dim}, "
+                f"got shape {query.shape}"
+            )
+        return query
+
+    def encrypt_query(
+        self,
+        query: np.ndarray,
+        k: int,
+        ratio_k: int | None = None,
+        ef_search: int | None = None,
+        mode: str = "full",
+    ) -> EncryptedQuery:
+        """Produce the query message ``(C_SAP(q), T_q, request)``.
+
+        A ``filter_only`` query carries no trapdoor (the filter phase
+        never compares under DCE), saving the user the O(d^2) TrapGen.
+        """
+        query = self._check_query(query)
+        request = SearchRequest(k=k, ratio_k=ratio_k, ef_search=ef_search, mode=mode)
         sap = self._dcpe.encrypt(query)
-        trapdoor = self._dce.trapdoor(query)
-        return EncryptedQuery(sap_vector=sap, trapdoor=trapdoor, k=k)
+        if mode == "filter_only":
+            trapdoor = DCETrapdoor(np.zeros(0), self._dce.key_id)
+        else:
+            trapdoor = self._dce.trapdoor(query)
+        return EncryptedQuery(sap_vector=sap, trapdoor=trapdoor, request=request)
+
+    def encrypt_queries(
+        self,
+        queries: np.ndarray,
+        k: int,
+        ratio_k: int | None = None,
+        ef_search: int | None = None,
+        mode: str = "full",
+    ) -> EncryptedQueryBatch:
+        """Encrypt a whole ``(n, d)`` query workload in one vectorized pass.
+
+        All DCPE ciphertexts are produced by one scale-and-perturb over
+        the matrix and all DCE trapdoors by matrix-matrix products (see
+        :meth:`repro.core.dce.DCEScheme.trapdoor_batch`), so the user-side
+        cost per query drops well below the n-matvec loop.
+
+        A ``filter_only`` batch carries no trapdoors at all — the filter
+        phase never compares under DCE, so the message is just the DCPE
+        ciphertexts and the request (and the upload accounting shrinks
+        accordingly).
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self._dim:
+            raise ParameterError(
+                f"expected a (n, {self._dim}) query matrix, got shape {queries.shape}"
+            )
+        request = SearchRequest(k=k, ratio_k=ratio_k, ef_search=ef_search, mode=mode)
+        sap = self._dcpe.encrypt_database(queries)
+        if mode == "filter_only":
+            trapdoors = np.zeros((queries.shape[0], 0))
+        else:
+            trapdoors = self._dce.trapdoor_batch(queries)
+        return EncryptedQueryBatch(sap, trapdoors, self._dce.key_id, request)
 
 
 class CloudServer:
@@ -180,18 +270,52 @@ class CloudServer:
         """Default ``k'/k`` multiplier."""
         return self._default_ratio_k
 
+    def _default_ratio_for(self, mode: str) -> int:
+        """Default ``k'/k`` by mode.
+
+        The server's ``default_ratio_k`` is tuned for the refine pipeline;
+        the ``filter_only`` reference method defaults to ``k' = k`` (the
+        paper's HNSW(filter)), matching :meth:`answer_filter_only`.
+        """
+        return 1 if mode == "filter_only" else self._default_ratio_k
+
     def answer(
         self,
-        query: EncryptedQuery,
+        query: EncryptedQuery | EncryptedQueryBatch,
         ratio_k: int | None = None,
         ef_search: int | None = None,
-    ) -> SearchReport:
-        """Run Algorithm 2 for one encrypted query."""
-        ratio = ratio_k if ratio_k is not None else self._default_ratio_k
-        if ratio < 1:
-            raise ParameterError(f"ratio_k must be >= 1, got {ratio}")
+    ) -> SearchResult | SearchResultBatch:
+        """Run Algorithm 2 for one encrypted query or a whole batch.
+
+        A batch answer amortizes parameter resolution, the key check and
+        liveness filtering across queries; its results are element-wise
+        identical to answering each query individually.
+        """
+        if isinstance(query, EncryptedQueryBatch):
+            return execute_batch(
+                self._index,
+                query,
+                default_ratio_k=self._default_ratio_for(query.request.mode),
+                ratio_k=ratio_k,
+                ef_search=ef_search,
+            )
+        request = query.request.resolve(
+            self._default_ratio_for(query.request.mode),
+            ratio_k=ratio_k,
+            ef_search=ef_search,
+        )
+        if request.mode == "filter_only":
+            return filter_only(
+                self._index,
+                query,
+                ef_search=request.ef_search,
+                k_prime=request.k_prime,
+            )
         return filter_and_refine(
-            self._index, query, k_prime=ratio * query.k, ef_search=ef_search
+            self._index,
+            query,
+            k_prime=request.k_prime,
+            ef_search=request.ef_search,
         )
 
     def answer_filter_only(
@@ -199,21 +323,25 @@ class CloudServer:
         query: EncryptedQuery,
         ef_search: int | None = None,
         k_prime: int | None = None,
-    ) -> SearchReport:
+    ) -> SearchResult:
         """Filter phase only (the paper's HNSW(filter) reference method)."""
         return filter_only(self._index, query, ef_search=ef_search, k_prime=k_prime)
 
     def answer_batch(
         self,
-        queries: list[EncryptedQuery],
+        queries: "list[EncryptedQuery] | EncryptedQueryBatch",
         ratio_k: int | None = None,
         ef_search: int | None = None,
-    ) -> list[SearchReport]:
-        """Answer a batch of encrypted queries sequentially.
+    ) -> "list[SearchResult] | SearchResultBatch":
+        """Answer a batch of encrypted queries.
 
-        The paper's evaluation is single-threaded, so "batch" here means a
-        convenience loop with shared parameter resolution; QPS numbers from
-        it match the per-query path exactly.
+        Given an :class:`EncryptedQueryBatch` this is the amortized batch
+        path and returns a :class:`SearchResultBatch`.  A plain list of
+        queries is answered one by one (the seed API) and returns a list.
         """
-        return [self.answer(query, ratio_k=ratio_k, ef_search=ef_search)
-                for query in queries]
+        if isinstance(queries, EncryptedQueryBatch):
+            return self.answer(queries, ratio_k=ratio_k, ef_search=ef_search)
+        return [
+            self.answer(query, ratio_k=ratio_k, ef_search=ef_search)
+            for query in queries
+        ]

@@ -7,6 +7,7 @@ can exercise the complete pipeline (Figure 1) in a few lines::
     scheme = PPANNS(dim=128, beta=2.0, rng=rng)
     scheme.fit(database)
     ids = scheme.query(q, k=10, ratio_k=8)
+    batch = scheme.query_batch(queries, k=10)     # batch-first path
 
 The facade preserves the trust boundaries in spirit — the server object
 only ever receives ciphertexts — while keeping everything addressable for
@@ -19,8 +20,8 @@ import numpy as np
 
 from repro.core.errors import ParameterError
 from repro.core.maintenance import delete_vector, insert_vector
+from repro.core.protocol import SearchResult, SearchResultBatch
 from repro.core.roles import CloudServer, DataOwner, QueryUser
-from repro.core.search import SearchReport
 from repro.hnsw.graph import HNSWParams
 
 __all__ = ["PPANNS"]
@@ -40,7 +41,11 @@ class PPANNS:
     scale:
         DCPE scaling factor (paper default 1024).
     hnsw_params:
-        Graph construction parameters.
+        Graph construction parameters (for the default ``hnsw`` backend).
+    backend:
+        Filter-backend kind (``hnsw``, ``nsg``, ``ivf``, ``bruteforce``).
+    backend_params:
+        Construction parameters for non-HNSW backends.
     default_ratio_k:
         Default ``k'/k`` for queries.
     rng:
@@ -53,12 +58,20 @@ class PPANNS:
         beta: float,
         scale: float = 1024.0,
         hnsw_params: HNSWParams | None = None,
+        backend: str = "hnsw",
+        backend_params=None,
         default_ratio_k: int = 8,
         rng: np.random.Generator | None = None,
     ) -> None:
         rng = rng if rng is not None else np.random.default_rng()
         self._owner = DataOwner(
-            dim, beta=beta, scale=scale, hnsw_params=hnsw_params, rng=rng
+            dim,
+            beta=beta,
+            scale=scale,
+            hnsw_params=hnsw_params,
+            backend=backend,
+            backend_params=backend_params,
+            rng=rng,
         )
         self._user = QueryUser(self._owner.authorize_user(), rng=rng)
         self._server: CloudServer | None = None
@@ -112,10 +125,29 @@ class PPANNS:
         k: int,
         ratio_k: int | None = None,
         ef_search: int | None = None,
-    ) -> SearchReport:
-        """Like :meth:`query` but returns the instrumented report."""
+    ) -> SearchResult:
+        """Like :meth:`query` but returns the instrumented result."""
         encrypted = self._user.encrypt_query(vector, k)
         return self.server.answer(encrypted, ratio_k=ratio_k, ef_search=ef_search)
+
+    def query_batch(
+        self,
+        vectors: np.ndarray,
+        k: int,
+        ratio_k: int | None = None,
+        ef_search: int | None = None,
+        mode: str = "full",
+    ) -> SearchResultBatch:
+        """Batch round trip: vectorized encryption, amortized answering.
+
+        This is the throughput path — the user encrypts the whole
+        workload with matrix products and the server amortizes per-batch
+        setup (see :func:`repro.core.search.execute_batch`).
+        """
+        encrypted = self._user.encrypt_queries(
+            vectors, k, ratio_k=ratio_k, ef_search=ef_search, mode=mode
+        )
+        return self.server.answer(encrypted)
 
     def query_filter_only(
         self,
@@ -123,7 +155,7 @@ class PPANNS:
         k: int,
         ef_search: int | None = None,
         k_prime: int | None = None,
-    ) -> SearchReport:
+    ) -> SearchResult:
         """Filter-phase-only query (Figure 4 / HNSW(filter) reference)."""
         encrypted = self._user.encrypt_query(vector, k)
         return self.server.answer_filter_only(

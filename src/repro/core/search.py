@@ -4,9 +4,10 @@ Given the encrypted query pair — the DCPE ciphertext ``C_SAP(q)`` for the
 filter phase and the DCE trapdoor ``T_q`` for the refine phase — the
 server:
 
-* **filter**: runs k'-ANNS (``k' = ratio_k * k > k``) on the HNSW graph
-  over ``C_SAP``, using ordinary Euclidean distances on DCPE ciphertexts
-  (same cost as plaintext distances), yielding high-quality candidates;
+* **filter**: runs k'-ANNS (``k' = ratio_k * k > k``) on the filter
+  backend over ``C_SAP``, using ordinary Euclidean distances on DCPE
+  ciphertexts (same cost as plaintext distances), yielding high-quality
+  candidates;
 * **refine**: maintains a k-bounded max-heap ordered *only* by DCE
   ``DistanceComp`` outcomes, offering each candidate in turn; O(log k)
   comparisons per offer, each comparison O(d).
@@ -15,90 +16,166 @@ Total server cost: ``O(d (log n + k' log k))`` per query (Section V-C).
 
 The ``k'`` knob trades accuracy for refine cost (Figure 5); ``beta``
 bounds the filter phase's candidate quality (Figure 4).
+
+The batch entry point is :func:`execute_batch`: parameter resolution,
+the key check, and liveness-mask construction happen once per batch, and
+each query then runs the shared single-query engine.  The seed-era
+:func:`filter_and_refine` / :func:`filter_only` signatures remain as thin
+wrappers over the same engine.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.dce import DCETrapdoor, distance_comp
+from repro.core.dce import DCEEncryptedDatabase, DCETrapdoor, distance_comp
 from repro.core.errors import KeyMismatchError, ParameterError
 from repro.core.index import EncryptedIndex
+from repro.core.protocol import (
+    EncryptedQuery,
+    EncryptedQueryBatch,
+    SearchRequest,
+    SearchReport,
+    SearchResult,
+    SearchResultBatch,
+    resolve_ef_search,
+)
 from repro.hnsw.graph import SearchStats
 from repro.hnsw.heap import ComparisonMaxHeap
 
-__all__ = ["EncryptedQuery", "SearchReport", "filter_and_refine", "filter_only"]
+__all__ = [
+    "EncryptedQuery",
+    "EncryptedQueryBatch",
+    "SearchRequest",
+    "SearchReport",
+    "SearchResult",
+    "SearchResultBatch",
+    "filter_and_refine",
+    "filter_only",
+    "execute_batch",
+]
 
 
-@dataclass(frozen=True)
-class EncryptedQuery:
-    """What the user sends the server: ``(C_SAP(q), T_q, k)`` (Figure 1).
+def _refine(
+    dce: DCEEncryptedDatabase,
+    trapdoor: DCETrapdoor,
+    candidates: list[int],
+    k: int,
+) -> tuple[np.ndarray, int]:
+    """Algorithm 2 lines 2-9: comparison-only top-k over the candidates."""
 
-    Attributes
-    ----------
-    sap_vector:
-        The DCPE ciphertext of the query (filter phase).
-    trapdoor:
-        The DCE trapdoor of the query (refine phase).
-    k:
-        Number of neighbors requested.
+    def is_farther(a: int, b: int) -> bool:
+        return distance_comp(dce[a], dce[b], trapdoor) >= 0.0
+
+    heap = ComparisonMaxHeap(k, is_farther)
+    for candidate in candidates:
+        heap.offer(candidate)
+    return np.array(heap.items(), dtype=np.int64), heap.oracle_calls
+
+
+def _run_single(
+    index: EncryptedIndex,
+    sap_vector: np.ndarray,
+    trapdoor: DCETrapdoor,
+    request: SearchRequest,
+    k_prime: int,
+    live_mask: np.ndarray,
+) -> SearchResult:
+    """One query through the shared engine; parameters are pre-resolved."""
+    ef_search = resolve_ef_search(request.ef_search, k_prime)
+
+    # -- filter phase (Line 1) ------------------------------------------------
+    stats = SearchStats()
+    start = time.perf_counter()
+    candidate_ids, _ = index.backend.search(
+        sap_vector, k_prime, ef_search=ef_search, stats=stats
+    )
+    if candidate_ids.shape[0]:
+        candidate_ids = candidate_ids[live_mask[candidate_ids]]
+    filter_seconds = time.perf_counter() - start
+
+    if request.mode == "filter_only":
+        return SearchResult(
+            ids=candidate_ids[: request.k],
+            filter_stats=stats,
+            refine_comparisons=0,
+            k_prime=k_prime,
+            filter_seconds=filter_seconds,
+            request=request,
+        )
+
+    # -- refine phase (Lines 2-9) ---------------------------------------------
+    start = time.perf_counter()
+    ids, comparisons = _refine(
+        index.dce_database,
+        trapdoor,
+        [int(i) for i in candidate_ids],
+        request.k,
+    )
+    refine_seconds = time.perf_counter() - start
+    return SearchResult(
+        ids=ids,
+        filter_stats=stats,
+        refine_comparisons=comparisons,
+        k_prime=k_prime,
+        filter_seconds=filter_seconds,
+        refine_seconds=refine_seconds,
+        request=request,
+    )
+
+
+def _check_query_dim(index: EncryptedIndex, sap: np.ndarray, what: str) -> None:
+    if sap.shape[-1] != index.dim:
+        raise ParameterError(
+            f"{what} has dimension {sap.shape[-1]}, but the index holds "
+            f"{index.dim}-dimensional ciphertexts"
+        )
+
+
+def execute_batch(
+    index: EncryptedIndex,
+    batch: EncryptedQueryBatch,
+    default_ratio_k: int = 8,
+    ratio_k: int | None = None,
+    ef_search: int | None = None,
+    mode: str | None = None,
+) -> SearchResultBatch:
+    """Answer a whole encrypted batch through one amortized pass.
+
+    Parameter resolution, the trapdoor key check, and the liveness mask
+    are computed once; each query then runs Algorithm 2 against the
+    shared state.  Results are element-wise identical to answering the
+    batch's queries one at a time.
     """
-
-    sap_vector: np.ndarray
-    trapdoor: DCETrapdoor
-    k: int
-
-    def __post_init__(self) -> None:
-        if self.k <= 0:
-            raise ParameterError(f"k must be positive, got {self.k}")
-
-    def upload_bytes(self) -> int:
-        """Size of the query message.
-
-        ``C_SAP(q)`` travels as float32 (d * 4 bytes), the trapdoor as
-        float64 ((2d+16) * 8 bytes) and ``k`` as a 4-byte integer.
-        """
-        d = int(self.sap_vector.shape[0])
-        return 4 * d + 8 * self.trapdoor.ciphertext_dim + 4
-
-
-@dataclass
-class SearchReport:
-    """Instrumentation of one filter-and-refine query.
-
-    Attributes
-    ----------
-    ids:
-        The k returned neighbor ids (server-side ids; the user maps them
-        back to records).
-    filter_stats:
-        Graph-search instrumentation (distance computations, hops).
-    refine_comparisons:
-        DCE ``DistanceComp`` invocations in the refine phase.
-    k_prime:
-        The number of filter-phase candidates refined.
-    filter_seconds / refine_seconds:
-        Wall-clock split of the two phases.
-    """
-
-    ids: np.ndarray
-    filter_stats: SearchStats = field(default_factory=SearchStats)
-    refine_comparisons: int = 0
-    k_prime: int = 0
-    filter_seconds: float = 0.0
-    refine_seconds: float = 0.0
-
-    @property
-    def total_seconds(self) -> float:
-        """Wall-clock total of both phases."""
-        return self.filter_seconds + self.refine_seconds
-
-    def download_bytes(self) -> int:
-        """Result message size: 4 bytes per returned id (Section V-C)."""
-        return 4 * int(self.ids.shape[0])
+    _check_query_dim(index, batch.sap_vectors, "query batch")
+    request = batch.request.resolve(
+        default_ratio_k, ratio_k=ratio_k, ef_search=ef_search, mode=mode
+    )
+    k_prime = request.k_prime
+    if request.mode == "full":
+        if batch.trapdoor_vectors.shape[1] == 0:
+            raise ParameterError(
+                "batch carries no trapdoors (encrypted for filter_only mode); "
+                "re-encrypt with mode='full' to refine"
+            )
+        if batch.key_id != index.dce_database.key_id:
+            raise KeyMismatchError("query trapdoors do not match the index's DCE key")
+    live_mask = index.live_mask()
+    key_id = batch.key_id
+    results = [
+        _run_single(
+            index,
+            batch.sap_vectors[i],
+            DCETrapdoor(batch.trapdoor_vectors[i], key_id),
+            request,
+            k_prime,
+            live_mask,
+        )
+        for i in range(len(batch))
+    ]
+    return SearchResultBatch(results, request=request)
 
 
 def filter_only(
@@ -106,32 +183,20 @@ def filter_only(
     query: EncryptedQuery,
     ef_search: int | None = None,
     k_prime: int | None = None,
-) -> SearchReport:
+) -> SearchResult:
     """The filter phase alone — the paper's ``HNSW(filter)`` reference.
 
-    Runs k'-ANNS on the DCPE/HNSW index and returns the top-k of the
-    candidates *by approximate distance*, skipping DCE entirely.  Used by
-    Figure 4 (beta tuning) and as the Figure 6 lower bound.
+    Runs k'-ANNS on the encrypted filter backend and returns the top-k of
+    the candidates *by approximate distance*, skipping DCE entirely.
+    Used by Figure 4 (beta tuning) and as the Figure 6 lower bound.
     """
     k_prime = k_prime if k_prime is not None else query.k
     if k_prime < query.k:
         raise ParameterError(f"k' ({k_prime}) must be >= k ({query.k})")
-    stats = SearchStats()
-    start = time.perf_counter()
-    ids, _ = index.graph.search(
-        query.sap_vector,
-        k_prime,
-        ef_search=ef_search,
-        stats=stats,
-    )
-    ids = np.array([i for i in ids if index.is_live(int(i))], dtype=np.int64)
-    elapsed = time.perf_counter() - start
-    return SearchReport(
-        ids=ids[: query.k],
-        filter_stats=stats,
-        refine_comparisons=0,
-        k_prime=k_prime,
-        filter_seconds=elapsed,
+    _check_query_dim(index, query.sap_vector, "query")
+    request = SearchRequest(k=query.k, ef_search=ef_search, mode="filter_only")
+    return _run_single(
+        index, query.sap_vector, query.trapdoor, request, k_prime, index.live_mask()
     )
 
 
@@ -140,8 +205,8 @@ def filter_and_refine(
     query: EncryptedQuery,
     k_prime: int,
     ef_search: int | None = None,
-) -> SearchReport:
-    """Algorithm 2: k'-ANNS filter on DCPE/HNSW, DCE comparison refine.
+) -> SearchResult:
+    """Algorithm 2: k'-ANNS filter on the encrypted backend, DCE refine.
 
     Parameters
     ----------
@@ -153,51 +218,25 @@ def filter_and_refine(
         Filter-phase candidate count ``k' >= k`` (``Ratio_k * k`` in the
         paper's parameterization).
     ef_search:
-        HNSW beam width; defaults to ``max(k', 2m)`` inside the graph.
+        Filter-phase beam width; values below ``k'`` are raised to ``k'``
+        (see :func:`repro.core.protocol.resolve_ef_search`).
 
     Returns
     -------
-    SearchReport
+    SearchResult
         The k result ids plus full phase instrumentation.
     """
     if k_prime < query.k:
         raise ParameterError(f"k' ({k_prime}) must be >= k ({query.k})")
+    _check_query_dim(index, query.sap_vector, "query")
+    if query.trapdoor.ciphertext_dim == 0:
+        raise ParameterError(
+            "query carries no trapdoor (encrypted for filter_only mode); "
+            "re-encrypt with mode='full' to refine"
+        )
     if query.trapdoor.key_id != index.dce_database.key_id:
         raise KeyMismatchError("query trapdoor does not match the index's DCE key")
-
-    # -- filter phase (Line 1) ------------------------------------------------
-    stats = SearchStats()
-    start = time.perf_counter()
-    effective_ef = ef_search if ef_search is not None else None
-    if effective_ef is not None and effective_ef < k_prime:
-        effective_ef = k_prime
-    candidate_ids, _ = index.graph.search(
-        query.sap_vector,
-        k_prime,
-        ef_search=effective_ef,
-        stats=stats,
-    )
-    candidates = [int(i) for i in candidate_ids if index.is_live(int(i))]
-    filter_seconds = time.perf_counter() - start
-
-    # -- refine phase (Lines 2-9) -----------------------------------------------
-    start = time.perf_counter()
-    dce = index.dce_database
-    trapdoor = query.trapdoor
-
-    def is_farther(a: int, b: int) -> bool:
-        return distance_comp(dce[a], dce[b], trapdoor) >= 0.0
-
-    heap = ComparisonMaxHeap(query.k, is_farther)
-    for candidate in candidates:
-        heap.offer(candidate)
-    refine_seconds = time.perf_counter() - start
-
-    return SearchReport(
-        ids=np.array(heap.items(), dtype=np.int64),
-        filter_stats=stats,
-        refine_comparisons=heap.oracle_calls,
-        k_prime=k_prime,
-        filter_seconds=filter_seconds,
-        refine_seconds=refine_seconds,
+    request = SearchRequest(k=query.k, ef_search=ef_search, mode="full")
+    return _run_single(
+        index, query.sap_vector, query.trapdoor, request, k_prime, index.live_mask()
     )

@@ -93,21 +93,21 @@ def sweep_ppanns(
     """
     if len(truth) != len(queries):
         raise ParameterError("truth list does not match query count")
-    encrypted = [scheme.user.encrypt_query(q, k) for q in queries]
+    encrypted = scheme.user.encrypt_queries(queries, k)
     points = []
     for ef in ef_grid:
-        recalls = []
-        latencies = []
-        for query_ct, query_truth in zip(encrypted, truth):
-            start = time.perf_counter()
-            report = scheme.server.answer(query_ct, ratio_k=ratio_k, ef_search=ef)
-            latencies.append(time.perf_counter() - start)
-            recalls.append(recall_at_k(report.ids, query_truth, k))
+        start = time.perf_counter()
+        results = scheme.server.answer(encrypted, ratio_k=ratio_k, ef_search=ef)
+        elapsed = time.perf_counter() - start
+        recalls = [
+            recall_at_k(result.ids, query_truth, k)
+            for result, query_truth in zip(results, truth)
+        ]
         points.append(
             CurvePoint(
                 parameter=float(ef),
                 recall=float(np.mean(recalls)),
-                mean_latency_seconds=float(np.mean(latencies)),
+                mean_latency_seconds=elapsed / len(queries),
             )
         )
     return MethodCurve(
@@ -127,21 +127,21 @@ def sweep_filter_only(
     """Sweep ``ef_search`` for the filter phase alone (Figure 4 / 6)."""
     if len(truth) != len(queries):
         raise ParameterError("truth list does not match query count")
-    encrypted = [scheme.user.encrypt_query(q, k) for q in queries]
+    encrypted = scheme.user.encrypt_queries(queries, k, ratio_k=1, mode="filter_only")
     points = []
     for ef in ef_grid:
-        recalls = []
-        latencies = []
-        for query_ct, query_truth in zip(encrypted, truth):
-            start = time.perf_counter()
-            report = scheme.server.answer_filter_only(query_ct, ef_search=ef)
-            latencies.append(time.perf_counter() - start)
-            recalls.append(recall_at_k(report.ids, query_truth, k))
+        start = time.perf_counter()
+        results = scheme.server.answer(encrypted, ef_search=ef)
+        elapsed = time.perf_counter() - start
+        recalls = [
+            recall_at_k(result.ids, query_truth, k)
+            for result, query_truth in zip(results, truth)
+        ]
         points.append(
             CurvePoint(
                 parameter=float(ef),
                 recall=float(np.mean(recalls)),
-                mean_latency_seconds=float(np.mean(latencies)),
+                mean_latency_seconds=elapsed / len(queries),
             )
         )
     return MethodCurve(label=label, points=tuple(points))

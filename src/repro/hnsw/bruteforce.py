@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.core.errors import DimensionMismatchError, ParameterError
 from repro.hnsw.distance import squared_distances_to_many
+from repro.hnsw.graph import SearchStats
 
 __all__ = ["exact_knn", "BruteForceIndex"]
 
@@ -50,10 +51,20 @@ class BruteForceIndex:
                 f"need a non-empty (n, d) array, got shape {vectors.shape}"
             )
         self._vectors = vectors
+        self._deleted: set[int] = set()
+
+    @classmethod
+    def from_state(
+        cls, vectors: np.ndarray, deleted: set[int] | None = None
+    ) -> "BruteForceIndex":
+        """Reconstruct an index (used by :mod:`repro.core.persistence`)."""
+        index = cls(vectors)
+        index._deleted = set(deleted) if deleted is not None else set()
+        return index
 
     @property
     def size(self) -> int:
-        """Number of indexed vectors."""
+        """Number of indexed vectors, including any deleted slots."""
         return int(self._vectors.shape[0])
 
     @property
@@ -61,6 +72,46 @@ class BruteForceIndex:
         """Vector dimensionality."""
         return int(self._vectors.shape[1])
 
-    def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Exact search; see :func:`exact_knn`."""
-        return exact_knn(self._vectors, query, k)
+    @property
+    def vectors(self) -> np.ndarray:
+        """The indexed vectors, including any deleted slots."""
+        return self._vectors
+
+    def is_deleted(self, node: int) -> bool:
+        """Whether ``node`` has been tombstoned."""
+        return node in self._deleted
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Append one vector, returning its id."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.ndim != 1 or vector.shape[0] != self.dim:
+            raise DimensionMismatchError(self.dim, vector.shape[-1])
+        self._vectors = np.vstack([self._vectors, vector])
+        return self.size - 1
+
+    def mark_deleted(self, node: int) -> None:
+        """Tombstone ``node`` so scans skip it."""
+        if not 0 <= node < self.size:
+            raise IndexError(f"node {node} out of range")
+        self._deleted.add(node)
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef_search: int | None = None,
+        stats: "SearchStats | None" = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact search; see :func:`exact_knn`.
+
+        ``ef_search`` is accepted for interface parity with the graph
+        indexes and ignored — a linear scan has no beam.
+        """
+        ids, dists = exact_knn(self._vectors, query, k + len(self._deleted))
+        if stats is not None:
+            stats.distance_computations += self.size
+            stats.hops += 1
+        if self._deleted:
+            keep = np.array([i not in self._deleted for i in ids.tolist()])
+            ids, dists = ids[keep], dists[keep]
+        return ids[:k], dists[:k]

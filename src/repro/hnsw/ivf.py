@@ -135,6 +135,32 @@ class IVFFlatIndex:
             np.nonzero(assignments == cluster)[0]
             for cluster in range(self._centroids.shape[0])
         ]
+        self._deleted: set[int] = set()
+
+    @classmethod
+    def from_state(
+        cls,
+        vectors: np.ndarray,
+        params: IVFParams,
+        centroids: np.ndarray,
+        assignments: np.ndarray,
+        deleted: set[int] | None = None,
+    ) -> "IVFFlatIndex":
+        """Reconstruct an index from persisted quantizer state, skipping
+        k-means training (used by :mod:`repro.core.persistence`)."""
+        index = cls.__new__(cls)
+        index._vectors = np.asarray(vectors, dtype=np.float64)
+        index._params = params
+        index._centroids = np.asarray(centroids, dtype=np.float64)
+        index._deleted = set(deleted) if deleted is not None else set()
+        live = np.array(
+            [i not in index._deleted for i in range(index._vectors.shape[0])]
+        )
+        index._lists = [
+            np.nonzero((assignments == cluster) & live)[0]
+            for cluster in range(index._centroids.shape[0])
+        ]
+        return index
 
     @property
     def size(self) -> int:
@@ -147,13 +173,64 @@ class IVFFlatIndex:
         return int(self._vectors.shape[1])
 
     @property
+    def params(self) -> IVFParams:
+        """IVF configuration."""
+        return self._params
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """The trained coarse-quantizer centroids."""
+        return self._centroids
+
+    @property
     def num_lists(self) -> int:
         """Number of posting lists actually trained."""
         return int(self._centroids.shape[0])
 
+    @property
+    def vectors(self) -> np.ndarray:
+        """The indexed vectors, including any deleted slots."""
+        return self._vectors
+
     def list_sizes(self) -> list[int]:
         """Posting-list occupancy (for balance diagnostics)."""
         return [int(posting.shape[0]) for posting in self._lists]
+
+    def assignments(self) -> np.ndarray:
+        """Per-vector posting-list assignment (for persistence).
+
+        Computed as the nearest centroid, which is how both k-means'
+        final pass and :meth:`insert` assign vectors — so it matches
+        posting-list membership for every live vector.
+        """
+        return np.argmin(
+            pairwise_squared_distances(self._vectors, self._centroids), axis=1
+        ).astype(np.int64)
+
+    def is_deleted(self, node: int) -> bool:
+        """Whether ``node`` has been tombstoned."""
+        return node in self._deleted
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Insert one vector into its nearest posting list, returning its id."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.ndim != 1 or vector.shape[0] != self.dim:
+            raise DimensionMismatchError(self.dim, vector.shape[-1])
+        new_id = self.size
+        self._vectors = np.vstack([self._vectors, vector])
+        nearest = int(np.argmin(squared_distances_to_many(vector, self._centroids)))
+        self._lists[nearest] = np.append(self._lists[nearest], new_id)
+        return new_id
+
+    def mark_deleted(self, node: int) -> None:
+        """Remove ``node`` from its posting list so probes skip it."""
+        if not 0 <= node < self.size:
+            raise IndexError(f"node {node} out of range")
+        self._deleted.add(node)
+        for cluster, posting in enumerate(self._lists):
+            if np.any(posting == node):
+                self._lists[cluster] = posting[posting != node]
+                break
 
     def search(
         self,

@@ -76,7 +76,27 @@ class NSGIndex:
         self._params = params if params is not None else NSGParams()
         self._medoid = 0
         self._neighbors: list[list[int]] = []
+        self._deleted: set[int] = set()
         self._build()
+
+    @classmethod
+    def from_state(
+        cls,
+        vectors: np.ndarray,
+        params: NSGParams,
+        neighbors: list[list[int]],
+        medoid: int,
+        deleted: set[int] | None = None,
+    ) -> "NSGIndex":
+        """Reconstruct an index from persisted adjacency, skipping the
+        O(n^2) build (used by :mod:`repro.core.persistence`)."""
+        index = cls.__new__(cls)
+        index._vectors = np.asarray(vectors, dtype=np.float64)
+        index._params = params
+        index._medoid = int(medoid)
+        index._neighbors = [list(adj) for adj in neighbors]
+        index._deleted = set(deleted) if deleted is not None else set()
+        return index
 
     @property
     def size(self) -> int:
@@ -87,6 +107,11 @@ class NSGIndex:
     def dim(self) -> int:
         """Vector dimensionality."""
         return int(self._vectors.shape[1])
+
+    @property
+    def params(self) -> NSGParams:
+        """Construction parameters."""
+        return self._params
 
     @property
     def medoid(self) -> int:
@@ -101,6 +126,18 @@ class NSGIndex:
     def neighbors(self, node: int) -> list[int]:
         """Out-neighbors of ``node`` (copy)."""
         return list(self._neighbors[node])
+
+    def is_deleted(self, node: int) -> bool:
+        """Whether ``node`` has been tombstoned."""
+        return node in self._deleted
+
+    def edge_count(self) -> int:
+        """Total directed edges over live nodes."""
+        return sum(
+            len(adj)
+            for node, adj in enumerate(self._neighbors)
+            if node not in self._deleted
+        )
 
     def _build(self) -> None:
         n = self.size
@@ -165,6 +202,48 @@ class NSGIndex:
                     frontier.append(neighbor)
         return seen
 
+    def insert(self, vector: np.ndarray) -> int:
+        """Insert one vector, returning its id.
+
+        NSG has no native incremental build; the new node is linked to its
+        pruned nearest neighbors and reverse edges are added (with the
+        usual degree cap), which preserves search quality at the scales
+        this reproduction targets without an O(n^2) rebuild.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.ndim != 1 or vector.shape[0] != self.dim:
+            raise DimensionMismatchError(self.dim, vector.shape[-1])
+        new_id = self.size
+        dists = np.append(squared_distances_to_many(vector, self._vectors), 0.0)
+        self._vectors = np.vstack([self._vectors, vector])
+        order = np.argsort(dists[:new_id], kind="stable")
+        candidates = [
+            int(i) for i in order if int(i) not in self._deleted
+        ][: self._params.knn]
+        self._neighbors.append(self._prune(new_id, candidates, dists))
+        for neighbor in self._neighbors[new_id]:
+            if new_id not in self._neighbors[neighbor]:
+                self._neighbors[neighbor].append(new_id)
+                if len(self._neighbors[neighbor]) > self._params.max_degree:
+                    neighbor_dists = squared_distances_to_many(
+                        self._vectors[neighbor], self._vectors
+                    )
+                    self._neighbors[neighbor] = self._prune(
+                        neighbor,
+                        sorted(
+                            self._neighbors[neighbor],
+                            key=lambda i: neighbor_dists[i],
+                        ),
+                        neighbor_dists,
+                    )
+        return new_id
+
+    def mark_deleted(self, node: int) -> None:
+        """Tombstone ``node``: it keeps routing but never appears in results."""
+        if not 0 <= node < self.size:
+            raise IndexError(f"node {node} out of range")
+        self._deleted.add(node)
+
     def search(
         self,
         query: np.ndarray,
@@ -213,7 +292,9 @@ class NSGIndex:
                     if len(results) > ef:
                         heapq.heappop(results)
                     bound = -results[0][0] if len(results) >= ef else math.inf
-        ordered = sorted((-negated, node) for negated, node in results)[:k]
-        ids = np.array([node for _, node in ordered], dtype=np.int64)
-        dists_out = np.array([dist for dist, _ in ordered])
+        ordered = sorted((-negated, node) for negated, node in results)
+        live = [(dist, node) for dist, node in ordered if node not in self._deleted]
+        top = live[:k]
+        ids = np.array([node for _, node in top], dtype=np.int64)
+        dists_out = np.array([dist for dist, _ in top])
         return ids, dists_out

@@ -1,0 +1,117 @@
+"""Property-based tests for the batch-first request/response API.
+
+Two invariants the redesign promises:
+
+1. **Batch/single equivalence** — answering an
+   :class:`~repro.core.protocol.EncryptedQueryBatch` is element-wise
+   identical to answering each of its queries individually, for every
+   registered filter backend and both search modes.
+2. **Byte-accounting round trip** — upload/download byte accounting is a
+   pure function of the protocol messages, so persisting and reloading
+   the index must reproduce it exactly (and the ids with it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.persistence import load_index, save_index
+from repro.core.roles import CloudServer, DataOwner, QueryUser
+from repro.hnsw.graph import HNSWParams
+
+from tests.strategies import backend_kinds, databases, ks, ratio_ks, seeds
+
+#: Small graphs keep each Hypothesis example cheap.
+_TINY_HNSW = HNSWParams(m=4, ef_construction=20)
+
+_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _make_actors(database, backend, seed):
+    rng = np.random.default_rng(seed)
+    owner = DataOwner(
+        database.shape[1],
+        beta=0.3,
+        hnsw_params=_TINY_HNSW,
+        backend=backend,
+        rng=rng,
+    )
+    index = owner.build_index(database)
+    server = CloudServer(index)
+    user = QueryUser(owner.authorize_user(), rng=np.random.default_rng(seed + 1))
+    return owner, user, server
+
+
+@_SETTINGS
+@given(data=databases(dim=8), k=ks, ratio_k=ratio_ks, backend=backend_kinds, seed=seeds)
+def test_batch_matches_single_query_path(data, k, ratio_k, backend, seed):
+    """Batch answers must equal the per-query path element-wise."""
+    _, user, server = _make_actors(data, backend, seed)
+    queries = np.random.default_rng(seed + 2).standard_normal((4, 8)) * 2.0
+    batch = user.encrypt_queries(queries, k, ratio_k=ratio_k)
+    batch_results = server.answer(batch)
+    for i in range(len(batch)):
+        single = server.answer(batch[i])
+        assert np.array_equal(batch_results[i].ids, single.ids), (
+            f"batch/single divergence at query {i} on backend {backend}"
+        )
+
+
+@_SETTINGS
+@given(data=databases(dim=6), k=ks, backend=backend_kinds, seed=seeds)
+def test_batch_filter_only_matches_single(data, k, backend, seed):
+    """The equivalence also holds in filter-only mode."""
+    _, user, server = _make_actors(data, backend, seed)
+    queries = np.random.default_rng(seed + 2).standard_normal((3, 6)) * 2.0
+    batch = user.encrypt_queries(queries, k, ratio_k=2, mode="filter_only")
+    batch_results = server.answer(batch)
+    assert batch_results.refine_comparisons == 0
+    for i in range(len(batch)):
+        single = server.answer(batch[i])
+        assert np.array_equal(batch_results[i].ids, single.ids)
+
+
+@_SETTINGS
+@given(data=databases(dim=7), workload_seed=seeds, k=ks, backend=backend_kinds, seed=seeds)
+def test_byte_accounting_roundtrips_through_persistence(
+    tmp_path_factory, data, workload_seed, k, backend, seed
+):
+    """Upload/download byte accounting survives save_index/load_index."""
+    _, user, server = _make_actors(data, backend, seed)
+    queries = np.random.default_rng(workload_seed).standard_normal((3, 7)) * 2.0
+    batch = user.encrypt_queries(queries, k, ratio_k=2)
+    before = server.answer(batch)
+
+    path = tmp_path_factory.mktemp("roundtrip") / "index.npz"
+    save_index(path, server.index)
+    reloaded = CloudServer(load_index(path))
+    after = reloaded.answer(batch)
+
+    assert batch.upload_bytes() == sum(batch[i].upload_bytes() for i in range(len(batch)))
+    assert before.download_bytes() == after.download_bytes()
+    assert [r.ids.tolist() for r in before] == [r.ids.tolist() for r in after]
+
+
+@_SETTINGS
+@given(data=databases(dim=6), seed=seeds)
+def test_encrypt_queries_semantically_matches_encrypt_query(data, seed):
+    """With beta=0 (no DCPE noise) the batched encryption path must yield
+    the same search results as per-query encryption: only the hidden
+    randomizers differ, and those never change comparison outcomes."""
+    rng = np.random.default_rng(seed)
+    owner = DataOwner(6, beta=0.0, hnsw_params=_TINY_HNSW, rng=rng)
+    index = owner.build_index(data)
+    server = CloudServer(index)
+    user = QueryUser(owner.authorize_user(), rng=np.random.default_rng(seed + 1))
+    queries = np.random.default_rng(seed + 2).standard_normal((3, 6)) * 2.0
+
+    batch = user.encrypt_queries(queries, 3, ratio_k=4)
+    batch_results = server.answer(batch)
+    for i, query in enumerate(queries):
+        single = server.answer(user.encrypt_query(query, 3, ratio_k=4))
+        assert set(batch_results[i].ids.tolist()) == set(single.ids.tolist())
