@@ -50,8 +50,11 @@ from repro.core import (
     SearchResult,
     SearchResultBatch,
     SecretKeyBundle,
+    ShardedEncryptedIndex,
+    ShardTiming,
     available_backends,
     build_backend,
+    build_sharded_index,
     execute_batch,
     filter_and_refine,
 )
@@ -68,6 +71,9 @@ __all__ = [
     "DCEScheme",
     "DCPEScheme",
     "EncryptedIndex",
+    "ShardedEncryptedIndex",
+    "ShardTiming",
+    "build_sharded_index",
     "SearchRequest",
     "EncryptedQuery",
     "EncryptedQueryBatch",

@@ -4,8 +4,9 @@ A deployable front-end over the library for the three lifecycle stages:
 
 * ``build``  — data-owner side: read a database (``.fvecs`` or ``.npy``),
   encrypt it, build the privacy-preserving index over the chosen filter
-  backend (``--backend hnsw|nsg|ivf|bruteforce``), write the index and
-  the key bundle to separate files.
+  backend (``--backend hnsw|nsg|ivf|bruteforce``), optionally partition
+  it (``--shards N --shard-strategy round_robin|hash``), write the index
+  and the key bundle to separate files.
 * ``query``  — user+server side: load index + keys, batch-encrypt the
   queries from a file, answer them in one amortized pass, print neighbor
   ids (or a JSON report with ``--json``).  ``--filter-only`` runs the
@@ -28,6 +29,7 @@ import numpy as np
 
 from repro.core.backends import available_backends
 from repro.core.persistence import load_index, load_keys, save_index, save_keys
+from repro.core.sharding import SHARD_STRATEGIES
 from repro.core.roles import CloudServer, DataOwner, QueryUser
 from repro.datasets import compute_ground_truth, make_dataset
 from repro.datasets.loaders import read_fvecs
@@ -68,6 +70,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.add_argument("--m", type=int, default=16, help="HNSW degree")
     build.add_argument("--ef-construction", type=int, default=200)
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the filter structures into N shards "
+        "(>= 2 enables scatter-gather answering)",
+    )
+    build.add_argument(
+        "--shard-strategy",
+        choices=SHARD_STRATEGIES,
+        default="round_robin",
+        help="how vector ids map to shards",
+    )
     build.add_argument("--seed", type=int, default=None)
 
     query = commands.add_parser("query", help="answer k-ANN queries over an index")
@@ -106,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="hnsw",
         help="filter-phase backend",
     )
+    demo.add_argument("--shards", type=int, default=1, help="filter shard count")
     demo.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -119,6 +135,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         scale=args.scale,
         hnsw_params=HNSWParams(m=args.m, ef_construction=args.ef_construction),
         backend=args.backend,
+        shards=args.shards,
+        shard_strategy=args.shard_strategy,
         rng=rng,
     )
     start = time.perf_counter()
@@ -127,9 +145,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
     save_index(args.index, index)
     save_keys(args.keys, owner.authorize_user())
     report = index.size_report()
+    sharding = (
+        f"shards={index.num_shards} ({index.strategy}) "
+        if hasattr(index, "num_shards")
+        else ""
+    )
     print(
         f"built index over n={len(index)} d={index.dim} "
-        f"backend={index.backend_kind} in {elapsed:.1f}s; "
+        f"backend={index.backend_kind} {sharding}in {elapsed:.1f}s; "
         f"storage {report.total_floats} floats "
         f"({report.dce_overhead_ratio:.2f}x plaintext for C_DCE)"
     )
@@ -159,6 +182,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.json:
         payload = {
             "backend": index.backend_kind,
+            "shards": getattr(index, "num_shards", 1),
             "k": args.k,
             "mode": batch.request.mode,
             "num_queries": len(batch),
@@ -170,6 +194,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
             "download_bytes": results.download_bytes(),
             "refine_comparisons": results.refine_comparisons,
         }
+        shard_seconds = results.shard_seconds()
+        if shard_seconds:
+            payload["shard_seconds"] = {
+                str(shard): seconds for shard, seconds in shard_seconds.items()
+            }
+            payload["gather_bytes"] = results.gather_bytes()
         print(json.dumps(payload, indent=2))
         return 0
 
@@ -182,7 +212,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     dataset = make_dataset(args.profile, num_vectors=args.n,
                            num_queries=args.queries, rng=rng)
-    owner = DataOwner(dataset.dim, beta=args.beta, backend=args.backend, rng=rng)
+    owner = DataOwner(
+        dataset.dim, beta=args.beta, backend=args.backend,
+        shards=args.shards, rng=rng,
+    )
     index = owner.build_index(dataset.database)
     server = CloudServer(index)
     user = QueryUser(owner.authorize_user(), rng=rng)

@@ -20,6 +20,9 @@ Public API:
 * :class:`repro.core.roles` — DataOwner / QueryUser / CloudServer.
 * :class:`repro.core.scheme.PPANNS` — a one-object facade over the whole
   pipeline.
+* :mod:`repro.core.sharding` — horizontal partitioning:
+  :class:`ShardedEncryptedIndex` with a scatter-gather filter phase
+  (``DataOwner.build_index(..., shards=N)``).
 * :mod:`repro.core.maintenance` — insert/delete (Section V-D).
 * :mod:`repro.core.params` — beta and k' tuning (Section VII-A).
 """
@@ -62,11 +65,18 @@ from repro.core.protocol import (
     SearchReport,
     SearchResult,
     SearchResultBatch,
+    ShardTiming,
     resolve_ef_search,
 )
 from repro.core.roles import CloudServer, DataOwner, QueryUser, SecretKeyBundle
 from repro.core.scheme import PPANNS
 from repro.core.search import execute_batch, filter_and_refine, filter_only
+from repro.core.sharding import (
+    SHARD_STRATEGIES,
+    Shard,
+    ShardedEncryptedIndex,
+    build_sharded_index,
+)
 
 __all__ = [
     "DCEScheme",
@@ -84,6 +94,11 @@ __all__ = [
     "DCPEKey",
     "EncryptedIndex",
     "IndexSizeReport",
+    "ShardedEncryptedIndex",
+    "Shard",
+    "ShardTiming",
+    "SHARD_STRATEGIES",
+    "build_sharded_index",
     "SearchRequest",
     "EncryptedQuery",
     "EncryptedQueryBatch",

@@ -21,6 +21,17 @@ Contract (the :class:`FilterBackend` protocol):
 * ``insert(sap_row)`` / ``mark_deleted(vector_id)`` — maintenance
   (Section V-D), keeping ids aligned with ``C_SAP`` / ``C_DCE``;
 * ``state_arrays()`` / ``from_state(...)`` — persistence hooks.
+
+The persistence hooks define each backend's on-disk payload, embedded
+into the index file by :mod:`repro.core.persistence` — at the top level
+for format v2 (monolithic) and under ``shard{i}_`` prefixes for format
+v3 (sharded).  The exact key set per backend kind (``graph_*``,
+``nsg_*``, ``ivf_*``, ``bruteforce_*``) is specified in
+``docs/FORMATS.md``; ``state_arrays`` never persists the vectors
+themselves, which ``from_state`` reloads from the caller's ``C_SAP``
+slice.  In a sharded index every shard owns a full, independent backend
+instance of the same kind, built over only its slice of ``C_SAP`` and
+addressed by shard-local ids.
 """
 
 from __future__ import annotations
@@ -107,6 +118,7 @@ class HNSWBackend:
         rng: np.random.Generator | None = None,
         params: HNSWParams | None = None,
     ) -> "HNSWBackend":
+        """Build a fresh HNSW graph over the DCPE ciphertext matrix."""
         graph = HNSWIndex(
             sap_vectors.shape[1],
             params if params is not None else HNSWParams(),
@@ -116,10 +128,12 @@ class HNSWBackend:
 
     @property
     def substrate(self) -> HNSWIndex:
+        """The wrapped HNSWIndex instance."""
         return self._graph
 
     @property
     def vectors(self) -> np.ndarray:
+        """Indexed vectors in id order, including deleted slots."""
         return self._graph.vectors
 
     def search(
@@ -129,9 +143,11 @@ class HNSWBackend:
         ef_search: int | None = None,
         stats: SearchStats | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """k'-ANNS over DCPE ciphertexts: ``(ids, dists)`` nearest-first."""
         return self._graph.search(sap_query, k_prime, ef_search=ef_search, stats=stats)
 
     def insert(self, sap_row: np.ndarray) -> int:
+        """Insert one DCPE ciphertext row; returns the assigned id."""
         return self._graph.insert(sap_row)
 
     def mark_deleted(self, vector_id: int) -> None:
@@ -145,9 +161,11 @@ class HNSWBackend:
                 graph.repair_node(neighbor)
 
     def edge_count(self) -> int:
+        """Directed edges in the substrate (0 for non-graph backends)."""
         return self._graph.edge_count(0)
 
     def state_arrays(self) -> dict[str, np.ndarray]:
+        """Arrays to persist alongside the index (see docs/FORMATS.md)."""
         graph = self._graph
         count = graph.vectors.shape[0]
         levels = np.array([graph.node_level(i) for i in range(count)], dtype=np.int64)
@@ -184,6 +202,7 @@ class HNSWBackend:
     def from_state(
         cls, sap_vectors: np.ndarray, data: Mapping[str, np.ndarray]
     ) -> "HNSWBackend":
+        """Rebuild the backend from its persisted state arrays."""
         # v1 files carried the vectors under graph_vectors; v2 dedups them
         # into the sap_vectors array the caller already loaded.
         vectors = data["graph_vectors"] if "graph_vectors" in data else sap_vectors
@@ -228,14 +247,17 @@ class NSGBackend:
         rng: np.random.Generator | None = None,
         params: NSGParams | None = None,
     ) -> "NSGBackend":
+        """Build a fresh NSG-style graph over the DCPE ciphertext matrix."""
         return cls(NSGIndex(sap_vectors, params))
 
     @property
     def substrate(self) -> NSGIndex:
+        """The wrapped NSGIndex instance."""
         return self._index
 
     @property
     def vectors(self) -> np.ndarray:
+        """Indexed vectors in id order, including deleted slots."""
         return self._index.vectors
 
     def search(
@@ -245,18 +267,23 @@ class NSGBackend:
         ef_search: int | None = None,
         stats: SearchStats | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """k'-ANNS over DCPE ciphertexts: ``(ids, dists)`` nearest-first."""
         return self._index.search(sap_query, k_prime, ef_search=ef_search, stats=stats)
 
     def insert(self, sap_row: np.ndarray) -> int:
+        """Insert one DCPE ciphertext row; returns the assigned id."""
         return self._index.insert(sap_row)
 
     def mark_deleted(self, vector_id: int) -> None:
+        """Delete ``vector_id`` from the substrate (Section V-D)."""
         self._index.mark_deleted(vector_id)
 
     def edge_count(self) -> int:
+        """Directed edges in the substrate (0 for non-graph backends)."""
         return self._index.edge_count()
 
     def state_arrays(self) -> dict[str, np.ndarray]:
+        """Arrays to persist alongside the index (see docs/FORMATS.md)."""
         index = self._index
         edges = [
             (node, neighbor)
@@ -285,6 +312,7 @@ class NSGBackend:
     def from_state(
         cls, sap_vectors: np.ndarray, data: Mapping[str, np.ndarray]
     ) -> "NSGBackend":
+        """Rebuild the backend from its persisted state arrays."""
         knn, max_degree = (int(x) for x in data["nsg_params"])
         neighbors: list[list[int]] = [[] for _ in range(sap_vectors.shape[0])]
         for node, neighbor in data["nsg_edges"]:
@@ -325,14 +353,17 @@ class IVFBackend:
         params: IVFParams | None = None,
         default_nprobe: int = 4,
     ) -> "IVFBackend":
+        """Build a fresh IVF-Flat index over the DCPE ciphertext matrix."""
         return cls(IVFFlatIndex(sap_vectors, params, rng=rng), default_nprobe)
 
     @property
     def substrate(self) -> IVFFlatIndex:
+        """The wrapped IVFFlatIndex instance."""
         return self._index
 
     @property
     def vectors(self) -> np.ndarray:
+        """Indexed vectors in id order, including deleted slots."""
         return self._index.vectors
 
     def _nprobe_for(self, ef_search: int | None) -> int:
@@ -348,20 +379,25 @@ class IVFBackend:
         ef_search: int | None = None,
         stats: SearchStats | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """k'-ANNS over DCPE ciphertexts: ``(ids, dists)`` nearest-first."""
         return self._index.search(
             sap_query, k_prime, nprobe=self._nprobe_for(ef_search), stats=stats
         )
 
     def insert(self, sap_row: np.ndarray) -> int:
+        """Insert one DCPE ciphertext row; returns the assigned id."""
         return self._index.insert(sap_row)
 
     def mark_deleted(self, vector_id: int) -> None:
+        """Delete ``vector_id`` from the substrate (Section V-D)."""
         self._index.mark_deleted(vector_id)
 
     def edge_count(self) -> int:
+        """Directed edges in the substrate (0 for non-graph backends)."""
         return 0
 
     def state_arrays(self) -> dict[str, np.ndarray]:
+        """Arrays to persist alongside the index (see docs/FORMATS.md)."""
         index = self._index
         deleted = np.array(
             sorted(i for i in range(index.size) if index.is_deleted(i)),
@@ -385,6 +421,7 @@ class IVFBackend:
     def from_state(
         cls, sap_vectors: np.ndarray, data: Mapping[str, np.ndarray]
     ) -> "IVFBackend":
+        """Rebuild the backend from its persisted state arrays."""
         num_lists, train_iterations, default_nprobe = (
             int(x) for x in data["ivf_params"]
         )
@@ -413,14 +450,17 @@ class BruteForceBackend:
         rng: np.random.Generator | None = None,
         params: None = None,
     ) -> "BruteForceBackend":
+        """Build a linear-scan index over the DCPE ciphertext matrix."""
         return cls(BruteForceIndex(sap_vectors))
 
     @property
     def substrate(self) -> BruteForceIndex:
+        """The wrapped BruteForceIndex instance."""
         return self._index
 
     @property
     def vectors(self) -> np.ndarray:
+        """Indexed vectors in id order, including deleted slots."""
         return self._index.vectors
 
     def search(
@@ -430,18 +470,23 @@ class BruteForceBackend:
         ef_search: int | None = None,
         stats: SearchStats | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """k'-ANNS over DCPE ciphertexts: ``(ids, dists)`` nearest-first."""
         return self._index.search(sap_query, k_prime, ef_search=ef_search, stats=stats)
 
     def insert(self, sap_row: np.ndarray) -> int:
+        """Insert one DCPE ciphertext row; returns the assigned id."""
         return self._index.insert(sap_row)
 
     def mark_deleted(self, vector_id: int) -> None:
+        """Delete ``vector_id`` from the substrate (Section V-D)."""
         self._index.mark_deleted(vector_id)
 
     def edge_count(self) -> int:
+        """Directed edges in the substrate (0 for non-graph backends)."""
         return 0
 
     def state_arrays(self) -> dict[str, np.ndarray]:
+        """Arrays to persist alongside the index (see docs/FORMATS.md)."""
         index = self._index
         deleted = np.array(
             sorted(i for i in range(index.size) if index.is_deleted(i)),
@@ -453,6 +498,7 @@ class BruteForceBackend:
     def from_state(
         cls, sap_vectors: np.ndarray, data: Mapping[str, np.ndarray]
     ) -> "BruteForceBackend":
+        """Rebuild the backend from its persisted state arrays."""
         return cls(
             BruteForceIndex.from_state(
                 sap_vectors, set(int(i) for i in data["bruteforce_deleted"])

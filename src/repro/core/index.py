@@ -23,6 +23,7 @@ DCE ciphertexts directly.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -132,7 +133,15 @@ class EncryptedIndex:
 
         Deprecated accessor from the HNSW-only era — for an HNSW backend
         it returns the :class:`~repro.hnsw.graph.HNSWIndex` as before.
+        Emits a :class:`DeprecationWarning`; use :attr:`backend` (or
+        ``backend.substrate``) instead.
         """
+        warnings.warn(
+            "EncryptedIndex.graph is deprecated; use "
+            "EncryptedIndex.backend.substrate instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._backend.substrate
 
     @property
@@ -164,6 +173,37 @@ class EncryptedIndex:
         if self._tombstones:
             mask[np.fromiter(self._tombstones, dtype=np.int64)] = False
         return mask
+
+    # -- the filter phase --------------------------------------------------------
+
+    def filter_search(
+        self,
+        sap_query: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats=None,
+    ) -> tuple[np.ndarray, np.ndarray, tuple | None]:
+        """Filter-phase k'-ANNS over ``C_SAP``.
+
+        Returns ``(ids, dists, shard_timings)`` nearest-first; the third
+        element is always ``None`` for a monolithic index — the sharded
+        index (:class:`~repro.core.sharding.ShardedEncryptedIndex`)
+        answers the same call by scatter-gather and fills it in.
+        """
+        ids, dists = self._backend.search(
+            sap_query, k_prime, ef_search=ef_search, stats=stats
+        )
+        return ids, dists, None
+
+    # -- maintenance routing (used by repro.core.maintenance) --------------------
+
+    def backend_insert(self, sap_row: np.ndarray) -> int:
+        """Insert one DCPE row into the filter backend; returns its id."""
+        return self._backend.insert(sap_row)
+
+    def backend_mark_deleted(self, vector_id: int) -> None:
+        """Delete ``vector_id`` from the filter backend."""
+        self._backend.mark_deleted(vector_id)
 
     # -- mutation (used by repro.core.maintenance only) --------------------------
 

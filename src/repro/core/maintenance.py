@@ -13,7 +13,12 @@ vector's ciphertexts are tombstoned, so ids stay stable for the aligned
 ``C_SAP`` / backend / ``C_DCE`` arrays.
 
 Both operations go through the :class:`~repro.core.backends.FilterBackend`
-protocol, so they work identically for every backend kind.
+protocol, so they work identically for every backend kind — and through
+the index's ``backend_insert`` / ``backend_mark_deleted`` routing layer,
+so they work identically for a monolithic
+:class:`~repro.core.index.EncryptedIndex` and a
+:class:`~repro.core.sharding.ShardedEncryptedIndex` (where the operation
+lands on the shard that owns the vector's global id).
 """
 
 from __future__ import annotations
@@ -23,13 +28,14 @@ import numpy as np
 from repro.core.errors import ParameterError
 from repro.core.index import EncryptedIndex
 from repro.core.roles import DataOwner
+from repro.core.sharding import ShardedEncryptedIndex
 
 __all__ = ["insert_vector", "delete_vector"]
 
 
 def insert_vector(
     owner: DataOwner,
-    index: EncryptedIndex,
+    index: "EncryptedIndex | ShardedEncryptedIndex",
     vector: np.ndarray,
 ) -> int:
     """Insert a new plaintext vector into an existing encrypted index.
@@ -55,18 +61,21 @@ def insert_vector(
             f"expected a vector of dimension {index.dim}, got shape {vector.shape}"
         )
     sap_row, dce_ct = owner.encrypt_vector(vector)
-    new_id = index.backend.insert(sap_row)
+    new_id = index.backend_insert(sap_row)
     index._append(sap_row, index.dce_database.append(dce_ct))
     return new_id
 
 
-def delete_vector(index: EncryptedIndex, vector_id: int) -> None:
+def delete_vector(
+    index: "EncryptedIndex | ShardedEncryptedIndex", vector_id: int
+) -> None:
     """Delete a vector from the index, server-side only.
 
     The backend performs its substrate-specific removal (for HNSW,
     Section V-D's in-neighbor repair) and the ciphertexts are tombstoned.
+    On a sharded index the removal is routed to the owning shard.
     """
     if not index.is_live(vector_id):
         raise ParameterError(f"vector {vector_id} is not a live index entry")
-    index.backend.mark_deleted(vector_id)
+    index.backend_mark_deleted(vector_id)
     index._mark_deleted(vector_id)

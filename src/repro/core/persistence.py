@@ -12,9 +12,18 @@ sides of the trust boundary need durable state:
   index (the whole point of the scheme).
 
 Everything goes through ``numpy.savez_compressed`` with a manifest of
-scalar metadata.  Format version 2 records the backend kind and its
-state arrays (via :meth:`FilterBackend.state_arrays`); version-1 files
-(HNSW-only) load transparently.
+scalar metadata.  Three index format versions exist (the normative
+specification is ``docs/FORMATS.md``):
+
+* **v1** — seed era, HNSW-only (``graph_*`` keys, vectors duplicated);
+* **v2** — pluggable backends: records the backend kind and its state
+  arrays (via :meth:`FilterBackend.state_arrays`).  Still what
+  :func:`save_index` writes for a monolithic index;
+* **v3** — sharded: a shard manifest (count, strategy, assignment) plus
+  per-shard backend payloads under ``shard{i}_`` prefixes.  Written for
+  a :class:`~repro.core.sharding.ShardedEncryptedIndex`.
+
+:func:`load_index` reads all three.
 """
 
 from __future__ import annotations
@@ -29,33 +38,96 @@ from repro.core.errors import CiphertextFormatError
 from repro.core.index import EncryptedIndex
 from repro.core.keys import DCEKey, DCPEKey
 from repro.core.roles import SecretKeyBundle
+from repro.core.sharding import Shard, ShardedEncryptedIndex
 from repro.crypto.permutation import Permutation
 
 __all__ = ["save_index", "load_index", "save_keys", "load_keys"]
 
 _FORMAT_VERSION = 2
+_SHARDED_FORMAT_VERSION = 3
 
 #: Versions load_index understands; v1 predates pluggable backends and
-#: implies an HNSW graph serialized under the same ``graph_*`` keys.
-_READABLE_VERSIONS = (1, 2)
+#: implies an HNSW graph serialized under the same ``graph_*`` keys; v3
+#: adds the shard manifest and per-shard payloads.
+_READABLE_VERSIONS = (1, 2, 3)
 
 
-def save_index(path: str | os.PathLike, index: EncryptedIndex) -> None:
-    """Persist an :class:`EncryptedIndex` (server-side state, no keys)."""
-    arrays = {
-        "format_version": np.array([_FORMAT_VERSION], dtype=np.int64),
+def _common_arrays(
+    index: "EncryptedIndex | ShardedEncryptedIndex", version: int
+) -> dict[str, np.ndarray]:
+    """The array manifest shared by format v2 and v3."""
+    return {
+        "format_version": np.array([version], dtype=np.int64),
         "backend_kind": np.array([index.backend_kind]),
         "sap_vectors": index.sap_vectors,
         "dce_components": index.dce_database.components,
         "dce_key_id": np.array([index.dce_database.key_id], dtype=np.int64),
         "tombstones": np.array(sorted(index.tombstones), dtype=np.int64),
     }
+
+
+def save_index(
+    path: str | os.PathLike, index: "EncryptedIndex | ShardedEncryptedIndex"
+) -> None:
+    """Persist an index (server-side state, no keys).
+
+    Monolithic indexes are written as format v2, sharded indexes as
+    format v3 (shard manifest + per-shard backend payloads); see
+    ``docs/FORMATS.md``.
+    """
+    if isinstance(index, ShardedEncryptedIndex):
+        arrays = _common_arrays(index, _SHARDED_FORMAT_VERSION)
+        arrays["num_shards"] = np.array([index.num_shards], dtype=np.int64)
+        arrays["shard_strategy"] = np.array([index.strategy])
+        arrays["shard_assignment"] = index.shard_assignment()
+        for shard in index.shards:
+            prefix = f"shard{shard.shard_id}_"
+            arrays[prefix + "ids"] = shard.global_ids
+            if shard.backend is not None:
+                for key, value in shard.backend.state_arrays().items():
+                    arrays[prefix + key] = value
+        np.savez_compressed(path, **arrays)
+        return
+    arrays = _common_arrays(index, _FORMAT_VERSION)
     arrays.update(index.backend.state_arrays())
     np.savez_compressed(path, **arrays)
 
 
-def load_index(path: str | os.PathLike) -> EncryptedIndex:
-    """Load an :class:`EncryptedIndex` saved by :func:`save_index`."""
+def _load_sharded(
+    data, kind: str, sap_vectors: np.ndarray, dce: DCEEncryptedDatabase
+) -> ShardedEncryptedIndex:
+    """Reassemble a :class:`ShardedEncryptedIndex` from a v3 file."""
+    num_shards = int(data["num_shards"][0])
+    strategy = str(data["shard_strategy"][0])
+    shards = []
+    for shard_id in range(num_shards):
+        prefix = f"shard{shard_id}_"
+        global_ids = np.asarray(data[prefix + "ids"], dtype=np.int64)
+        if global_ids.size == 0:
+            shards.append(Shard(shard_id, None, global_ids))
+            continue
+        state = {
+            key[len(prefix):]: data[key]
+            for key in data.files
+            if key.startswith(prefix) and key != prefix + "ids"
+        }
+        backend = backend_from_state(kind, sap_vectors[global_ids], state)
+        shards.append(Shard(shard_id, backend, global_ids))
+    index = ShardedEncryptedIndex(sap_vectors, shards, dce, strategy=strategy)
+    # The manifest's global assignment must agree with the per-shard id
+    # maps the routing tables were rebuilt from — a mismatch means the
+    # file was corrupted or hand-edited.
+    if not np.array_equal(index.shard_assignment(), data["shard_assignment"]):
+        raise CiphertextFormatError(
+            "v3 shard_assignment disagrees with the per-shard id maps"
+        )
+    return index
+
+
+def load_index(
+    path: str | os.PathLike,
+) -> "EncryptedIndex | ShardedEncryptedIndex":
+    """Load an index saved by :func:`save_index` (format v1, v2 or v3)."""
     with np.load(path) as data:
         version = int(data["format_version"][0])
         if version not in _READABLE_VERSIONS:
@@ -67,10 +139,13 @@ def load_index(path: str | os.PathLike) -> EncryptedIndex:
             data["dce_components"], int(data["dce_key_id"][0])
         )
         sap_vectors = data["sap_vectors"]
-        backend = backend_from_state(
-            kind, sap_vectors, {key: data[key] for key in data.files}
-        )
-        index = EncryptedIndex(sap_vectors, backend, dce)
+        if version >= 3:
+            index = _load_sharded(data, kind, sap_vectors, dce)
+        else:
+            backend = backend_from_state(
+                kind, sap_vectors, {key: data[key] for key in data.files}
+            )
+            index = EncryptedIndex(sap_vectors, backend, dce)
         for tombstone in data["tombstones"]:
             index._mark_deleted(int(tombstone))
     return index

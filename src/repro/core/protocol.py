@@ -15,6 +15,15 @@ This module gives that protocol explicit, batch-first types:
   with per-query and aggregate instrumentation plus byte accounting.
   :data:`SearchReport` remains as a deprecated alias of
   :class:`SearchResult` for the seed API.
+* :class:`ShardTiming` — per-shard instrumentation attached to results
+  answered by a :class:`~repro.core.sharding.ShardedEncryptedIndex`:
+  each shard's filter wall clock, candidate count, and gather payload
+  (12 bytes per candidate: an 8-byte id plus a 4-byte float32 distance).
+
+The wire layout of every message — field order, dtypes, and the byte
+accounting rules implemented by ``upload_bytes`` / ``download_bytes`` —
+is specified normatively in ``docs/FORMATS.md``; this module is its
+executable counterpart.
 
 ``ef_search`` clamping lives here, in :func:`resolve_ef_search`, so the
 full and filter-only paths cannot drift apart again.
@@ -39,6 +48,7 @@ __all__ = [
     "SearchResult",
     "SearchResultBatch",
     "SearchReport",
+    "ShardTiming",
     "resolve_ef_search",
 ]
 
@@ -280,6 +290,31 @@ class EncryptedQueryBatch:
         return len(self) * self[0].upload_bytes()
 
 
+@dataclass(frozen=True)
+class ShardTiming:
+    """Per-shard filter instrumentation of one scatter-gather answer.
+
+    Attributes
+    ----------
+    shard_id:
+        Position of the shard in the index's shard list.
+    seconds:
+        Wall-clock of the shard's local k'-ANNS (including the local ->
+        global id mapping).
+    candidates:
+        Candidates the shard contributed to the gather step.
+    """
+
+    shard_id: int
+    seconds: float
+    candidates: int
+
+    @property
+    def gather_bytes(self) -> int:
+        """Bytes the shard ships to the merger: ``(id8, dist4)`` per candidate."""
+        return 12 * self.candidates
+
+
 @dataclass
 class SearchResult:
     """Instrumented answer to one query (formerly ``SearchReport``).
@@ -299,6 +334,8 @@ class SearchResult:
         Wall-clock split of the two phases.
     request:
         The resolved request this result answers (None on legacy paths).
+    shard_timings:
+        Per-shard filter timings when the index is sharded, else None.
     """
 
     ids: np.ndarray
@@ -308,6 +345,7 @@ class SearchResult:
     filter_seconds: float = 0.0
     refine_seconds: float = 0.0
     request: SearchRequest | None = None
+    shard_timings: tuple[ShardTiming, ...] | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -317,6 +355,12 @@ class SearchResult:
     def download_bytes(self) -> int:
         """Result message size: 4 bytes per returned id (Section V-C)."""
         return 4 * int(self.ids.shape[0])
+
+    def gather_bytes(self) -> int:
+        """Shard-to-merger traffic for this answer (0 when unsharded)."""
+        if not self.shard_timings:
+            return 0
+        return sum(timing.gather_bytes for timing in self.shard_timings)
 
 
 #: Deprecated alias kept for the seed API; new code uses SearchResult.
@@ -409,3 +453,20 @@ class SearchResultBatch:
     def download_bytes(self) -> int:
         """Total result message size across the batch."""
         return sum(r.download_bytes() for r in self.results)
+
+    def gather_bytes(self) -> int:
+        """Total shard-to-merger traffic across the batch (0 if unsharded)."""
+        return sum(r.gather_bytes() for r in self.results)
+
+    def shard_seconds(self) -> dict[int, float]:
+        """Total filter wall clock per shard id across the batch.
+
+        Empty when the answering index was unsharded.
+        """
+        totals: dict[int, float] = {}
+        for result in self.results:
+            for timing in result.shard_timings or ():
+                totals[timing.shard_id] = (
+                    totals.get(timing.shard_id, 0.0) + timing.seconds
+                )
+        return totals

@@ -37,6 +37,11 @@ from repro.core.protocol import (
     SearchResultBatch,
 )
 from repro.core.search import execute_batch, filter_and_refine, filter_only
+from repro.core.sharding import (
+    SHARD_STRATEGIES,
+    ShardedEncryptedIndex,
+    build_sharded_index,
+)
 from repro.hnsw.graph import HNSWParams
 
 __all__ = ["SecretKeyBundle", "DataOwner", "QueryUser", "CloudServer"]
@@ -70,6 +75,14 @@ class DataOwner:
     backend_params:
         Construction parameters for non-HNSW backends (e.g.
         :class:`~repro.hnsw.nsg.NSGParams`).
+    shards:
+        Horizontal partition count for the filter structures; ``None``
+        or ``1`` builds the monolithic index, ``>= 2`` builds a
+        :class:`~repro.core.sharding.ShardedEncryptedIndex` whose filter
+        phase scatter-gathers across shards.
+    shard_strategy:
+        Shard-assignment strategy recorded in the index (one of
+        :data:`~repro.core.sharding.SHARD_STRATEGIES`).
     rng:
         Randomness for key generation, encryption and index construction.
     """
@@ -82,10 +95,19 @@ class DataOwner:
         hnsw_params: HNSWParams | None = None,
         backend: str = "hnsw",
         backend_params=None,
+        shards: int | None = None,
+        shard_strategy: str = "round_robin",
         rng: np.random.Generator | None = None,
     ) -> None:
         if dim <= 0:
             raise ParameterError(f"dimension must be positive, got {dim}")
+        if shards is not None and shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards}")
+        if shard_strategy not in SHARD_STRATEGIES:
+            raise ParameterError(
+                f"unknown shard strategy {shard_strategy!r}; "
+                f"available: {', '.join(SHARD_STRATEGIES)}"
+            )
         self._dim = dim
         self._rng = rng if rng is not None else np.random.default_rng()
         self._dce = DCEScheme(dim, rng=self._rng)
@@ -93,6 +115,8 @@ class DataOwner:
         self._hnsw_params = hnsw_params if hnsw_params is not None else HNSWParams()
         self._backend = backend
         self._backend_params = backend_params
+        self._shards = shards
+        self._shard_strategy = shard_strategy
 
     @property
     def dim(self) -> int:
@@ -103,6 +127,16 @@ class DataOwner:
     def backend_kind(self) -> str:
         """The filter-backend kind this owner builds."""
         return self._backend
+
+    @property
+    def shards(self) -> int | None:
+        """Configured shard count (None means monolithic)."""
+        return self._shards
+
+    @property
+    def shard_strategy(self) -> str:
+        """Configured shard-assignment strategy."""
+        return self._shard_strategy
 
     @property
     def dce_scheme(self) -> DCEScheme:
@@ -122,23 +156,49 @@ class DataOwner:
             dcpe_key=self._dcpe.key,
         )
 
-    def build_index(self, vectors: np.ndarray) -> EncryptedIndex:
+    def build_index(
+        self,
+        vectors: np.ndarray,
+        shards: int | None = None,
+        shard_strategy: str | None = None,
+    ) -> "EncryptedIndex | ShardedEncryptedIndex":
         """Encrypt the database and build the privacy-preserving index.
 
         This is steps B1 + B2 of Figure 3: DCE ciphertexts, DCPE
         ciphertexts, and the filter backend built over the *DCPE*
-        ciphertexts.
+        ciphertexts.  ``shards`` / ``shard_strategy`` override the
+        owner-level configuration for this build; with an effective
+        shard count >= 2 the filter structures are partitioned into a
+        :class:`~repro.core.sharding.ShardedEncryptedIndex` (the
+        encryption steps are identical — shards only ever see
+        ciphertexts).
         """
         vectors = np.asarray(vectors, dtype=np.float64)
         if vectors.ndim != 2 or vectors.shape[1] != self._dim:
             raise ParameterError(
                 f"expected a (n, {self._dim}) database, got shape {vectors.shape}"
             )
+        shards = shards if shards is not None else self._shards
+        strategy = shard_strategy if shard_strategy is not None else (
+            self._shard_strategy
+        )
+        if shards is not None and shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards}")
         sap = self._dcpe.encrypt_database(vectors)
         dce_db = self._dce.encrypt_database(vectors)
         params = self._backend_params
         if params is None and self._backend == "hnsw":
             params = self._hnsw_params
+        if shards is not None and shards >= 2:
+            return build_sharded_index(
+                sap,
+                dce_db,
+                backend=self._backend,
+                num_shards=shards,
+                strategy=strategy,
+                rng=self._rng,
+                params=params,
+            )
         backend = build_backend(self._backend, sap, rng=self._rng, params=params)
         return EncryptedIndex(sap, backend, dce_db)
 
@@ -249,19 +309,25 @@ class CloudServer:
     Parameters
     ----------
     index:
-        The encrypted index received from the data owner.
+        The encrypted index received from the data owner — monolithic or
+        sharded; a :class:`~repro.core.sharding.ShardedEncryptedIndex`
+        makes ``answer`` scatter-gather the filter phase across shards.
     default_ratio_k:
         ``k' = ratio_k * k`` used when a query doesn't specify ``k'``.
     """
 
-    def __init__(self, index: EncryptedIndex, default_ratio_k: int = 8) -> None:
+    def __init__(
+        self,
+        index: "EncryptedIndex | ShardedEncryptedIndex",
+        default_ratio_k: int = 8,
+    ) -> None:
         if default_ratio_k < 1:
             raise ParameterError(f"ratio_k must be >= 1, got {default_ratio_k}")
         self._index = index
         self._default_ratio_k = default_ratio_k
 
     @property
-    def index(self) -> EncryptedIndex:
+    def index(self) -> "EncryptedIndex | ShardedEncryptedIndex":
         """The server's stored index."""
         return self._index
 

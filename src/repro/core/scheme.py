@@ -46,6 +46,12 @@ class PPANNS:
         Filter-backend kind (``hnsw``, ``nsg``, ``ivf``, ``bruteforce``).
     backend_params:
         Construction parameters for non-HNSW backends.
+    shards:
+        Horizontal partition count for the filter structures (``None``
+        or ``1`` keeps the monolithic index; ``>= 2`` scatter-gathers
+        the filter phase — see :mod:`repro.core.sharding`).
+    shard_strategy:
+        Shard-assignment strategy (``round_robin`` or ``hash``).
     default_ratio_k:
         Default ``k'/k`` for queries.
     rng:
@@ -60,6 +66,8 @@ class PPANNS:
         hnsw_params: HNSWParams | None = None,
         backend: str = "hnsw",
         backend_params=None,
+        shards: int | None = None,
+        shard_strategy: str = "round_robin",
         default_ratio_k: int = 8,
         rng: np.random.Generator | None = None,
     ) -> None:
@@ -71,6 +79,8 @@ class PPANNS:
             hnsw_params=hnsw_params,
             backend=backend,
             backend_params=backend_params,
+            shards=shards,
+            shard_strategy=shard_strategy,
             rng=rng,
         )
         self._user = QueryUser(self._owner.authorize_user(), rng=rng)

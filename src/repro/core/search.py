@@ -22,6 +22,14 @@ the key check, and liveness-mask construction happen once per batch, and
 each query then runs the shared single-query engine.  The seed-era
 :func:`filter_and_refine` / :func:`filter_only` signatures remain as thin
 wrappers over the same engine.
+
+The engine is index-shape agnostic: it calls ``index.filter_search``, so
+a monolithic :class:`~repro.core.index.EncryptedIndex` answers from its
+single backend while a
+:class:`~repro.core.sharding.ShardedEncryptedIndex` scatter-gathers the
+filter phase across its shards (and the result carries per-shard
+timings).  The refine phase is identical either way — ``C_DCE`` is never
+partitioned.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from repro.core.protocol import (
     SearchResultBatch,
     resolve_ef_search,
 )
+from repro.core.sharding import ShardedEncryptedIndex
 from repro.hnsw.graph import SearchStats
 from repro.hnsw.heap import ComparisonMaxHeap
 
@@ -76,7 +85,7 @@ def _refine(
 
 
 def _run_single(
-    index: EncryptedIndex,
+    index: "EncryptedIndex | ShardedEncryptedIndex",
     sap_vector: np.ndarray,
     trapdoor: DCETrapdoor,
     request: SearchRequest,
@@ -86,10 +95,10 @@ def _run_single(
     """One query through the shared engine; parameters are pre-resolved."""
     ef_search = resolve_ef_search(request.ef_search, k_prime)
 
-    # -- filter phase (Line 1) ------------------------------------------------
+    # -- filter phase (Line 1; scatter-gather when the index is sharded) -------
     stats = SearchStats()
     start = time.perf_counter()
-    candidate_ids, _ = index.backend.search(
+    candidate_ids, _, shard_timings = index.filter_search(
         sap_vector, k_prime, ef_search=ef_search, stats=stats
     )
     if candidate_ids.shape[0]:
@@ -104,9 +113,10 @@ def _run_single(
             k_prime=k_prime,
             filter_seconds=filter_seconds,
             request=request,
+            shard_timings=shard_timings,
         )
 
-    # -- refine phase (Lines 2-9) ---------------------------------------------
+    # -- refine phase (Lines 2-9; always global, over the merged candidates) ---
     start = time.perf_counter()
     ids, comparisons = _refine(
         index.dce_database,
@@ -123,10 +133,13 @@ def _run_single(
         filter_seconds=filter_seconds,
         refine_seconds=refine_seconds,
         request=request,
+        shard_timings=shard_timings,
     )
 
 
-def _check_query_dim(index: EncryptedIndex, sap: np.ndarray, what: str) -> None:
+def _check_query_dim(
+    index: "EncryptedIndex | ShardedEncryptedIndex", sap: np.ndarray, what: str
+) -> None:
     if sap.shape[-1] != index.dim:
         raise ParameterError(
             f"{what} has dimension {sap.shape[-1]}, but the index holds "
@@ -135,7 +148,7 @@ def _check_query_dim(index: EncryptedIndex, sap: np.ndarray, what: str) -> None:
 
 
 def execute_batch(
-    index: EncryptedIndex,
+    index: "EncryptedIndex | ShardedEncryptedIndex",
     batch: EncryptedQueryBatch,
     default_ratio_k: int = 8,
     ratio_k: int | None = None,
@@ -179,7 +192,7 @@ def execute_batch(
 
 
 def filter_only(
-    index: EncryptedIndex,
+    index: "EncryptedIndex | ShardedEncryptedIndex",
     query: EncryptedQuery,
     ef_search: int | None = None,
     k_prime: int | None = None,
@@ -201,7 +214,7 @@ def filter_only(
 
 
 def filter_and_refine(
-    index: EncryptedIndex,
+    index: "EncryptedIndex | ShardedEncryptedIndex",
     query: EncryptedQuery,
     k_prime: int,
     ef_search: int | None = None,

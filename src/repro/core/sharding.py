@@ -1,0 +1,492 @@
+"""Horizontal partitioning of the encrypted corpus (scatter-gather serving).
+
+The monolithic :class:`~repro.core.index.EncryptedIndex` holds one filter
+backend over the whole ``C_SAP`` matrix, so build time, memory, and
+per-query filter latency all grow with a single unpartitioned structure.
+This module splits the corpus across ``N`` shards — each shard owning its
+own :class:`~repro.core.backends.FilterBackend` over its slice of the
+DCPE ciphertexts — and answers the filter phase by **scatter-gather**:
+
+* **scatter** — the query's DCPE ciphertext fans out to every shard
+  (a :class:`~concurrent.futures.ThreadPoolExecutor`; numpy kernels
+  release the GIL, so shards overlap on multi-core hosts);
+* **gather** — per-shard candidate heaps come back as ``(global id,
+  approximate distance)`` pairs and are merged into one global top-k'
+  by distance (ties broken by id);
+* **refine** — runs once, globally, over the merged candidates, exactly
+  as in the unsharded pipeline.  ``C_DCE`` is never partitioned.
+
+The decomposition is privacy-neutral: every shard sees only DCPE
+ciphertexts — the same view the single server already had — and the
+merge works on ciphertext-space distances the server could compute
+anyway.  Shard assignment (:data:`SHARD_STRATEGIES`) keys on the public
+vector id, never on plaintext content.
+
+Global ids stay the single currency of the system: vector ``i`` is row
+``i`` of ``C_SAP`` and entry ``i`` of ``C_DCE``; each shard keeps a
+``global_ids`` map from its local backend ids back to the global space.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.backends import FilterBackend, build_backend
+from repro.core.dce import DCEEncryptedDatabase
+from repro.core.errors import CiphertextFormatError, ParameterError
+from repro.core.index import IndexSizeReport
+from repro.core.protocol import ShardTiming
+from repro.hnsw.graph import SearchStats
+
+__all__ = [
+    "SHARD_STRATEGIES",
+    "assign_shards",
+    "shard_of",
+    "Shard",
+    "ShardedEncryptedIndex",
+    "build_sharded_index",
+]
+
+#: Registered shard-assignment strategies: ``round_robin`` (id modulo N,
+#: perfectly balanced) and ``hash`` (splitmix64 of the id modulo N,
+#: balanced in expectation and stable under arbitrary id growth).
+SHARD_STRATEGIES = ("round_robin", "hash")
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """One splitmix64 mixing round — a cheap, high-quality integer hash."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (value ^ (value >> 31)) & _MASK64
+
+
+def shard_of(strategy: str, global_id: int, num_shards: int) -> int:
+    """The shard that owns ``global_id`` under ``strategy``."""
+    if strategy == "round_robin":
+        return global_id % num_shards
+    if strategy == "hash":
+        return _splitmix64(global_id) % num_shards
+    raise ParameterError(
+        f"unknown shard strategy {strategy!r}; available: {', '.join(SHARD_STRATEGIES)}"
+    )
+
+
+def _splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_splitmix64` over a uint64 array (wrapping mul)."""
+    values = (values + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+    values = (values ^ (values >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    values = (values ^ (values >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return values ^ (values >> np.uint64(31))
+
+
+def assign_shards(num_vectors: int, num_shards: int, strategy: str) -> np.ndarray:
+    """Shard assignment for ids ``0..num_vectors-1`` as an int64 array.
+
+    Vectorized — the assignment sits on the build path of every sharded
+    index, so it must not cost interpreter time per id.
+    """
+    if num_shards < 1:
+        raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
+    if strategy == "round_robin":
+        return np.arange(num_vectors, dtype=np.int64) % num_shards
+    if strategy == "hash":
+        with np.errstate(over="ignore"):
+            hashes = _splitmix64_array(np.arange(num_vectors, dtype=np.uint64))
+        return (hashes % np.uint64(num_shards)).astype(np.int64)
+    raise ParameterError(
+        f"unknown shard strategy {strategy!r}; available: {', '.join(SHARD_STRATEGIES)}"
+    )
+
+
+# -- the scatter pool ----------------------------------------------------------
+#
+# One process-wide executor shared by every sharded index; per-index
+# pools would leak idle threads across the many short-lived indexes
+# built by tests and sweeps.  The pool is created once and never resized
+# or shut down — a resize would have to retire the old executor while
+# another thread may still be scatter-mapping on it.  Parallelism beyond
+# the core count buys nothing for CPU-bound distance kernels, so the
+# fixed size is not a bottleneck: with more shards than workers the
+# extra shard scans simply queue.
+
+_MAX_WORKERS = 32
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+
+
+def _scatter_pool() -> ThreadPoolExecutor:
+    """The shared scatter executor (created once, sized to the host)."""
+    global _pool
+    with _pool_lock:
+        if _pool is None:
+            _pool = ThreadPoolExecutor(
+                max_workers=min(_MAX_WORKERS, max(4, os.cpu_count() or 1)),
+                thread_name_prefix="repro-shard",
+            )
+        return _pool
+
+
+class Shard:
+    """One horizontal partition: a filter backend plus its id map.
+
+    Attributes
+    ----------
+    shard_id:
+        Position of this shard in the index's shard list.
+    backend:
+        The shard's :class:`FilterBackend` over its slice of ``C_SAP``,
+        or ``None`` while the shard is empty (a backend is built lazily
+        on the first insert).
+    global_ids:
+        ``global_ids[local]`` is the global vector id of the backend's
+        local id ``local``; the inverse of the index's routing tables.
+    """
+
+    __slots__ = ("shard_id", "backend", "global_ids")
+
+    def __init__(
+        self,
+        shard_id: int,
+        backend: FilterBackend | None,
+        global_ids: np.ndarray,
+    ) -> None:
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        if backend is None and global_ids.size:
+            raise CiphertextFormatError(
+                f"shard {shard_id} maps {global_ids.size} ids but has no backend"
+            )
+        if backend is not None and backend.vectors.shape[0] != global_ids.size:
+            raise CiphertextFormatError(
+                f"shard {shard_id} backend indexes {backend.vectors.shape[0]} "
+                f"vectors but maps {global_ids.size} global ids"
+            )
+        self.shard_id = shard_id
+        self.backend = backend
+        self.global_ids = global_ids
+
+    def __len__(self) -> int:
+        return int(self.global_ids.size)
+
+    def search(
+        self,
+        sap_query: np.ndarray,
+        k_prime: int,
+        ef_search: int | None,
+        stats: SearchStats,
+    ) -> tuple[np.ndarray, np.ndarray, ShardTiming]:
+        """Local k'-ANNS, mapped to global ids, with wall-clock timing."""
+        start = time.perf_counter()
+        if self.backend is None:
+            ids = np.empty(0, dtype=np.int64)
+            dists = np.empty(0)
+        else:
+            local_ids, dists = self.backend.search(
+                sap_query, k_prime, ef_search=ef_search, stats=stats
+            )
+            ids = self.global_ids[local_ids]
+        timing = ShardTiming(
+            shard_id=self.shard_id,
+            seconds=time.perf_counter() - start,
+            candidates=int(ids.shape[0]),
+        )
+        return ids, dists, timing
+
+
+class ShardedEncryptedIndex:
+    """A sharded server-side index: ``(C_SAP, [shard backends], C_DCE)``.
+
+    Duck-types :class:`~repro.core.index.EncryptedIndex` for everything
+    the search engine, maintenance, and persistence layers need — the
+    difference is that the filter phase scatter-gathers across shards
+    instead of consulting one backend.  ``C_SAP`` and ``C_DCE`` remain
+    global and id-aligned; only the filter structures are partitioned.
+
+    Instances are produced by :func:`build_sharded_index` (via
+    :meth:`repro.core.roles.DataOwner.build_index` with ``shards >= 2``)
+    or loaded from a format-v3 file.
+    """
+
+    def __init__(
+        self,
+        sap_vectors: np.ndarray,
+        shards: list[Shard],
+        dce_database: DCEEncryptedDatabase,
+        strategy: str = "round_robin",
+        backend_params=None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        sap_vectors = np.asarray(sap_vectors, dtype=np.float64)
+        if sap_vectors.ndim != 2:
+            raise CiphertextFormatError(
+                f"C_SAP must be a (n, d) array, got shape {sap_vectors.shape}"
+            )
+        if strategy not in SHARD_STRATEGIES:
+            raise ParameterError(
+                f"unknown shard strategy {strategy!r}; "
+                f"available: {', '.join(SHARD_STRATEGIES)}"
+            )
+        if not shards:
+            raise ParameterError("a sharded index needs at least one shard")
+        num_vectors = sap_vectors.shape[0]
+        if num_vectors != len(dce_database):
+            raise CiphertextFormatError(
+                f"C_SAP has {num_vectors} rows but C_DCE has "
+                f"{len(dce_database)} entries"
+            )
+        kinds = {shard.backend.kind for shard in shards if shard.backend is not None}
+        if len(kinds) > 1:
+            raise CiphertextFormatError(
+                f"shards mix backend kinds: {sorted(kinds)}"
+            )
+        # Routing tables: global id -> (owning shard, local backend id).
+        shard_map = np.full(num_vectors, -1, dtype=np.int64)
+        local_map = np.full(num_vectors, -1, dtype=np.int64)
+        for shard in shards:
+            shard_map[shard.global_ids] = shard.shard_id
+            local_map[shard.global_ids] = np.arange(len(shard), dtype=np.int64)
+        if num_vectors and (shard_map < 0).any():
+            missing = int(np.count_nonzero(shard_map < 0))
+            raise CiphertextFormatError(
+                f"{missing} vector ids are not owned by any shard"
+            )
+        self._sap = sap_vectors
+        self._shards = shards
+        self._dce = dce_database
+        self._strategy = strategy
+        self._backend_params = backend_params
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._shard_map = shard_map
+        self._local_map = local_map
+        self._tombstones: set[int] = set()
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def sap_vectors(self) -> np.ndarray:
+        """The DCPE ciphertexts (``C_SAP``), global and id-aligned."""
+        return self._sap
+
+    @property
+    def shards(self) -> tuple[Shard, ...]:
+        """The shard list (read-only view)."""
+        return tuple(self._shards)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards the corpus is partitioned into."""
+        return len(self._shards)
+
+    @property
+    def strategy(self) -> str:
+        """The recorded shard-assignment strategy."""
+        return self._strategy
+
+    @property
+    def backend_kind(self) -> str:
+        """The registry kind shared by every shard backend."""
+        for shard in self._shards:
+            if shard.backend is not None:
+                return shard.backend.kind
+        raise CiphertextFormatError("index has no built shard backends")
+
+    @property
+    def dce_database(self) -> DCEEncryptedDatabase:
+        """The DCE ciphertexts (``C_DCE``), global — refine is unsharded."""
+        return self._dce
+
+    @property
+    def dim(self) -> int:
+        """Plaintext / DCPE-ciphertext dimensionality."""
+        return int(self._sap.shape[1])
+
+    @property
+    def tombstones(self) -> frozenset[int]:
+        """Ids deleted by :mod:`repro.core.maintenance`."""
+        return frozenset(self._tombstones)
+
+    def __len__(self) -> int:
+        return int(self._sap.shape[0]) - len(self._tombstones)
+
+    def shard_assignment(self) -> np.ndarray:
+        """``assignment[i]`` is the shard owning global id ``i``."""
+        return self._shard_map.copy()
+
+    def is_live(self, vector_id: int) -> bool:
+        """Whether ``vector_id`` is present and not deleted."""
+        return 0 <= vector_id < self._sap.shape[0] and vector_id not in self._tombstones
+
+    def live_mask(self) -> np.ndarray:
+        """Boolean liveness per global id slot (see ``EncryptedIndex``)."""
+        mask = np.ones(self._sap.shape[0], dtype=bool)
+        if self._tombstones:
+            mask[np.fromiter(self._tombstones, dtype=np.int64)] = False
+        return mask
+
+    # -- the scatter-gather filter phase ----------------------------------------
+
+    def filter_search(
+        self,
+        sap_query: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats: SearchStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, tuple[ShardTiming, ...]]:
+        """Scatter the filter phase across shards and merge to global top-k'.
+
+        Every shard runs its own k'-ANNS (so the merged pool always
+        contains each shard's best candidates) and the gather step keeps
+        the ``k_prime`` globally closest by approximate distance, ties
+        broken by global id.  Returns ``(ids, dists, shard_timings)``
+        nearest-first.
+        """
+        shard_stats = [SearchStats() for _ in self._shards]
+        if len(self._shards) == 1:
+            outcomes = [
+                self._shards[0].search(sap_query, k_prime, ef_search, shard_stats[0])
+            ]
+        else:
+            pool = _scatter_pool()
+            outcomes = list(
+                pool.map(
+                    lambda pair: pair[0].search(
+                        sap_query, k_prime, ef_search, pair[1]
+                    ),
+                    zip(self._shards, shard_stats),
+                )
+            )
+        if stats is not None:
+            for local in shard_stats:
+                stats.merge(local)
+        timings = tuple(timing for _, _, timing in outcomes)
+        all_ids = np.concatenate([ids for ids, _, _ in outcomes])
+        all_dists = np.concatenate([dists for _, dists, _ in outcomes])
+        order = np.lexsort((all_ids, all_dists))[:k_prime]
+        return all_ids[order], all_dists[order], timings
+
+    # -- maintenance routing (used by repro.core.maintenance) --------------------
+
+    def _lazy_build_params(self):
+        """Construction parameters for a backend built on first insert.
+
+        Falls back to a non-empty sibling shard's substrate parameters
+        when none were configured (e.g. after a v3 load, which persists
+        backend state but not the original construction params), so the
+        lazily built shard matches its siblings instead of silently
+        using library defaults.
+        """
+        if self._backend_params is not None:
+            return self._backend_params
+        for shard in self._shards:
+            if shard.backend is not None:
+                return getattr(shard.backend.substrate, "params", None)
+        return None
+
+    def backend_insert(self, sap_row: np.ndarray) -> int:
+        """Insert one DCPE row into the shard its new global id maps to."""
+        global_id = int(self._sap.shape[0])
+        target = shard_of(self._strategy, global_id, len(self._shards))
+        shard = self._shards[target]
+        if shard.backend is None:
+            # First vector ever routed here: build the backend over it.
+            shard.backend = build_backend(
+                self.backend_kind,
+                np.asarray(sap_row, dtype=np.float64)[np.newaxis],
+                rng=self._rng,
+                params=self._lazy_build_params(),
+            )
+            local_id = 0
+        else:
+            local_id = shard.backend.insert(sap_row)
+        shard.global_ids = np.append(shard.global_ids, global_id)
+        self._shard_map = np.append(self._shard_map, target)
+        self._local_map = np.append(self._local_map, local_id)
+        return global_id
+
+    def backend_mark_deleted(self, vector_id: int) -> None:
+        """Route a deletion to the owning shard's backend (local id)."""
+        shard = self._shards[int(self._shard_map[vector_id])]
+        shard.backend.mark_deleted(int(self._local_map[vector_id]))
+
+    # -- mutation (used by repro.core.maintenance only) --------------------------
+
+    def _append(self, sap_row: np.ndarray, dce_db: DCEEncryptedDatabase) -> None:
+        self._sap = np.vstack([self._sap, sap_row[np.newaxis]])
+        self._dce = dce_db
+
+    def _mark_deleted(self, vector_id: int) -> None:
+        self._tombstones.add(vector_id)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def size_report(self) -> IndexSizeReport:
+        """Storage accounting; graph edges sum over every shard."""
+        return IndexSizeReport(
+            num_vectors=self._sap.shape[0],
+            dim=self.dim,
+            sap_floats=int(self._sap.size),
+            dce_floats=int(self._dce.components.size),
+            graph_edges=sum(
+                shard.backend.edge_count()
+                for shard in self._shards
+                if shard.backend is not None
+            ),
+        )
+
+
+def build_sharded_index(
+    sap_vectors: np.ndarray,
+    dce_database: DCEEncryptedDatabase,
+    backend: str = "hnsw",
+    num_shards: int = 2,
+    strategy: str = "round_robin",
+    rng: np.random.Generator | None = None,
+    params=None,
+) -> ShardedEncryptedIndex:
+    """Partition encrypted data into shards and build a backend per shard.
+
+    Parameters
+    ----------
+    sap_vectors:
+        The global ``(n, d)`` DCPE ciphertext matrix.
+    dce_database:
+        The global DCE ciphertexts (stays unsharded).
+    backend:
+        Filter-backend kind built inside every shard.
+    num_shards:
+        Number of partitions; must be >= 1.
+    strategy:
+        Shard-assignment strategy (one of :data:`SHARD_STRATEGIES`).
+    rng:
+        Randomness for backend construction (shards build sequentially,
+        so a seeded generator stays reproducible).
+    params:
+        Backend construction parameters, shared by every shard.
+    """
+    sap_vectors = np.asarray(sap_vectors, dtype=np.float64)
+    assignment = assign_shards(sap_vectors.shape[0], num_shards, strategy)
+    shards: list[Shard] = []
+    for shard_id in range(num_shards):
+        owned = np.nonzero(assignment == shard_id)[0].astype(np.int64)
+        if owned.size == 0:
+            shards.append(Shard(shard_id, None, owned))
+            continue
+        shard_backend = build_backend(
+            backend, sap_vectors[owned], rng=rng, params=params
+        )
+        shards.append(Shard(shard_id, shard_backend, owned))
+    return ShardedEncryptedIndex(
+        sap_vectors,
+        shards,
+        dce_database,
+        strategy=strategy,
+        backend_params=params,
+        rng=rng,
+    )

@@ -6,6 +6,11 @@ standardizes those sweeps: it runs a query workload at each parameter
 setting, measures wall-clock latency and Recall@k against exact ground
 truth, and returns :class:`MethodCurve` objects the benchmarks and
 reporting helpers consume.
+
+:func:`sweep_shards` extends the family beyond the paper: it sweeps the
+shard count of the scatter-gather serving layer
+(:mod:`repro.core.sharding`), reporting filter-phase latency per shard
+count so ``benchmarks/bench_sharding.py`` can plot the scaling curve.
 """
 
 from __future__ import annotations
@@ -20,7 +25,14 @@ from repro.core.scheme import PPANNS
 from repro.eval.metrics import recall_at_k
 from repro.hnsw.bruteforce import exact_knn
 
-__all__ = ["CurvePoint", "MethodCurve", "sweep_ppanns", "sweep_filter_only", "ground_truth"]
+__all__ = [
+    "CurvePoint",
+    "MethodCurve",
+    "sweep_ppanns",
+    "sweep_filter_only",
+    "sweep_shards",
+    "ground_truth",
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +124,60 @@ def sweep_ppanns(
         )
     return MethodCurve(
         label=label if label is not None else f"PP-ANNS(ratio_k={ratio_k})",
+        points=tuple(points),
+    )
+
+
+def sweep_shards(
+    database: np.ndarray,
+    queries: np.ndarray,
+    truth: list[np.ndarray],
+    k: int,
+    shard_grid: tuple[int, ...],
+    beta: float,
+    backend: str = "bruteforce",
+    shard_strategy: str = "round_robin",
+    ratio_k: int = 8,
+    ef_search: int | None = None,
+    seed: int = 0,
+    label: str | None = None,
+) -> MethodCurve:
+    """Sweep the shard count of the scatter-gather serving layer.
+
+    One scheme is built per shard count (shard backends are constructed
+    over the partitioned ciphertexts, so the build is part of the swept
+    configuration); each point reports the filter-phase mean latency —
+    the phase sharding parallelizes — and Recall@k, with the shard count
+    as the curve parameter.
+    """
+    if len(truth) != len(queries):
+        raise ParameterError("truth list does not match query count")
+    points = []
+    for num_shards in shard_grid:
+        scheme = PPANNS(
+            dim=database.shape[1],
+            beta=beta,
+            backend=backend,
+            shards=num_shards,
+            shard_strategy=shard_strategy,
+            rng=np.random.default_rng(seed),
+        ).fit(database)
+        results = scheme.query_batch(
+            queries, k, ratio_k=ratio_k, ef_search=ef_search
+        )
+        recalls = [
+            recall_at_k(result.ids, query_truth, k)
+            for result, query_truth in zip(results, truth)
+        ]
+        points.append(
+            CurvePoint(
+                parameter=float(num_shards),
+                recall=float(np.mean(recalls)),
+                mean_latency_seconds=results.filter_seconds / len(queries),
+            )
+        )
+    return MethodCurve(
+        label=label if label is not None else f"sharded({backend})",
         points=tuple(points),
     )
 

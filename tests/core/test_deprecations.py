@@ -1,0 +1,47 @@
+"""Deprecated-API behavior: the ``EncryptedIndex.graph`` accessor."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.roles import DataOwner
+from repro.hnsw.graph import HNSWIndex
+from tests.conftest import FAST_HNSW
+
+
+@pytest.fixture(scope="module")
+def index():
+    rng = np.random.default_rng(77)
+    owner = DataOwner(8, beta=0.3, hnsw_params=FAST_HNSW, rng=rng)
+    return owner.build_index(rng.standard_normal((40, 8)))
+
+
+def test_graph_accessor_emits_deprecation_warning(index):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        substrate = index.graph
+    assert isinstance(substrate, HNSWIndex)
+    assert len(caught) == 1
+    assert issubclass(caught[0].category, DeprecationWarning)
+    assert "EncryptedIndex.graph" in str(caught[0].message)
+
+
+def test_graph_accessor_still_returns_substrate(index):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert index.graph is index.backend.substrate
+
+
+def test_graph_warning_fires_exactly_once_per_call_site(index):
+    """The 'default' filter dedups on location: a loop over one call site
+    warns once; a second, distinct call site warns again."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        for _ in range(3):
+            index.graph  # call site A, hit three times
+        assert len(caught) == 1
+        index.graph  # call site B
+        assert len(caught) == 2
+    for record in caught:
+        assert issubclass(record.category, DeprecationWarning)

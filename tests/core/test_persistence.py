@@ -39,10 +39,10 @@ class TestIndexRoundtrip:
         path = tmp_path / "index.npz"
         save_index(path, index)
         loaded = load_index(path)
-        assert loaded.graph.entry_point == index.graph.entry_point
-        assert loaded.graph.max_level == index.graph.max_level
+        assert loaded.backend.substrate.entry_point == index.backend.substrate.entry_point
+        assert loaded.backend.substrate.max_level == index.backend.substrate.max_level
         for node in range(0, 150, 17):
-            assert loaded.graph.neighbors(node, 0) == index.graph.neighbors(node, 0)
+            assert loaded.backend.substrate.neighbors(node, 0) == index.backend.substrate.neighbors(node, 0)
 
     def test_tombstones_preserved(self, deployed, tmp_path):
         owner, _, vectors = deployed
@@ -53,6 +53,37 @@ class TestIndexRoundtrip:
         loaded = load_index(path)
         assert not loaded.is_live(3)
         assert len(loaded) == len(index)
+
+    def test_v1_files_still_load(self, deployed, tmp_path):
+        """A synthesized seed-era (v1, HNSW-only) file loads transparently.
+
+        v1 had no ``backend_kind`` and duplicated the vectors under
+        ``graph_vectors``; see docs/FORMATS.md.
+        """
+        owner, index, vectors = deployed
+        path = tmp_path / "index_v1.npz"
+        save_index(path, index)
+        data = dict(np.load(path))
+        data["format_version"] = np.array([1], dtype=np.int64)
+        del data["backend_kind"]
+        data["graph_vectors"] = index.sap_vectors
+        np.savez_compressed(path, **data)
+
+        loaded = load_index(path)
+        assert loaded.backend_kind == "hnsw"
+        user = QueryUser(owner.authorize_user(), rng=np.random.default_rng(4))
+        encrypted = user.encrypt_query(vectors[9] + 0.01, 10)
+        original = CloudServer(index).answer(encrypted, ef_search=100)
+        restored = CloudServer(loaded).answer(encrypted, ef_search=100)
+        assert set(original.ids.tolist()) == set(restored.ids.tolist())
+
+    def test_v2_is_still_the_monolithic_write_format(self, deployed, tmp_path):
+        _, index, _ = deployed
+        path = tmp_path / "index_v2.npz"
+        save_index(path, index)
+        with np.load(path) as data:
+            assert int(data["format_version"][0]) == 2
+            assert "num_shards" not in data.files
 
     def test_version_check(self, deployed, tmp_path):
         _, index, _ = deployed

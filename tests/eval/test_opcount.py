@@ -59,7 +59,7 @@ class TestAgainstMeasurement:
             k,
             ratio,
             ef,
-            graph_degree=2 * fitted_scheme.server.index.graph.params.m,
+            graph_degree=2 * fitted_scheme.server.index.backend.substrate.params.m,
         )
         measured = []
         for query in small_dataset.queries:

@@ -1,10 +1,14 @@
 """Sweep runner tests."""
 
-import numpy as np
 import pytest
 
 from repro.core.errors import ParameterError
-from repro.eval.runner import ground_truth, sweep_filter_only, sweep_ppanns
+from repro.eval.runner import (
+    ground_truth,
+    sweep_filter_only,
+    sweep_ppanns,
+    sweep_shards,
+)
 
 
 class TestSweeps:
@@ -33,6 +37,36 @@ class TestSweeps:
         )
         assert curve.label == "HNSW(filter)"
         assert len(curve.points) == 1
+
+    def test_sweep_shards(self, small_dataset):
+        truth = ground_truth(small_dataset.database, small_dataset.queries, 10)
+        curve = sweep_shards(
+            small_dataset.database,
+            small_dataset.queries,
+            truth,
+            k=10,
+            shard_grid=(1, 2),
+            beta=0.3,
+            backend="bruteforce",
+            ratio_k=4,
+        )
+        assert curve.label == "sharded(bruteforce)"
+        assert [point.parameter for point in curve.points] == [1.0, 2.0]
+        # The brute-force filter is exact, so recall is shard-invariant.
+        assert curve.points[0].recall == curve.points[1].recall
+        for point in curve.points:
+            assert point.mean_latency_seconds > 0
+
+    def test_sweep_shards_truth_mismatch_rejected(self, small_dataset):
+        with pytest.raises(ParameterError):
+            sweep_shards(
+                small_dataset.database,
+                small_dataset.queries,
+                [],
+                k=10,
+                shard_grid=(2,),
+                beta=0.3,
+            )
 
     def test_truth_mismatch_rejected(self, fitted_scheme, small_dataset):
         with pytest.raises(ParameterError):

@@ -1,0 +1,143 @@
+"""Property tests for shard-count invariance of the scatter-gather layer.
+
+Two invariants the sharding subsystem promises:
+
+1. **Exact invariance** — with the brute-force (exact) filter backend,
+   the sharded scatter-gather pipeline returns *bit-identical* top-k to
+   the monolithic index, for any shard count and either assignment
+   strategy: every shard scans its full slice, so the merged candidate
+   pool always contains the global top-k'.
+2. **Recall parity** — with approximate graph backends the per-shard
+   graphs differ from the monolithic graph, so ids may differ, but
+   recall against exact plaintext neighbors must stay in the same band
+   (sharded search is at least as exhaustive: each shard runs a full
+   k'-ANNS, so the merged pool is never smaller).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.roles import CloudServer, DataOwner, QueryUser
+from repro.eval.metrics import recall_at_k
+from repro.hnsw.bruteforce import exact_knn
+from repro.hnsw.graph import HNSWParams
+
+from tests.strategies import databases, ks, seeds
+
+_TINY_HNSW = HNSWParams(m=4, ef_construction=20)
+
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+shard_counts = st.integers(min_value=2, max_value=5)
+strategies = st.sampled_from(("round_robin", "hash"))
+
+
+def _twin_servers(database, backend, num_shards, strategy, seed):
+    """A monolithic and a sharded server over identical ciphertexts.
+
+    Both owners consume an identically seeded generator, so keys and
+    DCPE/DCE ciphertexts agree and one user can query both servers.
+    """
+    flat_owner = DataOwner(
+        database.shape[1],
+        beta=0.3,
+        hnsw_params=_TINY_HNSW,
+        backend=backend,
+        rng=np.random.default_rng(seed),
+    )
+    sharded_owner = DataOwner(
+        database.shape[1],
+        beta=0.3,
+        hnsw_params=_TINY_HNSW,
+        backend=backend,
+        shards=num_shards,
+        shard_strategy=strategy,
+        rng=np.random.default_rng(seed),
+    )
+    flat = CloudServer(flat_owner.build_index(database))
+    sharded = CloudServer(sharded_owner.build_index(database))
+    user = QueryUser(flat_owner.authorize_user(), rng=np.random.default_rng(seed + 1))
+    return flat, sharded, user
+
+
+@_SETTINGS
+@given(
+    data=databases(dim=8),
+    k=ks,
+    num_shards=shard_counts,
+    strategy=strategies,
+    seed=seeds,
+)
+def test_bruteforce_sharding_is_exactly_invariant(
+    data, k, num_shards, strategy, seed
+):
+    """Sharded brute-force top-k is bit-identical to the monolithic index."""
+    flat, sharded, user = _twin_servers(data, "bruteforce", num_shards,
+                                        strategy, seed)
+    queries = np.random.default_rng(seed + 2).standard_normal((4, 8)) * 2.0
+    batch = user.encrypt_queries(queries, k, ratio_k=3)
+    flat_ids = flat.answer(batch).ids_matrix()
+    sharded_ids = sharded.answer(batch).ids_matrix()
+    assert np.array_equal(flat_ids, sharded_ids), (
+        f"shard divergence at shards={num_shards} strategy={strategy}"
+    )
+
+
+@_SETTINGS
+@given(
+    data=databases(dim=8),
+    k=ks,
+    num_shards=shard_counts,
+    strategy=strategies,
+    seed=seeds,
+)
+def test_bruteforce_filter_only_invariant(data, k, num_shards, strategy, seed):
+    """The invariance also holds for the filter-only reference path."""
+    flat, sharded, user = _twin_servers(data, "bruteforce", num_shards,
+                                        strategy, seed)
+    queries = np.random.default_rng(seed + 3).standard_normal((3, 8)) * 2.0
+    batch = user.encrypt_queries(queries, k, ratio_k=2, mode="filter_only")
+    assert np.array_equal(
+        flat.answer(batch).ids_matrix(), sharded.answer(batch).ids_matrix()
+    )
+
+
+@_SETTINGS
+@given(
+    data=databases(dim=8, min_rows=40, max_rows=60),
+    backend=st.sampled_from(("hnsw", "nsg", "ivf")),
+    num_shards=shard_counts,
+    seed=seeds,
+)
+def test_graph_backends_keep_recall_parity(data, backend, num_shards, seed):
+    """Approximate backends: sharded recall stays within tolerance of flat.
+
+    Per-shard graphs are smaller and each is searched with the full k',
+    so the merged pool is at least as rich; the band below accounts for
+    graph-construction randomness on these tiny instances.
+    """
+    k = 5
+    flat, sharded, user = _twin_servers(data, backend, num_shards,
+                                        "round_robin", seed)
+    queries = np.random.default_rng(seed + 4).standard_normal((4, 8)) * 2.0
+    truth = [exact_knn(data, query, k)[0] for query in queries]
+    batch = user.encrypt_queries(queries, k, ratio_k=4, ef_search=40)
+    flat_recall = np.mean([
+        recall_at_k(result.ids, truth[i], k)
+        for i, result in enumerate(flat.answer(batch))
+    ])
+    sharded_recall = np.mean([
+        recall_at_k(result.ids, truth[i], k)
+        for i, result in enumerate(sharded.answer(batch))
+    ])
+    assert sharded_recall >= flat_recall - 0.35, (
+        f"sharded {backend} recall {sharded_recall:.2f} fell far below "
+        f"monolithic {flat_recall:.2f}"
+    )

@@ -1,5 +1,7 @@
 """CLI tests: build / query / demo round trip through real files."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -70,6 +72,46 @@ class TestBuildAndQuery:
         # Self-queries: query i is database[i] + epsilon, so id i must appear.
         for i, line in enumerate(lines):
             ids = [int(x) for x in line.split(":")[1].split()]
+            assert i in ids
+
+    def test_sharded_roundtrip(self, cli_workspace, capsys):
+        root, database, queries = cli_workspace
+        index_path = str(root / "sharded_index.npz")
+        keys_path = str(root / "sharded_keys.npz")
+        code = main(
+            [
+                "build",
+                str(root / "db.npy"),
+                "--index", index_path,
+                "--keys", keys_path,
+                "--beta", "0.2",
+                "--backend", "bruteforce",
+                "--shards", "3",
+                "--shard-strategy", "hash",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards=3 (hash)" in out
+
+        code = main(
+            [
+                "query",
+                "--index", index_path,
+                "--keys", keys_path,
+                "--queries", str(root / "queries.fvecs"),
+                "-k", "5",
+                "--json",
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shards"] == 3
+        assert set(payload["shard_seconds"]) == {"0", "1", "2"}
+        assert payload["gather_bytes"] > 0
+        for i, ids in enumerate(payload["ids"]):
             assert i in ids
 
     def test_unsupported_format(self, cli_workspace):
