@@ -1,0 +1,183 @@
+"""Refine engines: comparison-heap oracle loop vs. batched kernels.
+
+The refine phase of Algorithm 2 costs ``O(d k' log k)`` comparisons per
+query, and the ``heap`` reference engine pays a Python round trip into
+``distance_comp`` for every one of them.  The ``vectorized`` engine
+(``repro.core.refine``) gathers the candidates' ``C_DCE`` rows once,
+folds the trapdoor into them, and batches each run of
+reject-against-the-current-top comparisons into one pivot-vs-candidates
+BLAS kernel — replaying the identical heap selection, so the ids are
+bit-identical and the interpreter work shrinks to heap bookkeeping.
+
+This bench isolates the refine stage: candidates come from an exact
+plaintext top-k' (what a perfect filter would hand over), so the timing
+contains nothing but engine work.  It sweeps an ``(n, d, k, ratio_k)``
+grid and writes the machine-readable ``BENCH_refine.json`` next to the
+repo root — the seed of the perf trajectory for the serving hot path.
+
+Acceptance bar: at ``n=4096, d=128, k=10, ratio_k=8`` the vectorized
+engine must beat the heap engine by ≥3x (relaxed on single-core /
+heavily loaded CI hosts, mirroring ``bench_sharding.py``).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dce import DCEScheme
+from repro.core.refine import REFINE_ENGINES
+from repro.eval.reporting import format_table
+
+N_QUERIES = 24
+REPEATS = 5
+
+#: The swept ``(n, d, k, ratio_k)`` grid; the last entry is the
+#: acceptance-bar configuration from the issue.
+GRID = (
+    (1024, 32, 10, 4),
+    (2048, 64, 20, 8),
+    (4096, 128, 10, 8),
+)
+
+#: The configuration the ≥3x assertion applies to.
+ACCEPTANCE = (4096, 128, 10, 8)
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_refine.json"
+
+
+def _refine_workload(n: int, d: int, k_prime: int, seed: int = 50):
+    """DCE database, per-query trapdoors, and exact top-k' candidate sets."""
+    rng = np.random.default_rng(seed)
+    database = rng.standard_normal((n, d)) * 2.0
+    queries = rng.standard_normal((N_QUERIES, d)) * 2.0
+    scheme = DCEScheme(d, rng=rng)
+    encrypted = scheme.encrypt_database(database)
+    trapdoors = [scheme.trapdoor(query) for query in queries]
+    candidates = []
+    for query in queries:
+        dists = ((database - query) ** 2).sum(axis=1)
+        top = np.argpartition(dists, k_prime - 1)[:k_prime]
+        candidates.append(top[np.argsort(dists[top], kind="stable")].astype(np.int64))
+    return encrypted, trapdoors, candidates
+
+
+def _engine_seconds(engine, encrypted, trapdoors, candidates, k):
+    """(median, best) over repeats of the all-queries refine wall clock.
+
+    The JSON artifact records the median (the representative number);
+    the speedup assertion uses the best so a single scheduler hiccup on
+    a loaded CI host cannot fail the bar.
+    """
+    samples = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for trapdoor, ids in zip(trapdoors, candidates):
+            engine.refine(encrypted, trapdoor, ids, k)
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples)), float(min(samples))
+
+
+def test_refine_engine_grid():
+    """Heap vs vectorized across the grid; JSON artifact + speedup bar."""
+    rows = []
+    configs = []
+    speedups = {}
+    for n, d, k, ratio_k in GRID:
+        k_prime = ratio_k * k
+        encrypted, trapdoors, candidates = _refine_workload(n, d, k_prime)
+        medians = {}
+        bests = {}
+        ids_by_engine = {}
+        for name, engine in REFINE_ENGINES.items():
+            medians[name], bests[name] = _engine_seconds(
+                engine, encrypted, trapdoors, candidates, k
+            )
+            ids_by_engine[name] = [
+                engine.refine(encrypted, trapdoor, ids, k).ids
+                for trapdoor, ids in zip(trapdoors, candidates)
+            ]
+        for heap_ids, vec_ids in zip(
+            ids_by_engine["heap"], ids_by_engine["vectorized"]
+        ):
+            assert np.array_equal(heap_ids, vec_ids), (
+                f"engines diverged at n={n}, d={d}, k={k}, ratio_k={ratio_k}"
+            )
+        speedup = (
+            bests["heap"] / bests["vectorized"]
+            if bests["vectorized"] > 0
+            else float("inf")
+        )
+        speedups[(n, d, k, ratio_k)] = speedup
+        configs.append(
+            {
+                "n": n,
+                "d": d,
+                "k": k,
+                "ratio_k": ratio_k,
+                "k_prime": k_prime,
+                "engines": {
+                    name: {
+                        "median_seconds": medians[name],
+                        "best_seconds": bests[name],
+                    }
+                    for name in medians
+                },
+                "speedup": speedup,
+            }
+        )
+        rows.append(
+            [
+                n,
+                d,
+                k,
+                ratio_k,
+                medians["heap"] * 1e3 / N_QUERIES,
+                medians["vectorized"] * 1e3 / N_QUERIES,
+                speedup,
+            ]
+        )
+
+    _RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "queries": N_QUERIES,
+                "repeats": REPEATS,
+                "cpu_count": os.cpu_count(),
+                "configs": configs,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    print()
+    print(
+        format_table(
+            ["n", "d", "k", "ratio_k", "heap ms/q", "vectorized ms/q", "speedup"],
+            rows,
+            title=f"refine engines, q={N_QUERIES}, median of {REPEATS} repeats",
+        )
+    )
+    print(f"wrote {_RESULT_PATH.name}")
+
+    # The batched kernel must pay for itself at serving-path sizes.
+    # Mirroring bench_sharding.py, the bar is guarded: shared CI
+    # runners (CI env var set) only check that the vectorized engine is
+    # not slower — their multi-tenant clocks are too noisy for a perf
+    # bar — while real hosts assert a floor graded by core count (the
+    # win is interpreter dispatch, not parallelism, but 1-core boxes
+    # are typically also the throttled ones).
+    best = speedups[ACCEPTANCE]
+    cores = os.cpu_count() or 1
+    if os.environ.get("CI"):
+        floor = 1.0
+    else:
+        floor = 3.0 if cores >= 4 else (2.2 if cores >= 2 else 1.8)
+    assert best >= floor, (
+        f"vectorized refine speedup {best:.2f}x below the {floor}x bar at "
+        f"n={ACCEPTANCE[0]}, d={ACCEPTANCE[1]}, k={ACCEPTANCE[2]}, "
+        f"ratio_k={ACCEPTANCE[3]} ({cores} cores)"
+    )

@@ -8,9 +8,10 @@ A deployable front-end over the library for the three lifecycle stages:
   it (``--shards N --shard-strategy round_robin|hash``), write the index
   and the key bundle to separate files.
 * ``query``  — user+server side: load index + keys, batch-encrypt the
-  queries from a file, answer them in one amortized pass, print neighbor
+  queries from a file, answer them in one pipelined pass, print neighbor
   ids (or a JSON report with ``--json``).  ``--filter-only`` runs the
-  filter phase alone.
+  filter phase alone; ``--refine-engine heap|vectorized`` selects the
+  refine-stage engine.
 * ``demo``   — one-command end-to-end demo on a synthetic dataset with a
   recall report.
 
@@ -29,6 +30,7 @@ import numpy as np
 
 from repro.core.backends import available_backends
 from repro.core.persistence import load_index, load_keys, save_index, save_keys
+from repro.core.refine import available_refine_engines
 from repro.core.sharding import SHARD_STRATEGIES
 from repro.core.roles import CloudServer, DataOwner, QueryUser
 from repro.datasets import compute_ground_truth, make_dataset
@@ -98,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--ef-search", type=int, default=None)
     query.add_argument(
+        "--refine-engine",
+        choices=available_refine_engines(),
+        default=None,
+        help="refine-stage engine (default: the server's vectorized engine)",
+    )
+    query.add_argument(
         "--filter-only",
         action="store_true",
         help="run the filter phase only (skip DCE refinement)",
@@ -122,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="filter-phase backend",
     )
     demo.add_argument("--shards", type=int, default=1, help="filter shard count")
+    demo.add_argument(
+        "--refine-engine",
+        choices=available_refine_engines(),
+        default=None,
+        help="refine-stage engine (default: vectorized)",
+    )
     demo.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -162,10 +176,15 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.filter_only and args.refine_engine:
+        raise SystemExit(
+            "--refine-engine has no effect with --filter-only "
+            "(the refine phase is skipped entirely)"
+        )
     index = load_index(args.index)
     keys = load_keys(args.keys)
     user = QueryUser(keys, rng=np.random.default_rng(args.seed))
-    server = CloudServer(index)
+    server = CloudServer(index, refine_engine=args.refine_engine)
     queries = _load_vectors(args.queries)
 
     encrypt_start = time.perf_counter()
@@ -189,11 +208,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
             "ids": [result.ids.tolist() for result in results],
             "encrypt_seconds": encrypt_seconds,
             "server_seconds": results.total_seconds,
+            "wall_seconds": results.wall_seconds,
+            "filter_seconds": results.filter_seconds,
+            "mask_seconds": results.mask_seconds,
+            "refine_seconds": results.refine_seconds,
             "qps": results.qps,
             "upload_bytes": batch.upload_bytes(),
             "download_bytes": results.download_bytes(),
             "refine_comparisons": results.refine_comparisons,
         }
+        if batch.request.mode == "full":
+            payload["refine_engine"] = server.refine_engine
+            payload["refine_kernel_seconds"] = results.refine_kernel_seconds
         shard_seconds = results.shard_seconds()
         if shard_seconds:
             payload["shard_seconds"] = {
@@ -217,7 +243,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         shards=args.shards, rng=rng,
     )
     index = owner.build_index(dataset.database)
-    server = CloudServer(index)
+    server = CloudServer(index, refine_engine=args.refine_engine)
     user = QueryUser(owner.authorize_user(), rng=rng)
     truth = compute_ground_truth(dataset.database, dataset.queries, args.k)
     batch = user.encrypt_queries(dataset.queries, args.k, ef_search=120)
@@ -228,7 +254,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     ]
     print(
         f"profile={args.profile} n={args.n} d={dataset.dim} beta={args.beta} "
-        f"backend={index.backend_kind}: "
+        f"backend={index.backend_kind} refine={server.refine_engine}: "
         f"Recall@{args.k} = {np.mean(recalls):.3f}, "
         f"{results.qps:.0f} QPS (server-side)"
     )

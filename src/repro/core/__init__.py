@@ -16,7 +16,11 @@ Public API:
   the HNSW / NSG / IVF / brute-force adapters (Section V-A's
   substitutability remark).
 * :func:`repro.core.search.filter_and_refine` — Algorithm 2;
-  :func:`repro.core.search.execute_batch` — the amortized batch path.
+  :func:`repro.core.search.execute_batch` — the pipelined batch path
+  (queries fan out over :mod:`repro.core.executor`'s shared pool).
+* :mod:`repro.core.refine` — pluggable refine engines behind the
+  :class:`RefineEngine` protocol: the ``heap`` comparison-oracle
+  reference and the batched ``vectorized`` default.
 * :class:`repro.core.roles` — DataOwner / QueryUser / CloudServer.
 * :class:`repro.core.scheme.PPANNS` — a one-object facade over the whole
   pipeline.
@@ -44,6 +48,7 @@ from repro.core.dce import (
     DCETrapdoor,
     dce_keygen,
     distance_comp,
+    distance_comp_many,
     sdc_mac_count,
 )
 from repro.core.dcpe import DCPEScheme, dcpe_keygen, beta_lower_bound, beta_upper_bound
@@ -58,6 +63,16 @@ from repro.core.index import EncryptedIndex, IndexSizeReport
 from repro.core.keys import DCEKey, DCPEKey
 from repro.core.maintenance import delete_vector, insert_vector
 from repro.core.persistence import load_index, load_keys, save_index, save_keys
+from repro.core.refine import (
+    DEFAULT_REFINE_ENGINE,
+    REFINE_ENGINES,
+    HeapRefineEngine,
+    RefineEngine,
+    RefineOutcome,
+    VectorizedRefineEngine,
+    available_refine_engines,
+    get_refine_engine,
+)
 from repro.core.protocol import (
     EncryptedQuery,
     EncryptedQueryBatch,
@@ -85,6 +100,7 @@ __all__ = [
     "DCEEncryptedDatabase",
     "dce_keygen",
     "distance_comp",
+    "distance_comp_many",
     "sdc_mac_count",
     "DCPEScheme",
     "dcpe_keygen",
@@ -117,6 +133,14 @@ __all__ = [
     "filter_and_refine",
     "filter_only",
     "execute_batch",
+    "RefineEngine",
+    "RefineOutcome",
+    "HeapRefineEngine",
+    "VectorizedRefineEngine",
+    "REFINE_ENGINES",
+    "DEFAULT_REFINE_ENGINE",
+    "available_refine_engines",
+    "get_refine_engine",
     "DataOwner",
     "QueryUser",
     "CloudServer",

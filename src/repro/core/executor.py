@@ -1,0 +1,113 @@
+"""The shared worker pool behind the server's parallel hot paths.
+
+Two layers of the serving path fan work out over threads:
+
+* :func:`repro.core.search.execute_batch` — the **pipelined batch
+  executor** — fans a batch's queries out so independent queries overlap
+  (numpy's distance and DCE kernels release the GIL, so queries make
+  real multi-core progress);
+* :meth:`repro.core.sharding.ShardedEncryptedIndex.filter_search` —
+  the scatter-gather filter phase — fans one query out across shards.
+
+Both layers draw from the **one process-wide**
+:class:`~concurrent.futures.ThreadPoolExecutor` owned by this module.
+Per-call or per-index pools would leak idle threads across the many
+short-lived indexes built by tests and sweeps, and two independent
+bounded pools nested inside each other can still oversubscribe the
+host.  The pool is created once and never resized or shut down — a
+resize would have to retire the old executor while another thread may
+still be mapping over it.
+
+Nesting is the classic bounded-pool deadlock: a worker that blocks on
+sub-tasks submitted to its own pool can starve when every worker is a
+blocked parent.  :func:`map_ordered` therefore runs **inline** whenever
+it is called from one of the pool's own workers (detected by thread
+name), so a batch fan-out parallelizes across queries and each query's
+shard scatter runs serially inside its worker — queries, the coarser
+and more abundant unit of work, win the parallelism.
+
+:func:`map_ordered` is the single fan-out primitive both layers use:
+results come back in submission order regardless of completion order
+(deterministic gather), and every task runs to completion even when a
+sibling fails — the first failure *by input position* is re-raised
+after the gather, so one poisoned query can neither kill nor reorder
+the others mid-flight.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["map_ordered", "pool_width", "shared_pool", "in_worker_thread"]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+_MAX_WORKERS = 32
+_THREAD_PREFIX = "repro-worker"
+
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+
+
+def pool_width() -> int:
+    """Worker count of the shared pool (sized to the host, capped)."""
+    return min(_MAX_WORKERS, max(4, os.cpu_count() or 1))
+
+
+def shared_pool() -> ThreadPoolExecutor:
+    """The process-wide executor (created once, never shut down)."""
+    global _pool
+    with _pool_lock:
+        if _pool is None:
+            _pool = ThreadPoolExecutor(
+                max_workers=pool_width(),
+                thread_name_prefix=_THREAD_PREFIX,
+            )
+        return _pool
+
+
+def in_worker_thread() -> bool:
+    """Whether the calling thread is one of the shared pool's workers."""
+    return threading.current_thread().name.startswith(_THREAD_PREFIX)
+
+
+def map_ordered(
+    fn: Callable[[_ItemT], _ResultT], items: Iterable[_ItemT]
+) -> list[_ResultT]:
+    """Apply ``fn`` to every item on the shared pool; gather in order.
+
+    The parallel analogue of ``[fn(item) for item in items]``:
+
+    * results are returned in **input order**, not completion order;
+    * every submitted task runs to completion even if a sibling raises
+      (per-item error isolation — no half-cancelled pool state);
+    * if any task raised, the exception of the **first failing input
+      position** is re-raised after the gather, so error reporting is
+      deterministic under arbitrary thread scheduling.
+
+    Fewer than two items, or a call made from inside one of the pool's
+    own workers (a nested fan-out would deadlock a bounded pool), runs
+    inline on the calling thread with identical semantics.
+    """
+    work: Sequence[_ItemT] = list(items)
+    if len(work) < 2 or in_worker_thread():
+        return [fn(item) for item in work]
+    futures = [shared_pool().submit(fn, item) for item in work]
+    results: list[_ResultT] = []
+    first_error: Exception | None = None
+    for future in futures:
+        # Only Exception is isolated; KeyboardInterrupt / SystemExit
+        # delivered to the gathering thread must propagate immediately
+        # (the remaining tasks finish in the pool and are discarded).
+        try:
+            results.append(future.result())
+        except Exception as exc:
+            if first_error is None:
+                first_error = exc
+    if first_error is not None:
+        raise first_error
+    return results

@@ -12,7 +12,10 @@ This module gives that protocol explicit, batch-first types:
   trapdoors as two matrices so user-side encryption and server-side
   parameter resolution amortize across queries.
 * :class:`SearchResult` / :class:`SearchResultBatch` — the answer(s),
-  with per-query and aggregate instrumentation plus byte accounting.
+  with per-query and aggregate instrumentation plus byte accounting:
+  the per-stage wall-clock split (``filter_seconds`` /
+  ``mask_seconds`` / ``refine_seconds``) and the refine-engine fields
+  (``refine_engine`` name, ``refine_kernel_seconds``).
   :data:`SearchReport` remains as a deprecated alias of
   :class:`SearchResult` for the seed API.
 * :class:`ShardTiming` — per-shard instrumentation attached to results
@@ -327,11 +330,21 @@ class SearchResult:
     filter_stats:
         Graph-search instrumentation (distance computations, hops).
     refine_comparisons:
-        DCE ``DistanceComp`` invocations in the refine phase.
+        DCE ``DistanceComp`` decisions in the refine phase — real oracle
+        calls for the ``heap`` engine, the equivalent-oracle-call count
+        for the ``vectorized`` engine.
     k_prime:
         The number of filter-phase candidates refined.
-    filter_seconds / refine_seconds:
-        Wall-clock split of the two phases.
+    filter_seconds / mask_seconds / refine_seconds:
+        Wall-clock split of the pipeline stages (filter k'-ANNS,
+        liveness masking, refine); the three sum to ``total_seconds``.
+    refine_engine:
+        Name of the :class:`~repro.core.refine.RefineEngine` that ran
+        the refine stage (``None`` for filter-only / legacy results).
+    refine_kernel_seconds:
+        Wall clock inside the refine engine's batched numeric kernels
+        (candidate gather + sign matrix); 0.0 for the scalar ``heap``
+        engine.  Always <= ``refine_seconds``.
     request:
         The resolved request this result answers (None on legacy paths).
     shard_timings:
@@ -343,14 +356,17 @@ class SearchResult:
     refine_comparisons: int = 0
     k_prime: int = 0
     filter_seconds: float = 0.0
+    mask_seconds: float = 0.0
     refine_seconds: float = 0.0
+    refine_engine: str | None = None
+    refine_kernel_seconds: float = 0.0
     request: SearchRequest | None = None
     shard_timings: tuple[ShardTiming, ...] | None = None
 
     @property
     def total_seconds(self) -> float:
-        """Wall-clock total of both phases."""
-        return self.filter_seconds + self.refine_seconds
+        """Wall-clock total across the filter, mask and refine stages."""
+        return self.filter_seconds + self.mask_seconds + self.refine_seconds
 
     def download_bytes(self) -> int:
         """Result message size: 4 bytes per returned id (Section V-C)."""
@@ -374,10 +390,19 @@ class SearchResultBatch:
     Wraps the per-query :class:`SearchResult` objects and aggregates their
     instrumentation, so batch callers get both the ids matrix and the
     totals without re-deriving them.
+
+    Two timing views coexist: the per-query stage timings (and their
+    sums below) are **thread-local** wall clocks — with the pipelined
+    executor they include time a worker spends descheduled behind
+    sibling queries, so their sum can exceed real elapsed time on a
+    busy pool.  ``wall_seconds`` is the batch's actual start-to-finish
+    wall clock as measured by the executor (``None`` on hand-built
+    batches), and it is what :attr:`qps` prefers.
     """
 
     results: list[SearchResult]
     request: SearchRequest | None = None
+    wall_seconds: float | None = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -413,9 +438,26 @@ class SearchResultBatch:
         return sum(r.filter_seconds for r in self.results)
 
     @property
+    def mask_seconds(self) -> float:
+        """Total liveness-masking wall clock across the batch."""
+        return sum(r.mask_seconds for r in self.results)
+
+    @property
     def refine_seconds(self) -> float:
         """Total refine-phase wall clock across the batch."""
         return sum(r.refine_seconds for r in self.results)
+
+    @property
+    def refine_kernel_seconds(self) -> float:
+        """Total refine-engine kernel wall clock across the batch."""
+        return sum(r.refine_kernel_seconds for r in self.results)
+
+    @property
+    def refine_engines(self) -> tuple[str, ...]:
+        """Distinct refine-engine names across the batch (usually one)."""
+        return tuple(
+            sorted({r.refine_engine for r in self.results if r.refine_engine})
+        )
 
     @property
     def total_seconds(self) -> float:
@@ -431,7 +473,17 @@ class SearchResultBatch:
 
     @property
     def qps(self) -> float:
-        """Single-thread throughput implied by the mean latency."""
+        """Observed batch throughput.
+
+        Prefers the executor-measured ``wall_seconds`` (queries may have
+        run concurrently); falls back to the single-thread throughput
+        implied by the mean per-query latency when no wall clock was
+        recorded.
+        """
+        if self.wall_seconds is not None:
+            if self.wall_seconds <= 0:
+                return float("inf")
+            return len(self.results) / self.wall_seconds
         mean = self.mean_seconds
         if mean <= 0:
             return float("inf")

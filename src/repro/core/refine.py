@@ -1,0 +1,328 @@
+"""Pluggable refine-phase execution engines (Algorithm 2, lines 2-9).
+
+The refine phase selects the top-k of the filter phase's k' candidates
+using only DCE ``DistanceComp`` outcomes.  The paper analyses it as
+``O(d k' log k)`` comparisons per query — and the straightforward
+implementation pays a full interpreter round trip into
+:func:`repro.core.dce.distance_comp` for every one of them, which is
+what dominated the server's wall clock before this module existed.
+
+Two engines implement the same contract behind the
+:class:`RefineEngine` protocol:
+
+* :class:`HeapRefineEngine` (``"heap"``) — the oracle-faithful
+  reference: a k-bounded :class:`~repro.hnsw.heap.ComparisonMaxHeap`
+  whose every comparison is one scalar ``DistanceComp`` call, exactly
+  as the paper's server would evaluate it.  ``comparisons`` counts real
+  oracle invocations.
+* :class:`VectorizedRefineEngine` (``"vectorized"``, the default) —
+  gathers the candidates' ``C_DCE`` rows once into contiguous role
+  matrices (the same algebraic regrouping
+  :func:`repro.core.dce.distance_comp_many` batches on), then replays
+  the exact comparison-heap algorithm, answering each run of
+  reject-against-the-current-top decisions with **one** batched
+  pivot-vs-candidates sign kernel and the heap-maintenance comparisons
+  with scalar products over the precomputed operands.  The replay makes
+  the returned ids — order included — bit-identical to the heap engine
+  (property-tested in ``tests/strategies/test_refine_properties.py``),
+  and its decision count is reported in ``comparisons`` as the
+  equivalent-oracle-call estimate.  With the filter handing candidates
+  over nearest-first (the serving path), the whole post-fill tail is a
+  single BLAS matvec (``benchmarks/bench_refine_engines.py`` records
+  ≥3x over the heap engine at serving-path sizes).
+
+Both engines consume the candidate ids as the ``np.int64`` array the
+filter phase produces — no per-element boxing into Python ints.
+
+Engines are looked up by name through :func:`get_refine_engine`; the
+knob threads through :class:`~repro.core.roles.CloudServer`,
+:class:`~repro.core.scheme.PPANNS`, ``repro.core.search.execute_batch``
+and the CLI's ``--refine-engine`` flag.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.dce import DCEEncryptedDatabase, DCETrapdoor, distance_comp
+from repro.core.errors import (
+    DimensionMismatchError,
+    KeyMismatchError,
+    ParameterError,
+)
+from repro.hnsw.heap import ComparisonMaxHeap
+
+__all__ = [
+    "DEFAULT_REFINE_ENGINE",
+    "REFINE_ENGINES",
+    "RefineEngine",
+    "RefineOutcome",
+    "HeapRefineEngine",
+    "VectorizedRefineEngine",
+    "available_refine_engines",
+    "get_refine_engine",
+]
+
+
+@dataclass(frozen=True)
+class RefineOutcome:
+    """What a refine engine returns for one query.
+
+    Attributes
+    ----------
+    ids:
+        The selected top-k candidate ids (``np.int64``), in the heap
+        order both engines share.
+    comparisons:
+        Comparison-oracle decisions taken.  For the heap engine these
+        are real ``DistanceComp`` calls; for the vectorized engine the
+        same count is the equivalent-oracle-call estimate (the batched
+        kernel answered them all up front).
+    kernel_seconds:
+        Wall clock spent inside batched numeric kernels (candidate
+        gather + batched comparison scans).  Zero for the scalar heap
+        engine.
+    """
+
+    ids: np.ndarray
+    comparisons: int
+    kernel_seconds: float = 0.0
+
+
+@runtime_checkable
+class RefineEngine(Protocol):
+    """The refine-phase contract: comparison-only top-k over candidates."""
+
+    name: str
+
+    def refine(
+        self,
+        dce: DCEEncryptedDatabase,
+        trapdoor: DCETrapdoor,
+        candidate_ids: np.ndarray,
+        k: int,
+    ) -> RefineOutcome:
+        """Select the top-``k`` of ``candidate_ids`` by DCE comparisons."""
+        ...
+
+
+def _as_id_array(candidate_ids: np.ndarray) -> np.ndarray:
+    """The candidate ids as a 1-D ``int64`` array (no Python-int boxing)."""
+    ids = np.asarray(candidate_ids, dtype=np.int64)
+    if ids.ndim != 1:
+        raise ParameterError(
+            f"candidate ids must be a 1-D array, got shape {ids.shape}"
+        )
+    return ids
+
+
+class HeapRefineEngine:
+    """The oracle-faithful reference: one ``DistanceComp`` per decision.
+
+    Every heap comparison is a scalar call into
+    :func:`repro.core.dce.distance_comp` — exactly the access pattern
+    the paper's server performs, which keeps its ``comparisons`` count a
+    ground-truth oracle-call tally for the cost-model benchmarks.
+    """
+
+    name = "heap"
+
+    def refine(
+        self,
+        dce: DCEEncryptedDatabase,
+        trapdoor: DCETrapdoor,
+        candidate_ids: np.ndarray,
+        k: int,
+    ) -> RefineOutcome:
+        """Algorithm 2 lines 2-9, comparison by comparison."""
+        ids = _as_id_array(candidate_ids)
+
+        def is_farther(a: np.int64, b: np.int64) -> bool:
+            return distance_comp(dce[a], dce[b], trapdoor) >= 0.0
+
+        heap = ComparisonMaxHeap(k, is_farther)
+        for candidate in ids:
+            heap.offer(candidate)
+        return RefineOutcome(
+            ids=np.array(heap.items(), dtype=np.int64),
+            comparisons=heap.oracle_calls,
+        )
+
+
+class VectorizedRefineEngine:
+    """Batched pivot-vs-candidate comparisons, heap-faithful selection.
+
+    The engine gathers the candidates' two *p*-role ``C_DCE`` rows once
+    into one flat ``(m, 2(2d+16))`` matrix, so a pivot-vs-candidates
+    batch is a single elementwise product with the pivot's *o*-role
+    rows and one matvec against the doubled trapdoor ``[t, -t]`` — the
+    same algebraic regrouping
+    :func:`repro.core.dce.distance_comp_many` batches on, with no
+    per-comparison ciphertext objects.
+
+    It then replays Algorithm 2's heap **exactly**, but exploits its
+    access pattern: once the heap is full, every candidate is first
+    judged against the current heap top, and the top only changes when
+    a candidate is accepted.  All consecutive rejections against one
+    top are therefore a single batched *pivot-vs-candidates* sign
+    kernel — one BLAS matvec per heap change instead of one interpreter
+    round trip per candidate.  With the filter handing candidates over
+    nearest-first (the serving path), the k nearest fill the heap first
+    and the entire tail collapses into one matvec.  The remaining heap
+    bookkeeping (fill-phase sift-ups, post-accept sift-downs) evaluates
+    the identical scalar products, so the returned ids — order included
+    — are bit-identical to :class:`HeapRefineEngine` whenever batched
+    and scalar kernels agree on every comparison sign, which they do
+    except for floating-point knife edges far below DCE's own
+    encryption noise (property-tested, ties included).
+
+    ``comparisons`` counts exactly the decisions the serial heap would
+    have made (scanned rejections + heap maintenance) — the
+    equivalent-oracle-call estimate.
+    """
+
+    name = "vectorized"
+
+    #: Suspicion threshold for batched reductions, as a multiple of the
+    #: per-row Cauchy-Schwarz bound ``||combined_row|| * ||t||`` (an
+    #: upper bound on ``sum_j |combined_j * t_j|``).  Reordering a
+    #: D-term float64 summation moves the result by at most about
+    #: ``2 D eps`` of that bound (~2.4e-13 at D = 2d+16); entries within
+    #: the far-larger threshold are re-reduced with the scalar oracle's
+    #: exact ``ddot``, so a batched sign can never silently differ.
+    _SUSPICION = 1e-9
+
+    def refine(
+        self,
+        dce: DCEEncryptedDatabase,
+        trapdoor: DCETrapdoor,
+        candidate_ids: np.ndarray,
+        k: int,
+    ) -> RefineOutcome:
+        """Algorithm 2 lines 2-9 with batched rejection scans."""
+        ids = _as_id_array(candidate_ids)
+        m = int(ids.shape[0])
+        if m == 0:
+            # Parity with the heap engine: an empty refine performs no
+            # comparisons, so it cannot observe a key mismatch either
+            # (the protocol layer key-checks every request up front).
+            return RefineOutcome(ids=ids, comparisons=0)
+        components = dce.components
+        width = int(components.shape[2])
+        vector = trapdoor.vector
+        if m >= 2:
+            # The scalar engine only observes a bad trapdoor on its
+            # first comparison, and with >= 2 candidates at least one
+            # comparison always happens; with fewer it performs none,
+            # so neither engine raises then.
+            if trapdoor.key_id != dce.key_id:
+                raise KeyMismatchError(
+                    "ciphertexts and trapdoor come from different keys"
+                )
+            if vector.shape[0] != width:
+                raise DimensionMismatchError(
+                    int(vector.shape[0]), width, what="DCE ciphertext"
+                )
+        kernel_start = time.perf_counter()
+        # One contiguous gather of both p-role rows per candidate, laid
+        # out flat as (m, 2 * width) so each scan batch is a single
+        # elementwise product plus one matvec.  The o-role rows are only
+        # ever needed for items that reach the heap (~k + accepts of
+        # them), and those are zero-copy views into C_DCE.
+        p_rows = components[ids, 2:4].reshape(m, 2 * width)
+        doubled = np.concatenate([vector, -vector])
+        doubled_norm = float(np.sqrt(doubled @ doubled))
+        # Per-candidate magnitude for the reduction-error bounds below.
+        p_norms = np.sqrt(np.einsum("ij,ij->i", p_rows, p_rows))
+        kernel_seconds = time.perf_counter() - kernel_start
+
+        def exact_z(a: int, b: int) -> float:
+            # Bit-identical to distance_comp(dce[ids[a]], dce[ids[b]], t):
+            # same elementwise expression, same 1-D ddot reduction.
+            o = components[ids[a]]
+            row = p_rows[b]
+            return float((o[0] * row[:width] - o[1] * row[width:]) @ vector)
+
+        heap = ComparisonMaxHeap(k, lambda a, b: exact_z(a, b) >= 0.0)
+        offered = 0
+        while offered < m and not heap.is_full():
+            heap.offer(offered)
+            offered += 1
+        scanned = 0
+        while offered < m:
+            top = heap.top()
+            scan_start = time.perf_counter()
+            # Batched pivot-vs-candidates scan: fold the pivot's o-role
+            # rows into one weight vector, one product, one matvec.  The
+            # batched value may differ from the scalar oracle's only by
+            # product association and summation order, which moves it by
+            # at most ~2 D eps of the Cauchy-Schwarz bound below — any
+            # entry within the far-larger suspicion threshold is
+            # re-reduced with the exact per-pair expression before its
+            # sign is trusted, so a batched sign never silently diverges.
+            o = components[ids[top]]
+            weights = np.concatenate([o[0], o[1]])
+            products = p_rows[offered:] * weights
+            tail_z = products @ doubled
+            threshold = (
+                self._SUSPICION * doubled_norm * float(np.abs(weights).max())
+            ) * p_norms[offered:]
+            suspicious = np.abs(tail_z) <= threshold
+            if suspicious.any():
+                for row in np.nonzero(suspicious)[0]:
+                    tail_z[row] = exact_z(top, offered + int(row))
+            kernel_seconds += time.perf_counter() - scan_start
+            accept_mask = tail_z >= 0.0
+            first = int(np.argmax(accept_mask))
+            if not accept_mask[first]:
+                scanned += int(tail_z.shape[0])
+                break
+            scanned += first + 1
+            heap.replace_top(offered + first)
+            offered += first + 1
+        return RefineOutcome(
+            ids=ids[heap.items()],
+            comparisons=heap.oracle_calls + scanned,
+            kernel_seconds=kernel_seconds,
+        )
+
+
+#: Registered refine engines by name.
+REFINE_ENGINES: dict[str, RefineEngine] = {
+    HeapRefineEngine.name: HeapRefineEngine(),
+    VectorizedRefineEngine.name: VectorizedRefineEngine(),
+}
+
+#: The serving default: the batched kernel (bit-identical to ``heap``).
+DEFAULT_REFINE_ENGINE = VectorizedRefineEngine.name
+
+
+def available_refine_engines() -> tuple[str, ...]:
+    """Registered engine names, stable order (reference first)."""
+    return tuple(REFINE_ENGINES)
+
+
+def get_refine_engine(engine: "str | RefineEngine | None") -> RefineEngine:
+    """Resolve an engine name (or pass an instance through).
+
+    ``None`` resolves to :data:`DEFAULT_REFINE_ENGINE`.
+    """
+    if engine is None:
+        return REFINE_ENGINES[DEFAULT_REFINE_ENGINE]
+    if isinstance(engine, str):
+        try:
+            return REFINE_ENGINES[engine]
+        except KeyError:
+            raise ParameterError(
+                f"unknown refine engine {engine!r}; "
+                f"available: {', '.join(available_refine_engines())}"
+            ) from None
+    if isinstance(engine, RefineEngine):
+        return engine
+    raise ParameterError(
+        f"refine engine must be a name or RefineEngine, got {type(engine)!r}"
+    )

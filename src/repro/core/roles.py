@@ -36,6 +36,7 @@ from repro.core.protocol import (
     SearchResult,
     SearchResultBatch,
 )
+from repro.core.refine import RefineEngine, get_refine_engine
 from repro.core.search import execute_batch, filter_and_refine, filter_only
 from repro.core.sharding import (
     SHARD_STRATEGIES,
@@ -314,17 +315,24 @@ class CloudServer:
         makes ``answer`` scatter-gather the filter phase across shards.
     default_ratio_k:
         ``k' = ratio_k * k`` used when a query doesn't specify ``k'``.
+    refine_engine:
+        Refine-stage engine for the full pipeline: an engine name
+        (``"heap"`` / ``"vectorized"``) or instance; ``None`` selects
+        :data:`repro.core.refine.DEFAULT_REFINE_ENGINE`.  Per-call
+        overrides on :meth:`answer` take precedence.
     """
 
     def __init__(
         self,
         index: "EncryptedIndex | ShardedEncryptedIndex",
         default_ratio_k: int = 8,
+        refine_engine: "str | RefineEngine | None" = None,
     ) -> None:
         if default_ratio_k < 1:
             raise ParameterError(f"ratio_k must be >= 1, got {default_ratio_k}")
         self._index = index
         self._default_ratio_k = default_ratio_k
+        self._refine_engine = get_refine_engine(refine_engine)
 
     @property
     def index(self) -> "EncryptedIndex | ShardedEncryptedIndex":
@@ -335,6 +343,11 @@ class CloudServer:
     def default_ratio_k(self) -> int:
         """Default ``k'/k`` multiplier."""
         return self._default_ratio_k
+
+    @property
+    def refine_engine(self) -> str:
+        """Name of the server's default refine engine."""
+        return self._refine_engine.name
 
     def _default_ratio_for(self, mode: str) -> int:
         """Default ``k'/k`` by mode.
@@ -350,13 +363,26 @@ class CloudServer:
         query: EncryptedQuery | EncryptedQueryBatch,
         ratio_k: int | None = None,
         ef_search: int | None = None,
+        refine_engine: "str | RefineEngine | None" = None,
     ) -> SearchResult | SearchResultBatch:
         """Run Algorithm 2 for one encrypted query or a whole batch.
 
-        A batch answer amortizes parameter resolution, the key check and
-        liveness filtering across queries; its results are element-wise
-        identical to answering each query individually.
+        A batch fans out over the shared worker pool and amortizes
+        parameter resolution, the key check and liveness filtering
+        across queries; its results are element-wise identical to
+        answering each query individually.  ``refine_engine`` overrides
+        the server's configured engine for this call.
         """
+        if refine_engine is not None and query.request.mode == "filter_only":
+            raise ParameterError(
+                "refine_engine has no effect on a filter_only request "
+                "(the refine phase is skipped entirely)"
+            )
+        engine = (
+            self._refine_engine
+            if refine_engine is None
+            else get_refine_engine(refine_engine)
+        )
         if isinstance(query, EncryptedQueryBatch):
             return execute_batch(
                 self._index,
@@ -364,6 +390,7 @@ class CloudServer:
                 default_ratio_k=self._default_ratio_for(query.request.mode),
                 ratio_k=ratio_k,
                 ef_search=ef_search,
+                refine_engine=engine,
             )
         request = query.request.resolve(
             self._default_ratio_for(query.request.mode),
@@ -382,6 +409,7 @@ class CloudServer:
             query,
             k_prime=request.k_prime,
             ef_search=request.ef_search,
+            refine_engine=engine,
         )
 
     def answer_filter_only(

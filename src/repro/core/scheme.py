@@ -54,6 +54,10 @@ class PPANNS:
         Shard-assignment strategy (``round_robin`` or ``hash``).
     default_ratio_k:
         Default ``k'/k`` for queries.
+    refine_engine:
+        Refine-stage engine the server runs (``"heap"`` or
+        ``"vectorized"``; ``None`` selects the default — see
+        :mod:`repro.core.refine`).
     rng:
         Randomness for every component.
     """
@@ -69,6 +73,7 @@ class PPANNS:
         shards: int | None = None,
         shard_strategy: str = "round_robin",
         default_ratio_k: int = 8,
+        refine_engine: str | None = None,
         rng: np.random.Generator | None = None,
     ) -> None:
         rng = rng if rng is not None else np.random.default_rng()
@@ -86,6 +91,7 @@ class PPANNS:
         self._user = QueryUser(self._owner.authorize_user(), rng=rng)
         self._server: CloudServer | None = None
         self._default_ratio_k = default_ratio_k
+        self._refine_engine = refine_engine
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -114,7 +120,11 @@ class PPANNS:
     def fit(self, vectors: np.ndarray) -> "PPANNS":
         """Encrypt ``vectors`` and outsource the index to the server."""
         index = self._owner.build_index(vectors)
-        self._server = CloudServer(index, default_ratio_k=self._default_ratio_k)
+        self._server = CloudServer(
+            index,
+            default_ratio_k=self._default_ratio_k,
+            refine_engine=self._refine_engine,
+        )
         return self
 
     # -- querying -------------------------------------------------------------------

@@ -2,15 +2,20 @@
 
 Given the encrypted query pair — the DCPE ciphertext ``C_SAP(q)`` for the
 filter phase and the DCE trapdoor ``T_q`` for the refine phase — the
-server:
+server runs a staged execution pipeline per query:
 
 * **filter**: runs k'-ANNS (``k' = ratio_k * k > k``) on the filter
   backend over ``C_SAP``, using ordinary Euclidean distances on DCPE
   ciphertexts (same cost as plaintext distances), yielding high-quality
   candidates;
-* **refine**: maintains a k-bounded max-heap ordered *only* by DCE
-  ``DistanceComp`` outcomes, offering each candidate in turn; O(log k)
-  comparisons per offer, each comparison O(d).
+* **mask**: drops tombstoned candidates against the batch's liveness
+  mask (timed separately as ``mask_seconds`` so per-stage timings sum
+  to the total);
+* **refine**: selects the top-k by DCE ``DistanceComp`` outcomes alone,
+  through a pluggable :class:`~repro.core.refine.RefineEngine` — the
+  ``heap`` reference (one scalar oracle call per comparison, O(log k)
+  per candidate) or the default ``vectorized`` engine (one contiguous
+  ``C_DCE`` gather + batched sign kernels, bit-identical ids).
 
 Total server cost: ``O(d (log n + k' log k))`` per query (Section V-C).
 
@@ -19,9 +24,13 @@ bounds the filter phase's candidate quality (Figure 4).
 
 The batch entry point is :func:`execute_batch`: parameter resolution,
 the key check, and liveness-mask construction happen once per batch, and
-each query then runs the shared single-query engine.  The seed-era
-:func:`filter_and_refine` / :func:`filter_only` signatures remain as thin
-wrappers over the same engine.
+the queries then **fan out over the shared worker pool**
+(:mod:`repro.core.executor`) — numpy's distance and DCE kernels release
+the GIL, so independent queries overlap on multi-core hosts.  Results
+come back in query order and a failing query neither kills nor reorders
+its siblings (the first failure by query position is re-raised after the
+gather).  The seed-era :func:`filter_and_refine` / :func:`filter_only`
+signatures remain as thin wrappers over the same engine.
 
 The engine is index-shape agnostic: it calls ``index.filter_search``, so
 a monolithic :class:`~repro.core.index.EncryptedIndex` answers from its
@@ -38,8 +47,9 @@ import time
 
 import numpy as np
 
-from repro.core.dce import DCEEncryptedDatabase, DCETrapdoor, distance_comp
+from repro.core.dce import DCETrapdoor
 from repro.core.errors import KeyMismatchError, ParameterError
+from repro.core.executor import map_ordered
 from repro.core.index import EncryptedIndex
 from repro.core.protocol import (
     EncryptedQuery,
@@ -50,9 +60,9 @@ from repro.core.protocol import (
     SearchResultBatch,
     resolve_ef_search,
 )
+from repro.core.refine import RefineEngine, get_refine_engine
 from repro.core.sharding import ShardedEncryptedIndex
 from repro.hnsw.graph import SearchStats
-from repro.hnsw.heap import ComparisonMaxHeap
 
 __all__ = [
     "EncryptedQuery",
@@ -67,23 +77,6 @@ __all__ = [
 ]
 
 
-def _refine(
-    dce: DCEEncryptedDatabase,
-    trapdoor: DCETrapdoor,
-    candidates: list[int],
-    k: int,
-) -> tuple[np.ndarray, int]:
-    """Algorithm 2 lines 2-9: comparison-only top-k over the candidates."""
-
-    def is_farther(a: int, b: int) -> bool:
-        return distance_comp(dce[a], dce[b], trapdoor) >= 0.0
-
-    heap = ComparisonMaxHeap(k, is_farther)
-    for candidate in candidates:
-        heap.offer(candidate)
-    return np.array(heap.items(), dtype=np.int64), heap.oracle_calls
-
-
 def _run_single(
     index: "EncryptedIndex | ShardedEncryptedIndex",
     sap_vector: np.ndarray,
@@ -91,19 +84,24 @@ def _run_single(
     request: SearchRequest,
     k_prime: int,
     live_mask: np.ndarray,
+    engine: RefineEngine,
 ) -> SearchResult:
-    """One query through the shared engine; parameters are pre-resolved."""
+    """One query through the staged pipeline; parameters are pre-resolved."""
     ef_search = resolve_ef_search(request.ef_search, k_prime)
 
-    # -- filter phase (Line 1; scatter-gather when the index is sharded) -------
+    # -- filter stage (Line 1; scatter-gather when the index is sharded) -------
     stats = SearchStats()
     start = time.perf_counter()
     candidate_ids, _, shard_timings = index.filter_search(
         sap_vector, k_prime, ef_search=ef_search, stats=stats
     )
+    filter_seconds = time.perf_counter() - start
+
+    # -- mask stage (tombstone liveness; timed apart from the filter) ----------
+    start = time.perf_counter()
     if candidate_ids.shape[0]:
         candidate_ids = candidate_ids[live_mask[candidate_ids]]
-    filter_seconds = time.perf_counter() - start
+    mask_seconds = time.perf_counter() - start
 
     if request.mode == "filter_only":
         return SearchResult(
@@ -112,26 +110,25 @@ def _run_single(
             refine_comparisons=0,
             k_prime=k_prime,
             filter_seconds=filter_seconds,
+            mask_seconds=mask_seconds,
             request=request,
             shard_timings=shard_timings,
         )
 
-    # -- refine phase (Lines 2-9; always global, over the merged candidates) ---
+    # -- refine stage (Lines 2-9; always global, over the merged candidates) ---
     start = time.perf_counter()
-    ids, comparisons = _refine(
-        index.dce_database,
-        trapdoor,
-        [int(i) for i in candidate_ids],
-        request.k,
-    )
+    outcome = engine.refine(index.dce_database, trapdoor, candidate_ids, request.k)
     refine_seconds = time.perf_counter() - start
     return SearchResult(
-        ids=ids,
+        ids=outcome.ids,
         filter_stats=stats,
-        refine_comparisons=comparisons,
+        refine_comparisons=outcome.comparisons,
         k_prime=k_prime,
         filter_seconds=filter_seconds,
+        mask_seconds=mask_seconds,
         refine_seconds=refine_seconds,
+        refine_engine=engine.name,
+        refine_kernel_seconds=outcome.kernel_seconds,
         request=request,
         shard_timings=shard_timings,
     )
@@ -154,15 +151,29 @@ def execute_batch(
     ratio_k: int | None = None,
     ef_search: int | None = None,
     mode: str | None = None,
+    refine_engine: "str | RefineEngine | None" = None,
 ) -> SearchResultBatch:
-    """Answer a whole encrypted batch through one amortized pass.
+    """Answer a whole encrypted batch through one pipelined, amortized pass.
 
     Parameter resolution, the trapdoor key check, and the liveness mask
-    are computed once; each query then runs Algorithm 2 against the
-    shared state.  Results are element-wise identical to answering the
-    batch's queries one at a time.
+    are computed once; the queries then run Algorithm 2 concurrently on
+    the shared worker pool (:func:`repro.core.executor.map_ordered`),
+    with results gathered in query order.  Per-query error isolation:
+    every query runs to completion even if a sibling raises, and the
+    first failure by query position is re-raised after the gather.
+    Results are element-wise identical to answering the batch's queries
+    one at a time.
+
+    ``refine_engine`` selects the refine-stage implementation by name
+    (``"heap"`` or ``"vectorized"``); ``None`` uses the default
+    (:data:`repro.core.refine.DEFAULT_REFINE_ENGINE`).
+
+    The returned batch records the fan-out's start-to-finish wall clock
+    in ``wall_seconds``; the per-query stage timings are thread-local
+    and can sum to more than that when queries overlap.
     """
     _check_query_dim(index, batch.sap_vectors, "query batch")
+    engine = get_refine_engine(refine_engine)
     request = batch.request.resolve(
         default_ratio_k, ratio_k=ratio_k, ef_search=ef_search, mode=mode
     )
@@ -177,18 +188,22 @@ def execute_batch(
             raise KeyMismatchError("query trapdoors do not match the index's DCE key")
     live_mask = index.live_mask()
     key_id = batch.key_id
-    results = [
-        _run_single(
+
+    def run_query(i: int) -> SearchResult:
+        return _run_single(
             index,
             batch.sap_vectors[i],
             DCETrapdoor(batch.trapdoor_vectors[i], key_id),
             request,
             k_prime,
             live_mask,
+            engine,
         )
-        for i in range(len(batch))
-    ]
-    return SearchResultBatch(results, request=request)
+
+    fanout_start = time.perf_counter()
+    results = map_ordered(run_query, range(len(batch)))
+    wall_seconds = time.perf_counter() - fanout_start
+    return SearchResultBatch(results, request=request, wall_seconds=wall_seconds)
 
 
 def filter_only(
@@ -209,7 +224,13 @@ def filter_only(
     _check_query_dim(index, query.sap_vector, "query")
     request = SearchRequest(k=query.k, ef_search=ef_search, mode="filter_only")
     return _run_single(
-        index, query.sap_vector, query.trapdoor, request, k_prime, index.live_mask()
+        index,
+        query.sap_vector,
+        query.trapdoor,
+        request,
+        k_prime,
+        index.live_mask(),
+        get_refine_engine(None),
     )
 
 
@@ -218,6 +239,7 @@ def filter_and_refine(
     query: EncryptedQuery,
     k_prime: int,
     ef_search: int | None = None,
+    refine_engine: "str | RefineEngine | None" = None,
 ) -> SearchResult:
     """Algorithm 2: k'-ANNS filter on the encrypted backend, DCE refine.
 
@@ -233,6 +255,9 @@ def filter_and_refine(
     ef_search:
         Filter-phase beam width; values below ``k'`` are raised to ``k'``
         (see :func:`repro.core.protocol.resolve_ef_search`).
+    refine_engine:
+        Refine-stage engine name or instance (``None`` = the default
+        ``vectorized`` engine; see :mod:`repro.core.refine`).
 
     Returns
     -------
@@ -251,5 +276,11 @@ def filter_and_refine(
         raise KeyMismatchError("query trapdoor does not match the index's DCE key")
     request = SearchRequest(k=query.k, ef_search=ef_search, mode="full")
     return _run_single(
-        index, query.sap_vector, query.trapdoor, request, k_prime, index.live_mask()
+        index,
+        query.sap_vector,
+        query.trapdoor,
+        request,
+        k_prime,
+        index.live_mask(),
+        get_refine_engine(refine_engine),
     )

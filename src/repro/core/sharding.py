@@ -8,8 +8,8 @@ own :class:`~repro.core.backends.FilterBackend` over its slice of the
 DCPE ciphertexts — and answers the filter phase by **scatter-gather**:
 
 * **scatter** — the query's DCPE ciphertext fans out to every shard
-  (a :class:`~concurrent.futures.ThreadPoolExecutor`; numpy kernels
-  release the GIL, so shards overlap on multi-core hosts);
+  (the process-wide worker pool of :mod:`repro.core.executor`; numpy
+  kernels release the GIL, so shards overlap on multi-core hosts);
 * **gather** — per-shard candidate heaps come back as ``(global id,
   approximate distance)`` pairs and are merged into one global top-k'
   by distance (ties broken by id);
@@ -29,16 +29,14 @@ Global ids stay the single currency of the system: vector ``i`` is row
 
 from __future__ import annotations
 
-import os
-import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from repro.core.backends import FilterBackend, build_backend
 from repro.core.dce import DCEEncryptedDatabase
 from repro.core.errors import CiphertextFormatError, ParameterError
+from repro.core.executor import map_ordered
 from repro.core.index import IndexSizeReport
 from repro.core.protocol import ShardTiming
 from repro.hnsw.graph import SearchStats
@@ -106,32 +104,12 @@ def assign_shards(num_vectors: int, num_shards: int, strategy: str) -> np.ndarra
     )
 
 
-# -- the scatter pool ----------------------------------------------------------
-#
-# One process-wide executor shared by every sharded index; per-index
-# pools would leak idle threads across the many short-lived indexes
-# built by tests and sweeps.  The pool is created once and never resized
-# or shut down — a resize would have to retire the old executor while
-# another thread may still be scatter-mapping on it.  Parallelism beyond
-# the core count buys nothing for CPU-bound distance kernels, so the
-# fixed size is not a bottleneck: with more shards than workers the
-# extra shard scans simply queue.
-
-_MAX_WORKERS = 32
-_pool_lock = threading.Lock()
-_pool: ThreadPoolExecutor | None = None
-
-
-def _scatter_pool() -> ThreadPoolExecutor:
-    """The shared scatter executor (created once, sized to the host)."""
-    global _pool
-    with _pool_lock:
-        if _pool is None:
-            _pool = ThreadPoolExecutor(
-                max_workers=min(_MAX_WORKERS, max(4, os.cpu_count() or 1)),
-                thread_name_prefix="repro-shard",
-            )
-        return _pool
+# The scatter step draws from the process-wide worker pool in
+# repro.core.executor — the same pool the pipelined batch executor fans
+# queries out on.  map_ordered keeps the gather deterministic and runs
+# the scatter inline when the caller is already a pool worker (a batch
+# query scattering from inside the batch fan-out), so nesting the two
+# parallel layers can never deadlock the bounded pool.
 
 
 class Shard:
@@ -348,20 +326,10 @@ class ShardedEncryptedIndex:
         nearest-first.
         """
         shard_stats = [SearchStats() for _ in self._shards]
-        if len(self._shards) == 1:
-            outcomes = [
-                self._shards[0].search(sap_query, k_prime, ef_search, shard_stats[0])
-            ]
-        else:
-            pool = _scatter_pool()
-            outcomes = list(
-                pool.map(
-                    lambda pair: pair[0].search(
-                        sap_query, k_prime, ef_search, pair[1]
-                    ),
-                    zip(self._shards, shard_stats),
-                )
-            )
+        outcomes = map_ordered(
+            lambda pair: pair[0].search(sap_query, k_prime, ef_search, pair[1]),
+            zip(self._shards, shard_stats),
+        )
         if stats is not None:
             for local in shard_stats:
                 stats.merge(local)

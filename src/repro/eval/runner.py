@@ -11,6 +11,10 @@ reporting helpers consume.
 shard count of the scatter-gather serving layer
 (:mod:`repro.core.sharding`), reporting filter-phase latency per shard
 count so ``benchmarks/bench_sharding.py`` can plot the scaling curve.
+:func:`sweep_refine_engine` does the same for the refine stage's
+pluggable engines (:mod:`repro.core.refine`): one curve per engine over
+a shared ``ef_search`` grid, so the heap-vs-vectorized latency gap is
+visible at every operating point.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ __all__ = [
     "sweep_ppanns",
     "sweep_filter_only",
     "sweep_shards",
+    "sweep_refine_engine",
     "ground_truth",
 ]
 
@@ -180,6 +185,49 @@ def sweep_shards(
         label=label if label is not None else f"sharded({backend})",
         points=tuple(points),
     )
+
+
+def sweep_refine_engine(
+    scheme: PPANNS,
+    queries: np.ndarray,
+    truth: list[np.ndarray],
+    k: int,
+    ratio_k: int,
+    ef_grid: tuple[int, ...],
+    engines: tuple[str, ...] = ("heap", "vectorized"),
+) -> list[MethodCurve]:
+    """One recall/latency curve per refine engine over a shared ef grid.
+
+    Both engines answer the *same* encrypted batch at every grid point
+    (the engine is a per-call server override), so the curves differ
+    only in refine-stage implementation; recalls coincide because the
+    vectorized engine is bit-identical to the heap reference.
+    """
+    if len(truth) != len(queries):
+        raise ParameterError("truth list does not match query count")
+    encrypted = scheme.user.encrypt_queries(queries, k)
+    curves = []
+    for engine in engines:
+        points = []
+        for ef in ef_grid:
+            start = time.perf_counter()
+            results = scheme.server.answer(
+                encrypted, ratio_k=ratio_k, ef_search=ef, refine_engine=engine
+            )
+            elapsed = time.perf_counter() - start
+            recalls = [
+                recall_at_k(result.ids, query_truth, k)
+                for result, query_truth in zip(results, truth)
+            ]
+            points.append(
+                CurvePoint(
+                    parameter=float(ef),
+                    recall=float(np.mean(recalls)),
+                    mean_latency_seconds=elapsed / len(queries),
+                )
+            )
+        curves.append(MethodCurve(label=f"refine={engine}", points=tuple(points)))
+    return curves
 
 
 def sweep_filter_only(

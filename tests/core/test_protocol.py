@@ -128,18 +128,38 @@ class TestSearchResultBatch:
             refine_comparisons=comparisons,
             k_prime=8,
             filter_seconds=seconds,
+            mask_seconds=seconds / 10,
             refine_seconds=seconds,
+            refine_engine="vectorized",
+            refine_kernel_seconds=seconds / 4,
         )
 
     def test_aggregates(self):
         batch = SearchResultBatch([self._result([1, 2]), self._result([3, 4])])
         assert len(batch) == 2
-        assert batch.total_seconds == pytest.approx(2.0)
-        assert batch.mean_seconds == pytest.approx(1.0)
+        assert batch.total_seconds == pytest.approx(2.1)
+        assert batch.mean_seconds == pytest.approx(1.05)
         assert batch.refine_comparisons == 6
         assert batch.filter_stats.distance_computations == 20
         assert batch.filter_stats.hops == 4
         assert batch.download_bytes() == 16
+
+    def test_stage_timing_aggregates(self):
+        batch = SearchResultBatch([self._result([1, 2]), self._result([3, 4])])
+        assert batch.filter_seconds == pytest.approx(1.0)
+        assert batch.mask_seconds == pytest.approx(0.1)
+        assert batch.refine_seconds == pytest.approx(1.0)
+        assert batch.refine_kernel_seconds == pytest.approx(0.25)
+        assert batch.total_seconds == pytest.approx(
+            batch.filter_seconds + batch.mask_seconds + batch.refine_seconds
+        )
+        assert batch.refine_engines == ("vectorized",)
+
+    def test_refine_engines_empty_for_filter_only(self):
+        result = SearchResult(ids=np.array([1], dtype=np.int64))
+        batch = SearchResultBatch([result])
+        assert batch.refine_engines == ()
+        assert batch.refine_kernel_seconds == 0.0
 
     def test_ids_matrix_pads_short_rows(self):
         batch = SearchResultBatch([self._result([1, 2, 3]), self._result([4])])

@@ -97,6 +97,44 @@ class TestCloudServer:
         assert report.ids.shape[0] == 5
         assert report.refine_comparisons == 0
 
+    def test_default_refine_engine(self, actors):
+        _, user, server, vectors = actors
+        assert server.refine_engine == "vectorized"
+        report = server.answer(user.encrypt_query(vectors[0], 5))
+        assert report.refine_engine == "vectorized"
+
+    def test_configured_refine_engine(self, actors):
+        _, user, server, vectors = actors
+        heap_server = CloudServer(server.index, refine_engine="heap")
+        assert heap_server.refine_engine == "heap"
+        report = heap_server.answer(user.encrypt_query(vectors[0], 5))
+        assert report.refine_engine == "heap"
+        assert report.refine_kernel_seconds == 0.0
+
+    def test_refine_engine_per_call_override(self, actors):
+        _, user, server, vectors = actors
+        batch = user.encrypt_queries(vectors[:4] + 0.01, 5)
+        default = server.answer(batch)
+        overridden = server.answer(batch, refine_engine="heap")
+        assert default.refine_engines == ("vectorized",)
+        assert overridden.refine_engines == ("heap",)
+        # The engines are bit-identical, so the answers agree exactly.
+        assert np.array_equal(default.ids_matrix(), overridden.ids_matrix())
+        assert default.refine_comparisons == overridden.refine_comparisons
+
+    def test_unknown_refine_engine_rejected(self, actors):
+        _, _, server, _ = actors
+        with pytest.raises(ParameterError):
+            CloudServer(server.index, refine_engine="quantum")
+
+    def test_refine_engine_override_rejected_for_filter_only(self, actors):
+        _, user, server, vectors = actors
+        batch = user.encrypt_queries(vectors[:2], 5, mode="filter_only")
+        with pytest.raises(ParameterError, match="filter_only"):
+            server.answer(batch, refine_engine="heap")
+        # Without the override the filter-only batch answers normally.
+        assert len(server.answer(batch)) == 2
+
 
 class TestTrustBoundary:
     def test_server_never_sees_plaintext(self, actors):

@@ -80,9 +80,13 @@ class TestFilterAndRefine:
         report = filter_and_refine(fitted_scheme.server.index, encrypted, k_prime=40)
         assert report.filter_seconds > 0
         assert report.refine_seconds > 0
+        assert report.mask_seconds >= 0
+        # The stage timings account for the whole pipeline: filter,
+        # liveness masking, and refine sum to the total.
         assert report.total_seconds == pytest.approx(
-            report.filter_seconds + report.refine_seconds
+            report.filter_seconds + report.mask_seconds + report.refine_seconds
         )
+        assert 0 <= report.refine_kernel_seconds <= report.refine_seconds
 
     def test_k_prime_below_k_rejected(self, fitted_scheme, small_dataset):
         encrypted = fitted_scheme.user.encrypt_query(small_dataset.queries[0], 10)

@@ -7,6 +7,7 @@ from repro.eval.runner import (
     ground_truth,
     sweep_filter_only,
     sweep_ppanns,
+    sweep_refine_engine,
     sweep_shards,
 )
 
@@ -56,6 +57,34 @@ class TestSweeps:
         assert curve.points[0].recall == curve.points[1].recall
         for point in curve.points:
             assert point.mean_latency_seconds > 0
+
+    def test_sweep_refine_engine(self, fitted_scheme, small_dataset):
+        truth = ground_truth(small_dataset.database, small_dataset.queries, 10)
+        curves = sweep_refine_engine(
+            fitted_scheme,
+            small_dataset.queries,
+            truth,
+            k=10,
+            ratio_k=8,
+            ef_grid=(40, 120),
+        )
+        assert [curve.label for curve in curves] == [
+            "refine=heap",
+            "refine=vectorized",
+        ]
+        heap, vectorized = curves
+        # The vectorized engine is bit-identical, so recalls coincide at
+        # every operating point.
+        for heap_point, vec_point in zip(heap.points, vectorized.points):
+            assert heap_point.recall == vec_point.recall
+            assert vec_point.qps > 0
+
+    def test_sweep_refine_engine_truth_mismatch_rejected(self, fitted_scheme, small_dataset):
+        with pytest.raises(ParameterError):
+            sweep_refine_engine(
+                fitted_scheme, small_dataset.queries, [], k=10, ratio_k=4,
+                ef_grid=(20,),
+            )
 
     def test_sweep_shards_truth_mismatch_rejected(self, small_dataset):
         with pytest.raises(ParameterError):

@@ -32,6 +32,18 @@ class TestParser:
         assert args.command == "build"
         assert args.beta == 1.0
 
+    def test_refine_engine_choices(self):
+        args = build_parser().parse_args(
+            ["query", "--index", "i.npz", "--keys", "k.npz", "--queries", "q.npy",
+             "--refine-engine", "heap"]
+        )
+        assert args.refine_engine == "heap"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--index", "i.npz", "--keys", "k.npz",
+                 "--queries", "q.npy", "--refine-engine", "quantum"]
+            )
+
 
 class TestBuildAndQuery:
     def test_roundtrip(self, cli_workspace, capsys):
@@ -111,8 +123,60 @@ class TestBuildAndQuery:
         assert payload["shards"] == 3
         assert set(payload["shard_seconds"]) == {"0", "1", "2"}
         assert payload["gather_bytes"] > 0
+        # Stage timings account for the whole pipeline and name the
+        # refine engine that produced the answer.
+        assert payload["refine_engine"] == "vectorized"
+        assert payload["refine_kernel_seconds"] <= payload["refine_seconds"]
+        assert payload["wall_seconds"] > 0
+        assert payload["server_seconds"] == pytest.approx(
+            payload["filter_seconds"]
+            + payload["mask_seconds"]
+            + payload["refine_seconds"]
+        )
         for i, ids in enumerate(payload["ids"]):
             assert i in ids
+
+    def test_refine_engines_agree_end_to_end(self, cli_workspace, capsys):
+        root, _, _ = cli_workspace
+        index_path = str(root / "sharded_index.npz")
+        keys_path = str(root / "sharded_keys.npz")
+        payloads = {}
+        for engine in ("heap", "vectorized"):
+            code = main(
+                [
+                    "query",
+                    "--index", index_path,
+                    "--keys", keys_path,
+                    "--queries", str(root / "queries.fvecs"),
+                    "-k", "5",
+                    "--json",
+                    "--refine-engine", engine,
+                    "--seed", "2",
+                ]
+            )
+            assert code == 0
+            payloads[engine] = json.loads(capsys.readouterr().out)
+        assert payloads["heap"]["ids"] == payloads["vectorized"]["ids"]
+        assert payloads["heap"]["refine_engine"] == "heap"
+        assert payloads["heap"]["refine_kernel_seconds"] == 0.0
+        assert (
+            payloads["heap"]["refine_comparisons"]
+            == payloads["vectorized"]["refine_comparisons"]
+        )
+
+    def test_refine_engine_with_filter_only_rejected(self, cli_workspace):
+        root, _, _ = cli_workspace
+        with pytest.raises(SystemExit, match="no effect"):
+            main(
+                [
+                    "query",
+                    "--index", str(root / "index.npz"),
+                    "--keys", str(root / "keys.npz"),
+                    "--queries", str(root / "queries.fvecs"),
+                    "--filter-only",
+                    "--refine-engine", "heap",
+                ]
+            )
 
     def test_unsupported_format(self, cli_workspace):
         root, _, _ = cli_workspace
