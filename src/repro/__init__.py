@@ -35,7 +35,9 @@ Quickstart (batch-first API)::
 """
 
 from repro.core import (
+    BUILD_MODES,
     PPANNS,
+    BuildReport,
     CloudServer,
     DataOwner,
     DCEScheme,
@@ -74,6 +76,8 @@ __all__ = [
     "ShardedEncryptedIndex",
     "ShardTiming",
     "build_sharded_index",
+    "BUILD_MODES",
+    "BuildReport",
     "SearchRequest",
     "EncryptedQuery",
     "EncryptedQueryBatch",

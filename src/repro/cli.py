@@ -6,7 +6,11 @@ A deployable front-end over the library for the three lifecycle stages:
   encrypt it, build the privacy-preserving index over the chosen filter
   backend (``--backend hnsw|nsg|ivf|bruteforce``), optionally partition
   it (``--shards N --shard-strategy round_robin|hash``), write the index
-  and the key bundle to separate files.
+  and the key bundle to separate files.  ``--build-workers`` caps the
+  parallel shard-build fan-out (bit-identical output at any setting),
+  ``--build-mode sequential|bulk`` selects the HNSW construction path,
+  and ``--json`` emits the machine-readable build report (the
+  encrypt/build cost split plus per-shard timings).
 * ``query``  — user+server side: load index + keys, batch-encrypt the
   queries from a file, answer them in one pipelined pass, print neighbor
   ids (or a JSON report with ``--json``).  ``--filter-only`` runs the
@@ -29,6 +33,7 @@ import time
 import numpy as np
 
 from repro.core.backends import available_backends
+from repro.core.build import BUILD_MODES
 from repro.core.persistence import load_index, load_keys, save_index, save_keys
 from repro.core.refine import available_refine_engines
 from repro.core.sharding import SHARD_STRATEGIES
@@ -84,6 +89,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=SHARD_STRATEGIES,
         default="round_robin",
         help="how vector ids map to shards",
+    )
+    build.add_argument(
+        "--build-workers",
+        type=int,
+        default=None,
+        help="parallel shard-build concurrency cap (default: the full "
+        "worker pool; results are bit-identical at any setting)",
+    )
+    build.add_argument(
+        "--build-mode",
+        choices=BUILD_MODES,
+        default="sequential",
+        help="HNSW construction path (bulk is vectorized and "
+        "bit-identical to sequential from the same seed)",
+    )
+    build.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON build report (encrypt/build cost split, "
+        "per-shard build timings, storage accounting)",
     )
     build.add_argument("--seed", type=int, default=None)
 
@@ -151,6 +176,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         backend=args.backend,
         shards=args.shards,
         shard_strategy=args.shard_strategy,
+        build_workers=args.build_workers,
+        build_mode=args.build_mode,
         rng=rng,
     )
     start = time.perf_counter()
@@ -159,6 +186,20 @@ def _cmd_build(args: argparse.Namespace) -> int:
     save_index(args.index, index)
     save_keys(args.keys, owner.authorize_user())
     report = index.size_report()
+    build_report = index.build_report
+    if args.json:
+        payload = build_report.as_dict()
+        payload.update(
+            {
+                "shard_strategy": getattr(index, "strategy", None),
+                "storage_floats": report.total_floats,
+                "dce_overhead_ratio": report.dce_overhead_ratio,
+                "index_path": args.index,
+                "keys_path": args.keys,
+            }
+        )
+        print(json.dumps(payload, indent=2))
+        return 0
     sharding = (
         f"shards={index.num_shards} ({index.strategy}) "
         if hasattr(index, "num_shards")
@@ -166,7 +207,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
     )
     print(
         f"built index over n={len(index)} d={index.dim} "
-        f"backend={index.backend_kind} {sharding}in {elapsed:.1f}s; "
+        f"backend={index.backend_kind} {sharding}in {elapsed:.1f}s "
+        f"(encrypt {build_report.encrypt_seconds:.1f}s + "
+        f"build {build_report.build_seconds:.1f}s, "
+        f"mode={build_report.build_mode}); "
         f"storage {report.total_floats} floats "
         f"({report.dce_overhead_ratio:.2f}x plaintext for C_DCE)"
     )

@@ -29,6 +29,10 @@ Public API:
   (``DataOwner.build_index(..., shards=N)``).
 * :mod:`repro.core.maintenance` — insert/delete (Section V-D).
 * :mod:`repro.core.params` — beta and k' tuning (Section VII-A).
+* :mod:`repro.core.build` — the parallel, bit-reproducible index
+  construction pipeline (per-shard builds fanned out over the worker
+  pool, SeedSequence-spawned shard RNGs, :class:`BuildReport` timing
+  split).
 """
 
 from repro.core.backends import (
@@ -40,6 +44,13 @@ from repro.core.backends import (
     NSGBackend,
     available_backends,
     build_backend,
+)
+from repro.core.build import (
+    BUILD_MODES,
+    BuildReport,
+    ShardBuildTiming,
+    build_shard_backends,
+    spawn_shard_rngs,
 )
 from repro.core.dce import (
     DCECiphertext,
@@ -141,6 +152,11 @@ __all__ = [
     "DEFAULT_REFINE_ENGINE",
     "available_refine_engines",
     "get_refine_engine",
+    "BUILD_MODES",
+    "BuildReport",
+    "ShardBuildTiming",
+    "build_shard_backends",
+    "spawn_shard_rngs",
     "DataOwner",
     "QueryUser",
     "CloudServer",

@@ -117,13 +117,20 @@ class HNSWBackend:
         sap_vectors: np.ndarray,
         rng: np.random.Generator | None = None,
         params: HNSWParams | None = None,
+        build_mode: str = "sequential",
     ) -> "HNSWBackend":
-        """Build a fresh HNSW graph over the DCPE ciphertext matrix."""
+        """Build a fresh HNSW graph over the DCPE ciphertext matrix.
+
+        ``build_mode`` selects the construction path (one of
+        :data:`repro.hnsw.graph.BUILD_MODES`): the seed's ``sequential``
+        insert loop or the ``bulk`` vectorized path, which produces a
+        bit-identical graph from the same seed.
+        """
         graph = HNSWIndex(
             sap_vectors.shape[1],
             params if params is not None else HNSWParams(),
             rng=rng,
-        ).build(sap_vectors)
+        ).build(sap_vectors, mode=build_mode)
         return cls(graph)
 
     @property
@@ -167,28 +174,16 @@ class HNSWBackend:
     def state_arrays(self) -> dict[str, np.ndarray]:
         """Arrays to persist alongside the index (see docs/FORMATS.md)."""
         graph = self._graph
-        count = graph.vectors.shape[0]
-        levels = np.array([graph.node_level(i) for i in range(count)], dtype=np.int64)
-        edges = []
-        for node in range(count):
-            for level in range(int(levels[node]) + 1):
-                for neighbor in graph.neighbors(node, level):
-                    edges.append((node, level, neighbor))
-        edge_array = (
-            np.array(edges, dtype=np.int64)
-            if edges
-            else np.empty((0, 3), dtype=np.int64)
-        )
-        deleted = np.array(
-            sorted(i for i in range(count) if graph.is_deleted(i)), dtype=np.int64
-        )
+        # Flat array assembly (graph.adjacency_arrays) — the export used
+        # to walk a nodes x levels x neighbors Python loop per edge.
+        levels, edge_array = graph.adjacency_arrays()
         # The graph's vectors are exactly the C_SAP rows save_index already
         # writes, so they are not duplicated here; from_state reloads them
         # from the sap_vectors argument.
         return {
             "graph_levels": levels,
             "graph_edges": edge_array,
-            "graph_deleted": deleted,
+            "graph_deleted": graph.deleted_ids(),
             "graph_entry_point": np.array(
                 [-1 if graph.entry_point is None else graph.entry_point],
                 dtype=np.int64,
@@ -246,8 +241,13 @@ class NSGBackend:
         sap_vectors: np.ndarray,
         rng: np.random.Generator | None = None,
         params: NSGParams | None = None,
+        build_mode: str = "sequential",
     ) -> "NSGBackend":
-        """Build a fresh NSG-style graph over the DCPE ciphertext matrix."""
+        """Build a fresh NSG-style graph over the DCPE ciphertext matrix.
+
+        ``build_mode`` is accepted for knob parity and ignored: the NSG
+        build has a single, already array-oriented path.
+        """
         return cls(NSGIndex(sap_vectors, params))
 
     @property
@@ -285,23 +285,9 @@ class NSGBackend:
     def state_arrays(self) -> dict[str, np.ndarray]:
         """Arrays to persist alongside the index (see docs/FORMATS.md)."""
         index = self._index
-        edges = [
-            (node, neighbor)
-            for node in range(index.size)
-            for neighbor in index.neighbors(node)
-        ]
-        edge_array = (
-            np.array(edges, dtype=np.int64)
-            if edges
-            else np.empty((0, 2), dtype=np.int64)
-        )
-        deleted = np.array(
-            sorted(i for i in range(index.size) if index.is_deleted(i)),
-            dtype=np.int64,
-        )
         return {
-            "nsg_edges": edge_array,
-            "nsg_deleted": deleted,
+            "nsg_edges": index.adjacency_arrays(),
+            "nsg_deleted": index.deleted_ids(),
             "nsg_medoid": np.array([index.medoid], dtype=np.int64),
             "nsg_params": np.array(
                 [index.params.knn, index.params.max_degree], dtype=np.int64
@@ -352,8 +338,13 @@ class IVFBackend:
         rng: np.random.Generator | None = None,
         params: IVFParams | None = None,
         default_nprobe: int = 4,
+        build_mode: str = "sequential",
     ) -> "IVFBackend":
-        """Build a fresh IVF-Flat index over the DCPE ciphertext matrix."""
+        """Build a fresh IVF-Flat index over the DCPE ciphertext matrix.
+
+        ``build_mode`` is accepted for knob parity and ignored: k-means
+        training has a single, already array-oriented path.
+        """
         return cls(IVFFlatIndex(sap_vectors, params, rng=rng), default_nprobe)
 
     @property
@@ -399,14 +390,10 @@ class IVFBackend:
     def state_arrays(self) -> dict[str, np.ndarray]:
         """Arrays to persist alongside the index (see docs/FORMATS.md)."""
         index = self._index
-        deleted = np.array(
-            sorted(i for i in range(index.size) if index.is_deleted(i)),
-            dtype=np.int64,
-        )
         return {
             "ivf_centroids": index.centroids,
             "ivf_assignments": index.assignments(),
-            "ivf_deleted": deleted,
+            "ivf_deleted": index.deleted_ids(),
             "ivf_params": np.array(
                 [
                     index.params.num_lists,
@@ -449,8 +436,13 @@ class BruteForceBackend:
         sap_vectors: np.ndarray,
         rng: np.random.Generator | None = None,
         params: None = None,
+        build_mode: str = "sequential",
     ) -> "BruteForceBackend":
-        """Build a linear-scan index over the DCPE ciphertext matrix."""
+        """Build a linear-scan index over the DCPE ciphertext matrix.
+
+        ``build_mode`` is accepted for knob parity and ignored: a linear
+        scan has no construction work at all.
+        """
         return cls(BruteForceIndex(sap_vectors))
 
     @property
@@ -487,12 +479,7 @@ class BruteForceBackend:
 
     def state_arrays(self) -> dict[str, np.ndarray]:
         """Arrays to persist alongside the index (see docs/FORMATS.md)."""
-        index = self._index
-        deleted = np.array(
-            sorted(i for i in range(index.size) if index.is_deleted(i)),
-            dtype=np.int64,
-        )
-        return {"bruteforce_deleted": deleted}
+        return {"bruteforce_deleted": self._index.deleted_ids()}
 
     @classmethod
     def from_state(
@@ -525,15 +512,21 @@ def build_backend(
     sap_vectors: np.ndarray,
     rng: np.random.Generator | None = None,
     params=None,
+    build_mode: str = "sequential",
 ) -> FilterBackend:
-    """Build a filter backend of ``kind`` over the DCPE ciphertexts."""
+    """Build a filter backend of ``kind`` over the DCPE ciphertexts.
+
+    ``build_mode`` selects the HNSW construction path (one of
+    :data:`repro.hnsw.graph.BUILD_MODES`); the other backend kinds have
+    a single build path and ignore it.
+    """
     try:
         backend_cls = BACKENDS[kind]
     except KeyError:
         raise ParameterError(
             f"unknown backend {kind!r}; available: {', '.join(BACKENDS)}"
         ) from None
-    return backend_cls.build(sap_vectors, rng=rng, params=params)
+    return backend_cls.build(sap_vectors, rng=rng, params=params, build_mode=build_mode)
 
 
 def backend_from_state(

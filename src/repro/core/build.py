@@ -1,0 +1,260 @@
+"""The index-construction pipeline: parallel, reproducible, instrumented.
+
+Serving got fast in three steps (batch encryption, sharded filtering,
+vectorized refine) — this module does the same for **building**.  At the
+million-vector scale the ROADMAP targets, build time is the binding
+constraint: the seed constructed every shard backend one after another on
+a single core, which defeats the point of sharding at build time.
+
+Three pieces:
+
+* **Parallel shard builds** — :func:`build_shard_backends` fans the
+  per-shard backend constructions out over the process-wide pool of
+  :mod:`repro.core.executor` (``map_ordered`` with the ``build_workers``
+  cap).  Backend builds spend their time in numpy kernels (pairwise
+  distances, k-means, beam-search distance blocks) that release the GIL,
+  so shard builds overlap on multi-core hosts.
+* **Reproducibility by construction** — each shard builds from its own
+  child generator derived via ``np.random.SeedSequence.spawn``
+  (:func:`spawn_shard_rngs`), never from a generator shared across
+  shards.  A shard's build is then a pure function of its slice and its
+  child seed, so the result is **bit-identical at any worker count** —
+  parallel against sequential, for every backend kind (the brute-force
+  backend is additionally bit-identical regardless of seed, having no
+  randomness at all).
+* **Instrumentation** — :class:`BuildReport` records the owner-side cost
+  split (``encrypt_seconds`` vs ``build_seconds``) plus per-shard
+  :class:`ShardBuildTiming` rows; it rides on the index object, is
+  persisted with it (optional metadata keys, ``docs/FORMATS.md``), and
+  surfaces through ``repro build --json`` and
+  :func:`repro.eval.runner.sweep_build`.
+
+The ``build_mode`` knob (:data:`BUILD_MODES`, from
+:mod:`repro.hnsw.graph`) selects the HNSW construction path —
+``sequential`` (the seed's insert loop, the oracle reference) or
+``bulk`` (vectorized, bit-identical from the same seed).  Non-HNSW
+backends have a single, already array-oriented build path and ignore it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.backends import build_backend
+from repro.core.errors import ParameterError
+from repro.core.executor import map_ordered, pool_width
+from repro.hnsw.graph import BUILD_MODES
+
+__all__ = [
+    "BUILD_MODES",
+    "ShardBuildTiming",
+    "BuildReport",
+    "resolve_build_workers",
+    "spawn_shard_rngs",
+    "build_shard_backends",
+]
+
+
+@dataclass(frozen=True)
+class ShardBuildTiming:
+    """Wall-clock accounting of one shard's backend construction.
+
+    Attributes
+    ----------
+    shard_id:
+        Position of the shard in the index's shard list.
+    seconds:
+        Wall clock of the shard's backend build (0.0 for empty shards,
+        whose backend is built lazily on first insert).
+    num_vectors:
+        Vectors the shard owns.
+    """
+
+    shard_id: int
+    seconds: float
+    num_vectors: int
+
+
+@dataclass
+class BuildReport:
+    """The owner-side cost split of one index build.
+
+    ``encrypt_seconds`` (DCPE + DCE database encryption) and
+    ``build_seconds`` (filter-structure construction) are kept separate
+    so cost attributions in the style of the paper's Figure 9 can charge
+    encryption and indexing to the right column — the seed lumped both
+    into one number.  Mutable because the encryption split is filled in
+    by :meth:`repro.core.roles.DataOwner.build_index` after the shard
+    builder produced the construction half.
+
+    Attributes
+    ----------
+    backend:
+        Filter-backend kind that was built.
+    num_vectors / dim:
+        Shape of the indexed database.
+    shards:
+        Shard count (1 for a monolithic index).
+    build_mode:
+        HNSW construction path used (one of :data:`BUILD_MODES`).
+    build_workers:
+        Configured build concurrency (``None`` = the full shared pool).
+    encrypt_seconds:
+        Wall clock of database encryption (0.0 when the index was built
+        directly from ciphertexts).
+    build_seconds:
+        Wall clock of filter-structure construction — for a sharded
+        build, the scatter-gather total, not the per-shard sum.
+    shard_timings:
+        Per-shard :class:`ShardBuildTiming` rows (empty for monolithic).
+    """
+
+    backend: str
+    num_vectors: int
+    dim: int
+    shards: int = 1
+    build_mode: str = "sequential"
+    build_workers: int | None = None
+    encrypt_seconds: float = 0.0
+    build_seconds: float = 0.0
+    shard_timings: tuple[ShardBuildTiming, ...] = field(default_factory=tuple)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end owner-side build wall clock."""
+        return self.encrypt_seconds + self.build_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (used by ``repro build --json``)."""
+        return {
+            "backend": self.backend,
+            "num_vectors": self.num_vectors,
+            "dim": self.dim,
+            "shards": self.shards,
+            "build_mode": self.build_mode,
+            "build_workers": self.build_workers,
+            "encrypt_seconds": self.encrypt_seconds,
+            "build_seconds": self.build_seconds,
+            "total_seconds": self.total_seconds,
+            "shard_timings": [
+                {
+                    "shard_id": timing.shard_id,
+                    "seconds": timing.seconds,
+                    "num_vectors": timing.num_vectors,
+                }
+                for timing in self.shard_timings
+            ],
+        }
+
+
+def resolve_build_workers(build_workers: int | None) -> int:
+    """Concrete build concurrency: ``None`` means the full shared pool."""
+    if build_workers is None:
+        return pool_width()
+    if build_workers < 1:
+        raise ParameterError(f"build_workers must be >= 1, got {build_workers}")
+    return build_workers
+
+
+def spawn_shard_rngs(
+    rng: np.random.Generator | None, count: int
+) -> list[np.random.Generator]:
+    """``count`` independent child generators via ``SeedSequence.spawn``.
+
+    The children are a deterministic function of the parent's seed
+    sequence and its spawn counter: the same freshly seeded parent
+    always yields the same children (so builds are reproducible), while
+    successive calls on one parent yield fresh, non-overlapping streams
+    (so two builds from one owner differ, as they did when shards
+    consumed the shared generator sequentially).  The parent's own
+    random stream is never advanced.
+    """
+    if count < 0:
+        raise ParameterError(f"count must be >= 0, got {count}")
+    if rng is None:
+        rng = np.random.default_rng()
+    try:
+        return list(rng.spawn(count))
+    except AttributeError:  # numpy < 1.25: spawn via the seed sequence
+        seed_seq = rng.bit_generator.seed_seq
+        return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
+
+
+def build_shard_backends(
+    kind: str,
+    sap_vectors: np.ndarray,
+    owned: "list[np.ndarray]",
+    rng: np.random.Generator | None = None,
+    params=None,
+    build_workers: int | None = None,
+    build_mode: str = "sequential",
+):
+    """Build one filter backend per shard, in parallel, reproducibly.
+
+    Parameters
+    ----------
+    kind:
+        Filter-backend kind to build inside every shard.
+    sap_vectors:
+        The global ``(n, d)`` DCPE ciphertext matrix.
+    owned:
+        One int64 id array per shard: the global ids it owns, in local
+        id order.  Empty arrays produce ``None`` backends (built lazily
+        on first insert, as before).
+    rng:
+        Parent randomness; every shard receives its own child generator
+        (:func:`spawn_shard_rngs`), so the output is bit-identical at
+        any ``build_workers`` setting.
+    params:
+        Backend construction parameters, shared by every shard.
+    build_workers:
+        Concurrency cap for the fan-out (``None`` = full shared pool,
+        ``1`` = sequential on the calling thread).
+    build_mode:
+        HNSW construction path (one of :data:`BUILD_MODES`).
+
+    Returns ``(backends, timings)``: the per-shard backend list (``None``
+    entries for empty shards) and a tuple of :class:`ShardBuildTiming`.
+    """
+    if build_mode not in BUILD_MODES:
+        raise ParameterError(
+            f"unknown build mode {build_mode!r}; available: {', '.join(BUILD_MODES)}"
+        )
+    resolve_build_workers(build_workers)  # validate; see below
+    child_rngs = spawn_shard_rngs(rng, len(owned))
+
+    def build_one(task):
+        shard_id, ids, child = task
+        if not ids.size:
+            # Empty shards build lazily on first insert — no work here.
+            return None, ShardBuildTiming(shard_id, 0.0, 0)
+        start = time.perf_counter()
+        backend = build_backend(
+            kind,
+            sap_vectors[ids],
+            rng=child,
+            params=params,
+            build_mode=build_mode,
+        )
+        timing = ShardBuildTiming(
+            shard_id=shard_id,
+            seconds=time.perf_counter() - start,
+            num_vectors=int(ids.size),
+        )
+        return backend, timing
+
+    # None passes through uncapped: map_ordered then submits everything
+    # in one wave and the pool schedules greedily — resolving None to
+    # pool_width() here would impose wave barriers the full-pool path
+    # doesn't need (one slow shard would idle the rest of its wave).
+    outcomes = map_ordered(
+        build_one,
+        [(i, ids, child_rngs[i]) for i, ids in enumerate(owned)],
+        max_workers=build_workers,
+    )
+    backends = [backend for backend, _ in outcomes]
+    timings = tuple(timing for _, timing in outcomes)
+    return backends, timings

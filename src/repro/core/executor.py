@@ -32,6 +32,12 @@ results come back in submission order regardless of completion order
 sibling fails — the first failure *by input position* is re-raised
 after the gather, so one poisoned query can neither kill nor reorder
 the others mid-flight.
+
+A third caller — the parallel index-construction pipeline of
+:mod:`repro.core.build` — fans per-shard backend builds out over the
+same pool, and is the reason :func:`map_ordered` takes an optional
+``max_workers`` cap: build concurrency is a user-facing knob
+(``build_workers=``), while serving fan-outs always use the full pool.
 """
 
 from __future__ import annotations
@@ -76,7 +82,9 @@ def in_worker_thread() -> bool:
 
 
 def map_ordered(
-    fn: Callable[[_ItemT], _ResultT], items: Iterable[_ItemT]
+    fn: Callable[[_ItemT], _ResultT],
+    items: Iterable[_ItemT],
+    max_workers: int | None = None,
 ) -> list[_ResultT]:
     """Apply ``fn`` to every item on the shared pool; gather in order.
 
@@ -89,25 +97,36 @@ def map_ordered(
       position** is re-raised after the gather, so error reporting is
       deterministic under arbitrary thread scheduling.
 
-    Fewer than two items, or a call made from inside one of the pool's
-    own workers (a nested fan-out would deadlock a bounded pool), runs
-    inline on the calling thread with identical semantics.
+    ``max_workers`` caps how many items are in flight at once (``None``
+    means the full pool).  The cap is enforced by submitting the items
+    in waves of ``max_workers`` — a slight utilization loss versus a
+    streaming semaphore, accepted because the capped callers are coarse
+    batch jobs (per-shard index builds), not the serving path.
+
+    Fewer than two items, ``max_workers=1``, or a call made from inside
+    one of the pool's own workers (a nested fan-out would deadlock a
+    bounded pool), runs inline on the calling thread with identical
+    semantics.
     """
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
     work: Sequence[_ItemT] = list(items)
-    if len(work) < 2 or in_worker_thread():
+    if len(work) < 2 or max_workers == 1 or in_worker_thread():
         return [fn(item) for item in work]
-    futures = [shared_pool().submit(fn, item) for item in work]
+    wave = len(work) if max_workers is None else max_workers
     results: list[_ResultT] = []
     first_error: Exception | None = None
-    for future in futures:
-        # Only Exception is isolated; KeyboardInterrupt / SystemExit
-        # delivered to the gathering thread must propagate immediately
-        # (the remaining tasks finish in the pool and are discarded).
-        try:
-            results.append(future.result())
-        except Exception as exc:
-            if first_error is None:
-                first_error = exc
+    for start in range(0, len(work), wave):
+        futures = [shared_pool().submit(fn, item) for item in work[start:start + wave]]
+        for future in futures:
+            # Only Exception is isolated; KeyboardInterrupt / SystemExit
+            # delivered to the gathering thread must propagate immediately
+            # (the remaining tasks finish in the pool and are discarded).
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
     if first_error is not None:
         raise first_error
     return results

@@ -109,6 +109,10 @@ class EncryptedIndex:
         self._backend = backend
         self._dce = dce_database
         self._tombstones: set[int] = set()
+        #: Optional :class:`~repro.core.build.BuildReport` attached by the
+        #: construction pipeline (DataOwner.build_index) and by
+        #: persistence when the on-disk file carried build metadata.
+        self.build_report = None
 
     # -- accessors -------------------------------------------------------------
 

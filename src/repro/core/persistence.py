@@ -23,7 +23,13 @@ specification is ``docs/FORMATS.md``):
   per-shard backend payloads under ``shard{i}_`` prefixes.  Written for
   a :class:`~repro.core.sharding.ShardedEncryptedIndex`.
 
-:func:`load_index` reads all three.
+:func:`load_index` reads all three.  Both write formats additionally
+carry optional **build metadata** (``build_seconds`` = the
+encrypt/build wall-clock split, ``build_mode``, ``build_workers``,
+``shard_build_seconds`` / ``shard_build_sizes``) whenever the index
+still holds the construction pipeline's
+:class:`~repro.core.build.BuildReport`; readers reattach it and
+tolerate its absence.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ import os
 import numpy as np
 
 from repro.core.backends import backend_from_state
+from repro.core.build import BuildReport, ShardBuildTiming
 from repro.core.dce import DCEEncryptedDatabase
 from repro.core.errors import CiphertextFormatError
 from repro.core.index import EncryptedIndex
@@ -56,7 +63,7 @@ def _common_arrays(
     index: "EncryptedIndex | ShardedEncryptedIndex", version: int
 ) -> dict[str, np.ndarray]:
     """The array manifest shared by format v2 and v3."""
-    return {
+    arrays = {
         "format_version": np.array([version], dtype=np.int64),
         "backend_kind": np.array([index.backend_kind]),
         "sap_vectors": index.sap_vectors,
@@ -64,6 +71,58 @@ def _common_arrays(
         "dce_key_id": np.array([index.dce_database.key_id], dtype=np.int64),
         "tombstones": np.array(sorted(index.tombstones), dtype=np.int64),
     }
+    # Optional build metadata (docs/FORMATS.md): present only when the
+    # index still carries the construction pipeline's BuildReport.
+    report = getattr(index, "build_report", None)
+    if report is not None:
+        arrays["build_seconds"] = np.array(
+            [report.encrypt_seconds, report.build_seconds]
+        )
+        arrays["build_mode"] = np.array([report.build_mode])
+        arrays["build_workers"] = np.array(
+            [-1 if report.build_workers is None else report.build_workers],
+            dtype=np.int64,
+        )
+        arrays["shard_build_seconds"] = np.array(
+            [timing.seconds for timing in report.shard_timings]
+        )
+        arrays["shard_build_sizes"] = np.array(
+            [timing.num_vectors for timing in report.shard_timings],
+            dtype=np.int64,
+        )
+    return arrays
+
+
+def _load_build_report(
+    data, kind: str, index: "EncryptedIndex | ShardedEncryptedIndex"
+) -> None:
+    """Reattach the persisted :class:`BuildReport`, if the file has one."""
+    if "build_seconds" not in data.files:
+        return
+    encrypt_seconds, build_seconds = (float(x) for x in data["build_seconds"])
+    workers = int(data["build_workers"][0])
+    shard_seconds = data["shard_build_seconds"]
+    shard_sizes = data["shard_build_sizes"]
+    index.build_report = BuildReport(
+        backend=kind,
+        num_vectors=int(index.sap_vectors.shape[0]),
+        dim=index.dim,
+        shards=getattr(index, "num_shards", 1),
+        build_mode=str(data["build_mode"][0]),
+        build_workers=None if workers < 0 else workers,
+        encrypt_seconds=encrypt_seconds,
+        build_seconds=build_seconds,
+        shard_timings=tuple(
+            ShardBuildTiming(
+                shard_id=shard_id,
+                seconds=float(seconds),
+                num_vectors=int(size),
+            )
+            for shard_id, (seconds, size) in enumerate(
+                zip(shard_seconds, shard_sizes)
+            )
+        ),
+    )
 
 
 def save_index(
@@ -148,6 +207,7 @@ def load_index(
             index = EncryptedIndex(sap_vectors, backend, dce)
         for tombstone in data["tombstones"]:
             index._mark_deleted(int(tombstone))
+        _load_build_report(data, kind, index)
     return index
 
 

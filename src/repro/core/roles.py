@@ -19,11 +19,13 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.backends import build_backend
+from repro.core.build import BUILD_MODES, BuildReport
 from repro.core.dcpe import DCPEScheme, dcpe_keygen, DEFAULT_SCALE
 from repro.core.dce import DCEScheme, DCETrapdoor
 from repro.core.errors import ParameterError
@@ -84,6 +86,16 @@ class DataOwner:
     shard_strategy:
         Shard-assignment strategy recorded in the index (one of
         :data:`~repro.core.sharding.SHARD_STRATEGIES`).
+    build_workers:
+        Concurrency cap for the parallel shard-build fan-out
+        (``None`` = the full shared worker pool, ``1`` = build shards
+        sequentially).  Bit-identical output at any setting — see
+        :mod:`repro.core.build`.
+    build_mode:
+        HNSW construction path (one of
+        :data:`repro.core.build.BUILD_MODES`): the seed's
+        ``sequential`` insert loop, or the ``bulk`` vectorized path
+        producing a bit-identical graph from the same seed.
     rng:
         Randomness for key generation, encryption and index construction.
     """
@@ -98,6 +110,8 @@ class DataOwner:
         backend_params=None,
         shards: int | None = None,
         shard_strategy: str = "round_robin",
+        build_workers: int | None = None,
+        build_mode: str = "sequential",
         rng: np.random.Generator | None = None,
     ) -> None:
         if dim <= 0:
@@ -109,6 +123,15 @@ class DataOwner:
                 f"unknown shard strategy {shard_strategy!r}; "
                 f"available: {', '.join(SHARD_STRATEGIES)}"
             )
+        if build_workers is not None and build_workers < 1:
+            raise ParameterError(
+                f"build_workers must be >= 1, got {build_workers}"
+            )
+        if build_mode not in BUILD_MODES:
+            raise ParameterError(
+                f"unknown build mode {build_mode!r}; "
+                f"available: {', '.join(BUILD_MODES)}"
+            )
         self._dim = dim
         self._rng = rng if rng is not None else np.random.default_rng()
         self._dce = DCEScheme(dim, rng=self._rng)
@@ -118,6 +141,8 @@ class DataOwner:
         self._backend_params = backend_params
         self._shards = shards
         self._shard_strategy = shard_strategy
+        self._build_workers = build_workers
+        self._build_mode = build_mode
 
     @property
     def dim(self) -> int:
@@ -138,6 +163,16 @@ class DataOwner:
     def shard_strategy(self) -> str:
         """Configured shard-assignment strategy."""
         return self._shard_strategy
+
+    @property
+    def build_workers(self) -> int | None:
+        """Configured build concurrency (None = the full shared pool)."""
+        return self._build_workers
+
+    @property
+    def build_mode(self) -> str:
+        """Configured HNSW construction path."""
+        return self._build_mode
 
     @property
     def dce_scheme(self) -> DCEScheme:
@@ -162,17 +197,25 @@ class DataOwner:
         vectors: np.ndarray,
         shards: int | None = None,
         shard_strategy: str | None = None,
+        build_workers: int | None = None,
+        build_mode: str | None = None,
     ) -> "EncryptedIndex | ShardedEncryptedIndex":
         """Encrypt the database and build the privacy-preserving index.
 
         This is steps B1 + B2 of Figure 3: DCE ciphertexts, DCPE
         ciphertexts, and the filter backend built over the *DCPE*
-        ciphertexts.  ``shards`` / ``shard_strategy`` override the
-        owner-level configuration for this build; with an effective
-        shard count >= 2 the filter structures are partitioned into a
-        :class:`~repro.core.sharding.ShardedEncryptedIndex` (the
-        encryption steps are identical — shards only ever see
-        ciphertexts).
+        ciphertexts.  ``shards`` / ``shard_strategy`` / ``build_workers``
+        / ``build_mode`` override the owner-level configuration for this
+        build; with an effective shard count >= 2 the filter structures
+        are partitioned into a
+        :class:`~repro.core.sharding.ShardedEncryptedIndex` whose shard
+        backends build in parallel (the encryption steps are identical —
+        shards only ever see ciphertexts).
+
+        The returned index carries a
+        :class:`~repro.core.build.BuildReport` (``build_report``) that
+        splits the owner-side cost into ``encrypt_seconds`` (B1) and
+        ``build_seconds`` (B2), with per-shard timings when sharded.
         """
         vectors = np.asarray(vectors, dtype=np.float64)
         if vectors.ndim != 2 or vectors.shape[1] != self._dim:
@@ -183,15 +226,25 @@ class DataOwner:
         strategy = shard_strategy if shard_strategy is not None else (
             self._shard_strategy
         )
+        workers = build_workers if build_workers is not None else self._build_workers
+        mode = build_mode if build_mode is not None else self._build_mode
         if shards is not None and shards < 1:
             raise ParameterError(f"shards must be >= 1, got {shards}")
+        if workers is not None and workers < 1:
+            raise ParameterError(f"build_workers must be >= 1, got {workers}")
+        if mode not in BUILD_MODES:
+            raise ParameterError(
+                f"unknown build mode {mode!r}; available: {', '.join(BUILD_MODES)}"
+            )
+        encrypt_start = time.perf_counter()
         sap = self._dcpe.encrypt_database(vectors)
         dce_db = self._dce.encrypt_database(vectors)
+        encrypt_seconds = time.perf_counter() - encrypt_start
         params = self._backend_params
         if params is None and self._backend == "hnsw":
             params = self._hnsw_params
         if shards is not None and shards >= 2:
-            return build_sharded_index(
+            index = build_sharded_index(
                 sap,
                 dce_db,
                 backend=self._backend,
@@ -199,9 +252,27 @@ class DataOwner:
                 strategy=strategy,
                 rng=self._rng,
                 params=params,
+                build_workers=workers,
+                build_mode=mode,
             )
-        backend = build_backend(self._backend, sap, rng=self._rng, params=params)
-        return EncryptedIndex(sap, backend, dce_db)
+            index.build_report.encrypt_seconds = encrypt_seconds
+            return index
+        build_start = time.perf_counter()
+        backend = build_backend(
+            self._backend, sap, rng=self._rng, params=params, build_mode=mode
+        )
+        index = EncryptedIndex(sap, backend, dce_db)
+        index.build_report = BuildReport(
+            backend=self._backend,
+            num_vectors=int(sap.shape[0]),
+            dim=self._dim,
+            shards=1,
+            build_mode=mode,
+            build_workers=workers,
+            encrypt_seconds=encrypt_seconds,
+            build_seconds=time.perf_counter() - build_start,
+        )
+        return index
 
     def encrypt_vector(self, vector: np.ndarray) -> tuple[np.ndarray, "np.ndarray"]:
         """Encrypt one new vector for insertion: ``(C_SAP(u), C_DCE(u))``.

@@ -52,6 +52,14 @@ class PPANNS:
         the filter phase — see :mod:`repro.core.sharding`).
     shard_strategy:
         Shard-assignment strategy (``round_robin`` or ``hash``).
+    build_workers:
+        Concurrency cap for the parallel shard-build fan-out (``None``
+        = the full shared pool; bit-identical output at any setting —
+        see :mod:`repro.core.build`).
+    build_mode:
+        HNSW construction path (``"sequential"`` — the seed's insert
+        loop — or ``"bulk"``, the vectorized path, bit-identical from
+        the same seed).
     default_ratio_k:
         Default ``k'/k`` for queries.
     refine_engine:
@@ -72,6 +80,8 @@ class PPANNS:
         backend_params=None,
         shards: int | None = None,
         shard_strategy: str = "round_robin",
+        build_workers: int | None = None,
+        build_mode: str = "sequential",
         default_ratio_k: int = 8,
         refine_engine: str | None = None,
         rng: np.random.Generator | None = None,
@@ -86,6 +96,8 @@ class PPANNS:
             backend_params=backend_params,
             shards=shards,
             shard_strategy=shard_strategy,
+            build_workers=build_workers,
+            build_mode=build_mode,
             rng=rng,
         )
         self._user = QueryUser(self._owner.authorize_user(), rng=rng)

@@ -34,6 +34,7 @@ import time
 import numpy as np
 
 from repro.core.backends import FilterBackend, build_backend
+from repro.core.build import BuildReport, build_shard_backends
 from repro.core.dce import DCEEncryptedDatabase
 from repro.core.errors import CiphertextFormatError, ParameterError
 from repro.core.executor import map_ordered
@@ -244,6 +245,10 @@ class ShardedEncryptedIndex:
         self._shard_map = shard_map
         self._local_map = local_map
         self._tombstones: set[int] = set()
+        #: Optional :class:`~repro.core.build.BuildReport` attached by the
+        #: construction pipeline (build_sharded_index / DataOwner) and by
+        #: persistence when the on-disk file carried build metadata.
+        self.build_report = None
 
     # -- accessors -------------------------------------------------------------
 
@@ -417,8 +422,13 @@ def build_sharded_index(
     strategy: str = "round_robin",
     rng: np.random.Generator | None = None,
     params=None,
+    build_workers: int | None = None,
+    build_mode: str = "sequential",
 ) -> ShardedEncryptedIndex:
     """Partition encrypted data into shards and build a backend per shard.
+
+    Shard backends build **in parallel** over the process-wide worker
+    pool (:mod:`repro.core.build`), capped at ``build_workers``.
 
     Parameters
     ----------
@@ -433,24 +443,53 @@ def build_sharded_index(
     strategy:
         Shard-assignment strategy (one of :data:`SHARD_STRATEGIES`).
     rng:
-        Randomness for backend construction (shards build sequentially,
-        so a seeded generator stays reproducible).
+        Randomness for backend construction.  Every shard builds from
+        its own child generator derived via
+        ``np.random.SeedSequence.spawn`` — a shard's backend is a pure
+        function of its ciphertext slice and its child seed, so the
+        built index is **bit-identical at any** ``build_workers``
+        **setting** (parallel against sequential, for every backend
+        kind; brute-force shards are additionally seed-independent).
+        Two builds from the same generator still differ, as the spawn
+        counter advances between calls.
     params:
         Backend construction parameters, shared by every shard.
+    build_workers:
+        Concurrency cap for the shard-build fan-out (``None`` = the
+        full shared pool, ``1`` = build shards sequentially).
+    build_mode:
+        HNSW construction path (one of
+        :data:`repro.core.build.BUILD_MODES`); non-HNSW backends have a
+        single build path and ignore it.
+
+    The returned index carries a
+    :class:`~repro.core.build.BuildReport` (``build_report``) with the
+    construction wall clock and per-shard timings;
+    :meth:`repro.core.roles.DataOwner.build_index` fills in the
+    encryption half of the split.
     """
     sap_vectors = np.asarray(sap_vectors, dtype=np.float64)
     assignment = assign_shards(sap_vectors.shape[0], num_shards, strategy)
-    shards: list[Shard] = []
-    for shard_id in range(num_shards):
-        owned = np.nonzero(assignment == shard_id)[0].astype(np.int64)
-        if owned.size == 0:
-            shards.append(Shard(shard_id, None, owned))
-            continue
-        shard_backend = build_backend(
-            backend, sap_vectors[owned], rng=rng, params=params
-        )
-        shards.append(Shard(shard_id, shard_backend, owned))
-    return ShardedEncryptedIndex(
+    owned = [
+        np.nonzero(assignment == shard_id)[0].astype(np.int64)
+        for shard_id in range(num_shards)
+    ]
+    start = time.perf_counter()
+    backends, timings = build_shard_backends(
+        backend,
+        sap_vectors,
+        owned,
+        rng=rng,
+        params=params,
+        build_workers=build_workers,
+        build_mode=build_mode,
+    )
+    build_seconds = time.perf_counter() - start
+    shards = [
+        Shard(shard_id, shard_backend, ids)
+        for shard_id, (shard_backend, ids) in enumerate(zip(backends, owned))
+    ]
+    index = ShardedEncryptedIndex(
         sap_vectors,
         shards,
         dce_database,
@@ -458,3 +497,14 @@ def build_sharded_index(
         backend_params=params,
         rng=rng,
     )
+    index.build_report = BuildReport(
+        backend=backend,
+        num_vectors=int(sap_vectors.shape[0]),
+        dim=int(sap_vectors.shape[1]) if sap_vectors.ndim == 2 else 0,
+        shards=num_shards,
+        build_mode=build_mode,
+        build_workers=build_workers,
+        build_seconds=build_seconds,
+        shard_timings=timings,
+    )
+    return index

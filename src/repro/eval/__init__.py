@@ -13,7 +13,7 @@ This subpackage regenerates the paper's Section VII experiments:
   paper's tables and figure series.
 """
 
-from repro.eval.costmodel import CostReport, NetworkModel
+from repro.eval.costmodel import CostReport, NetworkModel, SetupCost
 from repro.eval.metrics import (
     LatencySummary,
     recall_at_k,
@@ -23,12 +23,24 @@ from repro.eval.metrics import (
 )
 from repro.eval.opcount import QueryCostModel, predict_query_cost
 from repro.eval.plotting import render_curves
-from repro.eval.runner import CurvePoint, MethodCurve, sweep_ppanns, sweep_filter_only
+from repro.eval.runner import (
+    BuildCurve,
+    BuildPoint,
+    CurvePoint,
+    MethodCurve,
+    sweep_build,
+    sweep_filter_only,
+    sweep_ppanns,
+)
 from repro.eval.reporting import format_table, format_curve
 
 __all__ = [
     "CostReport",
     "NetworkModel",
+    "SetupCost",
+    "BuildCurve",
+    "BuildPoint",
+    "sweep_build",
     "LatencySummary",
     "recall_at_k",
     "mean_recall",

@@ -20,7 +20,53 @@ from dataclasses import dataclass, field
 
 from repro.core.errors import ParameterError
 
-__all__ = ["NetworkModel", "CostReport"]
+__all__ = ["NetworkModel", "CostReport", "SetupCost"]
+
+
+@dataclass(frozen=True)
+class SetupCost:
+    """One-time owner-side setup cost, split the way Figure 9 needs it.
+
+    ``DataOwner.build_index`` both encrypts the database and constructs
+    the filter structures; a Fig-9-style cost attribution must charge
+    the two to different columns (encryption is cryptographic work the
+    owner always pays; construction parallelizes with
+    ``build_workers``).  The split comes straight from the index's
+    :class:`~repro.core.build.BuildReport` (:meth:`from_build_report`).
+
+    Attributes
+    ----------
+    encrypt_seconds:
+        DCPE + DCE database-encryption wall clock.
+    build_seconds:
+        Filter-structure construction wall clock.
+    """
+
+    encrypt_seconds: float = 0.0
+    build_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.encrypt_seconds < 0 or self.build_seconds < 0:
+            raise ParameterError("setup seconds must be non-negative")
+
+    @classmethod
+    def from_build_report(cls, report) -> "SetupCost":
+        """The split recorded by the construction pipeline."""
+        return cls(
+            encrypt_seconds=report.encrypt_seconds,
+            build_seconds=report.build_seconds,
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end setup wall clock."""
+        return self.encrypt_seconds + self.build_seconds
+
+    def amortized_seconds(self, num_queries: int) -> float:
+        """Per-query setup share over a workload of ``num_queries``."""
+        if num_queries < 1:
+            raise ParameterError(f"num_queries must be >= 1, got {num_queries}")
+        return self.total_seconds / num_queries
 
 
 @dataclass(frozen=True)

@@ -22,13 +22,14 @@ from repro.hnsw.distance import (
     squared_distances_to_many,
     pairwise_squared_distances,
 )
-from repro.hnsw.graph import HNSWIndex, HNSWParams, SearchStats
+from repro.hnsw.graph import BUILD_MODES, HNSWIndex, HNSWParams, SearchStats
 from repro.hnsw.heap import BoundedMaxHeap, ComparisonMaxHeap
 from repro.hnsw.ivf import IVFFlatIndex, IVFParams, kmeans
 from repro.hnsw.nsg import NSGIndex, NSGParams
 from repro.hnsw.pq import PQIndex, PQParams, ProductQuantizer
 
 __all__ = [
+    "BUILD_MODES",
     "HNSWIndex",
     "HNSWParams",
     "SearchStats",

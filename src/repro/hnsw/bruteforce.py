@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.core.errors import DimensionMismatchError, ParameterError
 from repro.hnsw.distance import squared_distances_to_many
-from repro.hnsw.graph import SearchStats
+from repro.hnsw.graph import SearchStats, sorted_id_array
 
 __all__ = ["exact_knn", "BruteForceIndex"]
 
@@ -80,6 +80,10 @@ class BruteForceIndex:
     def is_deleted(self, node: int) -> bool:
         """Whether ``node`` has been tombstoned."""
         return node in self._deleted
+
+    def deleted_ids(self) -> np.ndarray:
+        """Sorted tombstoned ids as int64 (see :func:`sorted_id_array`)."""
+        return sorted_id_array(self._deleted)
 
     def insert(self, vector: np.ndarray) -> int:
         """Append one vector, returning its id."""

@@ -17,20 +17,56 @@ argument.  The index itself is metric-agnostic — it just sees vectors.
 Search (``search``) is the standard layered beam search returning the
 ``ef_search``-quality top-k with per-query :class:`SearchStats` so the
 evaluation harness can report distance-computation counts and hops.
+
+Two build modes exist (:data:`BUILD_MODES`).  ``sequential`` is the
+seed's one-row-at-a-time insert loop and remains the oracle reference.
+``bulk`` builds the *same graph bit for bit* from the same seed — all
+levels are drawn up front in one vectorized RNG call (the identical
+uniform stream), adjacency lives in flat preallocated int64 arrays
+instead of per-node list-of-lists while the build runs, and the
+neighbor-selection heuristic answers its domination tests from batched
+distance kernels (one kernel call per *selected* neighbor instead of
+one per *candidate*) — which cuts the interpreter dispatch the
+sequential loop pays per insertion.
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
 import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.core.errors import DimensionMismatchError, ParameterError
 from repro.hnsw.distance import squared_distances_to_many
 
-__all__ = ["HNSWParams", "HNSWIndex", "SearchStats"]
+__all__ = [
+    "BUILD_MODES",
+    "HNSWParams",
+    "HNSWIndex",
+    "SearchStats",
+    "sorted_id_array",
+]
+
+#: Registered bulk-build modes: the seed's ``sequential`` insert loop
+#: (the oracle reference) and the ``bulk`` vectorized path, which
+#: produces a bit-identical graph from the same seed.
+BUILD_MODES = ("sequential", "bulk")
+
+
+def sorted_id_array(ids: "set[int]") -> np.ndarray:
+    """A tombstone set as a sorted int64 array — one build, no id scan.
+
+    Shared by every substrate's ``deleted_ids`` so the persisted
+    ``*_deleted`` payloads cannot drift apart in dtype or empty-case
+    handling.
+    """
+    if not ids:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.fromiter(ids, dtype=np.int64, count=len(ids)))
 
 
 @dataclass(frozen=True)
@@ -108,6 +144,75 @@ class _Node:
 
     level: int
     neighbors: list[list[int]] = field(default_factory=list)
+
+
+class _FlatAdjacency:
+    """Construction-time adjacency in flat preallocated int64 arrays.
+
+    The bulk build keeps one ``(n_layer, max_degree(layer) + 1)`` array
+    and one count vector per layer instead of per-node Python lists:
+    neighbor reads are slices, appends are single-cell writes, and the
+    ``+ 1`` column is the transient overflow slot ``_bulk_link`` fills
+    before pruning back down to the degree cap.  Each layer's rows
+    cover only the nodes whose level reaches that layer (the geometric
+    distribution thins ~1/m per layer), addressed through a per-layer
+    node -> row map — without the remap, every upper layer would
+    allocate full-``n`` rows for nodes that cannot exist there.
+    Neighbor order within a row is exactly the order the sequential
+    lists would hold, which is what keeps the bulk build bit-identical.
+    """
+
+    __slots__ = ("levels", "adjacency", "counts", "rows")
+
+    def __init__(self, params: HNSWParams, levels: np.ndarray) -> None:
+        n = int(levels.shape[0])
+        top = int(levels.max()) if n else -1
+        self.levels = levels
+        self.adjacency: list[np.ndarray] = []
+        self.counts: list[np.ndarray] = []
+        self.rows: list[np.ndarray] = []
+        for layer in range(top + 1):
+            eligible = np.nonzero(levels >= layer)[0]
+            row_of = np.full(n, -1, dtype=np.int64)
+            row_of[eligible] = np.arange(eligible.shape[0], dtype=np.int64)
+            self.rows.append(row_of)
+            self.adjacency.append(
+                np.full(
+                    (eligible.shape[0], params.max_degree(layer) + 1),
+                    -1,
+                    dtype=np.int64,
+                )
+            )
+            self.counts.append(np.zeros(eligible.shape[0], dtype=np.int64))
+
+    def neighbors_of(self, node: int, layer: int) -> list[int]:
+        """Neighbor ids of ``node`` at ``layer`` as plain ints, in order.
+
+        Empty for a node whose level does not reach ``layer`` — the same
+        answer the sequential path's level check gives.
+        """
+        row = self.rows[layer][node]
+        if row < 0:
+            return []
+        return self.adjacency[layer][row, : self.counts[layer][row]].tolist()
+
+    def replace(self, node: int, layer: int, neighbor_ids: list[int]) -> None:
+        """Overwrite ``node``'s neighbor row at ``layer``."""
+        row = self.rows[layer][node]
+        self.adjacency[layer][row, : len(neighbor_ids)] = neighbor_ids
+        self.counts[layer][row] = len(neighbor_ids)
+
+    def to_nodes(self) -> list[_Node]:
+        """Convert to the per-node list-of-lists the query path uses."""
+        return [
+            _Node(
+                level=int(level),
+                neighbors=[
+                    self.neighbors_of(node, layer) for layer in range(int(level) + 1)
+                ],
+            )
+            for node, level in enumerate(self.levels)
+        ]
 
 
 class HNSWIndex:
@@ -202,14 +307,25 @@ class HNSWIndex:
         uniform = max(uniform, 1e-300)
         return int(-math.log(uniform) * self._params.ml)
 
-    def build(self, vectors: np.ndarray) -> "HNSWIndex":
-        """Bulk-build the graph by inserting each row in order.
+    def build(self, vectors: np.ndarray, mode: str = "sequential") -> "HNSWIndex":
+        """Build the graph over ``vectors``; returns ``self`` for chaining.
 
-        Returns ``self`` for chaining.
+        ``mode`` selects the construction path (:data:`BUILD_MODES`):
+        ``sequential`` inserts each row in order (the seed loop, kept as
+        the oracle reference), ``bulk`` runs the vectorized construction
+        path — bit-identical output from the same RNG state, but with
+        levels drawn up front, flat int64 adjacency arrays during the
+        build, and batched neighbor-selection kernels.
         """
         vectors = np.asarray(vectors, dtype=np.float64)
         if vectors.ndim != 2 or vectors.shape[1] != self._dim:
             raise DimensionMismatchError(self._dim, vectors.shape[-1], what="build input")
+        if mode not in BUILD_MODES:
+            raise ParameterError(
+                f"unknown build mode {mode!r}; available: {', '.join(BUILD_MODES)}"
+            )
+        if mode == "bulk":
+            return self._build_bulk(vectors)
         for row in vectors:
             self.insert(row)
         return self
@@ -269,19 +385,132 @@ class HNSWIndex:
             selected = self._heuristic_prune(source_vector, candidates, max_degree)
             self._nodes[source].neighbors[layer] = [item for _, item in selected]
 
+    # -- bulk construction ---------------------------------------------------
+
+    def _build_bulk(self, vectors: np.ndarray) -> "HNSWIndex":
+        """The vectorized construction path (``mode="bulk"``).
+
+        Bit-identical to the sequential insert loop from the same RNG
+        state: the level draws consume the identical uniform stream (one
+        vectorized call), every distance the selection logic compares is
+        produced by the same elementwise kernel, and adjacency rows
+        preserve sequential neighbor order.  Only the bookkeeping
+        changes: flat int64 arrays instead of list-of-lists, and one
+        domination kernel per selected neighbor instead of one distance
+        call per candidate.
+        """
+        if self._nodes:
+            raise ParameterError(
+                "bulk build requires an empty graph; use insert() to extend"
+            )
+        n = vectors.shape[0]
+        if n == 0:
+            return self
+        # One vectorized draw is the identical stream to n scalar
+        # uniform() calls.  The log itself must stay math.log: np.log's
+        # SIMD kernel differs from the scalar libm by 1 ulp on a small
+        # fraction of inputs, which would flip a level when -log(u)*ml
+        # lands within that ulp of an integer and silently break the
+        # bit-identity contract.  n scalar logs are noise next to the
+        # graph construction itself.
+        uniforms = self._rng.uniform(0.0, 1.0, size=n)
+        ml = self._params.ml
+        levels = np.fromiter(
+            (int(-math.log(max(u, 1e-300)) * ml) for u in uniforms.tolist()),
+            dtype=np.int64,
+            count=n,
+        )
+        if self._buffer.shape[0] < n:
+            self._buffer = np.empty((n, self._dim))
+        self._buffer[:n] = vectors
+        flat = _FlatAdjacency(self._params, levels)
+        self._entry_point = 0
+        self._max_level = int(levels[0])
+        ef = max(self._params.ef_construction, 1)
+        for node_id in range(1, n):
+            vector = self._buffer[node_id]
+            level = int(levels[node_id])
+            current = self._entry_point
+            for layer in range(self._max_level, level, -1):
+                current = self._greedy_closest(
+                    vector, current, layer, neighbors_of=flat.neighbors_of
+                )
+            for layer in range(min(level, self._max_level), -1, -1):
+                candidates = self._search_layer(
+                    vector, [current], ef, layer, neighbors_of=flat.neighbors_of
+                )
+                selected = self._select_neighbors(
+                    vector,
+                    candidates,
+                    self._params.m,
+                    layer,
+                    neighbors_of=flat.neighbors_of,
+                    prune=self._heuristic_prune_batched,
+                )
+                flat.replace(node_id, layer, [item for _, item in selected])
+                for _, neighbor in selected:
+                    self._bulk_link(flat, neighbor, node_id, layer)
+                if candidates:
+                    current = candidates[0][1]
+            if level > self._max_level:
+                self._max_level = level
+                self._entry_point = node_id
+        self._nodes = flat.to_nodes()
+        return self
+
+    def _bulk_link(
+        self, flat: _FlatAdjacency, source: int, target: int, layer: int
+    ) -> None:
+        """Flat-array twin of :meth:`_link` (same shrink decisions)."""
+        row_index = int(flat.rows[layer][source])
+        count = int(flat.counts[layer][row_index])
+        row = flat.adjacency[layer][row_index]
+        if (row[:count] == target).any():
+            return
+        row[count] = target
+        count += 1
+        flat.counts[layer][row_index] = count
+        max_degree = self._params.max_degree(layer)
+        if count > max_degree:
+            neighbor_list = row[:count].tolist()
+            source_vector = self._buffer[source]
+            dists = squared_distances_to_many(
+                source_vector, self._buffer[neighbor_list]
+            )
+            candidates = sorted(zip(dists.tolist(), neighbor_list))
+            selected = self._heuristic_prune_batched(
+                source_vector, candidates, max_degree
+            )
+            flat.replace(source, layer, [item for _, item in selected])
+
     def _select_neighbors(
         self,
         vector: np.ndarray,
         candidates: list[tuple[float, int]],
         count: int,
         layer: int,
+        neighbors_of: "Callable[[int, int], list[int]] | None" = None,
+        prune: "Callable[[np.ndarray, list[tuple[float, int]], int], list[tuple[float, int]]] | None" = None,
     ) -> list[tuple[float, int]]:
-        """HNSW Algorithm 4: pick up to ``count`` diverse neighbors."""
+        """HNSW Algorithm 4: pick up to ``count`` diverse neighbors.
+
+        ``neighbors_of`` / ``prune`` let the bulk build substitute its
+        flat-array adjacency reader and batched prune kernel; the
+        defaults are the sequential list-of-lists path.
+        """
         if self._params.extend_candidates:
             seen = {item for _, item in candidates}
             extended = list(candidates)
             for _, item in candidates:
-                for neighbor in self._nodes[item].neighbors[layer] if layer <= self._nodes[item].level else []:
+                if neighbors_of is not None:
+                    extension = neighbors_of(item, layer)
+                else:
+                    extension = (
+                        self._nodes[item].neighbors[layer]
+                        if layer <= self._nodes[item].level
+                        else []
+                    )
+                for neighbor in extension:
                     if neighbor not in seen:
                         seen.add(neighbor)
                         dist = float(
@@ -291,6 +520,8 @@ class HNSWIndex:
                         )
                         extended.append((dist, neighbor))
             candidates = sorted(extended)
+        if prune is not None:
+            return prune(vector, candidates, count)
         return self._heuristic_prune(vector, candidates, count)
 
     def _heuristic_prune(
@@ -329,9 +560,61 @@ class HNSWIndex:
                 selected.append((dist, item))
         return selected
 
+    def _heuristic_prune_batched(
+        self,
+        vector: np.ndarray,
+        candidates: list[tuple[float, int]],
+        count: int,
+    ) -> list[tuple[float, int]]:
+        """Batched twin of :meth:`_heuristic_prune` — identical output.
+
+        The sequential oracle answers "is candidate ``c`` dominated?"
+        with one distance call per candidate (``c`` against the selected
+        set so far).  This version flips the loop: each time a neighbor
+        ``s`` is *selected*, one kernel call computes ``dist(s, ·)`` to
+        every candidate at once and ORs ``dist(s, c) < dist(c, q)`` into
+        a per-candidate domination flag.  The predicate evaluated per
+        (candidate, selected) pair — and the floats it compares — are
+        exactly the oracle's, so selections and prunes never diverge;
+        only the kernel-call count drops from O(#candidates) to
+        O(#selected).
+        """
+        ordered = sorted(candidates)
+        if not ordered:
+            return []
+        cand_ids = [item for _, item in ordered]
+        cand_dists = np.array([dist for dist, _ in ordered])
+        cand_vectors = self._buffer[cand_ids]
+        dominated = np.zeros(len(ordered), dtype=bool)
+        selected: list[tuple[float, int]] = []
+        pruned: list[tuple[float, int]] = []
+        for position, (dist, item) in enumerate(ordered):
+            if len(selected) >= count:
+                break
+            if dominated[position]:
+                pruned.append((dist, item))
+                continue
+            selected.append((dist, item))
+            to_selected = squared_distances_to_many(
+                cand_vectors[position], cand_vectors
+            )
+            dominated |= to_selected < cand_dists
+        if self._params.keep_pruned:
+            for dist, item in pruned:
+                if len(selected) >= count:
+                    break
+                selected.append((dist, item))
+        return selected
+
     # -- search ----------------------------------------------------------------
 
-    def _greedy_closest(self, query: np.ndarray, start: int, layer: int) -> int:
+    def _greedy_closest(
+        self,
+        query: np.ndarray,
+        start: int,
+        layer: int,
+        neighbors_of: "Callable[[int, int], list[int]] | None" = None,
+    ) -> int:
         """Greedy walk to a local minimum of distance-to-query at ``layer``."""
         current = start
         current_dist = float(
@@ -340,7 +623,10 @@ class HNSWIndex:
         improved = True
         while improved:
             improved = False
-            neighbor_ids = self._nodes[current].neighbors[layer]
+            if neighbors_of is not None:
+                neighbor_ids = neighbors_of(current, layer)
+            else:
+                neighbor_ids = self._nodes[current].neighbors[layer]
             if not neighbor_ids:
                 break
             dists = squared_distances_to_many(query, self._buffer[neighbor_ids])
@@ -358,6 +644,7 @@ class HNSWIndex:
         ef: int,
         layer: int,
         stats: SearchStats | None = None,
+        neighbors_of: "Callable[[int, int], list[int]] | None" = None,
     ) -> list[tuple[float, int]]:
         """Beam search at one layer; returns up to ``ef`` (dist, id) ascending."""
         visited = set(entry_points)
@@ -376,9 +663,12 @@ class HNSWIndex:
                 break
             if stats is not None:
                 stats.hops += 1
-            neighbor_ids = [
-                n for n in self._nodes[node].neighbors[layer] if n not in visited
-            ]
+            adjacent = (
+                self._nodes[node].neighbors[layer]
+                if neighbors_of is None
+                else neighbors_of(node, layer)
+            )
+            neighbor_ids = [n for n in adjacent if n not in visited]
             if not neighbor_ids:
                 continue
             visited.update(neighbor_ids)
@@ -509,6 +799,46 @@ class HNSWIndex:
         self._max_level = best_level
 
     # -- introspection -------------------------------------------------------------
+
+    def deleted_ids(self) -> np.ndarray:
+        """Sorted tombstoned ids as int64 (see :func:`sorted_id_array`)."""
+        return sorted_id_array(self._deleted)
+
+    def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flat ``(levels, edges)`` export for persistence.
+
+        ``levels`` is ``(n,)`` int64; ``edges`` is ``(e, 3)`` int64 rows
+        of ``(node, level, neighbor)`` ordered by node, then level, then
+        neighbor-list position — the order ``docs/FORMATS.md`` specifies.
+        Assembled from whole-array primitives (``fromiter`` over chained
+        lists + ``repeat``) instead of a per-edge Python loop.
+        """
+        count = len(self._nodes)
+        levels = np.fromiter(
+            (node.level for node in self._nodes), dtype=np.int64, count=count
+        )
+        list_nodes: list[int] = []
+        list_levels: list[int] = []
+        list_lengths: list[int] = []
+        chunks: list[list[int]] = []
+        for node, record in enumerate(self._nodes):
+            for level, adjacent in enumerate(record.neighbors):
+                if adjacent:
+                    list_nodes.append(node)
+                    list_levels.append(level)
+                    list_lengths.append(len(adjacent))
+                    chunks.append(adjacent)
+        if not chunks:
+            return levels, np.empty((0, 3), dtype=np.int64)
+        lengths = np.array(list_lengths, dtype=np.int64)
+        targets = np.fromiter(
+            itertools.chain.from_iterable(chunks),
+            dtype=np.int64,
+            count=int(lengths.sum()),
+        )
+        sources = np.repeat(np.array(list_nodes, dtype=np.int64), lengths)
+        layers = np.repeat(np.array(list_levels, dtype=np.int64), lengths)
+        return levels, np.column_stack((sources, layers, targets))
 
     def degree_histogram(self, layer: int = 0) -> dict[int, int]:
         """Histogram of out-degrees at ``layer`` over live nodes."""

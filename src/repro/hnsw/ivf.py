@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.errors import DimensionMismatchError, ParameterError
 from repro.hnsw.distance import pairwise_squared_distances, squared_distances_to_many
-from repro.hnsw.graph import SearchStats
+from repro.hnsw.graph import SearchStats, sorted_id_array
 
 __all__ = ["IVFParams", "IVFFlatIndex", "kmeans"]
 
@@ -210,6 +210,10 @@ class IVFFlatIndex:
     def is_deleted(self, node: int) -> bool:
         """Whether ``node`` has been tombstoned."""
         return node in self._deleted
+
+    def deleted_ids(self) -> np.ndarray:
+        """Sorted tombstoned ids as int64 (see :func:`sorted_id_array`)."""
+        return sorted_id_array(self._deleted)
 
     def insert(self, vector: np.ndarray) -> int:
         """Insert one vector into its nearest posting list, returning its id."""

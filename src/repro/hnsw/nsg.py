@@ -20,6 +20,7 @@ reproduction targets, and it keeps the substrate dependency-free.
 from __future__ import annotations
 
 import heapq
+import itertools
 import math
 from dataclasses import dataclass
 
@@ -27,7 +28,7 @@ import numpy as np
 
 from repro.core.errors import DimensionMismatchError, ParameterError
 from repro.hnsw.distance import pairwise_squared_distances, squared_distances_to_many
-from repro.hnsw.graph import SearchStats
+from repro.hnsw.graph import SearchStats, sorted_id_array
 
 __all__ = ["NSGParams", "NSGIndex"]
 
@@ -130,6 +131,33 @@ class NSGIndex:
     def is_deleted(self, node: int) -> bool:
         """Whether ``node`` has been tombstoned."""
         return node in self._deleted
+
+    def deleted_ids(self) -> np.ndarray:
+        """Sorted tombstoned ids as int64 (see :func:`sorted_id_array`)."""
+        return sorted_id_array(self._deleted)
+
+    def adjacency_arrays(self) -> np.ndarray:
+        """Flat ``(e, 2)`` int64 edge export ``(node, neighbor)``.
+
+        Ordered by node, then neighbor-list position (the persistence
+        order in ``docs/FORMATS.md``); assembled from whole-array
+        primitives instead of a per-edge Python loop.
+        """
+        lengths = np.fromiter(
+            (len(adjacent) for adjacent in self._neighbors),
+            dtype=np.int64,
+            count=len(self._neighbors),
+        )
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        targets = np.fromiter(
+            itertools.chain.from_iterable(self._neighbors),
+            dtype=np.int64,
+            count=total,
+        )
+        sources = np.repeat(np.arange(len(self._neighbors), dtype=np.int64), lengths)
+        return np.column_stack((sources, targets))
 
     def edge_count(self) -> int:
         """Total directed edges over live nodes."""

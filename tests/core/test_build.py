@@ -1,0 +1,253 @@
+"""Unit tests for the parallel index-construction pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.build import (
+    BUILD_MODES,
+    BuildReport,
+    ShardBuildTiming,
+    build_shard_backends,
+    resolve_build_workers,
+    spawn_shard_rngs,
+)
+from repro.core.errors import ParameterError
+from repro.core.executor import pool_width
+from repro.core.persistence import load_index, save_index
+from repro.core.roles import DataOwner
+from repro.core.scheme import PPANNS
+from repro.core.sharding import build_sharded_index
+from repro.eval.costmodel import SetupCost
+from repro.eval.runner import sweep_build
+from tests.conftest import FAST_HNSW
+
+
+def _database(n=60, dim=8, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, dim)) * 2.0
+
+
+class TestKnobValidation:
+    def test_resolve_build_workers(self):
+        assert resolve_build_workers(None) == pool_width()
+        assert resolve_build_workers(3) == 3
+        with pytest.raises(ParameterError):
+            resolve_build_workers(0)
+
+    def test_owner_rejects_bad_knobs(self):
+        with pytest.raises(ParameterError):
+            DataOwner(4, beta=0.3, build_workers=0)
+        with pytest.raises(ParameterError):
+            DataOwner(4, beta=0.3, build_mode="turbo")
+
+    def test_build_index_override_validation(self):
+        owner = DataOwner(8, beta=0.3, backend="bruteforce")
+        with pytest.raises(ParameterError):
+            owner.build_index(_database(), build_workers=-1)
+        with pytest.raises(ParameterError):
+            owner.build_index(_database(), build_mode="turbo")
+
+    def test_build_shard_backends_rejects_bad_mode(self):
+        data = _database(10)
+        with pytest.raises(ParameterError):
+            build_shard_backends(
+                "bruteforce", data, [np.arange(10, dtype=np.int64)],
+                build_mode="turbo",
+            )
+
+    def test_modes_registry(self):
+        assert BUILD_MODES == ("sequential", "bulk")
+
+
+class TestSpawnShardRngs:
+    def test_same_parent_seed_same_children(self):
+        first = spawn_shard_rngs(np.random.default_rng(5), 3)
+        second = spawn_shard_rngs(np.random.default_rng(5), 3)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.integers(0, 100, 8), b.integers(0, 100, 8))
+
+    def test_children_are_independent(self):
+        children = spawn_shard_rngs(np.random.default_rng(5), 3)
+        draws = [tuple(child.integers(0, 2**31, 8).tolist()) for child in children]
+        assert len(set(draws)) == 3
+
+    def test_successive_spawns_differ(self):
+        parent = np.random.default_rng(5)
+        first = spawn_shard_rngs(parent, 2)
+        second = spawn_shard_rngs(parent, 2)
+        assert not np.array_equal(
+            first[0].integers(0, 2**31, 8), second[0].integers(0, 2**31, 8)
+        )
+
+    def test_parent_stream_not_advanced(self):
+        parent = np.random.default_rng(5)
+        spawn_shard_rngs(parent, 4)
+        assert np.array_equal(
+            parent.integers(0, 100, 8),
+            np.random.default_rng(5).integers(0, 100, 8),
+        )
+
+    def test_none_parent_allowed(self):
+        assert len(spawn_shard_rngs(None, 2)) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParameterError):
+            spawn_shard_rngs(np.random.default_rng(0), -1)
+
+
+class TestBuildReport:
+    def test_owner_records_split_monolithic(self):
+        owner = DataOwner(8, beta=0.3, backend="bruteforce")
+        index = owner.build_index(_database())
+        report = index.build_report
+        assert report is not None
+        assert report.backend == "bruteforce"
+        assert report.shards == 1
+        assert report.encrypt_seconds > 0
+        assert report.build_seconds >= 0
+        assert report.total_seconds == pytest.approx(
+            report.encrypt_seconds + report.build_seconds
+        )
+        assert report.shard_timings == ()
+
+    def test_owner_records_shard_timings(self):
+        owner = DataOwner(8, beta=0.3, backend="bruteforce", shards=3)
+        index = owner.build_index(_database(n=30))
+        report = index.build_report
+        assert report.shards == 3
+        assert [timing.shard_id for timing in report.shard_timings] == [0, 1, 2]
+        assert sum(t.num_vectors for t in report.shard_timings) == 30
+        assert all(t.seconds >= 0.0 for t in report.shard_timings)
+
+    def test_empty_shard_timing_is_zero(self):
+        # 7 shards over 5 vectors: the tail shards never build a backend.
+        owner = DataOwner(8, beta=0.3, backend="bruteforce", shards=7)
+        report = owner.build_index(_database(n=5)).build_report
+        empty = [t for t in report.shard_timings if t.num_vectors == 0]
+        assert empty and all(t.seconds == 0.0 for t in empty)
+
+    def test_as_dict_is_json_ready(self):
+        report = BuildReport(
+            backend="hnsw",
+            num_vectors=10,
+            dim=4,
+            shards=2,
+            build_mode="bulk",
+            build_workers=None,
+            encrypt_seconds=0.5,
+            build_seconds=1.5,
+            shard_timings=(ShardBuildTiming(0, 1.0, 5), ShardBuildTiming(1, 0.5, 5)),
+        )
+        payload = report.as_dict()
+        assert payload["total_seconds"] == 2.0
+        assert payload["shard_timings"][1] == {
+            "shard_id": 1,
+            "seconds": 0.5,
+            "num_vectors": 5,
+        }
+
+    def test_build_mode_threads_to_graph(self):
+        owner = DataOwner(
+            8, beta=0.3, hnsw_params=FAST_HNSW, shards=2, build_mode="bulk"
+        )
+        report = owner.build_index(_database()).build_report
+        assert report.build_mode == "bulk"
+
+    def test_ppanns_passes_knobs(self):
+        scheme = PPANNS(
+            dim=8, beta=0.3, backend="bruteforce", shards=2,
+            build_workers=2, build_mode="bulk",
+        ).fit(_database())
+        report = scheme.server.index.build_report
+        assert report.build_workers == 2
+        assert report.build_mode == "bulk"
+
+
+class TestPersistedBuildMetadata:
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_roundtrip(self, shards, tmp_path):
+        owner = DataOwner(
+            8, beta=0.3, backend="bruteforce", shards=shards, build_workers=2
+        )
+        index = owner.build_index(_database(n=30))
+        path = tmp_path / "index.npz"
+        save_index(path, index)
+        loaded = load_index(path)
+        original = index.build_report
+        restored = loaded.build_report
+        assert restored is not None
+        assert restored.encrypt_seconds == original.encrypt_seconds
+        assert restored.build_seconds == original.build_seconds
+        assert restored.build_mode == original.build_mode
+        assert restored.build_workers == 2
+        assert restored.shards == (shards if shards > 1 else 1)
+        assert [
+            (t.shard_id, t.seconds, t.num_vectors) for t in restored.shard_timings
+        ] == [
+            (t.shard_id, t.seconds, t.num_vectors) for t in original.shard_timings
+        ]
+
+    def test_files_without_metadata_load_report_free(self, tmp_path):
+        index = DataOwner(8, beta=0.3, backend="bruteforce").build_index(_database())
+        index.build_report = None
+        path = tmp_path / "index.npz"
+        save_index(path, index)
+        assert load_index(path).build_report is None
+
+    def test_none_workers_roundtrip(self, tmp_path):
+        index = DataOwner(8, beta=0.3, backend="bruteforce", shards=2).build_index(
+            _database()
+        )
+        assert index.build_report.build_workers is None
+        path = tmp_path / "index.npz"
+        save_index(path, index)
+        assert load_index(path).build_report.build_workers is None
+
+
+class TestBuildShardedIndex:
+    def test_report_attached_and_encrypt_half_zero(self):
+        data = _database(n=40)
+        owner = DataOwner(8, beta=0.3, backend="bruteforce")
+        full = owner.build_index(data)
+        index = build_sharded_index(
+            full.sap_vectors, full.dce_database, backend="bruteforce",
+            num_shards=2, build_workers=2,
+        )
+        report = index.build_report
+        assert report.encrypt_seconds == 0.0
+        assert report.shards == 2
+        assert len(report.shard_timings) == 2
+
+
+class TestSweepBuild:
+    def test_sweep_points_and_speedup(self):
+        curve = sweep_build(
+            _database(n=40),
+            beta=0.3,
+            worker_grid=(1, 2),
+            backend="bruteforce",
+            shards=2,
+        )
+        assert len(curve.points) == 2
+        assert curve.points[0].parameter == 1.0
+        assert all(point.encrypt_seconds > 0 for point in curve.points)
+        assert all(len(point.shard_seconds) == 2 for point in curve.points)
+        assert curve.speedup() > 0
+
+
+class TestSetupCost:
+    def test_from_build_report(self):
+        report = BuildReport(
+            backend="hnsw", num_vectors=10, dim=4,
+            encrypt_seconds=2.0, build_seconds=6.0,
+        )
+        setup = SetupCost.from_build_report(report)
+        assert setup.encrypt_seconds == 2.0
+        assert setup.build_seconds == 6.0
+        assert setup.total_seconds == 8.0
+        assert setup.amortized_seconds(4) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SetupCost(encrypt_seconds=-1.0)
+        with pytest.raises(ParameterError):
+            SetupCost().amortized_seconds(0)

@@ -229,3 +229,102 @@ class TestIntrospection:
         assert index.edge_count(0) == sum(
             degree * count for degree, count in index.degree_histogram(0).items()
         )
+
+    def test_adjacency_arrays_match_neighbor_lists(self, built_graph):
+        index, _ = built_graph
+        levels, edges = index.adjacency_arrays()
+        assert levels.dtype == np.int64 and edges.dtype == np.int64
+        assert levels.tolist() == [
+            index.node_level(i) for i in range(levels.shape[0])
+        ]
+        expected = [
+            (node, level, neighbor)
+            for node in range(levels.shape[0])
+            for level in range(index.node_level(node) + 1)
+            for neighbor in index.neighbors(node, level)
+        ]
+        assert [tuple(row) for row in edges.tolist()] == expected
+
+    def test_adjacency_arrays_empty_graph(self):
+        levels, edges = HNSWIndex(4).adjacency_arrays()
+        assert levels.shape == (0,)
+        assert edges.shape == (0, 3)
+
+    def test_deleted_ids_sorted(self):
+        rng = np.random.default_rng(3)
+        index = HNSWIndex(4, HNSWParams(m=4, ef_construction=10), rng=rng)
+        index.build(rng.standard_normal((20, 4)))
+        assert index.deleted_ids().tolist() == []
+        for node in (7, 2, 11):
+            index.mark_deleted(node)
+        assert index.deleted_ids().tolist() == [2, 7, 11]
+        assert index.deleted_ids().dtype == np.int64
+
+
+class TestBulkBuild:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ParameterError):
+            HNSWIndex(4).build(np.zeros((3, 4)), mode="turbo")
+
+    def test_bulk_requires_empty_graph(self):
+        rng = np.random.default_rng(0)
+        index = HNSWIndex(4, HNSWParams(m=4, ef_construction=10), rng=rng)
+        index.insert(np.zeros(4))
+        with pytest.raises(ParameterError):
+            index.build(rng.standard_normal((5, 4)), mode="bulk")
+
+    def test_bulk_empty_input(self):
+        index = HNSWIndex(4).build(np.zeros((0, 4)), mode="bulk")
+        assert index.size == 0
+        assert index.entry_point is None
+
+    def test_bulk_single_row(self):
+        index = HNSWIndex(4, rng=np.random.default_rng(0)).build(
+            np.ones((1, 4)), mode="bulk"
+        )
+        assert index.size == 1
+        assert index.entry_point == 0
+
+    def test_bulk_matches_sequential(self):
+        rng = np.random.default_rng(9)
+        vectors = rng.standard_normal((250, 8))
+        sequential = HNSWIndex(
+            8, HNSWParams(m=6, ef_construction=30), rng=np.random.default_rng(1)
+        ).build(vectors)
+        bulk = HNSWIndex(
+            8, HNSWParams(m=6, ef_construction=30), rng=np.random.default_rng(1)
+        ).build(vectors, mode="bulk")
+        assert bulk.entry_point == sequential.entry_point
+        seq_levels, seq_edges = sequential.adjacency_arrays()
+        bulk_levels, bulk_edges = bulk.adjacency_arrays()
+        assert np.array_equal(seq_levels, bulk_levels)
+        assert np.array_equal(seq_edges, bulk_edges)
+
+    def test_bulk_graph_supports_maintenance(self):
+        rng = np.random.default_rng(4)
+        vectors = rng.standard_normal((60, 6))
+        index = HNSWIndex(
+            6, HNSWParams(m=4, ef_construction=20), rng=rng
+        ).build(vectors, mode="bulk")
+        # Post-bulk inserts extend the converted graph like any other.
+        new_id = index.insert(vectors[0] + 0.01)
+        assert new_id == 60
+        ids, _ = index.search(vectors[0], 3, ef_search=30)
+        assert new_id in ids.tolist() or 0 in ids.tolist()
+        index.mark_deleted(0)
+        ids, _ = index.search(vectors[0], 3, ef_search=30)
+        assert 0 not in ids.tolist()
+
+    def test_bulk_recall_matches_sequential_quality(self):
+        rng = np.random.default_rng(11)
+        vectors = rng.standard_normal((300, 12))
+        queries = rng.standard_normal((10, 12))
+        index = HNSWIndex(
+            12, HNSWParams(m=8, ef_construction=60), rng=np.random.default_rng(2)
+        ).build(vectors, mode="bulk")
+        hits = 0
+        for query in queries:
+            truth = exact_knn(vectors, query, 5)[0]
+            found, _ = index.search(query, 5, ef_search=80)
+            hits += len(set(found.tolist()) & set(truth.tolist()))
+        assert hits / (5 * len(queries)) > 0.8

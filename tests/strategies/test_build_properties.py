@@ -1,0 +1,204 @@
+"""Property tests for the parallel + vectorized construction pipeline.
+
+Two reproducibility contracts the build subsystem promises:
+
+1. **Worker-count invariance** — a sharded build is a pure function of
+   the ciphertext slices and the SeedSequence-spawned per-shard child
+   seeds, so the built index is *bit-identical* at any ``build_workers``
+   setting: exactly so for the brute-force backend (which is seedless on
+   top of that), and exactly so for the seeded graph/IVF backends too —
+   plus the issue-level recall-parity corollary for graph backends.
+2. **Bulk-mode equivalence** — the ``bulk`` HNSW construction path
+   produces the *same graph bit for bit* as the seed's ``sequential``
+   insert loop from the same RNG state, for any construction flags
+   (including duplicate-vector tie patterns, which stress every sorted
+   comparison in the selection heuristic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.build import build_shard_backends
+from repro.core.roles import CloudServer, DataOwner, QueryUser
+from repro.core.sharding import assign_shards
+from repro.eval.metrics import recall_at_k
+from repro.hnsw.bruteforce import exact_knn
+from repro.hnsw.graph import HNSWIndex, HNSWParams
+
+from tests.strategies import backend_kinds, databases, seeds
+
+_TINY_HNSW = HNSWParams(m=4, ef_construction=20)
+
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+shard_counts = st.integers(min_value=2, max_value=5)
+worker_counts = st.sampled_from((2, 3, None))
+strategies = st.sampled_from(("round_robin", "hash"))
+
+
+def _tiny_params(backend: str):
+    return _TINY_HNSW if backend == "hnsw" else None
+
+
+def _shard_states(data, backend, num_shards, strategy, workers, seed):
+    """Per-shard persisted state arrays of one sharded build."""
+    assignment = assign_shards(data.shape[0], num_shards, strategy)
+    owned = [
+        np.nonzero(assignment == shard)[0].astype(np.int64)
+        for shard in range(num_shards)
+    ]
+    backends, timings = build_shard_backends(
+        backend,
+        data,
+        owned,
+        rng=np.random.default_rng(seed),
+        params=_tiny_params(backend),
+        build_workers=workers,
+    )
+    assert len(timings) == num_shards
+    assert sum(timing.num_vectors for timing in timings) == data.shape[0]
+    return [
+        None if built is None else built.state_arrays() for built in backends
+    ]
+
+
+def _assert_states_equal(reference, other, context):
+    assert len(reference) == len(other), context
+    for left, right in zip(reference, other):
+        assert (left is None) == (right is None), context
+        if left is None:
+            continue
+        assert left.keys() == right.keys(), context
+        for key in left:
+            assert np.array_equal(left[key], right[key]), f"{context}: {key}"
+
+
+@_SETTINGS
+@given(
+    data=databases(dim=8),
+    backend=backend_kinds,
+    num_shards=shard_counts,
+    strategy=strategies,
+    workers=worker_counts,
+    seed=seeds,
+)
+def test_parallel_shard_build_is_bit_identical_to_sequential(
+    data, backend, num_shards, strategy, workers, seed
+):
+    """Any worker count builds the same shards as build_workers=1.
+
+    The brute-force case is the issue's acceptance criterion; the other
+    backends satisfy it too because every shard consumes its own
+    spawned child generator, never a stream shared across shards.
+    """
+    sequential = _shard_states(data, backend, num_shards, strategy, 1, seed)
+    parallel = _shard_states(data, backend, num_shards, strategy, workers, seed)
+    _assert_states_equal(
+        sequential,
+        parallel,
+        f"{backend} diverged at workers={workers} shards={num_shards} "
+        f"strategy={strategy}",
+    )
+
+
+@_SETTINGS
+@given(
+    data=databases(dim=8, min_rows=40, max_rows=60),
+    backend=st.sampled_from(("hnsw", "nsg", "ivf")),
+    num_shards=shard_counts,
+    workers=worker_counts,
+    seed=seeds,
+)
+def test_parallel_graph_build_keeps_recall_parity(
+    data, backend, num_shards, workers, seed
+):
+    """End-to-end recall is identical at any worker count.
+
+    Stronger than a parity band: the two owners consume identically
+    seeded generators, their shard builds are bit-identical, so the two
+    servers must return the same ids for the same encrypted batch.
+    """
+    k = 5
+
+    def deployed(build_workers):
+        owner = DataOwner(
+            data.shape[1],
+            beta=0.3,
+            hnsw_params=_TINY_HNSW,
+            backend=backend,
+            shards=num_shards,
+            build_workers=build_workers,
+            rng=np.random.default_rng(seed),
+        )
+        server = CloudServer(owner.build_index(data))
+        user = QueryUser(owner.authorize_user(), rng=np.random.default_rng(seed + 1))
+        return server, user
+
+    sequential_server, user = deployed(1)
+    parallel_server, _ = deployed(workers)
+    queries = np.random.default_rng(seed + 2).standard_normal((4, 8)) * 2.0
+    batch = user.encrypt_queries(queries, k, ratio_k=4, ef_search=40)
+    sequential_ids = sequential_server.answer(batch).ids_matrix()
+    parallel_ids = parallel_server.answer(batch).ids_matrix()
+    assert np.array_equal(sequential_ids, parallel_ids)
+    truth = [exact_knn(data, query, k)[0] for query in queries]
+    sequential_recall = np.mean([
+        recall_at_k(ids, truth[i], k) for i, ids in enumerate(sequential_ids)
+    ])
+    parallel_recall = np.mean([
+        recall_at_k(ids, truth[i], k) for i, ids in enumerate(parallel_ids)
+    ])
+    assert parallel_recall == sequential_recall
+
+
+construction_flags = st.sampled_from(
+    (
+        HNSWParams(m=4, ef_construction=20),
+        HNSWParams(m=4, ef_construction=16, keep_pruned=False),
+        HNSWParams(m=6, ef_construction=24, extend_candidates=True),
+    )
+)
+
+
+@_SETTINGS
+@given(
+    data=databases(dim=8, min_rows=25, max_rows=70),
+    params=construction_flags,
+    seed=seeds,
+    duplicate=st.booleans(),
+)
+def test_bulk_hnsw_build_equals_sequential(data, params, seed, duplicate):
+    """``bulk`` builds the sequential oracle's graph bit for bit.
+
+    ``duplicate`` plants repeated vectors so zero distances and sorted
+    ties exercise the batched prune's knife edges.
+    """
+    if duplicate and data.shape[0] >= 6:
+        data = data.copy()
+        data[1] = data[0]
+        data[5] = data[0]
+    sequential = HNSWIndex(
+        data.shape[1], params, rng=np.random.default_rng(seed)
+    ).build(data)
+    bulk = HNSWIndex(
+        data.shape[1], params, rng=np.random.default_rng(seed)
+    ).build(data, mode="bulk")
+    assert bulk.entry_point == sequential.entry_point
+    assert bulk.max_level == sequential.max_level
+    seq_levels, seq_edges = sequential.adjacency_arrays()
+    bulk_levels, bulk_edges = bulk.adjacency_arrays()
+    assert np.array_equal(bulk_levels, seq_levels)
+    assert np.array_equal(bulk_edges, seq_edges)
+    # And the graphs answer searches identically.
+    query = np.random.default_rng(seed + 1).standard_normal(data.shape[1])
+    seq_ids, seq_dists = sequential.search(query, 3, ef_search=20)
+    bulk_ids, bulk_dists = bulk.search(query, 3, ef_search=20)
+    assert np.array_equal(seq_ids, bulk_ids)
+    assert np.array_equal(seq_dists, bulk_dists)

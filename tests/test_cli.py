@@ -136,6 +136,78 @@ class TestBuildAndQuery:
         for i, ids in enumerate(payload["ids"]):
             assert i in ids
 
+    def test_build_json_report(self, cli_workspace, capsys):
+        root, database, _ = cli_workspace
+        code = main(
+            [
+                "build",
+                str(root / "db.npy"),
+                "--index", str(root / "json_index.npz"),
+                "--keys", str(root / "json_keys.npz"),
+                "--beta", "0.2",
+                "--backend", "bruteforce",
+                "--shards", "3",
+                "--build-workers", "2",
+                "--build-mode", "bulk",
+                "--json",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "bruteforce"
+        assert payload["shards"] == 3
+        assert payload["build_workers"] == 2
+        assert payload["build_mode"] == "bulk"
+        assert payload["encrypt_seconds"] > 0
+        assert payload["total_seconds"] == pytest.approx(
+            payload["encrypt_seconds"] + payload["build_seconds"]
+        )
+        assert [t["shard_id"] for t in payload["shard_timings"]] == [0, 1, 2]
+        assert sum(t["num_vectors"] for t in payload["shard_timings"]) == 120
+
+    def test_build_mode_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["build", "db.npy", "--index", "i.npz", "--keys", "k.npz",
+                 "--beta", "1.0", "--build-mode", "turbo"]
+            )
+
+    def test_bulk_build_answers_identically(self, cli_workspace, capsys):
+        """Same seed, both build modes: the served ids must agree."""
+        root, _, _ = cli_workspace
+        ids_by_mode = {}
+        for mode in ("sequential", "bulk"):
+            code = main(
+                [
+                    "build",
+                    str(root / "db.npy"),
+                    "--index", str(root / f"{mode}_index.npz"),
+                    "--keys", str(root / f"{mode}_keys.npz"),
+                    "--beta", "0.2",
+                    "--m", "8",
+                    "--ef-construction", "40",
+                    "--build-mode", mode,
+                    "--seed", "1",
+                ]
+            )
+            assert code == 0
+            capsys.readouterr()
+            code = main(
+                [
+                    "query",
+                    "--index", str(root / f"{mode}_index.npz"),
+                    "--keys", str(root / f"{mode}_keys.npz"),
+                    "--queries", str(root / "queries.fvecs"),
+                    "-k", "5",
+                    "--json",
+                    "--seed", "2",
+                ]
+            )
+            assert code == 0
+            ids_by_mode[mode] = json.loads(capsys.readouterr().out)["ids"]
+        assert ids_by_mode["sequential"] == ids_by_mode["bulk"]
+
     def test_refine_engines_agree_end_to_end(self, cli_workspace, capsys):
         root, _, _ = cli_workspace
         index_path = str(root / "sharded_index.npz")
