@@ -4,8 +4,12 @@ Search on High-Dimensional Data" (Liu, Zhang, Xie, Li, Yu, Cui; ICDE 2025).
 The package implements the paper's complete system and its evaluation:
 
 * :mod:`repro.core` — Distance Comparison Encryption (DCE), DCPE
-  (Scale-and-Perturb), the privacy-preserving index, filter-and-refine
-  search, system roles and index maintenance.
+  (Scale-and-Perturb), the privacy-preserving index, the staged
+  filter-and-refine search pipeline, system roles and index
+  maintenance.
+* :mod:`repro.serve` — the online micro-batching serving layer:
+  bounded admission, scheduler-formed micro-batches, result caching,
+  serving metrics.
 * :mod:`repro.hnsw` — HNSW and NSG proximity graphs built from scratch.
 * :mod:`repro.lsh` — E2LSH, the index substrate of two baselines.
 * :mod:`repro.baselines` — ASPE (+ broken enhanced variants), AME,
@@ -47,7 +51,6 @@ from repro.core import (
     EncryptedQueryBatch,
     FilterBackend,
     QueryUser,
-    SearchReport,
     SearchRequest,
     SearchResult,
     SearchResultBatch,
@@ -61,8 +64,19 @@ from repro.core import (
     filter_and_refine,
 )
 from repro.hnsw import HNSWIndex, HNSWParams
+from repro.serve import BatchScheduler, QueueFullError, ServerMetrics, ServingFrontend
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    """Forward deprecated names to their owning module (warn on access)."""
+    if name == "SearchReport":
+        # Triggers repro.core.protocol's DeprecationWarning.
+        from repro.core import protocol
+
+        return protocol.SearchReport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "PPANNS",
@@ -83,7 +97,7 @@ __all__ = [
     "EncryptedQueryBatch",
     "SearchResult",
     "SearchResultBatch",
-    "SearchReport",
+    "SearchReport",  # noqa: F822  (module __getattr__, deprecated alias)
     "FilterBackend",
     "available_backends",
     "build_backend",
@@ -91,5 +105,9 @@ __all__ = [
     "execute_batch",
     "HNSWIndex",
     "HNSWParams",
+    "ServingFrontend",
+    "BatchScheduler",
+    "ServerMetrics",
+    "QueueFullError",
     "__version__",
 ]

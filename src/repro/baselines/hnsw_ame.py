@@ -16,7 +16,7 @@ import numpy as np
 from repro.baselines.ame import AMECiphertext, AMEScheme, AMETrapdoor
 from repro.core.dcpe import DCPEScheme, dcpe_keygen
 from repro.core.errors import ParameterError
-from repro.core.search import SearchReport
+from repro.core.search import SearchResult
 from repro.hnsw.graph import HNSWIndex, HNSWParams, SearchStats
 from repro.hnsw.heap import ComparisonMaxHeap
 
@@ -88,7 +88,7 @@ class HNSWAMEScheme:
         k: int,
         ratio_k: int = 8,
         ef_search: int | None = None,
-    ) -> SearchReport:
+    ) -> SearchResult:
         """Filter with HNSW-on-DCPE, refine with AME comparisons."""
         if self._graph is None:
             raise ParameterError("call fit() before querying")
@@ -116,7 +116,7 @@ class HNSWAMEScheme:
             heap.offer(int(candidate))
         refine_seconds = time.perf_counter() - start
 
-        return SearchReport(
+        return SearchResult(
             ids=np.array(heap.items(), dtype=np.int64),
             filter_stats=stats,
             refine_comparisons=heap.oracle_calls,

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.core.dce import DCEEncryptedDatabase, DCEScheme
 from repro.core.errors import ParameterError
-from repro.core.search import SearchReport
+from repro.core.search import SearchResult
 from repro.hnsw.heap import ComparisonMaxHeap
 
 __all__ = ["DCELinearScan"]
@@ -47,7 +47,7 @@ class DCELinearScan:
         self._database = self._dce.encrypt_database(np.asarray(vectors, dtype=np.float64))
         return self
 
-    def query_with_report(self, query: np.ndarray, k: int) -> SearchReport:
+    def query_with_report(self, query: np.ndarray, k: int) -> SearchResult:
         """Scan every ciphertext through the comparison heap."""
         if self._database is None:
             raise ParameterError("call fit() before querying")
@@ -66,7 +66,7 @@ class DCELinearScan:
         for candidate in range(len(database)):
             heap.offer(candidate)
         elapsed = time.perf_counter() - start
-        return SearchReport(
+        return SearchResult(
             ids=np.array(heap.items(), dtype=np.int64),
             refine_comparisons=heap.oracle_calls,
             k_prime=len(database),

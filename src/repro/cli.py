@@ -18,6 +18,19 @@ A deployable front-end over the library for the three lifecycle stages:
   refine-stage engine.
 * ``demo``   — one-command end-to-end demo on a synthetic dataset with a
   recall report.
+* ``info``   — inspect an index file without keys: backend kind, shard
+  layout, tombstones, storage accounting, and the persisted v2/v3 build
+  metadata (``build_mode``, ``build_workers``, the encrypt/build
+  seconds split); ``--json`` for the machine-readable form.
+* ``serve``  — the online path: replay a query file through a
+  :class:`~repro.serve.frontend.ServingFrontend` one query at a time
+  (optionally at a Poisson ``--rate``); the server forms the
+  micro-batches (``--max-batch`` / ``--batch-window``) and the command
+  reports throughput, latency percentiles, and the batch-size
+  histogram (``--json`` emits the full metrics snapshot).
+* ``workload`` — synthetic serving benchmark: build a scheme, replay an
+  open-loop workload through the frontend *and* through the sequential
+  one-query-at-a-time path, and report the micro-batching speedup.
 
 The index file contains no key material; the key file must be kept by
 the owner/user only (see ``repro.core.persistence``).
@@ -42,6 +55,7 @@ from repro.datasets import compute_ground_truth, make_dataset
 from repro.datasets.loaders import read_fvecs
 from repro.eval.metrics import recall_at_k
 from repro.hnsw.graph import HNSWParams
+from repro.serve import replay_open_loop
 
 __all__ = ["main", "build_parser"]
 
@@ -162,6 +176,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="refine-stage engine (default: vectorized)",
     )
     demo.add_argument("--seed", type=int, default=0)
+
+    info = commands.add_parser("info", help="inspect an index file (no keys needed)")
+    info.add_argument("--index", required=True, help="index file from 'build'")
+    info.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable index report",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="answer queries through the online micro-batching frontend"
+    )
+    serve.add_argument("--index", required=True, help="index file from 'build'")
+    serve.add_argument("--keys", required=True, help="key file from 'build'")
+    serve.add_argument(
+        "--queries", required=True, help="query vectors (.fvecs or .npy)"
+    )
+    serve.add_argument("-k", type=int, default=10)
+    serve.add_argument("--ratio-k", type=int, default=None)
+    serve.add_argument("--ef-search", type=int, default=None)
+    serve.add_argument(
+        "--refine-engine",
+        choices=available_refine_engines(),
+        default=None,
+        help="refine-stage engine (default: the server's vectorized engine)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="micro-batch size cap (dispatch fires when a batch fills)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="micro-batch latency window in seconds, counted from the "
+        "batch's first query (0 disables batching)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="admission-queue bound (default: max(1024, #queries)); "
+        "beyond it submissions are rejected with QueueFullError",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="LRU result-cache capacity in entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop Poisson arrival rate in queries/second "
+        "(default: submit back-to-back, the heavy-traffic limit)",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit ids plus the full serving-metrics snapshot",
+    )
+    serve.add_argument("--seed", type=int, default=None)
+
+    workload = commands.add_parser(
+        "workload",
+        help="synthetic serving benchmark: micro-batched vs sequential",
+    )
+    workload.add_argument("--profile", default="deep", help="dataset profile")
+    workload.add_argument("-n", type=int, default=2000, help="database size")
+    workload.add_argument("--queries", type=int, default=32)
+    workload.add_argument("--beta", type=float, default=1.0)
+    workload.add_argument("-k", type=int, default=10)
+    workload.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="hnsw",
+        help="filter-phase backend",
+    )
+    workload.add_argument("--shards", type=int, default=1, help="filter shard count")
+    workload.add_argument("--max-batch", type=int, default=16)
+    workload.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="micro-batch latency window in seconds",
+    )
+    workload.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop Poisson arrival rate in queries/second "
+        "(default: back-to-back)",
+    )
+    workload.add_argument("--json", action="store_true")
+    workload.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -305,10 +417,190 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_info(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    report = index.size_report()
+    sharded = hasattr(index, "num_shards")
+    payload = {
+        "index_path": args.index,
+        "backend": index.backend_kind,
+        "num_vectors": int(index.sap_vectors.shape[0]),
+        "live_vectors": len(index),
+        "tombstones": len(index.tombstones),
+        "dim": index.dim,
+        "shards": index.num_shards if sharded else 1,
+        "shard_strategy": index.strategy if sharded else None,
+        "shard_sizes": [len(shard) for shard in index.shards] if sharded else None,
+        "storage_floats": report.total_floats,
+        "dce_overhead_ratio": report.dce_overhead_ratio,
+        "build_report": (
+            index.build_report.as_dict() if index.build_report is not None else None
+        ),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    sharding = (
+        f"shards={payload['shards']} ({payload['shard_strategy']}, "
+        f"sizes {payload['shard_sizes']})"
+        if sharded
+        else "monolithic"
+    )
+    print(
+        f"index {args.index}: backend={payload['backend']} "
+        f"n={payload['num_vectors']} ({payload['live_vectors']} live, "
+        f"{payload['tombstones']} tombstoned) d={payload['dim']} {sharding}"
+    )
+    print(
+        f"storage {report.total_floats} floats "
+        f"({report.dce_overhead_ratio:.2f}x plaintext for C_DCE)"
+    )
+    build = index.build_report
+    if build is None:
+        print("build metadata: none recorded (pre-build-pipeline file)")
+    else:
+        print(
+            f"build metadata: mode={build.build_mode} "
+            f"workers={'pool' if build.build_workers is None else build.build_workers} "
+            f"(encrypt {build.encrypt_seconds:.2f}s + build {build.build_seconds:.2f}s)"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    keys = load_keys(args.keys)
+    user = QueryUser(keys, rng=np.random.default_rng(args.seed))
+    server = CloudServer(index, refine_engine=args.refine_engine)
+    queries = _load_vectors(args.queries)
+    encrypted = [
+        user.encrypt_query(query, args.k, ratio_k=args.ratio_k,
+                           ef_search=args.ef_search)
+        for query in queries
+    ]
+    queue_depth = (
+        args.queue_depth
+        if args.queue_depth is not None
+        else max(1024, len(encrypted))
+    )
+    frontend = server.serving_frontend(
+        max_batch_size=args.max_batch,
+        batch_window_seconds=args.batch_window,
+        max_queue_depth=queue_depth,
+        cache_size=args.cache_size,
+    )
+    with frontend:
+        results, elapsed = replay_open_loop(frontend, encrypted, args.rate, args.seed)
+        snapshot = frontend.metrics.snapshot()
+    served_qps = len(results) / elapsed if elapsed > 0 else float("inf")
+
+    if args.json:
+        payload = {
+            "backend": index.backend_kind,
+            "shards": getattr(index, "num_shards", 1),
+            "k": args.k,
+            "num_queries": len(results),
+            "max_batch_size": args.max_batch,
+            "batch_window_seconds": args.batch_window,
+            "rate": args.rate,
+            "served_qps": served_qps,
+            "ids": [result.ids.tolist() for result in results],
+            "metrics": snapshot.as_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"served {len(results)} queries (k={args.k}) at {served_qps:.0f} QPS "
+        f"[window={args.batch_window * 1e3:.1f}ms, cap={args.max_batch}]"
+    )
+    print(
+        f"latency p50/p95/p99 = {snapshot.latency_p50 * 1e3:.2f}/"
+        f"{snapshot.latency_p95 * 1e3:.2f}/{snapshot.latency_p99 * 1e3:.2f} ms; "
+        f"{snapshot.batches} micro-batches, mean size "
+        f"{snapshot.mean_batch_size:.1f}, max queue depth "
+        f"{snapshot.max_queue_depth}"
+    )
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    dataset = make_dataset(args.profile, num_vectors=args.n,
+                           num_queries=args.queries, rng=rng)
+    owner = DataOwner(
+        dataset.dim, beta=args.beta, backend=args.backend,
+        shards=args.shards, rng=rng,
+    )
+    index = owner.build_index(dataset.database)
+    server = CloudServer(index)
+    user = QueryUser(owner.authorize_user(), rng=rng)
+    encrypted = [user.encrypt_query(q, args.k) for q in dataset.queries]
+
+    sequential_start = time.perf_counter()
+    sequential = [server.answer(query) for query in encrypted]
+    sequential_seconds = time.perf_counter() - sequential_start
+
+    frontend = server.serving_frontend(
+        max_batch_size=args.max_batch,
+        batch_window_seconds=args.batch_window,
+        max_queue_depth=max(1024, len(encrypted)),
+    )
+    with frontend:
+        served, served_seconds = replay_open_loop(
+            frontend, encrypted, args.rate, args.seed
+        )
+        snapshot = frontend.metrics.snapshot()
+
+    matched = all(
+        np.array_equal(a.ids, b.ids) for a, b in zip(sequential, served)
+    )
+    sequential_qps = (
+        len(encrypted) / sequential_seconds if sequential_seconds > 0 else 0.0
+    )
+    served_qps = len(encrypted) / served_seconds if served_seconds > 0 else 0.0
+    speedup = served_qps / sequential_qps if sequential_qps > 0 else float("inf")
+
+    if args.json:
+        payload = {
+            "profile": args.profile,
+            "n": args.n,
+            "dim": dataset.dim,
+            "backend": index.backend_kind,
+            "shards": getattr(index, "num_shards", 1),
+            "k": args.k,
+            "num_queries": len(encrypted),
+            "max_batch_size": args.max_batch,
+            "batch_window_seconds": args.batch_window,
+            "rate": args.rate,
+            "sequential_qps": sequential_qps,
+            "served_qps": served_qps,
+            "speedup": speedup,
+            "ids_match": matched,
+            "metrics": snapshot.as_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"profile={args.profile} n={args.n} d={dataset.dim} "
+        f"backend={index.backend_kind} q={len(encrypted)}: "
+        f"sequential {sequential_qps:.0f} QPS -> micro-batched "
+        f"{served_qps:.0f} QPS ({speedup:.2f}x), mean batch "
+        f"{snapshot.mean_batch_size:.1f}, ids {'match' if matched else 'DIVERGED'}"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    handlers = {"build": _cmd_build, "query": _cmd_query, "demo": _cmd_demo}
+    handlers = {
+        "build": _cmd_build,
+        "query": _cmd_query,
+        "demo": _cmd_demo,
+        "info": _cmd_info,
+        "serve": _cmd_serve,
+        "workload": _cmd_workload,
+    }
     return handlers[args.command](args)
 
 

@@ -15,9 +15,14 @@ Public API:
 * :mod:`repro.core.backends` — the :class:`FilterBackend` protocol and
   the HNSW / NSG / IVF / brute-force adapters (Section V-A's
   substitutability remark).
-* :func:`repro.core.search.filter_and_refine` — Algorithm 2;
-  :func:`repro.core.search.execute_batch` — the pipelined batch path
-  (queries fan out over :mod:`repro.core.executor`'s shared pool).
+* :func:`repro.core.search.filter_and_refine` — Algorithm 2, run as
+  the staged pipeline :data:`repro.core.search.PIPELINE_STAGES`
+  (resolve → filter → mask → refine → respond over a
+  :class:`PipelineContext`); :func:`repro.core.search.execute_batch` —
+  the pipelined batch path (queries fan out over
+  :mod:`repro.core.executor`'s shared pool), with
+  :func:`repro.core.search.execute_batch_settled` as the per-query
+  settled form the online serving layer (:mod:`repro.serve`) consumes.
 * :mod:`repro.core.refine` — pluggable refine engines behind the
   :class:`RefineEngine` protocol: the ``heap`` comparison-oracle
   reference and the batched ``vectorized`` default.
@@ -88,7 +93,6 @@ from repro.core.protocol import (
     EncryptedQuery,
     EncryptedQueryBatch,
     SearchRequest,
-    SearchReport,
     SearchResult,
     SearchResultBatch,
     ShardTiming,
@@ -96,13 +100,31 @@ from repro.core.protocol import (
 )
 from repro.core.roles import CloudServer, DataOwner, QueryUser, SecretKeyBundle
 from repro.core.scheme import PPANNS
-from repro.core.search import execute_batch, filter_and_refine, filter_only
+from repro.core.search import (
+    PIPELINE_STAGES,
+    PipelineContext,
+    execute_batch,
+    execute_batch_settled,
+    filter_and_refine,
+    filter_only,
+    run_pipeline,
+)
 from repro.core.sharding import (
     SHARD_STRATEGIES,
     Shard,
     ShardedEncryptedIndex,
     build_sharded_index,
 )
+
+
+def __getattr__(name: str):
+    """Forward deprecated names to their owning module (warn on access)."""
+    if name == "SearchReport":
+        # Triggers repro.core.protocol's DeprecationWarning.
+        from repro.core import protocol
+
+        return protocol.SearchReport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "DCEScheme",
@@ -131,7 +153,7 @@ __all__ = [
     "EncryptedQueryBatch",
     "SearchResult",
     "SearchResultBatch",
-    "SearchReport",
+    "SearchReport",  # noqa: F822  (module __getattr__, deprecated alias)
     "resolve_ef_search",
     "FilterBackend",
     "HNSWBackend",
@@ -144,6 +166,10 @@ __all__ = [
     "filter_and_refine",
     "filter_only",
     "execute_batch",
+    "execute_batch_settled",
+    "PipelineContext",
+    "PIPELINE_STAGES",
+    "run_pipeline",
     "RefineEngine",
     "RefineOutcome",
     "HeapRefineEngine",

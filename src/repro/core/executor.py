@@ -26,16 +26,21 @@ name), so a batch fan-out parallelizes across queries and each query's
 shard scatter runs serially inside its worker — queries, the coarser
 and more abundant unit of work, win the parallelism.
 
-:func:`map_ordered` is the single fan-out primitive both layers use:
+:func:`map_settled` is the fan-out primitive everything else builds on:
 results come back in submission order regardless of completion order
-(deterministic gather), and every task runs to completion even when a
-sibling fails — the first failure *by input position* is re-raised
-after the gather, so one poisoned query can neither kill nor reorder
-the others mid-flight.
+(deterministic gather), every task runs to completion even when a
+sibling fails, and each input position settles independently to either
+its result or the exception it raised.  :func:`map_ordered` is the
+raise-on-failure view of the same gather — the first failure *by input
+position* is re-raised after every task settled, so one poisoned query
+can neither kill nor reorder the others mid-flight.  The online
+serving layer (:mod:`repro.serve`) consumes the settled form directly:
+a scheduler-formed micro-batch must deliver per-query exceptions to
+per-query futures without discarding sibling results.
 
 A third caller — the parallel index-construction pipeline of
 :mod:`repro.core.build` — fans per-shard backend builds out over the
-same pool, and is the reason :func:`map_ordered` takes an optional
+same pool, and is the reason the fan-out takes an optional
 ``max_workers`` cap: build concurrency is a user-facing knob
 (``build_workers=``), while serving fan-outs always use the full pool.
 """
@@ -45,9 +50,17 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterable, Sequence, TypeVar
 
-__all__ = ["map_ordered", "pool_width", "shared_pool", "in_worker_thread"]
+__all__ = [
+    "Settled",
+    "map_settled",
+    "map_ordered",
+    "pool_width",
+    "shared_pool",
+    "in_worker_thread",
+]
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
@@ -81,21 +94,48 @@ def in_worker_thread() -> bool:
     return threading.current_thread().name.startswith(_THREAD_PREFIX)
 
 
-def map_ordered(
+@dataclass(frozen=True)
+class Settled(Generic[_ResultT]):
+    """The independent outcome of one input position of a fan-out.
+
+    Exactly one of ``value`` / ``error`` is meaningful: ``error`` is the
+    exception the task raised (``None`` if it completed), ``value`` the
+    result it returned.
+    """
+
+    value: _ResultT | None = None
+    error: Exception | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether this position completed without raising."""
+        return self.error is None
+
+    def unwrap(self) -> _ResultT:
+        """The value, re-raising the task's exception if it failed."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+def map_settled(
     fn: Callable[[_ItemT], _ResultT],
     items: Iterable[_ItemT],
     max_workers: int | None = None,
-) -> list[_ResultT]:
-    """Apply ``fn`` to every item on the shared pool; gather in order.
+) -> list[Settled[_ResultT]]:
+    """Apply ``fn`` to every item on the shared pool; settle each in order.
 
-    The parallel analogue of ``[fn(item) for item in items]``:
+    The no-raise form of :func:`map_ordered` — the serving scheduler's
+    primitive.  Every input position settles independently to a
+    :class:`Settled` holding either its result or the exception it
+    raised, in **input order**; a failing item neither kills nor
+    reorders its siblings, and the caller decides how to deliver the
+    failures (the online serving path routes each one to its query's
+    future).
 
-    * results are returned in **input order**, not completion order;
-    * every submitted task runs to completion even if a sibling raises
-      (per-item error isolation — no half-cancelled pool state);
-    * if any task raised, the exception of the **first failing input
-      position** is re-raised after the gather, so error reporting is
-      deterministic under arbitrary thread scheduling.
+    Only :class:`Exception` is settled; ``KeyboardInterrupt`` /
+    ``SystemExit`` propagate immediately (remaining pool tasks finish
+    and are discarded).
 
     ``max_workers`` caps how many items are in flight at once (``None``
     means the full pool).  The cap is enforced by submitting the items
@@ -111,22 +151,52 @@ def map_ordered(
     if max_workers is not None and max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
     work: Sequence[_ItemT] = list(items)
+
+    def settle_call(item: _ItemT) -> Settled[_ResultT]:
+        try:
+            return Settled(value=fn(item))
+        except Exception as exc:
+            return Settled(error=exc)
+
     if len(work) < 2 or max_workers == 1 or in_worker_thread():
-        return [fn(item) for item in work]
+        return [settle_call(item) for item in work]
     wave = len(work) if max_workers is None else max_workers
-    results: list[_ResultT] = []
-    first_error: Exception | None = None
+    outcomes: list[Settled[_ResultT]] = []
     for start in range(0, len(work), wave):
-        futures = [shared_pool().submit(fn, item) for item in work[start:start + wave]]
-        for future in futures:
-            # Only Exception is isolated; KeyboardInterrupt / SystemExit
-            # delivered to the gathering thread must propagate immediately
-            # (the remaining tasks finish in the pool and are discarded).
-            try:
-                results.append(future.result())
-            except Exception as exc:
-                if first_error is None:
-                    first_error = exc
-    if first_error is not None:
-        raise first_error
-    return results
+        futures = [
+            shared_pool().submit(settle_call, item)
+            for item in work[start:start + wave]
+        ]
+        # settle_call only lets BaseExceptions escape, so future.result()
+        # here re-raises KeyboardInterrupt / SystemExit immediately and
+        # settles everything else.
+        outcomes.extend(future.result() for future in futures)
+    return outcomes
+
+
+def map_ordered(
+    fn: Callable[[_ItemT], _ResultT],
+    items: Iterable[_ItemT],
+    max_workers: int | None = None,
+) -> list[_ResultT]:
+    """Apply ``fn`` to every item on the shared pool; gather in order.
+
+    The parallel analogue of ``[fn(item) for item in items]`` — the
+    raise-on-failure view of :func:`map_settled`:
+
+    * results are returned in **input order**, not completion order;
+    * every submitted task runs to completion even if a sibling raises
+      (per-item error isolation — no half-cancelled pool state);
+    * if any task raised, the exception of the **first failing input
+      position** is re-raised after the gather, so error reporting is
+      deterministic under arbitrary thread scheduling.
+
+    Inline execution (fewer than two items, ``max_workers=1``, nested in
+    a pool worker) and the ``max_workers`` wave cap behave exactly as in
+    :func:`map_settled`.
+    """
+    outcomes = map_settled(fn, items, max_workers=max_workers)
+    for outcome in outcomes:
+        if outcome.error is not None:
+            raise outcome.error
+    return [outcome.value for outcome in outcomes]

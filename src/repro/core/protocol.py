@@ -16,8 +16,10 @@ This module gives that protocol explicit, batch-first types:
   the per-stage wall-clock split (``filter_seconds`` /
   ``mask_seconds`` / ``refine_seconds``) and the refine-engine fields
   (``refine_engine`` name, ``refine_kernel_seconds``).
-  :data:`SearchReport` remains as a deprecated alias of
-  :class:`SearchResult` for the seed API.
+  ``SearchReport`` remains as a deprecated alias of
+  :class:`SearchResult` for the seed API; accessing it emits a
+  :class:`DeprecationWarning` (module-level ``__getattr__``, matching
+  the ``EncryptedIndex.graph`` precedent).
 * :class:`ShardTiming` — per-shard instrumentation attached to results
   answered by a :class:`~repro.core.sharding.ShardedEncryptedIndex`:
   each shard's filter wall clock, candidate count, and gather payload
@@ -34,6 +36,7 @@ full and filter-only paths cannot drift apart again.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Sequence
 
@@ -50,7 +53,7 @@ __all__ = [
     "EncryptedQueryBatch",
     "SearchResult",
     "SearchResultBatch",
-    "SearchReport",
+    "SearchReport",  # noqa: F822  (module __getattr__, deprecated alias)
     "ShardTiming",
     "resolve_ef_search",
 ]
@@ -379,8 +382,23 @@ class SearchResult:
         return sum(timing.gather_bytes for timing in self.shard_timings)
 
 
-#: Deprecated alias kept for the seed API; new code uses SearchResult.
-SearchReport = SearchResult
+def __getattr__(name: str):
+    """Deprecated module attributes (warn on access, once per call site).
+
+    ``SearchReport`` is the seed era's name for :class:`SearchResult`;
+    the alias still resolves — including via ``from repro.core.protocol
+    import SearchReport`` — but every access emits a
+    :class:`DeprecationWarning`, exactly like the
+    ``EncryptedIndex.graph`` accessor it postdates.
+    """
+    if name == "SearchReport":
+        warnings.warn(
+            "SearchReport is deprecated; use SearchResult instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SearchResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass

@@ -420,14 +420,48 @@ class CloudServer:
         """Name of the server's default refine engine."""
         return self._refine_engine.name
 
-    def _default_ratio_for(self, mode: str) -> int:
+    def default_ratio_for(self, mode: str) -> int:
         """Default ``k'/k`` by mode.
 
         The server's ``default_ratio_k`` is tuned for the refine pipeline;
         the ``filter_only`` reference method defaults to ``k' = k`` (the
         paper's HNSW(filter)), matching :meth:`answer_filter_only`.
+        Public because the serving frontend resolves the same defaults
+        for scheduler-formed micro-batches.
         """
         return 1 if mode == "filter_only" else self._default_ratio_k
+
+    # Backward-compatible private spelling.
+    _default_ratio_for = default_ratio_for
+
+    def serving_frontend(
+        self,
+        max_batch_size: int = 32,
+        batch_window_seconds: float = 0.002,
+        max_queue_depth: int = 1024,
+        cache_size: int = 0,
+        refine_engine: "str | None" = None,
+    ):
+        """An online :class:`~repro.serve.frontend.ServingFrontend` over this server.
+
+        Requests submitted to the frontend enter a bounded admission
+        queue (explicit backpressure via
+        :class:`~repro.serve.frontend.QueueFullError`), a scheduler
+        thread forms micro-batches by size cap or latency window —
+        whichever fires first — and each batch runs the same amortized
+        engine as :meth:`answer` on a pre-assembled batch.  See
+        :mod:`repro.serve` for the knobs.
+        """
+        from repro.serve.frontend import ServingFrontend
+
+        return ServingFrontend(
+            self,
+            max_batch_size=max_batch_size,
+            batch_window_seconds=batch_window_seconds,
+            max_queue_depth=max_queue_depth,
+            cache_size=cache_size,
+            refine_engine=refine_engine,
+        )
 
     def answer(
         self,

@@ -16,6 +16,8 @@ instrumentation.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from repro.core.errors import ParameterError
@@ -104,6 +106,10 @@ class PPANNS:
         self._server: CloudServer | None = None
         self._default_ratio_k = default_ratio_k
         self._refine_engine = refine_engine
+        # Frontends created through serve(); held weakly so an
+        # abandoned frontend doesn't outlive its callers, and flushed
+        # on maintenance (cached results go stale on mutation).
+        self._frontends: "weakref.WeakSet" = weakref.WeakSet()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -181,6 +187,43 @@ class PPANNS:
         )
         return self.server.answer(encrypted)
 
+    def serve(
+        self,
+        max_batch_size: int = 32,
+        batch_window_seconds: float = 0.002,
+        max_queue_depth: int = 1024,
+        cache_size: int = 0,
+        refine_engine: str | None = None,
+    ):
+        """An online serving frontend over the fitted server.
+
+        Returns a :class:`~repro.serve.frontend.ServingFrontend`:
+        submit encrypted queries one at a time and the server forms the
+        micro-batches that amortize per-batch setup (size cap /
+        latency window, bounded queue with
+        :class:`~repro.serve.frontend.QueueFullError` backpressure,
+        optional LRU result cache, live
+        :class:`~repro.serve.metrics.ServerMetrics`)::
+
+            with scheme.serve(batch_window_seconds=0.002) as frontend:
+                future = frontend.submit(scheme.user.encrypt_query(q, k=10))
+                ids = future.result().ids
+
+        Frontends created here are tracked (weakly) by the facade:
+        :meth:`insert` / :meth:`delete` flush their result caches
+        automatically, since a cached answer can go stale on any index
+        mutation.
+        """
+        frontend = self.server.serving_frontend(
+            max_batch_size=max_batch_size,
+            batch_window_seconds=batch_window_seconds,
+            max_queue_depth=max_queue_depth,
+            cache_size=cache_size,
+            refine_engine=refine_engine,
+        )
+        self._frontends.add(frontend)
+        return frontend
+
     def query_filter_only(
         self,
         vector: np.ndarray,
@@ -196,10 +239,26 @@ class PPANNS:
 
     # -- maintenance -------------------------------------------------------------------
 
+    def _flush_serving_caches(self) -> None:
+        """Flush every tracked frontend's result cache (post-mutation)."""
+        for frontend in list(self._frontends):
+            frontend.cache_clear()
+
     def insert(self, vector: np.ndarray) -> int:
-        """Insert one vector (owner encrypts, server links); returns its id."""
-        return insert_vector(self._owner, self.server.index, vector)
+        """Insert one vector (owner encrypts, server links); returns its id.
+
+        Flushes the result caches of every frontend created through
+        :meth:`serve` — an insert can change any cached top-k.
+        """
+        inserted = insert_vector(self._owner, self.server.index, vector)
+        self._flush_serving_caches()
+        return inserted
 
     def delete(self, vector_id: int) -> None:
-        """Delete a vector server-side (Section V-D)."""
+        """Delete a vector server-side (Section V-D).
+
+        Flushes the result caches of every frontend created through
+        :meth:`serve` — cached answers may carry the tombstoned id.
+        """
         delete_vector(self.server.index, vector_id)
+        self._flush_serving_caches()

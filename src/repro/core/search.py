@@ -1,21 +1,37 @@
-"""Filter-and-refine search (Section V-B, Algorithm 2).
+"""Filter-and-refine search (Section V-B, Algorithm 2) as a staged pipeline.
 
 Given the encrypted query pair — the DCPE ciphertext ``C_SAP(q)`` for the
 filter phase and the DCE trapdoor ``T_q`` for the refine phase — the
-server runs a staged execution pipeline per query:
+server runs every query through one explicit **staged pipeline**,
+:data:`PIPELINE_STAGES`: named stage callables over a shared
+:class:`PipelineContext`, executed in order by :func:`run_pipeline`:
 
+* **resolve**: per-query parameter resolution — the ``ef_search`` clamp
+  against ``k'`` and fresh filter instrumentation;
 * **filter**: runs k'-ANNS (``k' = ratio_k * k > k``) on the filter
   backend over ``C_SAP``, using ordinary Euclidean distances on DCPE
   ciphertexts (same cost as plaintext distances), yielding high-quality
-  candidates;
+  candidates — scatter-gather when the index is sharded;
 * **mask**: drops tombstoned candidates against the batch's liveness
-  mask (timed separately as ``mask_seconds`` so per-stage timings sum
-  to the total);
+  mask;
 * **refine**: selects the top-k by DCE ``DistanceComp`` outcomes alone,
   through a pluggable :class:`~repro.core.refine.RefineEngine` — the
   ``heap`` reference (one scalar oracle call per comparison, O(log k)
   per candidate) or the default ``vectorized`` engine (one contiguous
-  ``C_DCE`` gather + batched sign kernels, bit-identical ids).
+  ``C_DCE`` gather + batched sign kernels, bit-identical ids).  Skipped
+  for ``filter_only`` requests;
+* **respond**: assembles the instrumented :class:`SearchResult` from
+  the context (ids, per-stage seconds, shard timings).
+
+Every stage is timed by the runner (``PipelineContext.stage_seconds``);
+the filter/mask/refine entries surface as the result's
+``filter_seconds`` / ``mask_seconds`` / ``refine_seconds`` split, so
+per-stage attribution is a property of the pipeline, not of hand-placed
+clocks.  The staged decomposition is id-preserving by construction —
+the stages perform exactly the seed path's operations in the seed
+path's order, so results are bit-identical to the historical monolithic
+body (property-tested in ``tests/strategies/test_pipeline_properties.py``
+for every backend kind, monolithic and sharded).
 
 Total server cost: ``O(d (log n + k' log k))`` per query (Section V-C).
 
@@ -29,8 +45,13 @@ the queries then **fan out over the shared worker pool**
 the GIL, so independent queries overlap on multi-core hosts.  Results
 come back in query order and a failing query neither kills nor reorders
 its siblings (the first failure by query position is re-raised after the
-gather).  The seed-era :func:`filter_and_refine` / :func:`filter_only`
-signatures remain as thin wrappers over the same engine.
+gather).  :func:`execute_batch_settled` is the no-raise form the online
+serving layer (:mod:`repro.serve`) consumes: each query settles
+independently to its result or its exception, so a scheduler-formed
+micro-batch can deliver per-query failures to per-query futures without
+discarding sibling answers.  The seed-era :func:`filter_and_refine` /
+:func:`filter_only` signatures remain as thin wrappers over the same
+pipeline.
 
 The engine is index-shape agnostic: it calls ``index.filter_search``, so
 a monolithic :class:`~repro.core.index.EncryptedIndex` answers from its
@@ -44,23 +65,25 @@ partitioned.
 from __future__ import annotations
 
 import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.core.dce import DCETrapdoor
 from repro.core.errors import KeyMismatchError, ParameterError
-from repro.core.executor import map_ordered
+from repro.core.executor import Settled, map_settled
 from repro.core.index import EncryptedIndex
 from repro.core.protocol import (
     EncryptedQuery,
     EncryptedQueryBatch,
     SearchRequest,
-    SearchReport,
     SearchResult,
     SearchResultBatch,
     resolve_ef_search,
 )
-from repro.core.refine import RefineEngine, get_refine_engine
+from repro.core.refine import RefineEngine, RefineOutcome, get_refine_engine
 from repro.core.sharding import ShardedEncryptedIndex
 from repro.hnsw.graph import SearchStats
 
@@ -68,13 +91,153 @@ __all__ = [
     "EncryptedQuery",
     "EncryptedQueryBatch",
     "SearchRequest",
-    "SearchReport",
+    "SearchReport",  # noqa: F822  (module __getattr__, deprecated alias)
     "SearchResult",
     "SearchResultBatch",
+    "PipelineContext",
+    "PIPELINE_STAGES",
+    "run_pipeline",
     "filter_and_refine",
     "filter_only",
     "execute_batch",
+    "execute_batch_settled",
 ]
+
+
+def __getattr__(name: str):
+    """Forward the deprecated ``SearchReport`` alias (warns on access)."""
+    if name == "SearchReport":
+        warnings.warn(
+            "SearchReport is deprecated; use SearchResult instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SearchResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+# -- the staged pipeline ---------------------------------------------------------
+
+
+@dataclass
+class PipelineContext:
+    """Everything one query's staged pipeline reads and writes.
+
+    The immutable inputs (index, ciphertexts, resolved request, batch
+    liveness mask, refine engine) are set by the caller; the stages fill
+    in the intermediate state (``candidate_ids``, ``refine_outcome``,
+    ...) and :func:`run_pipeline` records each stage's wall clock into
+    ``stage_seconds``.  The ``respond`` stage folds it all into
+    ``result``.
+    """
+
+    index: "EncryptedIndex | ShardedEncryptedIndex"
+    sap_vector: np.ndarray
+    trapdoor: DCETrapdoor
+    request: SearchRequest
+    k_prime: int
+    live_mask: np.ndarray
+    engine: RefineEngine
+
+    # -- filled in by the stages --
+    ef_search: int | None = None
+    filter_stats: SearchStats | None = None
+    candidate_ids: np.ndarray | None = None
+    candidate_dists: np.ndarray | None = None
+    shard_timings: tuple | None = None
+    refine_outcome: RefineOutcome | None = None
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    result: SearchResult | None = None
+
+
+def stage_resolve(ctx: PipelineContext) -> None:
+    """Per-query parameter resolution: the ``ef_search`` clamp + stats."""
+    ctx.ef_search = resolve_ef_search(ctx.request.ef_search, ctx.k_prime)
+    ctx.filter_stats = SearchStats()
+
+
+def stage_filter(ctx: PipelineContext) -> None:
+    """k'-ANNS over ``C_SAP`` (Line 1; scatter-gather when sharded)."""
+    ctx.candidate_ids, ctx.candidate_dists, ctx.shard_timings = (
+        ctx.index.filter_search(
+            ctx.sap_vector,
+            ctx.k_prime,
+            ef_search=ctx.ef_search,
+            stats=ctx.filter_stats,
+        )
+    )
+
+
+def stage_mask(ctx: PipelineContext) -> None:
+    """Drop tombstoned candidates against the batch's liveness mask."""
+    if ctx.candidate_ids.shape[0]:
+        ctx.candidate_ids = ctx.candidate_ids[ctx.live_mask[ctx.candidate_ids]]
+
+
+def stage_refine(ctx: PipelineContext) -> None:
+    """DCE comparison-only top-k (Lines 2-9); no-op for filter_only."""
+    if ctx.request.mode == "filter_only":
+        return
+    ctx.refine_outcome = ctx.engine.refine(
+        ctx.index.dce_database, ctx.trapdoor, ctx.candidate_ids, ctx.request.k
+    )
+
+
+def stage_respond(ctx: PipelineContext) -> None:
+    """Assemble the instrumented :class:`SearchResult` from the context."""
+    seconds = ctx.stage_seconds
+    if ctx.refine_outcome is None:
+        ctx.result = SearchResult(
+            ids=ctx.candidate_ids[: ctx.request.k],
+            filter_stats=ctx.filter_stats,
+            refine_comparisons=0,
+            k_prime=ctx.k_prime,
+            filter_seconds=seconds.get("filter", 0.0),
+            mask_seconds=seconds.get("mask", 0.0),
+            request=ctx.request,
+            shard_timings=ctx.shard_timings,
+        )
+        return
+    ctx.result = SearchResult(
+        ids=ctx.refine_outcome.ids,
+        filter_stats=ctx.filter_stats,
+        refine_comparisons=ctx.refine_outcome.comparisons,
+        k_prime=ctx.k_prime,
+        filter_seconds=seconds.get("filter", 0.0),
+        mask_seconds=seconds.get("mask", 0.0),
+        refine_seconds=seconds.get("refine", 0.0),
+        refine_engine=ctx.engine.name,
+        refine_kernel_seconds=ctx.refine_outcome.kernel_seconds,
+        request=ctx.request,
+        shard_timings=ctx.shard_timings,
+    )
+
+
+#: The named stages of Algorithm 2's server-side execution, in order.
+#: Each entry is ``(name, callable)`` over a :class:`PipelineContext`;
+#: :func:`run_pipeline` times every stage under its name.
+PIPELINE_STAGES: tuple[tuple[str, Callable[[PipelineContext], None]], ...] = (
+    ("resolve", stage_resolve),
+    ("filter", stage_filter),
+    ("mask", stage_mask),
+    ("refine", stage_refine),
+    ("respond", stage_respond),
+)
+
+
+def run_pipeline(ctx: PipelineContext) -> SearchResult:
+    """Run one query's :data:`PIPELINE_STAGES` in order; time each stage.
+
+    Returns the ``respond`` stage's :class:`SearchResult`.  Stage wall
+    clocks land in ``ctx.stage_seconds`` under the stage names, which is
+    where the result's ``filter_seconds`` / ``mask_seconds`` /
+    ``refine_seconds`` split comes from.
+    """
+    for name, stage in PIPELINE_STAGES:
+        start = time.perf_counter()
+        stage(ctx)
+        ctx.stage_seconds[name] = time.perf_counter() - start
+    return ctx.result
 
 
 def _run_single(
@@ -87,50 +250,16 @@ def _run_single(
     engine: RefineEngine,
 ) -> SearchResult:
     """One query through the staged pipeline; parameters are pre-resolved."""
-    ef_search = resolve_ef_search(request.ef_search, k_prime)
-
-    # -- filter stage (Line 1; scatter-gather when the index is sharded) -------
-    stats = SearchStats()
-    start = time.perf_counter()
-    candidate_ids, _, shard_timings = index.filter_search(
-        sap_vector, k_prime, ef_search=ef_search, stats=stats
-    )
-    filter_seconds = time.perf_counter() - start
-
-    # -- mask stage (tombstone liveness; timed apart from the filter) ----------
-    start = time.perf_counter()
-    if candidate_ids.shape[0]:
-        candidate_ids = candidate_ids[live_mask[candidate_ids]]
-    mask_seconds = time.perf_counter() - start
-
-    if request.mode == "filter_only":
-        return SearchResult(
-            ids=candidate_ids[: request.k],
-            filter_stats=stats,
-            refine_comparisons=0,
-            k_prime=k_prime,
-            filter_seconds=filter_seconds,
-            mask_seconds=mask_seconds,
+    return run_pipeline(
+        PipelineContext(
+            index=index,
+            sap_vector=sap_vector,
+            trapdoor=trapdoor,
             request=request,
-            shard_timings=shard_timings,
+            k_prime=k_prime,
+            live_mask=live_mask,
+            engine=engine,
         )
-
-    # -- refine stage (Lines 2-9; always global, over the merged candidates) ---
-    start = time.perf_counter()
-    outcome = engine.refine(index.dce_database, trapdoor, candidate_ids, request.k)
-    refine_seconds = time.perf_counter() - start
-    return SearchResult(
-        ids=outcome.ids,
-        filter_stats=stats,
-        refine_comparisons=outcome.comparisons,
-        k_prime=k_prime,
-        filter_seconds=filter_seconds,
-        mask_seconds=mask_seconds,
-        refine_seconds=refine_seconds,
-        refine_engine=engine.name,
-        refine_kernel_seconds=outcome.kernel_seconds,
-        request=request,
-        shard_timings=shard_timings,
     )
 
 
@@ -144,40 +273,19 @@ def _check_query_dim(
         )
 
 
-def execute_batch(
+def _resolve_batch(
     index: "EncryptedIndex | ShardedEncryptedIndex",
     batch: EncryptedQueryBatch,
-    default_ratio_k: int = 8,
-    ratio_k: int | None = None,
-    ef_search: int | None = None,
-    mode: str | None = None,
-    refine_engine: "str | RefineEngine | None" = None,
-) -> SearchResultBatch:
-    """Answer a whole encrypted batch through one pipelined, amortized pass.
-
-    Parameter resolution, the trapdoor key check, and the liveness mask
-    are computed once; the queries then run Algorithm 2 concurrently on
-    the shared worker pool (:func:`repro.core.executor.map_ordered`),
-    with results gathered in query order.  Per-query error isolation:
-    every query runs to completion even if a sibling raises, and the
-    first failure by query position is re-raised after the gather.
-    Results are element-wise identical to answering the batch's queries
-    one at a time.
-
-    ``refine_engine`` selects the refine-stage implementation by name
-    (``"heap"`` or ``"vectorized"``); ``None`` uses the default
-    (:data:`repro.core.refine.DEFAULT_REFINE_ENGINE`).
-
-    The returned batch records the fan-out's start-to-finish wall clock
-    in ``wall_seconds``; the per-query stage timings are thread-local
-    and can sum to more than that when queries overlap.
-    """
+    default_ratio_k: int,
+    ratio_k: int | None,
+    ef_search: int | None,
+    mode: str | None,
+) -> SearchRequest:
+    """The once-per-batch work: dim check, request resolution, key check."""
     _check_query_dim(index, batch.sap_vectors, "query batch")
-    engine = get_refine_engine(refine_engine)
     request = batch.request.resolve(
         default_ratio_k, ratio_k=ratio_k, ef_search=ef_search, mode=mode
     )
-    k_prime = request.k_prime
     if request.mode == "full":
         if batch.trapdoor_vectors.shape[1] == 0:
             raise ParameterError(
@@ -186,6 +294,41 @@ def execute_batch(
             )
         if batch.key_id != index.dce_database.key_id:
             raise KeyMismatchError("query trapdoors do not match the index's DCE key")
+    return request
+
+
+def execute_batch_settled(
+    index: "EncryptedIndex | ShardedEncryptedIndex",
+    batch: EncryptedQueryBatch,
+    default_ratio_k: int = 8,
+    ratio_k: int | None = None,
+    ef_search: int | None = None,
+    mode: str | None = None,
+    refine_engine: "str | RefineEngine | None" = None,
+) -> tuple[list[Settled[SearchResult]], float, SearchRequest]:
+    """The settled form of :func:`execute_batch` (the serving primitive).
+
+    Runs the same amortized batch pass, but instead of re-raising the
+    first per-query failure it returns one
+    :class:`~repro.core.executor.Settled` per query, in query order —
+    each holding either the query's :class:`SearchResult` or the
+    exception its pipeline raised.  A failing query neither kills nor
+    reorders its batch siblings, which is what lets the online serving
+    scheduler (:mod:`repro.serve`) route each failure to its own future
+    while the siblings' answers are delivered normally.
+
+    Batch-level validation (dimension, trapdoor presence, key check)
+    still raises directly — those failures poison every query in the
+    batch equally.
+
+    Returns ``(settled, wall_seconds, request)`` where ``wall_seconds``
+    is the fan-out's start-to-finish wall clock and ``request`` the
+    batch's fully resolved :class:`SearchRequest` (so callers never
+    re-resolve and risk drifting from what actually executed).
+    """
+    engine = get_refine_engine(refine_engine)
+    request = _resolve_batch(index, batch, default_ratio_k, ratio_k, ef_search, mode)
+    k_prime = request.k_prime
     live_mask = index.live_mask()
     key_id = batch.key_id
 
@@ -201,8 +344,48 @@ def execute_batch(
         )
 
     fanout_start = time.perf_counter()
-    results = map_ordered(run_query, range(len(batch)))
-    wall_seconds = time.perf_counter() - fanout_start
+    settled = map_settled(run_query, range(len(batch)))
+    return settled, time.perf_counter() - fanout_start, request
+
+
+def execute_batch(
+    index: "EncryptedIndex | ShardedEncryptedIndex",
+    batch: EncryptedQueryBatch,
+    default_ratio_k: int = 8,
+    ratio_k: int | None = None,
+    ef_search: int | None = None,
+    mode: str | None = None,
+    refine_engine: "str | RefineEngine | None" = None,
+) -> SearchResultBatch:
+    """Answer a whole encrypted batch through one pipelined, amortized pass.
+
+    Parameter resolution, the trapdoor key check, and the liveness mask
+    are computed once; the queries then run the staged Algorithm 2
+    pipeline concurrently on the shared worker pool
+    (:func:`repro.core.executor.map_settled`), with results gathered in
+    query order.  Per-query error isolation: every query runs to
+    completion even if a sibling raises, and the first failure by query
+    position is re-raised after the gather.  Results are element-wise
+    identical to answering the batch's queries one at a time.
+
+    ``refine_engine`` selects the refine-stage implementation by name
+    (``"heap"`` or ``"vectorized"``); ``None`` uses the default
+    (:data:`repro.core.refine.DEFAULT_REFINE_ENGINE`).
+
+    The returned batch records the fan-out's start-to-finish wall clock
+    in ``wall_seconds``; the per-query stage timings are thread-local
+    and can sum to more than that when queries overlap.
+    """
+    settled, wall_seconds, request = execute_batch_settled(
+        index,
+        batch,
+        default_ratio_k=default_ratio_k,
+        ratio_k=ratio_k,
+        ef_search=ef_search,
+        mode=mode,
+        refine_engine=refine_engine,
+    )
+    results = [outcome.unwrap() for outcome in settled]
     return SearchResultBatch(results, request=request, wall_seconds=wall_seconds)
 
 

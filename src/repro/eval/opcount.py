@@ -13,7 +13,7 @@ The paper's cost analysis assigns each phase a complexity:
 
 :func:`predict_query_cost` evaluates these for a parameter set, and the
 test suite checks the predictions against measured instrumentation from
-:class:`~repro.core.search.SearchReport` — keeping the implementation
+:class:`~repro.core.search.SearchResult` — keeping the implementation
 honest about its own asymptotics.
 """
 

@@ -1,0 +1,52 @@
+"""Online micro-batching serving layer over the staged query pipeline.
+
+The offline engine (PRs 1-4) made every stage fast for callers who hand
+the server a pre-assembled batch.  This package serves the ROADMAP's
+online workload — requests arriving one at a time from many users — by
+letting the **server itself** form the batches that amortize per-batch
+setup:
+
+* :class:`~repro.serve.frontend.ServingFrontend` — the entry point:
+  bounded admission queue, per-query futures, explicit backpressure via
+  :class:`~repro.serve.frontend.QueueFullError`, optional LRU result
+  cache.
+* :class:`~repro.serve.scheduler.BatchScheduler` — the scheduler
+  thread: forms micro-batches by size cap *or* latency window
+  (whichever fires first) and dispatches them through
+  :func:`repro.core.search.execute_batch_settled` onto the shared
+  executor.
+* :class:`~repro.serve.cache.ResultCache` — LRU of answered results
+  keyed by ciphertext digest (:func:`~repro.serve.cache.query_digest`).
+* :class:`~repro.serve.metrics.ServerMetrics` — qps, p50/p95/p99
+  latency, queue depth, batch-size histogram, per-stage seconds;
+  snapshots feed the CLI's ``serve`` / ``workload`` ``--json`` output.
+
+Construction normally goes through
+:meth:`repro.core.roles.CloudServer.serving_frontend` or
+:meth:`repro.core.scheme.PPANNS.serve`::
+
+    with scheme.serve(max_batch_size=16, batch_window_seconds=0.002) as f:
+        future = f.submit(encrypted_query)     # returns immediately
+        result = future.result()
+        print(f.metrics.snapshot().qps)
+
+``benchmarks/bench_serving.py`` drives an open-loop Poisson workload
+through this stack and asserts the micro-batched throughput bar.
+"""
+
+from repro.serve.cache import ResultCache, query_digest
+from repro.serve.frontend import QueueFullError, ServingFrontend, replay_open_loop
+from repro.serve.metrics import MetricsSnapshot, ServerMetrics
+from repro.serve.scheduler import BatchScheduler, PendingQuery
+
+__all__ = [
+    "ServingFrontend",
+    "QueueFullError",
+    "BatchScheduler",
+    "PendingQuery",
+    "ResultCache",
+    "query_digest",
+    "ServerMetrics",
+    "MetricsSnapshot",
+    "replay_open_loop",
+]

@@ -1,0 +1,154 @@
+"""LRU result cache keyed by ciphertext digest.
+
+The cache key is a digest of exactly the bytes the query message
+already shipped (``C_SAP(q)``, the trapdoor ``T_q``, the key tag, and
+the search parameters), so the server recognizes a repeat without
+learning anything it didn't already see.  Two queries collide only if
+their ciphertexts are **bit-identical**, in which case Algorithm 2 is
+fully deterministic and the cached answer is the answer.
+
+What produces bit-identical ciphertexts: replays of the *same
+encrypted message* — client retries after a timeout, gateway
+redelivery, fan-in layers that duplicate a request, or callers that
+encrypt once and resubmit the :class:`EncryptedQuery` object.  What
+does **not**: re-encrypting the same plaintext — DCPE encryption draws
+a fresh perturbation per call (and TrapGen fresh randomizers), so two
+independent encryptions of one plaintext never collide.  The cache is
+a replay/retry dedup layer, not a plaintext-popularity cache; size it
+for the former.
+
+:class:`ResultCache` is a plain thread-safe LRU over an
+``OrderedDict``; capacity 0 disables it (every lookup misses, nothing
+is stored).  Maintenance invalidates answers — an insert can change
+any top-k, a delete tombstones ids a cached result may still carry —
+so the owning :class:`~repro.serve.frontend.ServingFrontend` exposes
+``cache_clear()`` and deployments must flush on index mutation
+(:class:`~repro.core.scheme.PPANNS` ``insert`` / ``delete`` flush
+every frontend created through :meth:`~repro.core.scheme.PPANNS.serve`
+automatically).  :meth:`clear` also bumps an internal **generation**:
+a ``put`` tagged with a pre-clear generation is dropped, so an
+in-flight answer computed against the pre-mutation index cannot
+repopulate the cache after the flush.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.protocol import EncryptedQuery, SearchResult
+
+__all__ = ["ResultCache", "query_digest"]
+
+
+def query_digest(query: EncryptedQuery) -> bytes:
+    """The cache key: a BLAKE2b digest of the query message's bytes.
+
+    Covers the DCPE ciphertext, the DCE trapdoor vector, the key tag,
+    and every plaintext search parameter the request carries — anything
+    that can change the answer changes the digest.  The digest is
+    computed over ciphertexts the server already holds, so caching adds
+    no leakage beyond the (standard for deterministic trapdoors) fact
+    that two identical queries are recognizably identical.
+    """
+    request = query.request
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(np.ascontiguousarray(query.sap_vector, dtype=np.float64).tobytes())
+    hasher.update(
+        np.ascontiguousarray(query.trapdoor.vector, dtype=np.float64).tobytes()
+    )
+    hasher.update(
+        repr(
+            (
+                query.trapdoor.key_id,
+                request.k,
+                request.ratio_k,
+                request.ef_search,
+                request.mode,
+            )
+        ).encode()
+    )
+    return hasher.digest()
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU of ``digest -> SearchResult``.
+
+    ``capacity`` bounds the entry count; inserting beyond it evicts the
+    least-recently-used entry.  A capacity of 0 disables the cache
+    entirely — lookups miss, stores are dropped — so callers never need
+    a conditional around it.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[bytes, SearchResult]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._generation = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached results (0 = disabled)."""
+        return self._capacity
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that found nothing."""
+        return self._misses
+
+    @property
+    def generation(self) -> int:
+        """Bumped by every :meth:`clear`; tag ``put`` calls with it."""
+        return self._generation
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: bytes) -> SearchResult | None:
+        """The cached result for ``digest`` (refreshes recency), or None."""
+        with self._lock:
+            result = self._entries.get(digest)
+            if result is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self._hits += 1
+            return result
+
+    def put(
+        self, digest: bytes, result: SearchResult, generation: int | None = None
+    ) -> None:
+        """Store ``result`` under ``digest``, evicting LRU beyond capacity.
+
+        ``generation`` — when given — must match the cache's current
+        generation or the store is dropped: an answer computed before a
+        :meth:`clear` (index mutation) must not repopulate the cache
+        after it.
+        """
+        if self._capacity == 0:
+            return
+        with self._lock:
+            if generation is not None and generation != self._generation:
+                return
+            self._entries[digest] = result
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and bump the generation (stale puts no-op)."""
+        with self._lock:
+            self._entries.clear()
+            self._generation += 1

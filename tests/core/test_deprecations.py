@@ -1,10 +1,12 @@
-"""Deprecated-API behavior: the ``EncryptedIndex.graph`` accessor."""
+"""Deprecated-API behavior: ``EncryptedIndex.graph`` and ``SearchReport``."""
 
 import warnings
 
 import numpy as np
 import pytest
 
+from repro.core import protocol
+from repro.core.protocol import SearchResult
 from repro.core.roles import DataOwner
 from repro.hnsw.graph import HNSWIndex
 from tests.conftest import FAST_HNSW
@@ -45,3 +47,49 @@ def test_graph_warning_fires_exactly_once_per_call_site(index):
         assert len(caught) == 2
     for record in caught:
         assert issubclass(record.category, DeprecationWarning)
+
+
+def test_search_report_alias_emits_deprecation_warning():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        alias = protocol.SearchReport
+    assert alias is SearchResult
+    assert len(caught) == 1
+    assert issubclass(caught[0].category, DeprecationWarning)
+    assert "SearchReport" in str(caught[0].message)
+
+
+def test_search_report_still_importable_everywhere():
+    """The alias resolves through every historical import path."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        from repro.core.protocol import SearchReport as from_protocol
+        from repro.core.search import SearchReport as from_search
+
+        import repro
+        import repro.core
+
+        assert from_protocol is SearchResult
+        assert from_search is SearchResult
+        assert repro.SearchReport is SearchResult
+        assert repro.core.SearchReport is SearchResult
+
+
+def test_search_report_warns_exactly_once_per_call_site():
+    """Module-level __getattr__ matches the graph-accessor precedent:
+    the 'default' filter dedups one call site, a new call site warns
+    again."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        for _ in range(3):
+            protocol.SearchReport  # call site A, hit three times
+        assert len(caught) == 1
+        protocol.SearchReport  # call site B
+        assert len(caught) == 2
+    for record in caught:
+        assert issubclass(record.category, DeprecationWarning)
+
+
+def test_unknown_module_attribute_still_raises():
+    with pytest.raises(AttributeError, match="SearchReportTypo"):
+        protocol.SearchReportTypo

@@ -6,8 +6,10 @@ import time
 import pytest
 
 from repro.core.executor import (
+    Settled,
     in_worker_thread,
     map_ordered,
+    map_settled,
     pool_width,
     shared_pool,
 )
@@ -137,6 +139,67 @@ class TestMapOrdered:
         results = map_ordered(outer, range(4 * pool_width()))
         assert time.perf_counter() - start < 30.0
         assert results[1] == [1, 2, 3, 4]
+
+
+class TestMapSettled:
+    def test_all_success(self):
+        settled = map_settled(lambda x: x * 2, range(4))
+        assert [s.value for s in settled] == [0, 2, 4, 6]
+        assert all(s.ok for s in settled)
+
+    def test_failures_settle_in_position(self):
+        def task(i):
+            if i % 2:
+                raise ValueError(f"boom {i}")
+            return i
+
+        settled = map_settled(task, range(5))
+        assert [s.ok for s in settled] == [True, False, True, False, True]
+        assert [s.value for s in settled if s.ok] == [0, 2, 4]
+        assert str(settled[1].error) == "boom 1"
+        assert str(settled[3].error) == "boom 3"
+
+    def test_unwrap_reraises(self):
+        settled = Settled(error=KeyError("nope"))
+        with pytest.raises(KeyError):
+            settled.unwrap()
+        assert Settled(value=7).unwrap() == 7
+
+    def test_inline_path_isolates_too(self):
+        """Single-item / capped / nested calls keep settled semantics."""
+        def task(i):
+            if i == 0:
+                raise ValueError("first fails")
+            return i
+
+        settled = map_settled(task, range(3), max_workers=1)
+        assert [s.ok for s in settled] == [False, True, True]
+        assert [s.value for s in settled[1:]] == [1, 2]
+
+    def test_nested_fanout_settles_inline(self):
+        def inner(i):
+            if i == 1:
+                raise RuntimeError("inner failure")
+            return in_worker_thread()
+
+        def outer(_):
+            return map_settled(inner, range(3))
+
+        outers = map_settled(outer, range(3))
+        for outcome in outers:
+            assert outcome.ok
+            inner_settled = outcome.value
+            assert inner_settled[0].value is True  # ran inline in a worker
+            assert not inner_settled[1].ok
+
+    def test_base_exceptions_propagate(self):
+        def task(i):
+            if i == 1:
+                raise KeyboardInterrupt
+            return i
+
+        with pytest.raises(KeyboardInterrupt):
+            map_settled(task, range(4))
 
 
 class TestPool:

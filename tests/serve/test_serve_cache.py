@@ -1,0 +1,110 @@
+"""ResultCache: LRU behavior and ciphertext-digest keying."""
+
+import numpy as np
+import pytest
+
+from repro.core.dce import DCETrapdoor
+from repro.core.protocol import EncryptedQuery, SearchRequest, SearchResult
+from repro.serve.cache import ResultCache, query_digest
+
+
+def _query(vec, trap, key_id=7, **request_kwargs):
+    request = SearchRequest(k=request_kwargs.pop("k", 3), **request_kwargs)
+    return EncryptedQuery(
+        np.asarray(vec, dtype=np.float64),
+        DCETrapdoor(np.asarray(trap, dtype=np.float64), key_id),
+        request=request,
+    )
+
+
+def _result(*ids):
+    return SearchResult(ids=np.array(ids, dtype=np.int64))
+
+
+class TestQueryDigest:
+    def test_identical_queries_collide(self):
+        a = _query([1.0, 2.0], [3.0, 4.0])
+        b = _query([1.0, 2.0], [3.0, 4.0])
+        assert query_digest(a) == query_digest(b)
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            _query([1.0, 2.5], [3.0, 4.0]),              # sap differs
+            _query([1.0, 2.0], [3.0, 4.5]),              # trapdoor differs
+            _query([1.0, 2.0], [3.0, 4.0], key_id=8),    # key differs
+            _query([1.0, 2.0], [3.0, 4.0], k=4),         # k differs
+            _query([1.0, 2.0], [3.0, 4.0], ratio_k=2),   # ratio_k differs
+            _query([1.0, 2.0], [3.0, 4.0], ef_search=9), # ef differs
+            _query([1.0, 2.0], [3.0, 4.0], mode="filter_only"),
+        ],
+    )
+    def test_any_answer_relevant_field_changes_digest(self, other):
+        base = _query([1.0, 2.0], [3.0, 4.0])
+        assert query_digest(base) != query_digest(other)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=2)
+        digest = b"d1"
+        assert cache.get(digest) is None
+        cache.put(digest, _result(1, 2))
+        hit = cache.get(digest)
+        assert np.array_equal(hit.ids, [1, 2])
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put(b"a", _result(1))
+        cache.put(b"b", _result(2))
+        cache.get(b"a")              # refresh a; b becomes LRU
+        cache.put(b"c", _result(3))  # evicts b
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") is not None
+        assert cache.get(b"c") is not None
+        assert len(cache) == 2
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put(b"a", _result(1))
+        assert cache.get(b"a") is None
+        assert len(cache) == 0
+
+    def test_clear_drops_everything(self):
+        cache = ResultCache(capacity=4)
+        cache.put(b"a", _result(1))
+        cache.put(b"b", _result(2))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(b"a") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+    def test_overwrite_same_digest_keeps_one_entry(self):
+        cache = ResultCache(capacity=2)
+        cache.put(b"a", _result(1))
+        cache.put(b"a", _result(9))
+        assert len(cache) == 1
+        assert np.array_equal(cache.get(b"a").ids, [9])
+
+    def test_stale_generation_put_is_dropped(self):
+        """An answer computed before clear() (index mutation) must not
+        repopulate the flushed cache."""
+        cache = ResultCache(capacity=4)
+        stale_generation = cache.generation
+        cache.clear()  # mutation happened while the answer was in flight
+        cache.put(b"a", _result(1), generation=stale_generation)
+        assert cache.get(b"a") is None
+        # A current-generation put still lands.
+        cache.put(b"b", _result(2), generation=cache.generation)
+        assert cache.get(b"b") is not None
+
+    def test_clear_bumps_generation(self):
+        cache = ResultCache(capacity=4)
+        before = cache.generation
+        cache.clear()
+        assert cache.generation == before + 1

@@ -264,6 +264,125 @@ class TestBuildAndQuery:
             )
 
 
+class TestInfo:
+    def test_info_human_readable(self, cli_workspace, capsys):
+        root, _, _ = cli_workspace
+        code = main(["info", "--index", str(root / "sharded_index.npz")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend=bruteforce" in out
+        assert "shards=3 (hash" in out
+        assert "build metadata: mode=sequential" in out
+
+    def test_info_json_reports_layout_and_build_metadata(
+        self, cli_workspace, capsys
+    ):
+        root, _, _ = cli_workspace
+        code = main(["info", "--index", str(root / "json_index.npz"), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "bruteforce"
+        assert payload["shards"] == 3
+        assert payload["shard_strategy"] == "round_robin"
+        assert sum(payload["shard_sizes"]) == 120
+        assert payload["num_vectors"] == 120
+        assert payload["live_vectors"] == 120
+        assert payload["tombstones"] == 0
+        build = payload["build_report"]
+        assert build["build_mode"] == "bulk"
+        assert build["build_workers"] == 2
+        assert build["encrypt_seconds"] > 0
+        assert build["total_seconds"] == pytest.approx(
+            build["encrypt_seconds"] + build["build_seconds"]
+        )
+
+    def test_info_monolithic_index(self, cli_workspace, capsys):
+        root, _, _ = cli_workspace
+        code = main(["info", "--index", str(root / "index.npz"), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "hnsw"
+        assert payload["shards"] == 1
+        assert payload["shard_strategy"] is None
+        assert payload["build_report"]["shards"] == 1
+
+
+class TestServe:
+    def test_serve_matches_query_ids(self, cli_workspace, capsys):
+        root, _, _ = cli_workspace
+        common = [
+            "--index", str(root / "sharded_index.npz"),
+            "--keys", str(root / "sharded_keys.npz"),
+            "--queries", str(root / "queries.fvecs"),
+            "-k", "5",
+            "--json",
+            "--seed", "2",
+        ]
+        code = main(["query", *common])
+        assert code == 0
+        offline = json.loads(capsys.readouterr().out)
+        code = main(
+            ["serve", *common, "--max-batch", "2", "--batch-window", "0.05"]
+        )
+        assert code == 0
+        served = json.loads(capsys.readouterr().out)
+        assert served["ids"] == offline["ids"]
+        assert served["num_queries"] == 3
+        assert served["served_qps"] > 0
+        metrics = served["metrics"]
+        assert metrics["completed"] == 3
+        assert metrics["batches"] >= 2  # size cap 2 over 3 queries
+        assert set(metrics["stage_seconds"]) >= {"filter", "refine"}
+
+    def test_serve_human_summary(self, cli_workspace, capsys):
+        root, _, _ = cli_workspace
+        code = main(
+            [
+                "serve",
+                "--index", str(root / "index.npz"),
+                "--keys", str(root / "keys.npz"),
+                "--queries", str(root / "queries.fvecs"),
+                "-k", "5",
+                "--rate", "500",
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 3 queries" in out
+        assert "latency p50/p95/p99" in out
+
+
+class TestWorkload:
+    def test_workload_json(self, capsys):
+        code = main(
+            [
+                "workload",
+                "-n", "200",
+                "--queries", "8",
+                "--backend", "bruteforce",
+                "--beta", "0.5",
+                "--max-batch", "4",
+                "--json",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ids_match"] is True
+        assert payload["sequential_qps"] > 0
+        assert payload["served_qps"] > 0
+        assert payload["metrics"]["completed"] == 8
+
+    def test_workload_human_summary(self, capsys):
+        code = main(
+            ["workload", "-n", "150", "--queries", "4",
+             "--backend", "bruteforce", "--beta", "0.5", "--seed", "3"]
+        )
+        assert code == 0
+        assert "ids match" in capsys.readouterr().out
+
+
 class TestDemo:
     def test_demo_runs(self, capsys):
         code = main(
