@@ -31,6 +31,16 @@ A deployable front-end over the library for the three lifecycle stages:
 * ``workload`` — synthetic serving benchmark: build a scheme, replay an
   open-loop workload through the frontend *and* through the sequential
   one-query-at-a-time path, and report the micro-batching speedup.
+* ``listen`` — the network server: load an index, wrap its serving
+  frontend in the ``repro.net`` TCP server, and accept wire-protocol
+  clients until interrupted.  ``--tenant KEYID[:TOKEN[:QUOTA]]``
+  (repeatable) registers the admitted tenants; with no ``--tenant``
+  the index's own DCE ``key_id`` is admitted without credentials.
+* ``serve --connect HOST:PORT`` — remote mode: encrypt the query file
+  locally (keys never leave this side), replay it through a
+  :class:`~repro.net.client.NetClient` against a ``listen`` server,
+  and report the same serving statistics plus the server's tenancy
+  view.
 
 The index file contains no key material; the key file must be kept by
 the owner/user only (see ``repro.core.persistence``).
@@ -55,6 +65,15 @@ from repro.datasets import compute_ground_truth, make_dataset
 from repro.datasets.loaders import read_fvecs
 from repro.eval.metrics import recall_at_k
 from repro.hnsw.graph import HNSWParams
+from repro.net import (
+    DEFAULT_MAX_BODY_BYTES,
+    NetClient,
+    NetServer,
+    TenantAdmission,
+    TenantConfig,
+    TenantRegistry,
+)
+from repro.net.server import DEFAULT_FRAME_TIMEOUT
 from repro.serve import replay_open_loop
 
 __all__ = ["main", "build_parser"]
@@ -67,6 +86,41 @@ def _load_vectors(path: str) -> np.ndarray:
     if path.endswith(".npy"):
         return np.load(path)
     raise SystemExit(f"unsupported database format: {path} (use .fvecs or .npy)")
+
+
+def _parse_tenant_spec(spec: str) -> TenantConfig:
+    """Parse a ``--tenant KEYID[:TOKEN[:QUOTA]]`` specification."""
+    parts = spec.split(":", 2)
+    try:
+        key_id = int(parts[0])
+    except ValueError:
+        raise SystemExit(
+            f"invalid --tenant spec {spec!r}: key_id must be an integer"
+        ) from None
+    token = parts[1] if len(parts) > 1 and parts[1] else None
+    quota = None
+    if len(parts) > 2 and parts[2]:
+        try:
+            quota = int(parts[2])
+        except ValueError:
+            raise SystemExit(
+                f"invalid --tenant spec {spec!r}: quota must be an integer"
+            ) from None
+    try:
+        return TenantConfig(key_id, token=token, max_in_flight=quota)
+    except Exception as exc:
+        raise SystemExit(f"invalid --tenant spec {spec!r}: {exc}") from None
+
+
+def _parse_hostport(spec: str) -> "tuple[str, int]":
+    """Parse a ``HOST:PORT`` address specification."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"invalid address {spec!r} (expected HOST:PORT)")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"invalid port in address {spec!r}") from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -188,8 +242,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="answer queries through the online micro-batching frontend"
     )
-    serve.add_argument("--index", required=True, help="index file from 'build'")
+    serve.add_argument(
+        "--index",
+        default=None,
+        help="index file from 'build' (required unless --connect)",
+    )
     serve.add_argument("--keys", required=True, help="key file from 'build'")
+    serve.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="remote mode: replay against a running 'listen' server "
+        "instead of an in-process frontend",
+    )
+    serve.add_argument(
+        "--token",
+        default=None,
+        help="tenant auth token for --connect (the key file's DCE "
+        "key_id is the tenant identity)",
+    )
     serve.add_argument(
         "--queries", required=True, help="query vectors (.fvecs or .npy)"
     )
@@ -274,6 +345,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     workload.add_argument("--json", action="store_true")
     workload.add_argument("--seed", type=int, default=0)
+
+    listen = commands.add_parser(
+        "listen", help="serve wire-protocol clients over TCP (repro.net)"
+    )
+    listen.add_argument("--index", required=True, help="index file from 'build'")
+    listen.add_argument("--host", default="127.0.0.1", help="bind address")
+    listen.add_argument(
+        "--port", type=int, default=7379, help="bind port (0 = ephemeral)"
+    )
+    listen.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="KEYID[:TOKEN[:QUOTA]]",
+        help="admit a tenant: DCE key_id, optional auth token, optional "
+        "in-flight quota (repeatable; default: the index's own key_id, "
+        "no token, no quota)",
+    )
+    listen.add_argument(
+        "--refine-engine",
+        choices=available_refine_engines(),
+        default=None,
+        help="refine-stage engine (default: the server's vectorized engine)",
+    )
+    listen.add_argument("--max-batch", type=int, default=32)
+    listen.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="micro-batch latency window in seconds",
+    )
+    listen.add_argument(
+        "--queue-depth", type=int, default=1024, help="admission-queue bound"
+    )
+    listen.add_argument(
+        "--cache-size", type=int, default=0, help="LRU result-cache capacity"
+    )
+    listen.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=DEFAULT_MAX_BODY_BYTES,
+        help="frame-body cap; larger length prefixes are refused unread",
+    )
+    listen.add_argument(
+        "--frame-timeout",
+        type=float,
+        default=DEFAULT_FRAME_TIMEOUT,
+        help="per-frame read deadline in seconds (slow-loris budget)",
+    )
     return parser
 
 
@@ -436,6 +556,17 @@ def _cmd_info(args: argparse.Namespace) -> int:
         "build_report": (
             index.build_report.as_dict() if index.build_report is not None else None
         ),
+        "dce_key_id": int(index.dce_database.key_id),
+        # The admission state a default `listen` on this index would
+        # expose: the index's own DCE key_id is the one known tenant.
+        "tenancy": {
+            "key_ids": [int(index.dce_database.key_id)],
+            "default_tenant": {
+                "key_id": int(index.dce_database.key_id),
+                "authenticated": False,
+                "max_in_flight": None,
+            },
+        },
     }
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -455,6 +586,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         f"storage {report.total_floats} floats "
         f"({report.dce_overhead_ratio:.2f}x plaintext for C_DCE)"
     )
+    print(f"tenancy: default tenant key_id={payload['dce_key_id']}")
     build = index.build_report
     if build is None:
         print("build metadata: none recorded (pre-build-pipeline file)")
@@ -467,17 +599,18 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
-    keys = load_keys(args.keys)
-    user = QueryUser(keys, rng=np.random.default_rng(args.seed))
+def _serve_remote(args: argparse.Namespace, encrypted, key_id: int):
+    """Replay through a ``listen`` server over the wire protocol."""
+    host, port = _parse_hostport(args.connect)
+    with NetClient(host, port, key_id, token=args.token) as client:
+        results, elapsed = replay_open_loop(client, encrypted, args.rate, args.seed)
+        tenancy = client.stats()
+    return results, elapsed, tenancy
+
+
+def _serve_local(args: argparse.Namespace, encrypted, key_id: int, index):
+    """Replay through an in-process frontend, via the admission layer."""
     server = CloudServer(index, refine_engine=args.refine_engine)
-    queries = _load_vectors(args.queries)
-    encrypted = [
-        user.encrypt_query(query, args.k, ratio_k=args.ratio_k,
-                           ef_search=args.ef_search)
-        for query in queries
-    ]
     queue_depth = (
         args.queue_depth
         if args.queue_depth is not None
@@ -489,15 +622,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=queue_depth,
         cache_size=args.cache_size,
     )
+    # The same admission path the network server uses, so the reported
+    # tenancy view is the real thing, not a reconstruction.
+    admission = TenantAdmission(frontend, TenantRegistry([TenantConfig(key_id)]))
     with frontend:
-        results, elapsed = replay_open_loop(frontend, encrypted, args.rate, args.seed)
-        snapshot = frontend.metrics.snapshot()
+        channel = admission.channel(key_id)
+        results, elapsed = replay_open_loop(channel, encrypted, args.rate, args.seed)
+        tenancy = admission.stats()
+        tenancy["frontend"] = frontend.metrics.snapshot().as_dict()
+    return results, elapsed, tenancy
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.connect is None and args.index is None:
+        raise SystemExit("serve needs --index (local) or --connect (remote)")
+    keys = load_keys(args.keys)
+    user = QueryUser(keys, rng=np.random.default_rng(args.seed))
+    queries = _load_vectors(args.queries)
+    encrypted = [
+        user.encrypt_query(query, args.k, ratio_k=args.ratio_k,
+                           ef_search=args.ef_search)
+        for query in queries
+    ]
+    key_id = int(keys.dce_key.key_id)
+    if args.connect is not None:
+        results, elapsed, tenancy = _serve_remote(args, encrypted, key_id)
+        index = None
+    else:
+        index = load_index(args.index)
+        results, elapsed, tenancy = _serve_local(args, encrypted, key_id, index)
+    snapshot = tenancy["frontend"]
     served_qps = len(results) / elapsed if elapsed > 0 else float("inf")
 
     if args.json:
         payload = {
-            "backend": index.backend_kind,
-            "shards": getattr(index, "num_shards", 1),
+            "backend": index.backend_kind if index is not None else None,
+            "shards": getattr(index, "num_shards", 1) if index is not None else None,
+            "remote": args.connect,
             "k": args.k,
             "num_queries": len(results),
             "max_batch_size": args.max_batch,
@@ -505,21 +666,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "rate": args.rate,
             "served_qps": served_qps,
             "ids": [result.ids.tolist() for result in results],
-            "metrics": snapshot.as_dict(),
+            "metrics": snapshot,
+            "tenancy": {
+                "key_ids": tenancy["key_ids"],
+                "queue_depth": tenancy["queue_depth"],
+                "tenants": tenancy["tenants"],
+            },
         }
         print(json.dumps(payload, indent=2))
         return 0
+    where = f"via {args.connect}" if args.connect else "in-process"
     print(
         f"served {len(results)} queries (k={args.k}) at {served_qps:.0f} QPS "
-        f"[window={args.batch_window * 1e3:.1f}ms, cap={args.max_batch}]"
+        f"{where} [window={args.batch_window * 1e3:.1f}ms, cap={args.max_batch}]"
     )
     print(
-        f"latency p50/p95/p99 = {snapshot.latency_p50 * 1e3:.2f}/"
-        f"{snapshot.latency_p95 * 1e3:.2f}/{snapshot.latency_p99 * 1e3:.2f} ms; "
-        f"{snapshot.batches} micro-batches, mean size "
-        f"{snapshot.mean_batch_size:.1f}, max queue depth "
-        f"{snapshot.max_queue_depth}"
+        f"latency p50/p95/p99 = {snapshot['latency_p50'] * 1e3:.2f}/"
+        f"{snapshot['latency_p95'] * 1e3:.2f}/{snapshot['latency_p99'] * 1e3:.2f} ms; "
+        f"{snapshot['batches']} micro-batches, mean size "
+        f"{snapshot['mean_batch_size']:.1f}, max queue depth "
+        f"{snapshot['max_queue_depth']}"
     )
+    tenant = tenancy["tenants"].get(str(key_id), {})
+    print(
+        f"tenant {key_id}: {tenant.get('completed', 0)} completed, "
+        f"{tenant.get('rejected', 0)} rejected, quota "
+        f"{tenant.get('max_in_flight') or 'unbounded'}"
+    )
+    return 0
+
+
+def _cmd_listen(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    server = CloudServer(index, refine_engine=args.refine_engine)
+    tenants = [_parse_tenant_spec(spec) for spec in args.tenant] or [
+        TenantConfig(int(index.dce_database.key_id))
+    ]
+    frontend = server.serving_frontend(
+        max_batch_size=args.max_batch,
+        batch_window_seconds=args.batch_window,
+        max_queue_depth=args.queue_depth,
+        cache_size=args.cache_size,
+    )
+    with frontend:
+        net = NetServer(
+            frontend,
+            tenants,
+            host=args.host,
+            port=args.port,
+            max_body_bytes=args.max_body_bytes,
+            frame_timeout=args.frame_timeout,
+        )
+        host, port = net.address
+        print(
+            f"listening on {host}:{port} "
+            f"(backend={index.backend_kind}, tenants="
+            f"{net.registry.key_ids()}); Ctrl-C to stop",
+            flush=True,
+        )
+        net.serve_until_interrupt()
     return 0
 
 
@@ -600,6 +805,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "serve": _cmd_serve,
         "workload": _cmd_workload,
+        "listen": _cmd_listen,
     }
     return handlers[args.command](args)
 

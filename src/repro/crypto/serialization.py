@@ -5,6 +5,11 @@ baselines serve fixed-size database blocks; both need a canonical byte
 layout for float vectors.  We use little-endian float32 — the layout of the
 classic ``.fvecs`` ANN benchmark files — so byte counts in the cost model
 match what the paper's testbed would transfer.
+
+The network envelope (``repro.net.codec``) reuses these helpers: DCPE
+ciphertexts travel as float32 (the paper's wire accounting), DCE
+trapdoors as float64 — the ``*_f64`` pair below — because the trapdoor's
+comparison algebra is exact and must round-trip bit-identically.
 """
 
 from __future__ import annotations
@@ -16,11 +21,17 @@ __all__ = [
     "bytes_to_vector",
     "vectors_to_bytes",
     "bytes_to_vectors",
+    "vectors_to_bytes_f64",
+    "bytes_to_vectors_f64",
     "BYTES_PER_COMPONENT",
+    "BYTES_PER_COMPONENT_F64",
 ]
 
 #: Serialized size of one vector component (float32).
 BYTES_PER_COMPONENT = 4
+
+#: Serialized size of one float64 component (the trapdoor wire dtype).
+BYTES_PER_COMPONENT_F64 = 8
 
 
 def vector_to_bytes(vector: np.ndarray) -> bytes:
@@ -53,6 +64,43 @@ def bytes_to_vectors(data: bytes, dim: int) -> np.ndarray:
     if dim <= 0:
         raise ValueError(f"dim must be positive, got {dim}")
     flat = bytes_to_vector(data)
+    if flat.size % dim != 0:
+        raise ValueError(f"{flat.size} components do not divide into rows of {dim}")
+    return flat.reshape(-1, dim)
+
+
+def vectors_to_bytes_f64(vectors: np.ndarray) -> bytes:
+    """Serialize a 2-D array row-major as little-endian float64 bytes.
+
+    The exact (lossless) counterpart of :func:`vectors_to_bytes`: DCE
+    trapdoors travel at full precision because the refine phase's
+    comparison outcomes must be bit-identical across the wire.
+    """
+    vectors = np.asarray(vectors)
+    if vectors.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {vectors.shape}")
+    return vectors.astype("<f8").tobytes()
+
+
+def bytes_to_vectors_f64(data: bytes, dim: int) -> np.ndarray:
+    """Inverse of :func:`vectors_to_bytes_f64` for a known dimensionality.
+
+    ``dim == 0`` is legal and returns a ``(0, 0)`` matrix for empty
+    payloads — the ``filter_only`` zero-trapdoor case; callers reshape
+    to the row count they carry out of band.
+    """
+    if dim < 0:
+        raise ValueError(f"dim must be >= 0, got {dim}")
+    if len(data) % BYTES_PER_COMPONENT_F64 != 0:
+        raise ValueError(
+            f"byte length {len(data)} is not a multiple of "
+            f"{BYTES_PER_COMPONENT_F64}"
+        )
+    flat = np.frombuffer(data, dtype="<f8").astype(np.float64)
+    if dim == 0:
+        if flat.size != 0:
+            raise ValueError(f"{flat.size} components with dim=0")
+        return flat.reshape(0, 0)
     if flat.size % dim != 0:
         raise ValueError(f"{flat.size} components do not divide into rows of {dim}")
     return flat.reshape(-1, dim)

@@ -1,0 +1,54 @@
+"""Network serving: the wire codec, TCP server, tenancy, and client.
+
+The socket face of the serving stack (PR 6).  The dataflow — normative
+diagram in ``docs/ARCHITECTURE.md`` — is::
+
+    client ──▶ codec ──▶ tenancy ──▶ frontend ──▶ scheduler
+
+* :mod:`repro.net.codec` — framed, versioned binary wire layout
+  (normative in ``docs/FORMATS.md``, "Network envelope").
+* :mod:`repro.net.server` — threaded TCP server over one
+  :class:`~repro.serve.frontend.ServingFrontend`.
+* :mod:`repro.net.tenancy` — per-``key_id`` auth, admission quotas,
+  and per-tenant metrics.
+* :mod:`repro.net.client` — :class:`NetClient`, mirroring in-process
+  serving ergonomics over the socket.
+"""
+
+from repro.net.client import ConnectionClosedError, NetClient, RemoteError
+from repro.net.codec import (
+    DEFAULT_MAX_BODY_BYTES,
+    ErrorCode,
+    FrameTooLargeError,
+    MessageType,
+    TruncatedFrameError,
+    WireFormatError,
+)
+from repro.net.server import NetServer
+from repro.net.tenancy import (
+    AuthError,
+    QuotaExceededError,
+    TenantAdmission,
+    TenantChannel,
+    TenantConfig,
+    TenantRegistry,
+)
+
+__all__ = [
+    "NetClient",
+    "NetServer",
+    "RemoteError",
+    "ConnectionClosedError",
+    "MessageType",
+    "ErrorCode",
+    "WireFormatError",
+    "TruncatedFrameError",
+    "FrameTooLargeError",
+    "DEFAULT_MAX_BODY_BYTES",
+    "AuthError",
+    "QuotaExceededError",
+    "TenantConfig",
+    "TenantRegistry",
+    "TenantAdmission",
+    "TenantChannel",
+]

@@ -1,0 +1,291 @@
+"""The client side of the wire protocol, mirroring in-process serving.
+
+:class:`NetClient` gives remote callers the same ergonomics as
+:class:`~repro.serve.frontend.ServingFrontend`: ``submit`` returns a
+future immediately, ``answer``/``answer_many`` block, and
+``answer_batch`` takes a whole :class:`EncryptedQueryBatch`.  Because
+``submit`` is all :func:`~repro.serve.frontend.replay_open_loop` needs,
+the open-loop Poisson replayer drives a remote server unchanged — the
+loopback bench's parity check depends on exactly that symmetry.
+
+The connection is **pipelined**: a sender may have any number of frames
+in flight; a background reader thread matches replies to requests in
+FIFO order (the server guarantees one in-order reply per request
+frame) and resolves the pending futures.  Wire errors come back as the
+same typed exceptions the in-process path raises — a remote
+:class:`~repro.net.tenancy.QuotaExceededError` is
+``QuotaExceededError`` here too — so calling code cannot tell (and
+need not care) which side of the socket refused it.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections import deque
+from concurrent.futures import Future
+
+from repro.core.errors import KeyMismatchError, ParameterError, PPANNSError
+from repro.core.protocol import (
+    EncryptedQuery,
+    EncryptedQueryBatch,
+    SearchResult,
+    SearchResultBatch,
+)
+from repro.net import codec
+from repro.net.codec import ErrorCode, MessageType, WireFormatError
+from repro.net.tenancy import AuthError, QuotaExceededError
+from repro.serve.frontend import QueueFullError
+
+__all__ = ["NetClient", "RemoteError", "ConnectionClosedError", "exception_for"]
+
+
+class RemoteError(PPANNSError):
+    """The server reported a failure with no more specific local type."""
+
+
+class ConnectionClosedError(RemoteError):
+    """The connection dropped with requests still awaiting replies."""
+
+
+#: ERROR-frame code → the local exception type it round-trips to.
+_ERROR_TYPES = {
+    ErrorCode.AUTH: AuthError,
+    ErrorCode.QUOTA: QuotaExceededError,
+    ErrorCode.BUSY: QueueFullError,
+    ErrorCode.FORMAT: WireFormatError,
+    ErrorCode.PARAMETER: ParameterError,
+    ErrorCode.KEY: KeyMismatchError,
+    ErrorCode.INTERNAL: RemoteError,
+}
+
+
+def exception_for(code: ErrorCode, message: str) -> PPANNSError:
+    """Rehydrate an ERROR frame into the matching typed exception."""
+    return _ERROR_TYPES.get(code, RemoteError)(message)
+
+
+class NetClient:
+    """One authenticated connection to a :class:`~repro.net.server.NetServer`.
+
+    Parameters
+    ----------
+    host / port:
+        The server's bound address.
+    key_id:
+        The tenant identity to authenticate as (the DCE key tag the
+        connection's queries are encrypted under).
+    token:
+        The tenant's auth token, if its registration requires one.
+    timeout:
+        Seconds allowed for connect + handshake, and the per-frame
+        read deadline on replies.
+
+    Construction performs the HELLO handshake; an
+    :class:`~repro.net.tenancy.AuthError` raised here is the server's
+    refusal.  The client is a context manager and thread-safe: any
+    thread may ``submit`` while the reader resolves futures.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        key_id: int,
+        token: str | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.key_id = int(key_id)
+        self._timeout = timeout
+        self._send_lock = threading.Lock()
+        self._pending: "deque[tuple[str, object]]" = deque()
+        self._closed = False
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            codec.send_frame(
+                self._sock,
+                MessageType.HELLO,
+                codec.encode_hello(self.key_id, token),
+            )
+            reply = codec.read_frame_from(self._sock, timeout=timeout)
+            if reply is None:
+                raise ConnectionClosedError(
+                    "server closed the connection during the handshake"
+                )
+            msg_type, body = reply
+            if msg_type is MessageType.ERROR:
+                raise exception_for(*codec.decode_error(body))
+            if msg_type is not MessageType.HELLO_OK:
+                raise WireFormatError(
+                    f"expected HELLO_OK, server sent {msg_type.name}"
+                )
+        except BaseException:
+            self._sock.close()
+            raise
+        self._reader = threading.Thread(
+            target=self._reader_loop, name="repro-net-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    # -- reply side --------------------------------------------------------------
+
+    def _reader_loop(self) -> None:
+        """Match reply frames to pending requests in FIFO order."""
+        try:
+            while True:
+                frame = codec.read_frame_from(self._sock, timeout=None)
+                if frame is None:
+                    break
+                self._dispatch(*frame)
+        except (OSError, WireFormatError):
+            pass
+        self._fail_pending(
+            ConnectionClosedError("connection closed with requests in flight")
+        )
+
+    def _next_pending(self) -> "tuple[str, object] | None":
+        with self._send_lock:
+            return self._pending.popleft() if self._pending else None
+
+    def _dispatch(self, msg_type: MessageType, body: bytes) -> None:
+        entry = self._next_pending()
+        if entry is None:
+            return  # unsolicited frame; nothing is waiting on it
+        kind, target = entry
+        if msg_type is MessageType.RESULT and kind == "query":
+            try:
+                batch = codec.decode_result_batch(body)
+            except WireFormatError as exc:
+                self._settle_queries(target, error=exc)
+                return
+            if len(batch) != len(target):
+                self._settle_queries(
+                    target,
+                    error=WireFormatError(
+                        f"server answered {len(batch)} results "
+                        f"for {len(target)} queries"
+                    ),
+                )
+                return
+            for future, result in zip(target, batch):
+                if not future.cancelled():
+                    future.set_result(result)
+        elif msg_type is MessageType.ERROR:
+            error = exception_for(*codec.decode_error(body))
+            if kind == "query":
+                self._settle_queries(target, error=error)
+            else:
+                if not target.cancelled():
+                    target.set_exception(error)
+        elif msg_type is MessageType.STATS_OK and kind == "stats":
+            try:
+                payload = codec.decode_stats(body)
+            except WireFormatError as exc:
+                target.set_exception(exc)
+            else:
+                target.set_result(payload)
+        else:
+            error = WireFormatError(
+                f"server sent {msg_type.name} where a {kind} reply was due"
+            )
+            if kind == "query":
+                self._settle_queries(target, error=error)
+            else:
+                target.set_exception(error)
+
+    @staticmethod
+    def _settle_queries(futures, error: BaseException) -> None:
+        for future in futures:
+            if not future.cancelled() and not future.done():
+                future.set_exception(error)
+
+    def _fail_pending(self, error: BaseException) -> None:
+        while True:
+            entry = self._next_pending()
+            if entry is None:
+                return
+            kind, target = entry
+            if kind == "query":
+                self._settle_queries(target, error)
+            elif not target.done():
+                target.set_exception(error)
+
+    # -- request side ------------------------------------------------------------
+
+    def _send_request(self, kind: str, target, msg_type: MessageType, body: bytes):
+        with self._send_lock:
+            if self._closed:
+                raise ConnectionClosedError("client is closed")
+            # Registered before the bytes leave: the reader can never
+            # see a reply with no pending entry to match it.
+            self._pending.append((kind, target))
+            try:
+                codec.send_frame(self._sock, msg_type, body)
+            except OSError as exc:
+                self._pending.pop()
+                raise ConnectionClosedError(
+                    f"connection lost while sending: {exc}"
+                ) from None
+        return target
+
+    def submit_batch(
+        self, batch: EncryptedQueryBatch
+    ) -> "list[Future[SearchResult]]":
+        """Send one batch message; returns a future per query, in order."""
+        futures: "list[Future[SearchResult]]" = [Future() for _ in range(len(batch))]
+        self._send_request(
+            "query", futures, MessageType.QUERY, codec.encode_query_batch(batch)
+        )
+        return futures
+
+    def submit(self, query: EncryptedQuery) -> "Future[SearchResult]":
+        """Admit one query (frontend parity); returns its future."""
+        return self.submit_batch(EncryptedQueryBatch.from_queries([query]))[0]
+
+    def answer(self, query: EncryptedQuery, timeout: float | None = None):
+        """Blocking single-query convenience: ``submit`` + wait."""
+        return self.submit(query).result(timeout=timeout)
+
+    def answer_many(
+        self, queries: "list[EncryptedQuery]", timeout: float | None = None
+    ) -> "list[SearchResult]":
+        """Submit several queries as one message and wait for all."""
+        if not queries:
+            return []
+        futures = self.submit_batch(EncryptedQueryBatch.from_queries(queries))
+        return [future.result(timeout=timeout) for future in futures]
+
+    def answer_batch(
+        self, batch: EncryptedQueryBatch, timeout: float | None = None
+    ) -> SearchResultBatch:
+        """Round-trip a whole batch; the remote ``PPANNS.serve()`` shape."""
+        futures = self.submit_batch(batch)
+        return SearchResultBatch([f.result(timeout=timeout) for f in futures])
+
+    def stats(self, timeout: float | None = None) -> dict:
+        """Fetch the server's tenancy/metrics view (the STATS message)."""
+        future: "Future[dict]" = Future()
+        self._send_request("stats", future, MessageType.STATS, b"")
+        return future.result(timeout=timeout if timeout is not None else self._timeout)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the connection; in-flight futures fail with a closed error."""
+        with self._send_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        if self._reader.is_alive():
+            self._reader.join(timeout=self._timeout)
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,353 @@
+"""The long-running TCP server over a serving frontend.
+
+:class:`NetServer` is the socket face of the serving stack.  It owns no
+execution path of its own: every query that arrives over the wire is
+decoded by the codec, admitted by the tenancy layer, and submitted to
+the **same** :class:`~repro.serve.frontend.ServingFrontend` /
+:class:`~repro.serve.scheduler.BatchScheduler` pair that in-process
+callers use — micro-batching, caching, backpressure, and metrics apply
+identically whether a query arrived by function call or by socket.
+
+```
+                 ┌── per connection ───────────────────────────────┐
+ TCP accept ──▶  │ reader thread: frame → decode → tenancy.submit ─┼──▶ frontend ──▶ scheduler
+ (thread per     │        │ (futures + reply slot, FIFO)           │        │
+  connection)    │ writer thread: await futures → encode → send ◀──┼────────┘
+                 └─────────────────────────────────────────────────┘
+```
+
+Connection protocol: the first frame must be HELLO (``key_id`` +
+token); the server authenticates against its
+:class:`~repro.net.tenancy.TenantRegistry` and answers HELLO_OK or an
+AUTH error.  After that, any number of QUERY and STATS frames; every
+request frame receives exactly one RESULT/STATS_OK/ERROR reply, **in
+request order**.
+
+Fault containment — each chaos mode fails only its own connection:
+
+* **Slow loris** — frame reads run against a per-frame deadline
+  (:func:`repro.net.codec.read_frame_from`), so a peer trickling bytes
+  is cut off when the frame's budget expires.  Nothing of a partial
+  frame ever reaches the scheduler.
+* **Oversized body** — the length prefix is validated before the body
+  is read; the connection gets a FORMAT error and closes without
+  buffering the declared payload.
+* **Mid-stream disconnect** — a vanished peer kills its reader; the
+  writer drains (futures still settle in the scheduler, quota returns
+  via completion callbacks) and exits on the send failure.  The
+  scheduler never learns the client left.
+
+The split into reader and writer threads is what keeps the socket path
+**open-loop**: the reader admits frames as fast as they arrive while
+answers are still in flight, so a single pipelined connection gives the
+scheduler real batching opportunities instead of one-query lockstep.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import socketserver
+import threading
+
+from repro.core.errors import KeyMismatchError, ParameterError
+from repro.net import codec
+from repro.net.codec import ErrorCode, FrameTooLargeError, MessageType, WireFormatError
+from repro.net.tenancy import (
+    AuthError,
+    QuotaExceededError,
+    TenantAdmission,
+    TenantConfig,
+    TenantRegistry,
+)
+from repro.serve.frontend import QueueFullError, ServingFrontend
+
+__all__ = ["NetServer", "DEFAULT_FRAME_TIMEOUT"]
+
+#: Default per-frame read deadline in seconds (the slow-loris budget).
+DEFAULT_FRAME_TIMEOUT = 30.0
+
+
+def classify_error(exc: BaseException) -> ErrorCode:
+    """Map a server-side exception to its wire error code."""
+    if isinstance(exc, AuthError):
+        return ErrorCode.AUTH
+    if isinstance(exc, QuotaExceededError):
+        return ErrorCode.QUOTA
+    if isinstance(exc, QueueFullError):
+        return ErrorCode.BUSY
+    if isinstance(exc, WireFormatError):
+        return ErrorCode.FORMAT
+    if isinstance(exc, KeyMismatchError):
+        return ErrorCode.KEY
+    if isinstance(exc, ParameterError):
+        return ErrorCode.PARAMETER
+    return ErrorCode.INTERNAL
+
+
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    """One client connection: a frame reader plus an ordered reply writer."""
+
+    # -- writer side -------------------------------------------------------------
+
+    def _writer_loop(self) -> None:
+        """Pop reply slots in request order; wait, encode, send.
+
+        Each slot is either pre-encoded ``bytes`` (errors, stats) or a
+        ``(futures, )`` tuple whose answers are awaited *here*, off the
+        reader thread — the reader keeps admitting new frames while
+        earlier answers are still computing.  A send failure means the
+        client is gone; pending futures still settle inside the
+        scheduler (quota releases ride their completion callbacks), so
+        the writer simply stops writing.
+        """
+        sock = self.request
+        while True:
+            slot = self._outbox.get()
+            if slot is None:
+                return
+            try:
+                payload = slot() if callable(slot) else slot
+                sock.sendall(payload)
+            except OSError:
+                return  # peer gone; scheduler-side work settles on its own
+
+    def _reply_result(self, futures) -> bytes:
+        """Await one QUERY frame's futures and encode its reply."""
+        results = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                # One reply per request frame: the first per-query
+                # failure answers for the frame (siblings still settle
+                # and release their quota via callbacks).
+                return codec.encode_frame(
+                    MessageType.ERROR,
+                    codec.encode_error(classify_error(exc), str(exc)),
+                )
+        batch = codec.SearchResultBatch(results)
+        return codec.encode_frame(
+            MessageType.RESULT, codec.encode_result_batch(batch)
+        )
+
+    # -- reader side -------------------------------------------------------------
+
+    def _send_error(self, exc: BaseException) -> None:
+        """Enqueue an in-order ERROR reply for the frame just read."""
+        self._outbox.put(
+            codec.encode_frame(
+                MessageType.ERROR,
+                codec.encode_error(classify_error(exc), str(exc)),
+            )
+        )
+
+    def _handshake(self) -> bool:
+        """Authenticate the connection's first frame (HELLO)."""
+        server: NetServer = self.server.owner
+        frame = codec.read_frame_from(
+            self.request, server.max_body_bytes, server.frame_timeout
+        )
+        if frame is None:
+            return False
+        msg_type, body = frame
+        if msg_type is not MessageType.HELLO:
+            self._outbox.put(
+                codec.encode_frame(
+                    MessageType.ERROR,
+                    codec.encode_error(
+                        ErrorCode.FORMAT,
+                        f"expected HELLO as the first frame, got {msg_type.name}",
+                    ),
+                )
+            )
+            return False
+        key_id, token = codec.decode_hello(body)
+        try:
+            self._channel = server.admission.channel(key_id, token or None)
+        except AuthError as exc:
+            self._send_error(exc)
+            return False
+        self._outbox.put(codec.encode_frame(MessageType.HELLO_OK))
+        return True
+
+    def _serve_frames(self) -> None:
+        """The post-handshake request loop (QUERY / STATS frames)."""
+        server: NetServer = self.server.owner
+        while not server.closing:
+            frame = codec.read_frame_from(
+                self.request, server.max_body_bytes, server.frame_timeout
+            )
+            if frame is None:
+                return
+            msg_type, body = frame
+            if msg_type is MessageType.QUERY:
+                try:
+                    batch = codec.decode_query_batch(body)
+                    futures = self._channel.submit_batch(list(batch))
+                except Exception as exc:
+                    self._send_error(exc)
+                    continue
+                self._outbox.put(
+                    lambda futures=futures: self._reply_result(futures)
+                )
+            elif msg_type is MessageType.STATS:
+                self._outbox.put(
+                    codec.encode_frame(
+                        MessageType.STATS_OK, codec.encode_stats(server.stats())
+                    )
+                )
+            else:
+                self._send_error(
+                    WireFormatError(
+                        f"unexpected {msg_type.name} frame after the handshake"
+                    )
+                )
+
+    # -- socketserver plumbing ---------------------------------------------------
+
+    def setup(self) -> None:  # noqa: D102 (socketserver hook)
+        self.request.settimeout(self.server.owner.frame_timeout)
+        self._outbox: "queue.Queue" = queue.Queue()
+        self._channel = None
+        self._writer = threading.Thread(
+            target=self._writer_loop, name="repro-net-writer", daemon=True
+        )
+        self._writer.start()
+
+    def handle(self) -> None:  # noqa: D102 (socketserver hook)
+        try:
+            if self._handshake():
+                self._serve_frames()
+        except (FrameTooLargeError, WireFormatError) as exc:
+            # Framing is unrecoverable mid-stream (the body was never
+            # read / the stream position is unknowable): report, close.
+            self._send_error(exc)
+        except (socket.timeout, TimeoutError):
+            pass  # slow-loris / idle deadline: drop the connection
+        except OSError:
+            pass  # peer vanished mid-read
+
+    def finish(self) -> None:  # noqa: D102 (socketserver hook)
+        self._outbox.put(None)
+        self._writer.join(timeout=DEFAULT_FRAME_TIMEOUT)
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    """Thread-per-connection TCP server with an owner backref."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, owner: "NetServer", address) -> None:
+        self.owner = owner
+        super().__init__(address, _ConnectionHandler)
+
+
+class NetServer:
+    """The wire-protocol server over one serving frontend.
+
+    Parameters
+    ----------
+    frontend:
+        The :class:`~repro.serve.frontend.ServingFrontend` every
+        network query is submitted to (the single execution path).
+    tenants:
+        The admitted tenants: a :class:`TenantRegistry`, or a list of
+        :class:`TenantConfig` to build one from.
+    host / port:
+        Bind address; port 0 picks an ephemeral port (see
+        :attr:`address` for the bound one).
+    max_body_bytes:
+        Frame-body cap; larger length prefixes are refused before the
+        body is read.
+    frame_timeout:
+        Per-frame read deadline in seconds (the slow-loris budget) —
+        also the idle timeout between a connection's frames.
+
+    The server is a context manager: ``with NetServer(...) as server:``
+    binds, starts accepting in a background thread, and shuts down on
+    exit.  The frontend's lifecycle stays with its creator — wrap the
+    ``NetServer`` *inside* the frontend's ``with`` block.
+    """
+
+    def __init__(
+        self,
+        frontend: ServingFrontend,
+        tenants: "TenantRegistry | list[TenantConfig]",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = codec.DEFAULT_MAX_BODY_BYTES,
+        frame_timeout: float = DEFAULT_FRAME_TIMEOUT,
+    ) -> None:
+        registry = (
+            tenants
+            if isinstance(tenants, TenantRegistry)
+            else TenantRegistry(list(tenants))
+        )
+        self.admission = TenantAdmission(frontend, registry)
+        self.max_body_bytes = max_body_bytes
+        self.frame_timeout = frame_timeout
+        self.closing = False
+        self._tcp = _ThreadingTCPServer(self, (host, port))
+        self._thread: threading.Thread | None = None
+
+    @property
+    def frontend(self) -> ServingFrontend:
+        """The serving frontend network queries are submitted to."""
+        return self.admission.frontend
+
+    @property
+    def registry(self) -> TenantRegistry:
+        """The tenant registry guarding admission."""
+        return self.admission.registry
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound ``(host, port)`` (resolves an ephemeral port 0)."""
+        return self._tcp.server_address
+
+    def stats(self) -> dict:
+        """The ``stats`` wire payload: tenancy view + frontend metrics."""
+        payload = self.admission.stats()
+        payload["frontend"] = self.frontend.metrics.snapshot().as_dict()
+        return payload
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "NetServer":
+        """Begin accepting connections in a background thread."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._tcp.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="repro-net-accept",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_until_interrupt(self) -> None:
+        """Foreground accept loop (the CLI ``listen`` body)."""
+        try:
+            self._tcp.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop accepting and release the listening socket (idempotent)."""
+        if self.closing:
+            return
+        self.closing = True
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None and self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "NetServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,359 @@
+"""Multi-tenant admission: per-``key_id`` auth, quotas, and metrics.
+
+The serving frontend (PR 5) is a single shared resource — one bounded
+queue, one scheduler.  Exposed to the network, "shared" needs a policy:
+*which* key holders may submit, *how much* of the queue each may hold,
+and *who* is responsible when the server runs hot.  This module is that
+policy layer, sitting between the wire codec and the frontend:
+
+```
+ client ──▶ codec ──▶ tenancy (auth · quota · per-tenant metrics) ──▶ frontend ──▶ scheduler
+```
+
+* A **tenant is a DCE ``key_id``** — the natural identity of this
+  system: every query already carries the tag of the key it was
+  encrypted under, the batch envelope carries it even for
+  zero-trapdoor ``filter_only`` traffic, and the scheduler already
+  groups micro-batches by it.  :class:`TenantConfig` attaches an auth
+  token and an admission quota to that identity.
+* **Auth happens at the boundary.**  :meth:`TenantRegistry.authenticate`
+  runs on the HELLO frame, before any ciphertext is decoded into the
+  serving path; tokens compare in constant time.
+* **Quotas bound in-flight queries, not rates.**  Each tenant may hold
+  at most ``max_in_flight`` positions of the bounded admission queue;
+  the (N+1)-th concurrent query is refused with
+  :class:`QuotaExceededError` while other tenants' admissions are
+  untouched — a noisy tenant saturates its own quota, never the
+  scheduler.  Quota positions are released by future-completion
+  callbacks, so they cannot leak on failures, cancellations, or
+  disconnected clients.
+* **Per-tenant metrics.**  Every tenant carries its own
+  :class:`~repro.serve.metrics.ServerMetrics`; :meth:`Tenant.stats`
+  is the per-tenant slice of the ``stats`` wire message and of the
+  CLI's ``serve --json`` tenancy view.
+
+:class:`TenantAdmission` binds a registry to a frontend;
+:meth:`TenantAdmission.channel` authenticates once per connection and
+returns the :class:`TenantChannel` whose ``submit`` mirrors
+:meth:`~repro.serve.frontend.ServingFrontend.submit` with the quota
+and accounting applied.
+"""
+
+from __future__ import annotations
+
+import hmac
+import threading
+import time
+from concurrent.futures import Future
+
+from repro.core.errors import PPANNSError
+from repro.core.protocol import EncryptedQuery, SearchResult
+from repro.serve.frontend import ServingFrontend
+from repro.serve.metrics import ServerMetrics
+
+__all__ = [
+    "AuthError",
+    "QuotaExceededError",
+    "TenantConfig",
+    "Tenant",
+    "TenantRegistry",
+    "TenantAdmission",
+    "TenantChannel",
+]
+
+
+class AuthError(PPANNSError):
+    """Authentication refused: unknown tenant or wrong token."""
+
+
+class QuotaExceededError(PPANNSError):
+    """Admission refused: the tenant's in-flight quota is exhausted.
+
+    The per-tenant counterpart of
+    :class:`~repro.serve.frontend.QueueFullError` — backpressure scoped
+    to one ``key_id`` so a noisy tenant sheds its own load instead of
+    starving the shared scheduler.
+    """
+
+
+class TenantConfig:
+    """Static tenant definition: identity, credential, quota.
+
+    Parameters
+    ----------
+    key_id:
+        The DCE key tag this tenant submits under (the tenant identity).
+    token:
+        Shared-secret auth token presented in the HELLO frame; ``None``
+        admits the tenant without a credential (loopback / testing).
+    max_in_flight:
+        Admission quota: the most queries this tenant may hold in the
+        serving queue at once; ``None`` = unbounded (only the global
+        queue bound applies).
+    """
+
+    def __init__(
+        self,
+        key_id: int,
+        token: str | None = None,
+        max_in_flight: int | None = None,
+    ) -> None:
+        if max_in_flight is not None and max_in_flight < 1:
+            raise PPANNSError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        self.key_id = int(key_id)
+        self.token = token
+        self.max_in_flight = max_in_flight
+
+
+class Tenant:
+    """One tenant's live admission state: quota counter plus metrics."""
+
+    def __init__(self, config: TenantConfig) -> None:
+        self.config = config
+        self.metrics = ServerMetrics()
+        self._lock = threading.Lock()
+        self._in_flight = 0
+
+    @property
+    def key_id(self) -> int:
+        """The tenant's DCE key tag (its identity)."""
+        return self.config.key_id
+
+    @property
+    def in_flight(self) -> int:
+        """Queries this tenant currently holds in the serving path."""
+        with self._lock:
+            return self._in_flight
+
+    def try_acquire(self, count: int = 1) -> bool:
+        """Reserve ``count`` quota positions; ``False`` when over quota.
+
+        All-or-nothing: a batch either fits entirely under the quota or
+        is refused entirely — partial admission would answer a random
+        prefix of a batch message.
+        """
+        quota = self.config.max_in_flight
+        with self._lock:
+            if quota is not None and self._in_flight + count > quota:
+                return False
+            self._in_flight += count
+            return True
+
+    def release(self, count: int = 1) -> None:
+        """Return quota positions (one per settled future)."""
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - count)
+
+    def stats(self) -> dict:
+        """The tenant's slice of the tenancy view (JSON-ready)."""
+        snapshot = self.metrics.snapshot()
+        return {
+            "key_id": self.key_id,
+            "authenticated": self.config.token is not None,
+            "max_in_flight": self.config.max_in_flight,
+            "in_flight": self.in_flight,
+            "submitted": snapshot.submitted,
+            "completed": snapshot.completed,
+            "failed": snapshot.failed,
+            "rejected": snapshot.rejected,
+            "qps": snapshot.qps,
+            "latency_p50": snapshot.latency_p50,
+            "latency_p95": snapshot.latency_p95,
+        }
+
+
+class TenantRegistry:
+    """The known tenants, keyed by ``key_id``; the auth authority."""
+
+    def __init__(self, configs: "list[TenantConfig] | None" = None) -> None:
+        self._lock = threading.Lock()
+        self._tenants: "dict[int, Tenant]" = {}
+        for config in configs or []:
+            self.register(config)
+
+    def register(self, config: TenantConfig) -> Tenant:
+        """Add (or replace) a tenant; returns its live state."""
+        tenant = Tenant(config)
+        with self._lock:
+            self._tenants[config.key_id] = tenant
+        return tenant
+
+    def key_ids(self) -> "list[int]":
+        """The registered tenant identities, ascending."""
+        with self._lock:
+            return sorted(self._tenants)
+
+    def get(self, key_id: int) -> Tenant:
+        """Look a tenant up without authentication (server-internal)."""
+        with self._lock:
+            tenant = self._tenants.get(int(key_id))
+        if tenant is None:
+            raise AuthError(f"unknown tenant key_id {key_id}")
+        return tenant
+
+    def authenticate(self, key_id: int, token: str | None) -> Tenant:
+        """Check a presented credential; raises :class:`AuthError`.
+
+        Token comparison is constant-time (``hmac.compare_digest``);
+        unknown tenants and wrong tokens produce the same error shape,
+        so the boundary does not leak which half was wrong.
+        """
+        with self._lock:
+            tenant = self._tenants.get(int(key_id))
+        if tenant is None:
+            raise AuthError(f"authentication failed for key_id {key_id}")
+        expected = tenant.config.token
+        if expected is not None:
+            if token is None or not hmac.compare_digest(
+                expected.encode("utf-8"), token.encode("utf-8")
+            ):
+                raise AuthError(f"authentication failed for key_id {key_id}")
+        return tenant
+
+    def stats(self) -> dict:
+        """The full tenancy view: one :meth:`Tenant.stats` per tenant."""
+        with self._lock:
+            tenants = list(self._tenants.values())
+        return {str(tenant.key_id): tenant.stats() for tenant in tenants}
+
+
+class TenantAdmission:
+    """Binds a :class:`TenantRegistry` to a serving frontend.
+
+    The single server-side construction of the admission path: the TCP
+    server builds one and opens a :class:`TenantChannel` per
+    authenticated connection; the CLI's local ``serve`` path opens one
+    directly for its own key.
+    """
+
+    def __init__(self, frontend: ServingFrontend, registry: TenantRegistry) -> None:
+        self._frontend = frontend
+        self._registry = registry
+
+    @property
+    def frontend(self) -> ServingFrontend:
+        """The wrapped serving frontend."""
+        return self._frontend
+
+    @property
+    def registry(self) -> TenantRegistry:
+        """The tenant registry enforcing auth and quotas."""
+        return self._registry
+
+    def channel(self, key_id: int, token: str | None = None) -> "TenantChannel":
+        """Authenticate and open a submission channel for one tenant."""
+        tenant = self._registry.authenticate(key_id, token)
+        return TenantChannel(self._frontend, tenant)
+
+    def stats(self) -> dict:
+        """The tenancy view plus the shared frontend's queue state."""
+        return {
+            "key_ids": self._registry.key_ids(),
+            "queue_depth": self._frontend.queue_depth,
+            "tenants": self._registry.stats(),
+        }
+
+
+class TenantChannel:
+    """A tenant's authenticated submission path into the frontend.
+
+    ``submit`` mirrors :meth:`ServingFrontend.submit` — returns the
+    query's future immediately — with three admissions-layer additions:
+    the query's key tag must match the channel's tenant (isolation),
+    a quota position must be free (:class:`QuotaExceededError`
+    otherwise), and the tenant's own metrics record the outcome.  The
+    quota position is released by a done-callback on the future, so it
+    is returned exactly once no matter how the query settles.
+    """
+
+    def __init__(self, frontend: ServingFrontend, tenant: Tenant) -> None:
+        self._frontend = frontend
+        self._tenant = tenant
+
+    @property
+    def tenant(self) -> Tenant:
+        """The authenticated tenant this channel submits for."""
+        return self._tenant
+
+    def _check_key(self, query: EncryptedQuery) -> None:
+        if query.trapdoor.key_id != self._tenant.key_id:
+            raise AuthError(
+                f"query was encrypted under key_id {query.trapdoor.key_id}, "
+                f"but this channel is authenticated for {self._tenant.key_id}"
+            )
+
+    def _track(self, future: "Future[SearchResult]") -> "Future[SearchResult]":
+        tenant = self._tenant
+        submitted_at = time.perf_counter()
+        tenant.metrics.record_admitted(tenant.in_flight)
+
+        def settle(done: "Future[SearchResult]") -> None:
+            tenant.release()
+            latency = time.perf_counter() - submitted_at
+            error = done.exception() if not done.cancelled() else None
+            if done.cancelled() or error is not None:
+                tenant.metrics.record_failed(latency)
+            else:
+                tenant.metrics.record_completed(latency, done.result())
+
+        future.add_done_callback(settle)
+        return future
+
+    def submit(self, query: EncryptedQuery) -> "Future[SearchResult]":
+        """Admit one query under the tenant's quota; returns its future."""
+        self._check_key(query)
+        tenant = self._tenant
+        if not tenant.try_acquire():
+            tenant.metrics.record_rejected()
+            raise QuotaExceededError(
+                f"tenant {tenant.key_id} is at its in-flight quota "
+                f"({tenant.config.max_in_flight}); retry after completions"
+            )
+        try:
+            future = self._frontend.submit(query)
+        except Exception:
+            tenant.release()
+            tenant.metrics.record_rejected()
+            raise
+        return self._track(future)
+
+    def submit_batch(self, queries: "list[EncryptedQuery]") -> "list[Future[SearchResult]]":
+        """Admit a whole batch message atomically against the quota.
+
+        All-or-nothing at the quota: the batch either fits under the
+        tenant's remaining quota or raises :class:`QuotaExceededError`
+        without submitting anything.  A mid-batch
+        :class:`~repro.serve.frontend.QueueFullError` (global bound)
+        releases the unsubmitted positions and re-raises; queries
+        already submitted run to completion and settle their futures.
+        """
+        for query in queries:
+            self._check_key(query)
+        tenant = self._tenant
+        count = len(queries)
+        if count == 0:
+            return []
+        if not tenant.try_acquire(count):
+            for _ in range(count):
+                tenant.metrics.record_rejected()
+            raise QuotaExceededError(
+                f"tenant {tenant.key_id} cannot admit {count} queries under "
+                f"its in-flight quota ({tenant.config.max_in_flight})"
+            )
+        futures: "list[Future[SearchResult]]" = []
+        try:
+            for query in queries:
+                futures.append(self._track(self._frontend.submit(query)))
+        except Exception:
+            unsubmitted = count - len(futures)
+            tenant.release(unsubmitted)
+            for _ in range(unsubmitted):
+                tenant.metrics.record_rejected()
+            raise
+        return futures
+
+    def answer(self, query: EncryptedQuery, timeout: float | None = None):
+        """Blocking convenience: ``submit`` + wait (frontend parity)."""
+        return self.submit(query).result(timeout=timeout)

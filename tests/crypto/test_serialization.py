@@ -7,11 +7,19 @@ from hypothesis import strategies as st
 
 from repro.crypto.serialization import (
     BYTES_PER_COMPONENT,
+    BYTES_PER_COMPONENT_F64,
     bytes_to_vector,
     bytes_to_vectors,
+    bytes_to_vectors_f64,
     vector_to_bytes,
     vectors_to_bytes,
+    vectors_to_bytes_f64,
 )
+
+_matrix_shapes = st.tuples(
+    st.integers(min_value=0, max_value=8), st.integers(min_value=1, max_value=16)
+)
+_seeds = st.integers(min_value=0, max_value=2**32 - 1)
 
 
 class TestSingleVector:
@@ -64,3 +72,60 @@ class TestBatch:
     def test_rejects_nonpositive_dim(self):
         with pytest.raises(ValueError):
             bytes_to_vectors(b"\x00" * 8, 0)
+
+    @given(shape=_matrix_shapes, seed=_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_arbitrary_shapes(self, shape, seed):
+        n, d = shape
+        vectors = np.random.default_rng(seed).standard_normal((n, d)) * 100.0
+        recovered = bytes_to_vectors(vectors_to_bytes(vectors), d)
+        assert recovered.shape == (n, d)
+        assert np.allclose(recovered, vectors, rtol=1e-6, atol=1e-3)
+
+
+class TestBatchF64:
+    """The float64 pair carries DCE trapdoors: exactness is the point."""
+
+    @given(shape=_matrix_shapes, seed=_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_is_bit_exact(self, shape, seed):
+        n, d = shape
+        vectors = np.random.default_rng(seed).standard_normal((n, d)) * 1e6
+        recovered = bytes_to_vectors_f64(vectors_to_bytes_f64(vectors), d)
+        assert recovered.shape == (n, d)
+        assert np.array_equal(recovered, vectors)  # float64: lossless
+
+    def test_size_accounting(self):
+        assert len(vectors_to_bytes_f64(np.zeros((3, 5)))) == (
+            3 * 5 * BYTES_PER_COMPONENT_F64
+        )
+
+    def test_zero_dim_matrix_roundtrips(self):
+        """The filter_only zero-trapdoor edge: a (n, 0) matrix encodes
+        to zero bytes and dim=0 decodes back to an empty matrix."""
+        data = vectors_to_bytes_f64(np.zeros((4, 0)))
+        assert data == b""
+        recovered = bytes_to_vectors_f64(data, 0)
+        assert recovered.shape == (0, 0)
+        assert recovered.size == 0
+
+    def test_zero_dim_with_payload_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_vectors_f64(b"\x00" * 8, 0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            vectors_to_bytes_f64(np.zeros(4))
+
+    def test_rejects_misaligned_bytes(self):
+        with pytest.raises(ValueError):
+            bytes_to_vectors_f64(b"\x00" * 9, 3)
+
+    def test_rejects_bad_dim(self):
+        data = vectors_to_bytes_f64(np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            bytes_to_vectors_f64(data, 3)
+
+    def test_rejects_negative_dim(self):
+        with pytest.raises(ValueError):
+            bytes_to_vectors_f64(b"", -1)

@@ -1,0 +1,212 @@
+"""Tenancy-layer tests: auth at the boundary, quotas, leak-free release.
+
+The admission layer's promises:
+
+* authentication runs before anything touches the serving path, in
+  constant time, with one indistinguishable error shape for
+  unknown-tenant and wrong-token;
+* quotas bound *in-flight* queries all-or-nothing per batch, and quota
+  positions return via future-completion callbacks — no leak on
+  failure, cancellation, or a vanished client;
+* a channel only admits queries encrypted under its own tenant's key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PPANNSError
+from repro.core.roles import CloudServer, DataOwner, QueryUser
+from repro.net.tenancy import (
+    AuthError,
+    QuotaExceededError,
+    Tenant,
+    TenantAdmission,
+    TenantConfig,
+    TenantRegistry,
+)
+from tests.conftest import FAST_HNSW
+
+
+@pytest.fixture(scope="module")
+def actors():
+    rng = np.random.default_rng(41)
+    owner = DataOwner(
+        8, beta=0.3, hnsw_params=FAST_HNSW, backend="bruteforce", rng=rng
+    )
+    database = rng.standard_normal((80, 8)) * 2.0
+    index = owner.build_index(database)
+    server = CloudServer(index)
+    user = QueryUser(owner.authorize_user(), rng=np.random.default_rng(42))
+    return server, user, database, int(index.dce_database.key_id)
+
+
+class TestRegistryAuth:
+    def test_token_tenant_authenticates(self):
+        registry = TenantRegistry([TenantConfig(7, token="hunter2")])
+        assert registry.authenticate(7, "hunter2").key_id == 7
+
+    def test_wrong_token_refused(self):
+        registry = TenantRegistry([TenantConfig(7, token="hunter2")])
+        with pytest.raises(AuthError):
+            registry.authenticate(7, "wrong")
+        with pytest.raises(AuthError):
+            registry.authenticate(7, None)
+
+    def test_unknown_tenant_refused_with_same_shape(self):
+        """Unknown-tenant and wrong-token produce the same message shape,
+        so the boundary does not reveal which half failed."""
+        registry = TenantRegistry([TenantConfig(7, token="hunter2")])
+        with pytest.raises(AuthError) as unknown:
+            registry.authenticate(99, "hunter2")
+        with pytest.raises(AuthError) as wrong:
+            registry.authenticate(7, "nope")
+        assert str(unknown.value).replace("99", "X") == str(
+            wrong.value
+        ).replace("7", "X")
+
+    def test_tokenless_tenant_admits_any_credential(self):
+        registry = TenantRegistry([TenantConfig(3)])
+        assert registry.authenticate(3, None).key_id == 3
+        assert registry.authenticate(3, "anything").key_id == 3
+
+    def test_key_ids_sorted(self):
+        registry = TenantRegistry([TenantConfig(9), TenantConfig(-2), TenantConfig(4)])
+        assert registry.key_ids() == [-2, 4, 9]
+
+    def test_errors_are_ppanns_errors(self):
+        assert issubclass(AuthError, PPANNSError)
+        assert issubclass(QuotaExceededError, PPANNSError)
+
+    def test_invalid_quota_rejected(self):
+        with pytest.raises(PPANNSError):
+            TenantConfig(1, max_in_flight=0)
+
+
+class TestQuotaCounter:
+    def test_acquire_release_cycle(self):
+        tenant = Tenant(TenantConfig(1, max_in_flight=2))
+        assert tenant.try_acquire()
+        assert tenant.try_acquire()
+        assert not tenant.try_acquire()
+        tenant.release()
+        assert tenant.try_acquire()
+        assert tenant.in_flight == 2
+
+    def test_batch_acquire_is_all_or_nothing(self):
+        tenant = Tenant(TenantConfig(1, max_in_flight=3))
+        assert tenant.try_acquire(2)
+        assert not tenant.try_acquire(2)  # only 1 position left
+        assert tenant.in_flight == 2  # the refused batch took nothing
+        assert tenant.try_acquire(1)
+
+    def test_unbounded_tenant_never_refuses(self):
+        tenant = Tenant(TenantConfig(1))
+        assert tenant.try_acquire(10_000)
+
+    def test_release_floors_at_zero(self):
+        tenant = Tenant(TenantConfig(1, max_in_flight=2))
+        tenant.release(5)
+        assert tenant.in_flight == 0
+
+
+class TestChannel:
+    def test_quota_enforced_and_released_by_completion(self, actors):
+        server, user, database, key_id = actors
+        queries = [user.encrypt_query(database[i] + 0.01, 3) for i in range(4)]
+        registry = TenantRegistry([TenantConfig(key_id, max_in_flight=2)])
+        with server.serving_frontend(batch_window_seconds=0.0) as frontend:
+            channel = TenantAdmission(frontend, registry).channel(key_id)
+            # Serially, quota 2 never blocks: completions release slots.
+            for query in queries:
+                assert channel.answer(query, timeout=30).ids.shape[0] == 3
+            tenant = registry.get(key_id)
+            assert tenant.in_flight == 0
+            assert tenant.metrics.snapshot().completed == 4
+
+    def test_over_quota_batch_refused_atomically(self, actors):
+        server, user, database, key_id = actors
+        queries = [user.encrypt_query(database[i] + 0.01, 3) for i in range(3)]
+        registry = TenantRegistry([TenantConfig(key_id, max_in_flight=2)])
+        with server.serving_frontend(batch_window_seconds=0.0) as frontend:
+            channel = TenantAdmission(frontend, registry).channel(key_id)
+            with pytest.raises(QuotaExceededError):
+                channel.submit_batch(queries)
+            tenant = registry.get(key_id)
+            assert tenant.in_flight == 0  # nothing was admitted
+            assert tenant.metrics.snapshot().rejected == 3
+            # The tenant is not wedged: a fitting batch still serves.
+            futures = channel.submit_batch(queries[:2])
+            assert all(f.result(timeout=30).ids.shape[0] == 3 for f in futures)
+
+    def test_foreign_key_refused_by_channel(self, actors):
+        server, user, database, key_id = actors
+        stranger = QueryUser(
+            DataOwner(8, beta=0.3, rng=np.random.default_rng(99)).authorize_user(),
+            rng=np.random.default_rng(100),
+        )
+        foreign = stranger.encrypt_query(database[0] + 0.01, 3)
+        registry = TenantRegistry([TenantConfig(key_id)])
+        with server.serving_frontend(batch_window_seconds=0.0) as frontend:
+            channel = TenantAdmission(frontend, registry).channel(key_id)
+            with pytest.raises(AuthError, match="authenticated for"):
+                channel.submit(foreign)
+            assert registry.get(key_id).in_flight == 0
+
+    def test_failed_query_still_releases_quota(self, actors):
+        from repro.serve.frontend import ServingFrontend
+
+        class _AlwaysFailEngine:
+            name = "always-fail"
+
+            def refine(self, dce, trapdoor, candidate_ids, k):
+                raise RuntimeError("refine blew up")
+
+        server, user, database, key_id = actors
+        query = user.encrypt_query(database[0] + 0.01, 3)
+        registry = TenantRegistry([TenantConfig(key_id, max_in_flight=1)])
+        frontend = ServingFrontend(
+            server, batch_window_seconds=0.0, refine_engine=_AlwaysFailEngine()
+        )
+        with frontend:
+            channel = TenantAdmission(frontend, registry).channel(key_id)
+            future = channel.submit(query)
+            with pytest.raises(RuntimeError, match="refine blew up"):
+                future.result(timeout=30)
+            tenant = registry.get(key_id)
+            assert tenant.in_flight == 0  # released by the done-callback
+            assert tenant.metrics.snapshot().failed == 1
+            # Quota 1 is free again: the next submit is admitted (its
+            # fate is the engine's problem, not the quota's).
+            second = channel.submit(query)
+            with pytest.raises(RuntimeError):
+                second.result(timeout=30)
+
+    def test_stats_view_shape(self, actors):
+        server, user, database, key_id = actors
+        query = user.encrypt_query(database[0] + 0.01, 3)
+        registry = TenantRegistry(
+            [TenantConfig(key_id, token="t", max_in_flight=5), TenantConfig(12345)]
+        )
+        with server.serving_frontend(batch_window_seconds=0.0) as frontend:
+            admission = TenantAdmission(frontend, registry)
+            channel = admission.channel(key_id, "t")
+            channel.answer(query, timeout=30)
+            view = admission.stats()
+        assert view["key_ids"] == sorted([key_id, 12345])
+        mine = view["tenants"][str(key_id)]
+        assert mine["authenticated"] is True
+        assert mine["max_in_flight"] == 5
+        assert mine["completed"] == 1
+        other = view["tenants"]["12345"]
+        assert other["submitted"] == 0
+        assert "queue_depth" in view
+
+    def test_empty_batch_is_a_noop(self, actors):
+        server, user, database, key_id = actors
+        registry = TenantRegistry([TenantConfig(key_id, max_in_flight=1)])
+        with server.serving_frontend(batch_window_seconds=0.0) as frontend:
+            channel = TenantAdmission(frontend, registry).channel(key_id)
+            assert channel.submit_batch([]) == []
+            assert registry.get(key_id).in_flight == 0

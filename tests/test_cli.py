@@ -306,6 +306,23 @@ class TestInfo:
         assert payload["shard_strategy"] is None
         assert payload["build_report"]["shards"] == 1
 
+    def test_info_reports_tenancy_view(self, cli_workspace, capsys):
+        root, _, _ = cli_workspace
+        code = main(["info", "--index", str(root / "index.npz"), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tenancy"]["key_ids"] == [payload["dce_key_id"]]
+        default = payload["tenancy"]["default_tenant"]
+        assert default["key_id"] == payload["dce_key_id"]
+        assert default["authenticated"] is False
+        assert default["max_in_flight"] is None
+        capsys.readouterr()
+        main(["info", "--index", str(root / "index.npz")])
+        assert (
+            f"tenancy: default tenant key_id={payload['dce_key_id']}"
+            in capsys.readouterr().out
+        )
+
 
 class TestServe:
     def test_serve_matches_query_ids(self, cli_workspace, capsys):
@@ -351,6 +368,125 @@ class TestServe:
         out = capsys.readouterr().out
         assert "served 3 queries" in out
         assert "latency p50/p95/p99" in out
+
+
+class TestServeTenancy:
+    def test_serve_json_reports_tenancy_view(self, cli_workspace, capsys):
+        root, _, _ = cli_workspace
+        code = main(
+            [
+                "serve",
+                "--index", str(root / "index.npz"),
+                "--keys", str(root / "keys.npz"),
+                "--queries", str(root / "queries.fvecs"),
+                "-k", "5",
+                "--json",
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        tenancy = payload["tenancy"]
+        assert len(tenancy["key_ids"]) == 1
+        tenant = tenancy["tenants"][str(tenancy["key_ids"][0])]
+        assert tenant["completed"] == 3
+        assert tenant["rejected"] == 0
+        assert tenant["max_in_flight"] is None
+        assert tenant["in_flight"] == 0
+
+    def test_serve_needs_index_or_connect(self, cli_workspace):
+        root, _, _ = cli_workspace
+        with pytest.raises(SystemExit, match="--index .*--connect|--connect"):
+            main(
+                [
+                    "serve",
+                    "--keys", str(root / "keys.npz"),
+                    "--queries", str(root / "queries.fvecs"),
+                ]
+            )
+
+
+class TestNetworkServe:
+    def test_remote_serve_matches_local_ids(self, cli_workspace, capsys):
+        """serve --connect against an in-process listen server: same
+        queries, same seed -> bit-identical ids to the local path."""
+        from repro.core.persistence import load_index
+        from repro.core.roles import CloudServer
+        from repro.net import NetServer, TenantConfig
+
+        root, _, _ = cli_workspace
+        common = [
+            "--keys", str(root / "keys.npz"),
+            "--queries", str(root / "queries.fvecs"),
+            "-k", "5",
+            "--json",
+            "--seed", "2",
+        ]
+        code = main(["serve", "--index", str(root / "index.npz"), *common])
+        assert code == 0
+        local = json.loads(capsys.readouterr().out)
+
+        index = load_index(str(root / "index.npz"))
+        server = CloudServer(index)
+        with server.serving_frontend(
+            max_batch_size=32, batch_window_seconds=0.002
+        ) as frontend:
+            with NetServer(
+                frontend,
+                [TenantConfig(int(index.dce_database.key_id), token="tok")],
+            ) as net:
+                host, port = net.address
+                code = main(
+                    [
+                        "serve",
+                        "--connect", f"{host}:{port}",
+                        "--token", "tok",
+                        *common,
+                    ]
+                )
+        assert code == 0
+        remote = json.loads(capsys.readouterr().out)
+        assert remote["ids"] == local["ids"]
+        assert remote["remote"] == f"{host}:{port}"
+        tenant = remote["tenancy"]["tenants"][
+            str(remote["tenancy"]["key_ids"][0])
+        ]
+        assert tenant["completed"] == 3
+        assert tenant["authenticated"] is True
+
+    def test_listen_parser_defaults(self):
+        args = build_parser().parse_args(["listen", "--index", "i.npz"])
+        assert args.command == "listen"
+        assert args.host == "127.0.0.1"
+        assert args.tenant == []
+        assert args.frame_timeout > 0
+
+    def test_tenant_spec_parsing(self):
+        from repro.cli import _parse_tenant_spec
+
+        config = _parse_tenant_spec("42:secret:8")
+        assert (config.key_id, config.token, config.max_in_flight) == (
+            42, "secret", 8,
+        )
+        assert _parse_tenant_spec("-7").token is None
+        assert _parse_tenant_spec("-7").max_in_flight is None
+        assert _parse_tenant_spec("9::3").token is None
+        assert _parse_tenant_spec("9::3").max_in_flight == 3
+        with pytest.raises(SystemExit):
+            _parse_tenant_spec("notakey")
+        with pytest.raises(SystemExit):
+            _parse_tenant_spec("1:tok:many")
+        with pytest.raises(SystemExit):
+            _parse_tenant_spec("1:tok:0")
+
+    def test_hostport_parsing(self):
+        from repro.cli import _parse_hostport
+
+        assert _parse_hostport("127.0.0.1:7379") == ("127.0.0.1", 7379)
+        with pytest.raises(SystemExit):
+            _parse_hostport("nocolon")
+        with pytest.raises(SystemExit):
+            _parse_hostport("host:notaport")
 
 
 class TestWorkload:
