@@ -18,10 +18,16 @@ A deployable front-end over the library for the three lifecycle stages:
   refine-stage engine.
 * ``demo``   — one-command end-to-end demo on a synthetic dataset with a
   recall report.
-* ``info``   — inspect an index file without keys: backend kind, shard
+* ``info``   — inspect an index without keys: backend kind, shard
   layout, tombstones, storage accounting, and the persisted v2/v3 build
   metadata (``build_mode``, ``build_workers``, the encrypt/build
-  seconds split); ``--json`` for the machine-readable form.
+  seconds split); for a v4 journaled store it adds the journal ledger
+  (generation, segment count, byte split); ``--json`` for the
+  machine-readable form.
+* ``compact`` — maintenance: drop every tombstone from an index on
+  disk by rebuilding its filter structures (per shard when sharded).
+  Works on both ``.npz`` files (rewritten in place) and v4 journaled
+  stores (delta segments folded into a fresh base generation).
 * ``serve``  — the online path: replay a query file through a
   :class:`~repro.serve.frontend.ServingFrontend` one query at a time
   (optionally at a Poisson ``--rate``); the server forms the
@@ -50,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -57,6 +64,8 @@ import numpy as np
 
 from repro.core.backends import available_backends
 from repro.core.build import BUILD_MODES
+from repro.core.journal import IndexJournal
+from repro.core.maintenance import compact_index
 from repro.core.persistence import load_index, load_keys, save_index, save_keys
 from repro.core.refine import available_refine_engines
 from repro.core.sharding import SHARD_STRATEGIES
@@ -133,7 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     build = commands.add_parser("build", help="encrypt a database and build the index")
     build.add_argument("database", help="input vectors (.fvecs or .npy)")
-    build.add_argument("--index", required=True, help="output index file (.npz)")
+    build.add_argument(
+        "--index",
+        required=True,
+        help="output index: an .npz file, or a directory with "
+        "--format journal",
+    )
+    build.add_argument(
+        "--format",
+        choices=("npz", "journal"),
+        default="npz",
+        help="index store layout: a single .npz snapshot, or a v4 "
+        "journaled directory whose later inserts/deletes append delta "
+        "segments instead of rewriting the base",
+    )
     build.add_argument("--keys", required=True, help="output secret key file (.npz)")
     build.add_argument("--beta", type=float, required=True, help="DCPE noise budget")
     build.add_argument("--scale", type=float, default=1024.0, help="DCPE scale")
@@ -231,12 +253,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.add_argument("--seed", type=int, default=0)
 
-    info = commands.add_parser("info", help="inspect an index file (no keys needed)")
-    info.add_argument("--index", required=True, help="index file from 'build'")
+    info = commands.add_parser("info", help="inspect an index (no keys needed)")
+    info.add_argument(
+        "--index", required=True, help="index file or journaled store from 'build'"
+    )
     info.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable index report",
+    )
+
+    compact = commands.add_parser(
+        "compact", help="drop tombstones from an on-disk index (no keys needed)"
+    )
+    compact.add_argument(
+        "--index",
+        required=True,
+        help="index to compact: an .npz file (rewritten in place) or a "
+        "v4 journaled store (folded into a fresh base generation)",
+    )
+    compact.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON compaction report",
+    )
+    compact.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed for the rebuild RNG (graph backends draw levels)",
     )
 
     serve = commands.add_parser(
@@ -415,7 +460,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     index = owner.build_index(vectors)
     elapsed = time.perf_counter() - start
-    save_index(args.index, index)
+    if args.format == "journal":
+        IndexJournal.create(args.index, index)
+    else:
+        save_index(args.index, index)
     save_keys(args.keys, owner.authorize_user())
     report = index.size_report()
     build_report = index.build_report
@@ -538,6 +586,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    journal_stats = (
+        IndexJournal.open(args.index).stats() if os.path.isdir(args.index) else None
+    )
     index = load_index(args.index)
     report = index.size_report()
     sharded = hasattr(index, "num_shards")
@@ -567,6 +618,17 @@ def _cmd_info(args: argparse.Namespace) -> int:
                 "max_in_flight": None,
             },
         },
+        "journal": (
+            None
+            if journal_stats is None
+            else {
+                "generation": journal_stats.generation,
+                "num_segments": journal_stats.num_segments,
+                "base_bytes": journal_stats.base_bytes,
+                "journal_bytes": journal_stats.journal_bytes,
+                "total_bytes": journal_stats.total_bytes,
+            }
+        ),
     }
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -587,6 +649,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
         f"({report.dce_overhead_ratio:.2f}x plaintext for C_DCE)"
     )
     print(f"tenancy: default tenant key_id={payload['dce_key_id']}")
+    if journal_stats is not None:
+        print(
+            f"journal: generation {journal_stats.generation}, "
+            f"{journal_stats.num_segments} delta segments "
+            f"({journal_stats.base_bytes} base + "
+            f"{journal_stats.journal_bytes} journal bytes)"
+        )
     build = index.build_report
     if build is None:
         print("build metadata: none recorded (pre-build-pipeline file)")
@@ -596,6 +665,51 @@ def _cmd_info(args: argparse.Namespace) -> int:
             f"workers={'pool' if build.build_workers is None else build.build_workers} "
             f"(encrypt {build.encrypt_seconds:.2f}s + build {build.build_seconds:.2f}s)"
         )
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    journal = IndexJournal.open(args.index) if os.path.isdir(args.index) else None
+    index = journal.load() if journal is not None else load_index(args.index)
+    pending = len(index.tombstones)
+    report = compact_index(index, rng=rng, journal=journal)
+    if journal is None:
+        # Plain snapshot: persist the compacted index over the old file.
+        save_index(args.index, index)
+    payload = {
+        "index_path": args.index,
+        "tombstones_before": pending,
+        "tombstones_dropped": report.tombstones_dropped,
+        "shards_compacted": report.shards_compacted,
+        "seconds": report.seconds,
+        "live_vectors": len(index),
+        "retired_total": len(index.retired),
+        "journal": (
+            None
+            if journal is None
+            else {
+                "generation": journal.generation,
+                "num_segments": journal.num_segments,
+            }
+        ),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    if report.tombstones_dropped == 0:
+        print(f"index {args.index}: no tombstones, nothing to compact")
+        return 0
+    folded = (
+        f"; journal folded into generation {journal.generation}"
+        if journal is not None
+        else ""
+    )
+    print(
+        f"compacted {args.index}: dropped {report.tombstones_dropped} "
+        f"tombstones across {report.shards_compacted} shard(s) in "
+        f"{report.seconds:.2f}s ({len(index)} live vectors){folded}"
+    )
     return 0
 
 
@@ -803,6 +917,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": _cmd_query,
         "demo": _cmd_demo,
         "info": _cmd_info,
+        "compact": _cmd_compact,
         "serve": _cmd_serve,
         "workload": _cmd_workload,
         "listen": _cmd_listen,

@@ -32,7 +32,11 @@ Public API:
 * :mod:`repro.core.sharding` — horizontal partitioning:
   :class:`ShardedEncryptedIndex` with a scatter-gather filter phase
   (``DataOwner.build_index(..., shards=N)``).
-* :mod:`repro.core.maintenance` — insert/delete (Section V-D).
+* :mod:`repro.core.maintenance` — insert/delete (Section V-D) and
+  online tombstone compaction (:func:`compact_index`).
+* :mod:`repro.core.journal` — incremental persistence: the v4
+  journaled directory store (:class:`IndexJournal`, base + checksummed
+  delta segments, atomic write-new-then-rename publication).
 * :mod:`repro.core.params` — beta and k' tuning (Section VII-A).
 * :mod:`repro.core.build` — the parallel, bit-reproducible index
   construction pipeline (per-shard builds fanned out over the worker
@@ -76,8 +80,14 @@ from repro.core.errors import (
     PPANNSError,
 )
 from repro.core.index import EncryptedIndex, IndexSizeReport
+from repro.core.journal import FileOps, IndexJournal, JournalStats
 from repro.core.keys import DCEKey, DCPEKey
-from repro.core.maintenance import delete_vector, insert_vector
+from repro.core.maintenance import (
+    CompactionReport,
+    compact_index,
+    delete_vector,
+    insert_vector,
+)
 from repro.core.persistence import load_index, load_keys, save_index, save_keys
 from repro.core.refine import (
     DEFAULT_REFINE_ENGINE,
@@ -190,6 +200,11 @@ __all__ = [
     "PPANNS",
     "insert_vector",
     "delete_vector",
+    "compact_index",
+    "CompactionReport",
+    "IndexJournal",
+    "JournalStats",
+    "FileOps",
     "save_index",
     "load_index",
     "save_keys",

@@ -153,9 +153,28 @@ class HNSWBackend:
         """k'-ANNS over DCPE ciphertexts: ``(ids, dists)`` nearest-first."""
         return self._graph.search(sap_query, k_prime, ef_search=ef_search, stats=stats)
 
-    def insert(self, sap_row: np.ndarray) -> int:
-        """Insert one DCPE ciphertext row; returns the assigned id."""
-        return self._graph.insert(sap_row)
+    def insert(self, sap_row: np.ndarray, level: int | None = None) -> int:
+        """Insert one DCPE ciphertext row; returns the assigned id.
+
+        ``level`` forces the HNSW level draw (journal replay — see
+        :meth:`repro.hnsw.graph.HNSWIndex.insert`); ``None`` draws from
+        the graph's RNG as usual.
+        """
+        return self._graph.insert(sap_row, level=level)
+
+    def node_level(self, vector_id: int) -> int:
+        """The node's top HNSW level (recorded for journal replay)."""
+        return self._graph.node_level(vector_id)
+
+    def rebuild(
+        self, sap_vectors: np.ndarray, rng: np.random.Generator | None = None
+    ) -> "HNSWBackend":
+        """Fresh build over ``sap_vectors`` with this backend's parameters.
+
+        The compactor (:mod:`repro.core.maintenance`) uses this to drop
+        tombstoned rows without re-deriving construction knobs.
+        """
+        return type(self).build(sap_vectors, rng=rng, params=self._graph.params)
 
     def mark_deleted(self, vector_id: int) -> None:
         """Section V-D deletion: unlink, tombstone, repair in-neighbors."""
@@ -274,6 +293,12 @@ class NSGBackend:
         """Insert one DCPE ciphertext row; returns the assigned id."""
         return self._index.insert(sap_row)
 
+    def rebuild(
+        self, sap_vectors: np.ndarray, rng: np.random.Generator | None = None
+    ) -> "NSGBackend":
+        """Fresh build over ``sap_vectors`` with this backend's parameters."""
+        return type(self).build(sap_vectors, rng=rng, params=self._index.params)
+
     def mark_deleted(self, vector_id: int) -> None:
         """Delete ``vector_id`` from the substrate (Section V-D)."""
         self._index.mark_deleted(vector_id)
@@ -379,6 +404,17 @@ class IVFBackend:
         """Insert one DCPE ciphertext row; returns the assigned id."""
         return self._index.insert(sap_row)
 
+    def rebuild(
+        self, sap_vectors: np.ndarray, rng: np.random.Generator | None = None
+    ) -> "IVFBackend":
+        """Fresh build over ``sap_vectors`` with this backend's parameters."""
+        return type(self).build(
+            sap_vectors,
+            rng=rng,
+            params=self._index.params,
+            default_nprobe=self._default_nprobe,
+        )
+
     def mark_deleted(self, vector_id: int) -> None:
         """Delete ``vector_id`` from the substrate (Section V-D)."""
         self._index.mark_deleted(vector_id)
@@ -468,6 +504,12 @@ class BruteForceBackend:
     def insert(self, sap_row: np.ndarray) -> int:
         """Insert one DCPE ciphertext row; returns the assigned id."""
         return self._index.insert(sap_row)
+
+    def rebuild(
+        self, sap_vectors: np.ndarray, rng: np.random.Generator | None = None
+    ) -> "BruteForceBackend":
+        """Fresh build over ``sap_vectors`` (a linear scan has no knobs)."""
+        return type(self).build(sap_vectors, rng=rng)
 
     def mark_deleted(self, vector_id: int) -> None:
         """Delete ``vector_id`` from the substrate (Section V-D)."""

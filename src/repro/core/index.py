@@ -25,15 +25,32 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.core.backends import FilterBackend, HNSWBackend
 from repro.core.dce import DCEEncryptedDatabase
-from repro.core.errors import CiphertextFormatError
+from repro.core.errors import CiphertextFormatError, ParameterError
 from repro.hnsw.graph import HNSWIndex
 
 __all__ = ["EncryptedIndex", "IndexSizeReport"]
+
+
+class _FilterView(NamedTuple):
+    """The filter-phase state, swapped atomically on compaction.
+
+    A reader (``filter_search``) grabs the whole tuple once, so it can
+    never observe a new backend paired with a stale id map while a
+    compaction swap is in flight.  ``live_ids`` is ``None`` for the
+    common identity case (backend id == global id, the pre-compaction
+    layout); after a compaction it maps the rebuilt backend's local ids
+    back to global ids, exactly like a shard's ``global_ids``.
+    """
+
+    backend: FilterBackend
+    live_ids: "np.ndarray | None"
+    local_of: "dict[int, int] | None"
 
 
 @dataclass(frozen=True)
@@ -87,6 +104,8 @@ class EncryptedIndex:
         sap_vectors: np.ndarray,
         backend: FilterBackend | HNSWIndex,
         dce_database: DCEEncryptedDatabase,
+        live_ids: np.ndarray | None = None,
+        retired: "frozenset[int] | set[int] | tuple[int, ...]" = (),
     ) -> None:
         sap_vectors = np.asarray(sap_vectors, dtype=np.float64)
         if sap_vectors.ndim != 2:
@@ -100,15 +119,40 @@ class EncryptedIndex:
                 f"C_SAP has {sap_vectors.shape[0]} rows but C_DCE has "
                 f"{len(dce_database)} entries"
             )
-        if backend.vectors.shape[0] != sap_vectors.shape[0]:
-            raise CiphertextFormatError(
-                f"backend indexes {backend.vectors.shape[0]} vectors but C_SAP "
-                f"has {sap_vectors.shape[0]}"
-            )
+        retired = frozenset(int(i) for i in retired)
+        if live_ids is None:
+            if retired:
+                raise CiphertextFormatError(
+                    "retired ids require an explicit live_ids map"
+                )
+            if backend.vectors.shape[0] != sap_vectors.shape[0]:
+                raise CiphertextFormatError(
+                    f"backend indexes {backend.vectors.shape[0]} vectors but "
+                    f"C_SAP has {sap_vectors.shape[0]}"
+                )
+            local_of = None
+        else:
+            live_ids = np.asarray(live_ids, dtype=np.int64)
+            if backend.vectors.shape[0] != live_ids.size:
+                raise CiphertextFormatError(
+                    f"backend indexes {backend.vectors.shape[0]} vectors but "
+                    f"the live_ids map names {live_ids.size}"
+                )
+            if live_ids.size + len(retired) != sap_vectors.shape[0]:
+                raise CiphertextFormatError(
+                    f"live ({live_ids.size}) + retired ({len(retired)}) ids "
+                    f"must cover all {sap_vectors.shape[0]} C_SAP rows"
+                )
+            local_of = {int(g): i for i, g in enumerate(live_ids.tolist())}
+            if len(local_of) != live_ids.size or not retired.isdisjoint(local_of):
+                raise CiphertextFormatError(
+                    "live_ids must be unique and disjoint from retired ids"
+                )
         self._sap = sap_vectors
-        self._backend = backend
+        self._view = _FilterView(backend, live_ids, local_of)
         self._dce = dce_database
         self._tombstones: set[int] = set()
+        self._retired: set[int] = set(retired)
         #: Optional :class:`~repro.core.build.BuildReport` attached by the
         #: construction pipeline (DataOwner.build_index) and by
         #: persistence when the on-disk file carried build metadata.
@@ -124,12 +168,24 @@ class EncryptedIndex:
     @property
     def backend(self) -> FilterBackend:
         """The filter-phase backend over ``C_SAP``."""
-        return self._backend
+        return self._view.backend
 
     @property
     def backend_kind(self) -> str:
         """The backend's registry kind (``hnsw``, ``nsg``, ...)."""
-        return self._backend.kind
+        return self._view.backend.kind
+
+    @property
+    def live_ids(self) -> np.ndarray | None:
+        """Backend-local -> global id map, or ``None`` pre-compaction.
+
+        Before the first compaction the backend indexes every ``C_SAP``
+        row, so backend ids *are* global ids and no map is kept.  After a
+        compaction the backend only holds the surviving rows and this
+        array maps its local ids back to the stable global ids — the ids
+        the refine phase, the DCE database and the serving layer speak.
+        """
+        return self._view.live_ids
 
     @property
     def graph(self):
@@ -146,7 +202,7 @@ class EncryptedIndex:
             DeprecationWarning,
             stacklevel=2,
         )
-        return self._backend.substrate
+        return self._view.backend.substrate
 
     @property
     def dce_database(self) -> DCEEncryptedDatabase:
@@ -160,22 +216,40 @@ class EncryptedIndex:
 
     @property
     def tombstones(self) -> frozenset[int]:
-        """Ids deleted by :mod:`repro.core.maintenance`."""
+        """Ids deleted by :mod:`repro.core.maintenance` but not yet
+        compacted away — still occupying backend slots."""
         return frozenset(self._tombstones)
 
+    @property
+    def retired(self) -> frozenset[int]:
+        """Ids a compaction removed from the backend for good.
+
+        Unlike tombstones these no longer occupy backend slots; they are
+        recorded so global ids are never reassigned and old journal
+        segments / cached results referring to them stay unambiguous.
+        """
+        return frozenset(self._retired)
+
     def __len__(self) -> int:
-        return int(self._sap.shape[0]) - len(self._tombstones)
+        return (
+            int(self._sap.shape[0]) - len(self._retired) - len(self._tombstones)
+        )
 
     def is_live(self, vector_id: int) -> bool:
         """Whether ``vector_id`` is present and not deleted."""
-        return 0 <= vector_id < self._sap.shape[0] and vector_id not in self._tombstones
+        return (
+            0 <= vector_id < self._sap.shape[0]
+            and vector_id not in self._tombstones
+            and vector_id not in self._retired
+        )
 
     def live_mask(self) -> np.ndarray:
         """Boolean liveness per id slot — amortizes :meth:`is_live` for
         batch answering (one array build instead of per-candidate calls)."""
         mask = np.ones(self._sap.shape[0], dtype=bool)
-        if self._tombstones:
-            mask[np.fromiter(self._tombstones, dtype=np.int64)] = False
+        for dead in (self._tombstones, self._retired):
+            if dead:
+                mask[np.fromiter(dead, dtype=np.int64)] = False
         return mask
 
     # -- the filter phase --------------------------------------------------------
@@ -194,20 +268,92 @@ class EncryptedIndex:
         index (:class:`~repro.core.sharding.ShardedEncryptedIndex`)
         answers the same call by scatter-gather and fills it in.
         """
-        ids, dists = self._backend.search(
+        # One read of the swap-atomic view: a concurrent compaction can
+        # replace self._view but never mutate the tuple we hold.
+        view = self._view
+        ids, dists = view.backend.search(
             sap_query, k_prime, ef_search=ef_search, stats=stats
         )
+        if view.live_ids is not None and ids.size:
+            ids = np.where(ids >= 0, view.live_ids[np.clip(ids, 0, None)], ids)
         return ids, dists, None
 
     # -- maintenance routing (used by repro.core.maintenance) --------------------
 
-    def backend_insert(self, sap_row: np.ndarray) -> int:
-        """Insert one DCPE row into the filter backend; returns its id."""
-        return self._backend.insert(sap_row)
+    def backend_insert(self, sap_row: np.ndarray, level: int | None = None) -> int:
+        """Insert one DCPE row into the filter backend; returns its global id.
+
+        ``level`` forces the HNSW level draw during journal replay
+        (:mod:`repro.core.journal`); other backend kinds ignore it.
+        """
+        view = self._view
+        if view.backend.kind == "hnsw":
+            local = view.backend.insert(sap_row, level=level)
+        else:
+            local = view.backend.insert(sap_row)
+        if view.live_ids is None:
+            return int(local)
+        global_id = int(self._sap.shape[0])
+        live_ids = np.append(view.live_ids, global_id)
+        local_of = dict(view.local_of)
+        local_of[global_id] = int(local)
+        self._view = _FilterView(view.backend, live_ids, local_of)
+        return global_id
 
     def backend_mark_deleted(self, vector_id: int) -> None:
-        """Delete ``vector_id`` from the filter backend."""
-        self._backend.mark_deleted(vector_id)
+        """Delete ``vector_id`` (a global id) from the filter backend."""
+        view = self._view
+        local = vector_id if view.local_of is None else view.local_of[vector_id]
+        view.backend.mark_deleted(local)
+
+    def replay_level(self, vector_id: int) -> int:
+        """The HNSW level assigned to ``vector_id``, or ``-1``.
+
+        Journal inserts record this so replay can force the same level —
+        the level draw is the only randomness in an HNSW insert, so
+        forcing it makes replay bit-identical.  Non-HNSW backends are
+        deterministic and return ``-1`` (meaning "draw normally", which
+        for them is a no-op).
+        """
+        view = self._view
+        if view.backend.kind != "hnsw":
+            return -1
+        local = vector_id if view.local_of is None else view.local_of[vector_id]
+        return int(view.backend.node_level(local))
+
+    # -- compaction (used by repro.core.maintenance) -----------------------------
+
+    def compact(self, rng: np.random.Generator | None = None) -> int:
+        """Rebuild the filter backend without tombstoned rows.
+
+        Returns the number of tombstones dropped.  ``C_SAP`` and
+        ``C_DCE`` keep their rows (global ids are never renumbered);
+        only the backend shrinks, with :attr:`live_ids` mapping its new
+        local ids back to global ids.  The swap is ordered so concurrent
+        readers never resurrect a deleted id: tombstones move to
+        :attr:`retired` *before* the new view is published, and are
+        cleared from the tombstone set only after.
+        """
+        view = self._view
+        tomb = set(self._tombstones)
+        if not tomb:
+            return 0
+        n = int(self._sap.shape[0])
+        if view.live_ids is None:
+            current = np.arange(n, dtype=np.int64)
+        else:
+            current = view.live_ids
+        keep = current[~np.isin(current, np.fromiter(tomb, dtype=np.int64))]
+        if keep.size == 0:
+            raise ParameterError(
+                "cannot compact an index down to zero live vectors"
+            )
+        new_backend = view.backend.rebuild(self._sap[keep], rng=rng)
+        local_of = {int(g): i for i, g in enumerate(keep.tolist())}
+        self._retired |= tomb
+        self._view = _FilterView(new_backend, keep, local_of)
+        self._tombstones -= tomb
+        return len(tomb)
 
     # -- mutation (used by repro.core.maintenance only) --------------------------
 
@@ -227,5 +373,5 @@ class EncryptedIndex:
             dim=self.dim,
             sap_floats=int(self._sap.size),
             dce_floats=int(self._dce.components.size),
-            graph_edges=self._backend.edge_count(),
+            graph_edges=self._view.backend.edge_count(),
         )

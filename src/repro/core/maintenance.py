@@ -19,9 +19,23 @@ so they work identically for a monolithic
 :class:`~repro.core.index.EncryptedIndex` and a
 :class:`~repro.core.sharding.ShardedEncryptedIndex` (where the operation
 lands on the shard that owns the vector's global id).
+
+Both also accept a ``journal`` — an
+:class:`~repro.core.journal.IndexJournal` — and record the mutation as a
+delta segment after applying it, so the on-disk store tracks the live
+index without full rewrites.
+
+**Compaction** (:func:`compact_index`) rebuilds the filter structures
+without their tombstoned rows — per shard for a sharded index, behind a
+swap readers never observe half-done — and folds the journal into a
+fresh base generation.
 """
 
 from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -30,13 +44,17 @@ from repro.core.index import EncryptedIndex
 from repro.core.roles import DataOwner
 from repro.core.sharding import ShardedEncryptedIndex
 
-__all__ = ["insert_vector", "delete_vector"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.journal import IndexJournal
+
+__all__ = ["insert_vector", "delete_vector", "compact_index", "CompactionReport"]
 
 
 def insert_vector(
     owner: DataOwner,
     index: "EncryptedIndex | ShardedEncryptedIndex",
     vector: np.ndarray,
+    journal: "IndexJournal | None" = None,
 ) -> int:
     """Insert a new plaintext vector into an existing encrypted index.
 
@@ -48,6 +66,10 @@ def insert_vector(
         The server's index, updated in place.
     vector:
         The new plaintext vector ``u``.
+    journal:
+        When given, the applied insertion is appended to this journal as
+        a delta segment (including the HNSW level the insert drew, so a
+        replay reproduces the graph bit-identically).
 
     Returns
     -------
@@ -63,19 +85,84 @@ def insert_vector(
     sap_row, dce_ct = owner.encrypt_vector(vector)
     new_id = index.backend_insert(sap_row)
     index._append(sap_row, index.dce_database.append(dce_ct))
+    if journal is not None:
+        journal.append_insert(
+            sap_row, dce_ct, new_id, index.replay_level(new_id)
+        )
     return new_id
 
 
 def delete_vector(
-    index: "EncryptedIndex | ShardedEncryptedIndex", vector_id: int
+    index: "EncryptedIndex | ShardedEncryptedIndex",
+    vector_id: int,
+    journal: "IndexJournal | None" = None,
 ) -> None:
     """Delete a vector from the index, server-side only.
 
     The backend performs its substrate-specific removal (for HNSW,
     Section V-D's in-neighbor repair) and the ciphertexts are tombstoned.
-    On a sharded index the removal is routed to the owning shard.
+    On a sharded index the removal is routed to the owning shard.  When
+    ``journal`` is given, the deletion is appended as a delta segment.
     """
     if not index.is_live(vector_id):
         raise ParameterError(f"vector {vector_id} is not a live index entry")
     index.backend_mark_deleted(vector_id)
     index._mark_deleted(vector_id)
+    if journal is not None:
+        journal.append_delete(vector_id)
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one :func:`compact_index` pass accomplished."""
+
+    shards_compacted: int
+    tombstones_dropped: int
+    seconds: float
+
+
+def compact_index(
+    index: "EncryptedIndex | ShardedEncryptedIndex",
+    rng: np.random.Generator | None = None,
+    journal: "IndexJournal | None" = None,
+) -> CompactionReport:
+    """Rebuild the filter structures without their tombstoned rows.
+
+    Shards (or the monolithic backend) holding no tombstones are left
+    untouched.  Each rebuilt structure is published by an atomic swap —
+    a concurrent filter search sees either the old or the new backend,
+    both internally consistent — and dropped ids move to the index's
+    ``retired`` set so global ids are never reassigned.
+
+    When ``journal`` is given, the journal's delta segments are folded
+    into a fresh base generation afterwards (write-new-then-rename, so
+    a crash mid-compaction keeps the previous generation loadable).
+
+    Serving note: callers owning
+    :class:`~repro.serve.frontend.ServingFrontend` instances should
+    flush their result caches after compacting
+    (:meth:`~repro.core.scheme.PPANNS.compact` does) — cached answers
+    may carry ids whose ranking the rebuilt backend no longer produces.
+    """
+    start = time.perf_counter()
+    if isinstance(index, ShardedEncryptedIndex):
+        shards_compacted = 0
+        dropped = 0
+        for shard in index.shards:
+            shard_dropped = index.compact_shard(shard.shard_id, rng=rng)
+            if shard_dropped:
+                shards_compacted += 1
+                dropped += shard_dropped
+    else:
+        dropped = index.compact(rng=rng)
+        shards_compacted = 1 if dropped else 0
+    if journal is not None and (dropped or journal.num_segments):
+        # Fold the journal into a fresh base — unless this was a no-op
+        # compaction over an empty journal, where rewriting would only
+        # burn a generation republishing identical bytes.
+        journal.rewrite_base(index)
+    return CompactionReport(
+        shards_compacted=shards_compacted,
+        tombstones_dropped=dropped,
+        seconds=time.perf_counter() - start,
+    )

@@ -21,9 +21,15 @@ specification is ``docs/FORMATS.md``):
   :func:`save_index` writes for a monolithic index;
 * **v3** — sharded: a shard manifest (count, strategy, assignment) plus
   per-shard backend payloads under ``shard{i}_`` prefixes.  Written for
-  a :class:`~repro.core.sharding.ShardedEncryptedIndex`.
+  a :class:`~repro.core.sharding.ShardedEncryptedIndex`;
+* **v4** — a journaled *directory* store (``MANIFEST.json`` + a base
+  npz + checksummed delta segments) handled by
+  :mod:`repro.core.journal`; :func:`load_index` routes directory paths
+  there.  v2/v3 payloads additionally carry the optional ``live_ids`` /
+  ``retired`` arrays a compaction introduces (the backend then indexes
+  only the surviving rows).
 
-:func:`load_index` reads all three.  Both write formats additionally
+:func:`load_index` reads all of them.  Both npz write formats additionally
 carry optional **build metadata** (``build_seconds`` = the
 encrypt/build wall-clock split, ``build_mode``, ``build_workers``,
 ``shard_build_seconds`` / ``shard_build_sizes``) whenever the index
@@ -71,6 +77,9 @@ def _common_arrays(
         "dce_key_id": np.array([index.dce_database.key_id], dtype=np.int64),
         "tombstones": np.array(sorted(index.tombstones), dtype=np.int64),
     }
+    retired = getattr(index, "retired", frozenset())
+    if retired:
+        arrays["retired"] = np.array(sorted(retired), dtype=np.int64)
     # Optional build metadata (docs/FORMATS.md): present only when the
     # index still carries the construction pipeline's BuildReport.
     report = getattr(index, "build_report", None)
@@ -97,7 +106,7 @@ def _load_build_report(
     data, kind: str, index: "EncryptedIndex | ShardedEncryptedIndex"
 ) -> None:
     """Reattach the persisted :class:`BuildReport`, if the file has one."""
-    if "build_seconds" not in data.files:
+    if "build_seconds" not in data:
         return
     encrypt_seconds, build_seconds = (float(x) for x in data["build_seconds"])
     workers = int(data["build_workers"][0])
@@ -125,14 +134,14 @@ def _load_build_report(
     )
 
 
-def save_index(
-    path: str | os.PathLike, index: "EncryptedIndex | ShardedEncryptedIndex"
-) -> None:
-    """Persist an index (server-side state, no keys).
+def _index_arrays(
+    index: "EncryptedIndex | ShardedEncryptedIndex",
+) -> dict[str, np.ndarray]:
+    """The complete array payload :func:`save_index` writes.
 
-    Monolithic indexes are written as format v2, sharded indexes as
-    format v3 (shard manifest + per-shard backend payloads); see
-    ``docs/FORMATS.md``.
+    Factored out so :mod:`repro.core.journal` can serialize the same
+    payload into a v4 base file, and so tests can digest an index's
+    persisted state without touching disk.
     """
     if isinstance(index, ShardedEncryptedIndex):
         arrays = _common_arrays(index, _SHARDED_FORMAT_VERSION)
@@ -145,19 +154,34 @@ def save_index(
             if shard.backend is not None:
                 for key, value in shard.backend.state_arrays().items():
                     arrays[prefix + key] = value
-        np.savez_compressed(path, **arrays)
-        return
+        return arrays
     arrays = _common_arrays(index, _FORMAT_VERSION)
+    if index.live_ids is not None:
+        arrays["live_ids"] = index.live_ids
     arrays.update(index.backend.state_arrays())
-    np.savez_compressed(path, **arrays)
+    return arrays
+
+
+def save_index(
+    path: str | os.PathLike, index: "EncryptedIndex | ShardedEncryptedIndex"
+) -> None:
+    """Persist an index (server-side state, no keys).
+
+    Monolithic indexes are written as format v2, sharded indexes as
+    format v3 (shard manifest + per-shard backend payloads); see
+    ``docs/FORMATS.md``.  For the journaled directory format (v4) use
+    :class:`repro.core.journal.IndexJournal` instead.
+    """
+    np.savez_compressed(path, **_index_arrays(index))
 
 
 def _load_sharded(
     data, kind: str, sap_vectors: np.ndarray, dce: DCEEncryptedDatabase
 ) -> ShardedEncryptedIndex:
-    """Reassemble a :class:`ShardedEncryptedIndex` from a v3 file."""
+    """Reassemble a :class:`ShardedEncryptedIndex` from a v3 payload."""
     num_shards = int(data["num_shards"][0])
     strategy = str(data["shard_strategy"][0])
+    retired = frozenset(int(i) for i in data.get("retired", ()))
     shards = []
     for shard_id in range(num_shards):
         prefix = f"shard{shard_id}_"
@@ -167,12 +191,15 @@ def _load_sharded(
             continue
         state = {
             key[len(prefix):]: data[key]
-            for key in data.files
+            for key in data
             if key.startswith(prefix) and key != prefix + "ids"
         }
         backend = backend_from_state(kind, sap_vectors[global_ids], state)
         shards.append(Shard(shard_id, backend, global_ids))
-    index = ShardedEncryptedIndex(sap_vectors, shards, dce, strategy=strategy)
+    index = ShardedEncryptedIndex(
+        sap_vectors, shards, dce, strategy=strategy, retired=retired,
+        kind_hint=kind,
+    )
     # The manifest's global assignment must agree with the per-shard id
     # maps the routing tables were rebuilt from — a mismatch means the
     # file was corrupted or hand-edited.
@@ -183,32 +210,60 @@ def _load_sharded(
     return index
 
 
+def _index_from_mapping(
+    data: "dict[str, np.ndarray]",
+) -> "EncryptedIndex | ShardedEncryptedIndex":
+    """Reassemble an index from a loaded v1/v2/v3 array payload.
+
+    ``data`` is a plain mapping of the npz keys — the inverse of
+    :func:`_index_arrays`; :mod:`repro.core.journal` uses it to decode
+    v4 base files.
+    """
+    version = int(data["format_version"][0])
+    if version not in _READABLE_VERSIONS:
+        raise CiphertextFormatError(
+            f"unsupported index format version {version}"
+        )
+    kind = str(data["backend_kind"][0]) if version >= 2 else "hnsw"
+    dce = DCEEncryptedDatabase(
+        data["dce_components"], int(data["dce_key_id"][0])
+    )
+    sap_vectors = data["sap_vectors"]
+    if version >= 3:
+        index = _load_sharded(data, kind, sap_vectors, dce)
+    else:
+        live_ids = (
+            np.asarray(data["live_ids"], dtype=np.int64)
+            if "live_ids" in data
+            else None
+        )
+        retired = frozenset(int(i) for i in data.get("retired", ()))
+        backend_vectors = (
+            sap_vectors if live_ids is None else sap_vectors[live_ids]
+        )
+        backend = backend_from_state(kind, backend_vectors, data)
+        index = EncryptedIndex(
+            sap_vectors, backend, dce, live_ids=live_ids, retired=retired
+        )
+    for tombstone in data["tombstones"]:
+        index._mark_deleted(int(tombstone))
+    _load_build_report(data, kind, index)
+    return index
+
+
 def load_index(
     path: str | os.PathLike,
 ) -> "EncryptedIndex | ShardedEncryptedIndex":
-    """Load an index saved by :func:`save_index` (format v1, v2 or v3)."""
+    """Load an index saved by :func:`save_index` (format v1-v3) or a
+    journaled v4 directory store (base + delta segments replayed)."""
+    if os.path.isdir(path):
+        # v4: a journal directory — delegate to the journal subsystem
+        # (imported lazily; journal imports this module at top level).
+        from repro.core.journal import IndexJournal
+
+        return IndexJournal.open(path).load()
     with np.load(path) as data:
-        version = int(data["format_version"][0])
-        if version not in _READABLE_VERSIONS:
-            raise CiphertextFormatError(
-                f"unsupported index format version {version}"
-            )
-        kind = str(data["backend_kind"][0]) if version >= 2 else "hnsw"
-        dce = DCEEncryptedDatabase(
-            data["dce_components"], int(data["dce_key_id"][0])
-        )
-        sap_vectors = data["sap_vectors"]
-        if version >= 3:
-            index = _load_sharded(data, kind, sap_vectors, dce)
-        else:
-            backend = backend_from_state(
-                kind, sap_vectors, {key: data[key] for key in data.files}
-            )
-            index = EncryptedIndex(sap_vectors, backend, dce)
-        for tombstone in data["tombstones"]:
-            index._mark_deleted(int(tombstone))
-        _load_build_report(data, kind, index)
-    return index
+        return _index_from_mapping({key: data[key] for key in data.files})
 
 
 def save_keys(path: str | os.PathLike, keys: SecretKeyBundle) -> None:

@@ -150,6 +150,11 @@ class DataOwner:
         return self._dim
 
     @property
+    def rng(self) -> np.random.Generator:
+        """The owner's randomness source (shared with index builds)."""
+        return self._rng
+
+    @property
     def backend_kind(self) -> str:
         """The filter-backend kind this owner builds."""
         return self._backend
@@ -433,6 +438,18 @@ class CloudServer:
 
     # Backward-compatible private spelling.
     _default_ratio_for = default_ratio_for
+
+    def compact(self, rng: "np.random.Generator | None" = None):
+        """Drop tombstones from the stored index's filter structures.
+
+        Server-side-only maintenance (like deletion): the rebuild runs
+        over ciphertexts the server already holds, so no key material is
+        involved.  Returns a
+        :class:`~repro.core.maintenance.CompactionReport`.
+        """
+        from repro.core.maintenance import compact_index
+
+        return compact_index(self._index, rng=rng)
 
     def serving_frontend(
         self,

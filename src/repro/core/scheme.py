@@ -16,12 +16,13 @@ instrumentation.
 
 from __future__ import annotations
 
+import os
 import weakref
 
 import numpy as np
 
 from repro.core.errors import ParameterError
-from repro.core.maintenance import delete_vector, insert_vector
+from repro.core.maintenance import compact_index, delete_vector, insert_vector
 from repro.core.protocol import SearchResult, SearchResultBatch
 from repro.core.roles import CloudServer, DataOwner, QueryUser
 from repro.hnsw.graph import HNSWParams
@@ -110,6 +111,9 @@ class PPANNS:
         # abandoned frontend doesn't outlive its callers, and flushed
         # on maintenance (cached results go stale on mutation).
         self._frontends: "weakref.WeakSet" = weakref.WeakSet()
+        # Optional incremental-persistence journal (enable_journal);
+        # mutations through insert()/delete() append delta segments.
+        self._journal = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -136,14 +140,40 @@ class PPANNS:
         return self._server is not None
 
     def fit(self, vectors: np.ndarray) -> "PPANNS":
-        """Encrypt ``vectors`` and outsource the index to the server."""
+        """Encrypt ``vectors`` and outsource the index to the server.
+
+        Re-fitting replaces the server's index; a journal enabled for
+        the previous index is detached (it describes state this index
+        never had) — call :meth:`enable_journal` again to track the new
+        one.
+        """
         index = self._owner.build_index(vectors)
         self._server = CloudServer(
             index,
             default_ratio_k=self._default_ratio_k,
             refine_engine=self._refine_engine,
         )
+        self._journal = None
         return self
+
+    def enable_journal(self, path: str | os.PathLike) -> "PPANNS":
+        """Persist the fitted index at ``path`` as a journaled v4 store.
+
+        Writes the base snapshot now; every subsequent :meth:`insert` /
+        :meth:`delete` appends a delta segment instead of rewriting the
+        file, and :meth:`compact` folds the deltas into a fresh base.
+        ``repro.core.persistence.load_index(path)`` restores the exact
+        live state.
+        """
+        from repro.core.journal import IndexJournal
+
+        self._journal = IndexJournal.create(path, self.server.index)
+        return self
+
+    @property
+    def journal(self):
+        """The active :class:`~repro.core.journal.IndexJournal`, or None."""
+        return self._journal
 
     # -- querying -------------------------------------------------------------------
 
@@ -240,25 +270,52 @@ class PPANNS:
     # -- maintenance -------------------------------------------------------------------
 
     def _flush_serving_caches(self) -> None:
-        """Flush every tracked frontend's result cache (post-mutation)."""
+        """Flush tracked frontends serving the *current* server.
+
+        Only frontends attached to the mutated index go stale; a
+        frontend created before a re-``fit`` still answers over the old
+        server object and its cache is untouched by mutations here.
+        """
         for frontend in list(self._frontends):
-            frontend.cache_clear()
+            if frontend.server is self._server:
+                frontend.cache_clear()
 
     def insert(self, vector: np.ndarray) -> int:
         """Insert one vector (owner encrypts, server links); returns its id.
 
-        Flushes the result caches of every frontend created through
-        :meth:`serve` — an insert can change any cached top-k.
+        Flushes the result caches of frontends serving the mutated
+        index — an insert can change any cached top-k — and appends a
+        delta segment when a journal is enabled.
         """
-        inserted = insert_vector(self._owner, self.server.index, vector)
+        inserted = insert_vector(
+            self._owner, self.server.index, vector, journal=self._journal
+        )
         self._flush_serving_caches()
         return inserted
 
     def delete(self, vector_id: int) -> None:
         """Delete a vector server-side (Section V-D).
 
-        Flushes the result caches of every frontend created through
-        :meth:`serve` — cached answers may carry the tombstoned id.
+        Flushes the result caches of frontends serving the mutated
+        index — cached answers may carry the tombstoned id — and
+        appends a delta segment when a journal is enabled.
         """
-        delete_vector(self.server.index, vector_id)
+        delete_vector(self.server.index, vector_id, journal=self._journal)
         self._flush_serving_caches()
+
+    def compact(self):
+        """Drop every tombstone from the filter structures (online).
+
+        Rebuilds the backend (per shard when sharded) behind an atomic
+        swap while tracked frontends keep answering, then flushes their
+        result caches — the generation bump guarantees in-flight
+        pre-compaction answers cannot repopulate them.  With a journal
+        enabled the delta segments are folded into a fresh base
+        generation.  Returns a
+        :class:`~repro.core.maintenance.CompactionReport`.
+        """
+        report = compact_index(
+            self.server.index, rng=self._owner.rng, journal=self._journal
+        )
+        self._flush_serving_caches()
+        return report

@@ -33,14 +33,14 @@ import time
 
 import numpy as np
 
-from repro.core.backends import FilterBackend, build_backend
+from repro.core.backends import FilterBackend, HNSWBackend, build_backend
 from repro.core.build import BuildReport, build_shard_backends
 from repro.core.dce import DCEEncryptedDatabase
 from repro.core.errors import CiphertextFormatError, ParameterError
 from repro.core.executor import map_ordered
 from repro.core.index import IndexSizeReport
 from repro.core.protocol import ShardTiming
-from repro.hnsw.graph import SearchStats
+from repro.hnsw.graph import HNSWIndex, HNSWParams, SearchStats
 
 __all__ = [
     "SHARD_STRATEGIES",
@@ -201,6 +201,8 @@ class ShardedEncryptedIndex:
         strategy: str = "round_robin",
         backend_params=None,
         rng: np.random.Generator | None = None,
+        retired: "frozenset[int] | set[int] | tuple[int, ...]" = (),
+        kind_hint: str | None = None,
     ) -> None:
         sap_vectors = np.asarray(sap_vectors, dtype=np.float64)
         if sap_vectors.ndim != 2:
@@ -225,16 +227,22 @@ class ShardedEncryptedIndex:
             raise CiphertextFormatError(
                 f"shards mix backend kinds: {sorted(kinds)}"
             )
+        retired = frozenset(int(i) for i in retired)
         # Routing tables: global id -> (owning shard, local backend id).
+        # Retired ids (compacted away) legitimately map to -1; any other
+        # unowned id is a corruption.
         shard_map = np.full(num_vectors, -1, dtype=np.int64)
         local_map = np.full(num_vectors, -1, dtype=np.int64)
         for shard in shards:
             shard_map[shard.global_ids] = shard.shard_id
             local_map[shard.global_ids] = np.arange(len(shard), dtype=np.int64)
-        if num_vectors and (shard_map < 0).any():
-            missing = int(np.count_nonzero(shard_map < 0))
+        unowned = (
+            set(int(i) for i in np.nonzero(shard_map < 0)[0]) if num_vectors else set()
+        )
+        if unowned != retired:
             raise CiphertextFormatError(
-                f"{missing} vector ids are not owned by any shard"
+                f"{len(unowned.symmetric_difference(retired))} vector ids "
+                f"disagree between shard ownership and the retired set"
             )
         self._sap = sap_vectors
         self._shards = shards
@@ -245,6 +253,8 @@ class ShardedEncryptedIndex:
         self._shard_map = shard_map
         self._local_map = local_map
         self._tombstones: set[int] = set()
+        self._retired: set[int] = set(retired)
+        self._kind_hint = next(iter(kinds)) if kinds else kind_hint
         #: Optional :class:`~repro.core.build.BuildReport` attached by the
         #: construction pipeline (build_sharded_index / DataOwner) and by
         #: persistence when the on-disk file carried build metadata.
@@ -278,6 +288,11 @@ class ShardedEncryptedIndex:
         for shard in self._shards:
             if shard.backend is not None:
                 return shard.backend.kind
+        # Every shard may be empty (e.g. all rows compacted out of a
+        # shard, or a fresh load of such an index) — fall back to the
+        # kind recorded at construction / load time.
+        if self._kind_hint is not None:
+            return self._kind_hint
         raise CiphertextFormatError("index has no built shard backends")
 
     @property
@@ -292,25 +307,40 @@ class ShardedEncryptedIndex:
 
     @property
     def tombstones(self) -> frozenset[int]:
-        """Ids deleted by :mod:`repro.core.maintenance`."""
+        """Ids deleted by :mod:`repro.core.maintenance` but not yet
+        compacted away — still occupying backend slots."""
         return frozenset(self._tombstones)
 
+    @property
+    def retired(self) -> frozenset[int]:
+        """Ids a compaction removed from their shard backend for good
+        (see :attr:`EncryptedIndex.retired`); never reassigned."""
+        return frozenset(self._retired)
+
     def __len__(self) -> int:
-        return int(self._sap.shape[0]) - len(self._tombstones)
+        return (
+            int(self._sap.shape[0]) - len(self._retired) - len(self._tombstones)
+        )
 
     def shard_assignment(self) -> np.ndarray:
-        """``assignment[i]`` is the shard owning global id ``i``."""
+        """``assignment[i]`` is the shard owning global id ``i`` (``-1``
+        for retired ids)."""
         return self._shard_map.copy()
 
     def is_live(self, vector_id: int) -> bool:
         """Whether ``vector_id`` is present and not deleted."""
-        return 0 <= vector_id < self._sap.shape[0] and vector_id not in self._tombstones
+        return (
+            0 <= vector_id < self._sap.shape[0]
+            and vector_id not in self._tombstones
+            and vector_id not in self._retired
+        )
 
     def live_mask(self) -> np.ndarray:
         """Boolean liveness per global id slot (see ``EncryptedIndex``)."""
         mask = np.ones(self._sap.shape[0], dtype=bool)
-        if self._tombstones:
-            mask[np.fromiter(self._tombstones, dtype=np.int64)] = False
+        for dead in (self._tombstones, self._retired):
+            if dead:
+                mask[np.fromiter(dead, dtype=np.int64)] = False
         return mask
 
     # -- the scatter-gather filter phase ----------------------------------------
@@ -362,22 +392,42 @@ class ShardedEncryptedIndex:
                 return getattr(shard.backend.substrate, "params", None)
         return None
 
-    def backend_insert(self, sap_row: np.ndarray) -> int:
-        """Insert one DCPE row into the shard its new global id maps to."""
+    def backend_insert(self, sap_row: np.ndarray, level: int | None = None) -> int:
+        """Insert one DCPE row into the shard its new global id maps to.
+
+        ``level`` forces the HNSW level draw during journal replay
+        (:mod:`repro.core.journal`); other backend kinds ignore it.
+        """
         global_id = int(self._sap.shape[0])
         target = shard_of(self._strategy, global_id, len(self._shards))
         shard = self._shards[target]
+        row = np.asarray(sap_row, dtype=np.float64)
+        kind = self.backend_kind
         if shard.backend is None:
             # First vector ever routed here: build the backend over it.
-            shard.backend = build_backend(
-                self.backend_kind,
-                np.asarray(sap_row, dtype=np.float64)[np.newaxis],
-                rng=self._rng,
-                params=self._lazy_build_params(),
-            )
+            # The HNSW path goes empty-graph-then-insert so a forced
+            # replay level applies to the founding node too.
+            if kind == "hnsw":
+                params = self._lazy_build_params()
+                graph = HNSWIndex(
+                    row.shape[0],
+                    params if params is not None else HNSWParams(),
+                    rng=self._rng,
+                )
+                graph.insert(row, level=level)
+                shard.backend = HNSWBackend(graph)
+            else:
+                shard.backend = build_backend(
+                    kind,
+                    row[np.newaxis],
+                    rng=self._rng,
+                    params=self._lazy_build_params(),
+                )
             local_id = 0
+        elif kind == "hnsw":
+            local_id = shard.backend.insert(row, level=level)
         else:
-            local_id = shard.backend.insert(sap_row)
+            local_id = shard.backend.insert(row)
         shard.global_ids = np.append(shard.global_ids, global_id)
         self._shard_map = np.append(self._shard_map, target)
         self._local_map = np.append(self._local_map, local_id)
@@ -387,6 +437,56 @@ class ShardedEncryptedIndex:
         """Route a deletion to the owning shard's backend (local id)."""
         shard = self._shards[int(self._shard_map[vector_id])]
         shard.backend.mark_deleted(int(self._local_map[vector_id]))
+
+    def replay_level(self, vector_id: int) -> int:
+        """The HNSW level assigned to ``vector_id``, or ``-1``
+        (see :meth:`EncryptedIndex.replay_level`)."""
+        if self.backend_kind != "hnsw":
+            return -1
+        shard = self._shards[int(self._shard_map[vector_id])]
+        return int(shard.backend.node_level(int(self._local_map[vector_id])))
+
+    # -- compaction (used by repro.core.maintenance) -----------------------------
+
+    def compact_shard(
+        self, shard_id: int, rng: np.random.Generator | None = None
+    ) -> int:
+        """Rebuild one shard's backend without its tombstoned rows.
+
+        Returns the number of tombstones dropped from this shard.  The
+        shard object is replaced wholesale — a concurrent filter search
+        holding the old :class:`Shard` keeps a consistent
+        (backend, global_ids) pair; the next search picks up the new
+        one.  Tombstones move to :attr:`retired` before the swap so a
+        deleted id can never be observed as live mid-compaction.
+        """
+        shard = self._shards[shard_id]
+        tomb = {
+            int(g)
+            for g in self._tombstones
+            if int(self._shard_map[int(g)]) == shard.shard_id
+        }
+        if shard.backend is None or not tomb:
+            return 0
+        current = shard.global_ids
+        keep = current[~np.isin(current, np.fromiter(tomb, dtype=np.int64))]
+        if keep.size:
+            new_backend = shard.backend.rebuild(
+                self._sap[keep], rng=rng if rng is not None else self._rng
+            )
+        else:
+            new_backend = None
+        new_shard = Shard(shard.shard_id, new_backend, keep)
+        self._retired |= tomb
+        self._shards[shard_id] = new_shard
+        if tomb:
+            dead = np.fromiter(tomb, dtype=np.int64)
+            self._shard_map[dead] = -1
+            self._local_map[dead] = -1
+        if keep.size:
+            self._local_map[keep] = np.arange(keep.size, dtype=np.int64)
+        self._tombstones -= tomb
+        return len(tomb)
 
     # -- mutation (used by repro.core.maintenance only) --------------------------
 

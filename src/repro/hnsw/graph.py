@@ -330,13 +330,24 @@ class HNSWIndex:
             self.insert(row)
         return self
 
-    def insert(self, vector: np.ndarray) -> int:
-        """Insert one vector, returning its id."""
+    def insert(self, vector: np.ndarray, level: int | None = None) -> int:
+        """Insert one vector, returning its id.
+
+        ``level`` forces the node's top level instead of drawing it from
+        the RNG — the hook journal replay (:mod:`repro.core.journal`)
+        uses to re-apply a recorded insertion deterministically.  With
+        the level fixed, insertion is a pure function of the current
+        graph state, so replaying the recorded level reproduces the
+        exact adjacency the original insert built.
+        """
         vector = np.asarray(vector, dtype=np.float64)
         if vector.ndim != 1 or vector.shape[0] != self._dim:
             raise DimensionMismatchError(self._dim, vector.shape[-1])
         node_id = len(self._nodes)
-        level = self._draw_level()
+        if level is None:
+            level = self._draw_level()
+        elif level < 0:
+            raise ParameterError(f"level must be >= 0, got {level}")
         if node_id >= self._buffer.shape[0]:
             grown = np.empty((2 * self._buffer.shape[0], self._dim))
             grown[:node_id] = self._buffer[:node_id]

@@ -147,8 +147,13 @@ class ResultCache:
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
 
-    def clear(self) -> None:
-        """Drop every entry and bump the generation (stale puts no-op)."""
+    def clear(self) -> int:
+        """Drop every entry and bump the generation (stale puts no-op).
+
+        Returns the new generation, so callers coordinating a flush with
+        an index swap (the compactor) can assert which epoch they own.
+        """
         with self._lock:
             self._entries.clear()
             self._generation += 1
+            return self._generation

@@ -293,9 +293,15 @@ class ServingFrontend:
             raise first_error
         return SearchResultBatch(results)
 
-    def cache_clear(self) -> None:
-        """Flush the result cache (call after index maintenance)."""
-        self._cache.clear()
+    def cache_clear(self) -> int:
+        """Flush the result cache (call after index maintenance).
+
+        Returns the cache's new generation: any in-flight answer that
+        was admitted under an older generation can no longer repopulate
+        the cache, which is what lets a compactor swap backends while
+        queries keep streaming.
+        """
+        return self._cache.clear()
 
     # -- scheduler hooks ---------------------------------------------------------
 

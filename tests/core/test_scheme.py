@@ -80,3 +80,45 @@ class TestDeterminismAcrossInstances:
         ids_a = a.query(query, k=10, ef_search=80)
         ids_b = b.query(query, k=10, ef_search=80)
         assert np.array_equal(np.sort(ids_a), np.sort(ids_b))
+
+
+class TestMutationFlushScope:
+    """Mutations flush only frontends attached to the mutated index.
+
+    Regression test: insert/delete used to flush *every* tracked
+    frontend, including one created before a re-``fit`` that still
+    serves the old server object — whose cached answers stay valid.
+    """
+
+    def _scheme(self, small_dataset):
+        return PPANNS(
+            dim=small_dataset.dim,
+            beta=0.3,
+            hnsw_params=FAST_HNSW,
+            rng=np.random.default_rng(7),
+        ).fit(small_dataset.database)
+
+    def test_stale_server_frontend_not_flushed(self, small_dataset):
+        scheme = self._scheme(small_dataset)
+        old_frontend = scheme.serve(cache_size=4, batch_window_seconds=0.0)
+        with old_frontend:
+            old_frontend.answer(
+                scheme.user.encrypt_query(small_dataset.queries[0], k=3),
+                timeout=30,
+            )
+            assert len(old_frontend.cache) == 1
+
+            scheme.fit(small_dataset.database)  # old_frontend now serves a dead server
+            new_frontend = scheme.serve(cache_size=4, batch_window_seconds=0.0)
+            with new_frontend:
+                new_frontend.answer(
+                    scheme.user.encrypt_query(small_dataset.queries[1], k=3),
+                    timeout=30,
+                )
+                assert len(new_frontend.cache) == 1
+
+                scheme.insert(small_dataset.database[0] + 0.5)
+
+                # Current-server frontend flushed; pre-re-fit one untouched.
+                assert len(new_frontend.cache) == 0
+                assert len(old_frontend.cache) == 1

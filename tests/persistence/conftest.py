@@ -1,0 +1,68 @@
+"""Shared helpers for the incremental-persistence suite.
+
+The suite's central predicate is *persisted-state equality*:
+:func:`state_digest` hashes every array :func:`save_index` would write
+(sorted key order, dtype and shape included), so "bit-identical" claims
+about journal replay and crash recovery reduce to digest comparison —
+internal buffer capacities and other non-persisted scratch are excluded
+by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core import PPANNS
+from repro.core.persistence import _index_arrays
+from repro.hnsw.graph import HNSWParams
+from repro.hnsw.ivf import IVFParams
+from repro.hnsw.nsg import NSGParams
+
+#: Tiny construction parameters per backend kind — the suite builds
+#: many indexes, so they must be cheap.
+TINY_PARAMS = {
+    "hnsw": HNSWParams(m=4, ef_construction=16),
+    "nsg": NSGParams(knn=4, max_degree=4),
+    "ivf": IVFParams(num_lists=2, train_iterations=2),
+    "bruteforce": None,
+}
+
+ALL_KINDS = ("hnsw", "nsg", "ivf", "bruteforce")
+
+
+def state_digest(index) -> str:
+    """BLAKE2b over the exact array payload persistence would write."""
+    digest = hashlib.blake2b(digest_size=16)
+    arrays = _index_arrays(index)
+    for key in sorted(arrays):
+        value = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode())
+        digest.update(str(value.dtype).encode())
+        digest.update(str(value.shape).encode())
+        digest.update(value.tobytes())
+    return digest.hexdigest()
+
+
+def make_fitted_scheme(
+    kind: str = "hnsw",
+    shards: "int | None" = None,
+    seed: int = 42,
+    n: int = 20,
+    dim: int = 8,
+) -> tuple[PPANNS, np.ndarray]:
+    """A small fitted scheme plus its plaintext database."""
+    data_rng = np.random.default_rng(seed + 1000)
+    database = data_rng.normal(size=(n, dim))
+    scheme = PPANNS(
+        dim=dim,
+        beta=1.0,
+        hnsw_params=TINY_PARAMS["hnsw"],
+        backend=kind,
+        backend_params=None if kind == "hnsw" else TINY_PARAMS[kind],
+        shards=shards,
+        rng=np.random.default_rng(seed),
+    )
+    scheme.fit(database)
+    return scheme, database

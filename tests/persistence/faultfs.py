@@ -1,0 +1,95 @@
+"""Crash injection for the journal's durability protocol.
+
+The journal performs every OS mutation through the five primitives of
+:class:`repro.core.journal.FileOps` (write / fsync / replace /
+fsync_dir / unlink).  That makes "a crash at any point" a *finite*
+space: run the operation once under :class:`CountingOps` to learn how
+many primitive calls it makes, then re-run it once per call index under
+:class:`FaultyOps`, which raises :class:`InjectedFault` at exactly that
+call — simulating power loss at that instant.  ``torn=True``
+additionally leaves half-written bytes behind on a faulted ``write``,
+modeling a torn page.
+"""
+
+from __future__ import annotations
+
+from repro.core.journal import FileOps
+
+__all__ = ["InjectedFault", "CountingOps", "FaultyOps"]
+
+
+class InjectedFault(RuntimeError):
+    """The simulated crash — never caught by production code."""
+
+
+class CountingOps(FileOps):
+    """Counts primitive calls so a sweep knows every fault point."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def write(self, fh, data):
+        self.calls += 1
+        super().write(fh, data)
+
+    def fsync(self, fh):
+        self.calls += 1
+        super().fsync(fh)
+
+    def replace(self, src, dst):
+        self.calls += 1
+        super().replace(src, dst)
+
+    def fsync_dir(self, directory):
+        self.calls += 1
+        super().fsync_dir(directory)
+
+    def unlink(self, path):
+        self.calls += 1
+        super().unlink(path)
+
+
+class FaultyOps(FileOps):
+    """Raises :class:`InjectedFault` at the Nth primitive call (1-based).
+
+    The faulted primitive does *not* perform its effect — except
+    ``write`` with ``torn=True``, which writes a prefix of the data
+    first, simulating a torn write the checksums must catch if the file
+    were ever trusted.
+    """
+
+    def __init__(self, fail_at: int, torn: bool = False) -> None:
+        self.calls = 0
+        self.fail_at = fail_at
+        self.torn = torn
+
+    def _trip(self) -> bool:
+        self.calls += 1
+        return self.calls == self.fail_at
+
+    def write(self, fh, data):
+        if self._trip():
+            if self.torn and len(data):
+                fh.write(data[: len(data) // 2])
+            raise InjectedFault(f"write faulted at call {self.calls}")
+        super().write(fh, data)
+
+    def fsync(self, fh):
+        if self._trip():
+            raise InjectedFault(f"fsync faulted at call {self.calls}")
+        super().fsync(fh)
+
+    def replace(self, src, dst):
+        if self._trip():
+            raise InjectedFault(f"replace faulted at call {self.calls}")
+        super().replace(src, dst)
+
+    def fsync_dir(self, directory):
+        if self._trip():
+            raise InjectedFault(f"fsync_dir faulted at call {self.calls}")
+        super().fsync_dir(directory)
+
+    def unlink(self, path):
+        if self._trip():
+            raise InjectedFault(f"unlink faulted at call {self.calls}")
+        super().unlink(path)

@@ -1,0 +1,111 @@
+"""Crash-recovery sweeps: kill every fault point, always load clean.
+
+For each journaled operation (store creation, insert append, delete
+append, compaction/base-rewrite) the sweep first counts the operation's
+OS-primitive calls, then re-runs it once per call with an injected
+fault at exactly that call.  After every simulated crash the store must
+load to either the pre-operation or the post-operation state — never a
+torn in-between — which is the whole durability claim of the v4 format.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core.journal import IndexJournal
+from repro.core.maintenance import compact_index, delete_vector, insert_vector
+from repro.core.errors import CiphertextFormatError
+from repro.core.persistence import load_index
+
+from tests.persistence.conftest import make_fitted_scheme, state_digest
+from tests.persistence.faultfs import CountingOps, FaultyOps, InjectedFault
+
+#: One monolithic graph configuration and one sharded flat one — the
+#: two structurally different persistence layouts (v2 vs v3 base).
+CONFIGS = [("hnsw", None), ("bruteforce", 2)]
+
+
+def _prepared_store(tmp_path, kind, shards):
+    """A journaled store with a few segments and one pending tombstone."""
+    scheme, database = make_fitted_scheme(kind, shards, seed=7)
+    store = tmp_path / "pristine"
+    scheme.enable_journal(store)
+    mutation_rng = np.random.default_rng(99)
+    for _ in range(3):
+        scheme.insert(mutation_rng.normal(size=scheme.owner.dim))
+    scheme.delete(0)
+    return scheme, store
+
+
+def _operations(owner):
+    """The journaled operations the sweep crashes, by name."""
+    vector = np.linspace(-1.0, 1.0, owner.dim)
+    return {
+        "insert": lambda index, journal: insert_vector(
+            owner, index, vector, journal=journal
+        ),
+        "delete": lambda index, journal: delete_vector(
+            index, 1, journal=journal
+        ),
+        "compact": lambda index, journal: compact_index(
+            index, rng=np.random.default_rng(5), journal=journal
+        ),
+    }
+
+
+@pytest.mark.parametrize("kind,shards", CONFIGS)
+@pytest.mark.parametrize("op_name", ["insert", "delete", "compact"])
+@pytest.mark.parametrize("torn", [False, True])
+def test_every_fault_point_recovers(tmp_path, kind, shards, op_name, torn):
+    scheme, store = _prepared_store(tmp_path, kind, shards)
+    operation = _operations(scheme.owner)[op_name]
+    digest_before = state_digest(load_index(store))
+
+    # Counting pass: learn how many primitive calls the operation makes.
+    probe = tmp_path / "probe"
+    shutil.copytree(store, probe)
+    counter = CountingOps()
+    operation(load_index(probe), IndexJournal.open(probe, counter))
+    assert counter.calls > 0
+
+    for fail_at in range(1, counter.calls + 1):
+        work = tmp_path / f"crash-{fail_at}"
+        shutil.copytree(store, work)
+        index = load_index(work)
+        journal = IndexJournal.open(work, FaultyOps(fail_at, torn=torn))
+        with pytest.raises(InjectedFault):
+            operation(index, journal)
+        # The in-memory index was mutated before the crash; the store
+        # must come back as either that state or the untouched one.
+        recovered = load_index(work)
+        assert state_digest(recovered) in {digest_before, state_digest(index)}, (
+            f"torn state after fault at primitive call {fail_at}"
+        )
+        shutil.rmtree(work)
+
+
+@pytest.mark.parametrize("kind,shards", CONFIGS)
+def test_create_crash_leaves_store_absent_or_complete(tmp_path, kind, shards):
+    scheme, _ = make_fitted_scheme(kind, shards, seed=3)
+    index = scheme.server.index
+    live = state_digest(index)
+
+    counter = CountingOps()
+    IndexJournal.create(tmp_path / "count", index, ops=counter)
+    assert state_digest(load_index(tmp_path / "count")) == live
+
+    for fail_at in range(1, counter.calls + 1):
+        target = tmp_path / f"create-{fail_at}"
+        with pytest.raises(InjectedFault):
+            IndexJournal.create(target, index, ops=FaultyOps(fail_at))
+        # Pre-crash state is "no store": loading must either fail with
+        # the format error (no committed manifest yet) or hand back the
+        # complete index — never something in between.
+        try:
+            recovered = load_index(target)
+        except CiphertextFormatError:
+            continue
+        assert state_digest(recovered) == live

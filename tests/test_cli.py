@@ -528,3 +528,100 @@ class TestDemo:
         assert code == 0
         out = capsys.readouterr().out
         assert "Recall@10" in out
+
+
+class TestJournalAndCompactCLI:
+    def _build(self, root, index_path, fmt=None, capsys=None):
+        argv = [
+            "build",
+            str(root / "db.npy"),
+            "--index", str(index_path),
+            "--keys", str(root / "jkeys.npz"),
+            "--beta", "0.2",
+            "--m", "8",
+            "--ef-construction", "40",
+            "--seed", "5",
+        ]
+        if fmt is not None:
+            argv += ["--format", fmt]
+        assert main(argv) == 0
+        if capsys is not None:
+            capsys.readouterr()
+
+    def test_journaled_build_query_info_compact(self, cli_workspace, capsys):
+        from repro.core.journal import IndexJournal
+        from repro.core.maintenance import delete_vector
+
+        root, database, queries = cli_workspace
+        store = root / "store"
+        self._build(root, store, fmt="journal", capsys=capsys)
+        assert store.is_dir()
+
+        # Mutations append delta segments instead of rewriting the base.
+        journal = IndexJournal.open(store)
+        index = journal.load()
+        delete_vector(index, 3, journal=journal)
+        delete_vector(index, 9, journal=journal)
+
+        code = main(["info", "--index", str(store), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tombstones"] == 2
+        assert payload["journal"]["generation"] == 0
+        assert payload["journal"]["num_segments"] == 2
+        assert payload["journal"]["journal_bytes"] > 0
+
+        # Queries load the store directory like any index path.
+        code = main(
+            ["query", "--index", str(store), "--keys", str(root / "jkeys.npz"),
+             "--queries", str(root / "queries.fvecs"), "-k", "3", "--json"]
+        )
+        assert code == 0
+        ids = json.loads(capsys.readouterr().out)["ids"]
+        assert all(3 not in row and 9 not in row for row in ids)
+
+        code = main(["compact", "--index", str(store), "--seed", "7", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["tombstones_dropped"] == 2
+        assert report["journal"] == {"generation": 1, "num_segments": 0}
+        assert report["live_vectors"] == 118
+
+        code = main(["info", "--index", str(store), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tombstones"] == 0
+        assert payload["live_vectors"] == 118
+        assert payload["journal"]["generation"] == 1
+
+    def test_compact_rewrites_npz_in_place(self, cli_workspace, capsys):
+        from repro.core.maintenance import delete_vector
+        from repro.core.persistence import load_index, save_index
+
+        root, database, queries = cli_workspace
+        index_path = root / "compactable.npz"
+        self._build(root, index_path, capsys=capsys)
+
+        index = load_index(index_path)
+        delete_vector(index, 0)
+        save_index(index_path, index)
+
+        code = main(["compact", "--index", str(index_path), "--seed", "7"])
+        assert code == 0
+        assert "dropped 1 tombstones" in capsys.readouterr().out
+        reloaded = load_index(index_path)
+        assert reloaded.tombstones == frozenset()
+        assert reloaded.retired == {0}
+
+        # Idempotent: a second run has nothing to do.
+        code = main(["compact", "--index", str(index_path)])
+        assert code == 0
+        assert "nothing to compact" in capsys.readouterr().out
+
+    def test_npz_index_reports_no_journal(self, cli_workspace, capsys):
+        root, _, _ = cli_workspace
+        index_path = root / "plain.npz"
+        self._build(root, index_path, capsys=capsys)
+        code = main(["info", "--index", str(index_path), "--json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["journal"] is None
