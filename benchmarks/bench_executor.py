@@ -1,0 +1,170 @@
+"""Filter-phase throughput: process data plane vs the thread pool.
+
+The tentpole claim of the process executor (:mod:`repro.core.plane`)
+is that the filter phase — pure-Python graph walks over ``C_SAP``,
+GIL-serialized under the thread pool — scales with cores once the
+ciphertexts live in shared memory and each shard's walks run in their
+own process.  This bench measures exactly that: a sharded HNSW index,
+a ``filter_only`` batch (no refine, so the number isolates the phase
+the plane exists for), swept over worker counts for both executors.
+
+Every sweep point asserts the process answers are **bit-identical**
+(ids and order) to the thread oracle — a speedup that changes answers
+is a bug, not a result.
+
+Writes the machine-readable ``BENCH_executor.json`` next to the repo
+root, stamped with the honesty fields of :mod:`benchmarks.grading`.
+
+Acceptance bar: on a **graded** host (≥4 cores, not CI) the process
+executor at 4 workers must clear ≥2x the single-worker-thread filter
+qps.  Core-starved containers and CI runners record their numbers with
+``graded: false`` and assert only a sanity floor (the plane must not
+be pathologically slow: per-batch cost is one pipe round trip, not a
+respawn).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.grading import bench_environment, is_graded
+from repro.core.plane import process_plane_available
+from repro.core.roles import CloudServer, DataOwner, QueryUser
+
+N = 4096
+DIM = 64
+K = 10
+SHARDS = 4
+N_QUERIES = 64
+REPEATS = 3
+
+#: Swept worker-process counts for the plane.
+WORKER_GRID = (1, 2, 4)
+
+#: The grid point the graded ≥2x bar applies to.
+ACCEPTANCE_WORKERS = 4
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_executor.json"
+
+
+def _workload(seed: int = 80):
+    """A sharded HNSW index plus an encrypted filter_only batch."""
+    rng = np.random.default_rng(seed)
+    database = rng.standard_normal((N, DIM)) * 2.0
+    queries = rng.standard_normal((N_QUERIES, DIM)) * 2.0
+    owner = DataOwner(DIM, beta=1.0, backend="hnsw", shards=SHARDS, rng=rng)
+    index = owner.build_index(database)
+    user = QueryUser(owner.authorize_user(), rng=rng)
+    batch = user.encrypt_queries(queries, K, mode="filter_only")
+    return index, batch
+
+
+def _thread_qps(server, batch):
+    """Best-of-repeats filter_only qps on the thread path, plus the ids."""
+    results = None
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        results = server.answer(batch)
+        best = min(best, time.perf_counter() - start)
+    return N_QUERIES / best, [result.ids for result in results]
+
+
+def _process_qps(index, batch, workers, oracle_ids):
+    """Best-of-repeats qps at ``workers`` processes; asserts bit-identity.
+
+    The plane is built once outside the timed region — it is a
+    long-lived resource amortized over a server's lifetime, so its
+    spawn cost is reported separately, not folded into per-batch qps.
+    """
+    server = CloudServer(index, executor="processes", workers=workers)
+    try:
+        spawn_start = time.perf_counter()
+        server.data_plane()
+        spawn_seconds = time.perf_counter() - spawn_start
+        best = float("inf")
+        results = None
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            results = server.answer(batch)
+            best = min(best, time.perf_counter() - start)
+        for oracle, result in zip(oracle_ids, results):
+            assert np.array_equal(oracle, result.ids), (
+                f"process-executor ids diverged from the thread oracle "
+                f"at workers={workers}"
+            )
+    finally:
+        server.close()
+    return N_QUERIES / best, spawn_seconds
+
+
+def test_executor_filter_sweep():
+    """Thread-vs-process filter sweep + JSON artifact + the graded bar."""
+    index, batch = _workload()
+    thread_server = CloudServer(index)
+    thread_qps, oracle_ids = _thread_qps(thread_server, batch)
+
+    rows = []
+    speedups = {}
+    if process_plane_available():
+        for workers in WORKER_GRID:
+            qps, spawn_seconds = _process_qps(index, batch, workers, oracle_ids)
+            speedups[workers] = qps / thread_qps
+            rows.append(
+                {
+                    "workers": workers,
+                    "process_qps": qps,
+                    "speedup_vs_threads": speedups[workers],
+                    "plane_spawn_seconds": spawn_seconds,
+                }
+            )
+
+    _RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "n": N,
+                "dim": DIM,
+                "k": K,
+                "shards": SHARDS,
+                "queries": N_QUERIES,
+                "repeats": REPEATS,
+                "mode": "filter_only",
+                **bench_environment(executor="processes"),
+                "process_plane_available": process_plane_available(),
+                "thread_qps": thread_qps,
+                "workers": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    print()
+    print(f"thread filter baseline: {thread_qps:.0f} QPS")
+    for row in rows:
+        print(
+            f"processes x{row['workers']}: {row['process_qps']:7.0f} QPS "
+            f"({row['speedup_vs_threads']:.2f}x threads, "
+            f"spawn {row['plane_spawn_seconds'] * 1e3:.0f}ms)"
+        )
+    print(f"wrote {_RESULT_PATH.name}")
+
+    if not process_plane_available():
+        return  # recorded as unavailable; nothing to grade
+    best = speedups[ACCEPTANCE_WORKERS]
+    cores = os.cpu_count() or 1
+    if is_graded():
+        floor = 2.0
+    else:
+        # Ungraded hosts (CI, <4 cores) cannot express the parallel
+        # win; the floor only catches a pathological plane (per-batch
+        # respawn, copying ciphertexts through the pipe, ...).
+        floor = 0.2
+    assert best >= floor, (
+        f"process-executor filter speedup {best:.2f}x below the {floor}x "
+        f"bar at workers={ACCEPTANCE_WORKERS}, n={N}, d={DIM}, "
+        f"shards={SHARDS} ({cores} cores, graded={is_graded()})"
+    )

@@ -35,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from benchmarks.grading import bench_environment
 from repro.core.dce import DCECiphertext
 from repro.core.journal import IndexJournal
 from repro.core.maintenance import compact_index, delete_vector, insert_vector
@@ -184,7 +185,7 @@ def test_persistence_grid():
                 "dim": DIM,
                 "k": K,
                 "ratio_k": RATIO_K,
-                "cpu_count": os.cpu_count(),
+                **bench_environment(executor="threads"),
                 "persistence": persistence,
                 "serving_under_compaction": serving,
             },

@@ -35,6 +35,8 @@ from pathlib import Path
 
 import numpy as np
 
+from benchmarks.grading import bench_environment, is_graded
+from repro.core.plane import process_plane_available
 from repro.core.roles import CloudServer, DataOwner, QueryUser
 from repro.serve import replay_open_loop
 
@@ -71,6 +73,37 @@ def _serving_workload(seed: int = 60):
     user = QueryUser(owner.authorize_user(), rng=rng)
     encrypted = [user.encrypt_query(query, K) for query in queries]
     return server, encrypted
+
+
+def _process_executor_row(index, encrypted, sequential_results, rate, sequential_qps):
+    """The acceptance window re-run on the process data plane.
+
+    Records availability honestly: on platforms without shared memory
+    the row says so instead of silently skipping, and the ids are still
+    asserted bit-identical to the sequential thread oracle whenever the
+    plane runs.
+    """
+    if not process_plane_available():
+        return {"available": False}
+    server = CloudServer(index, default_ratio_k=RATIO_K, executor="processes")
+    try:
+        served_seconds, served_results, snapshot = _served_seconds(
+            server, encrypted, ACCEPTANCE_WINDOW, rate, seed=62
+        )
+    finally:
+        server.close()
+    for sequential_result, served_result in zip(sequential_results, served_results):
+        assert np.array_equal(sequential_result.ids, served_result.ids), (
+            "process-executor served ids diverged from the sequential oracle"
+        )
+    served_qps = N_QUERIES / served_seconds
+    return {
+        "available": True,
+        "window_seconds": ACCEPTANCE_WINDOW,
+        "served_qps": served_qps,
+        "speedup": served_qps / sequential_qps,
+        "mean_batch_size": snapshot.mean_batch_size,
+    }
 
 
 def _sequential_seconds(server, encrypted):
@@ -146,6 +179,10 @@ def test_serving_window_sweep():
             }
         )
 
+    process_row = _process_executor_row(
+        server.index, encrypted, sequential_results, rate, sequential_qps
+    )
+
     _RESULT_PATH.write_text(
         json.dumps(
             {
@@ -157,9 +194,10 @@ def test_serving_window_sweep():
                 "repeats": REPEATS,
                 "max_batch_size": MAX_BATCH,
                 "rate_multiplier": RATE_MULTIPLIER,
-                "cpu_count": os.cpu_count(),
+                **bench_environment(executor="threads"),
                 "sequential_qps": sequential_qps,
                 "windows": windows,
+                "process_executor": process_row,
             },
             indent=2,
         )
@@ -174,6 +212,11 @@ def test_serving_window_sweep():
             f"{row['served_qps']:7.0f} QPS ({row['speedup']:.2f}x), "
             f"mean batch {row['mean_batch_size']:.1f}"
         )
+    if process_row.get("available"):
+        print(
+            f"process executor: {process_row['served_qps']:.0f} QPS "
+            f"({process_row['speedup']:.2f}x) at the acceptance window"
+        )
     print(f"wrote {_RESULT_PATH.name}")
 
     # Graded like bench_build.py / bench_refine_engines.py: real
@@ -186,12 +229,22 @@ def test_serving_window_sweep():
     # a pathological scheduler, not a missing speedup.
     best = speedups[ACCEPTANCE_WINDOW]
     cores = os.cpu_count() or 1
-    if os.environ.get("CI"):
+    if is_graded():
+        floor = 2.0
+    elif os.environ.get("CI"):
         floor = 0.5
     else:
-        floor = 2.0 if cores >= 4 else (1.1 if cores >= 2 else 0.4)
+        floor = 1.1 if cores >= 2 else 0.4
     assert best >= floor, (
         f"micro-batched serving speedup {best:.2f}x below the {floor}x bar "
         f"at window={ACCEPTANCE_WINDOW}s, cap={MAX_BATCH}, n={N}, d={DIM}, "
         f"k={K}, ratio_k={RATIO_K} ({cores} cores)"
     )
+    # Re-grade the same bar on the process executor: on a graded host
+    # the shared-memory plane must also clear 2x over sequential at the
+    # acceptance window (elsewhere the row is recorded ungraded).
+    if is_graded() and process_row.get("available"):
+        assert process_row["speedup"] >= 2.0, (
+            f"process-executor serving speedup {process_row['speedup']:.2f}x "
+            f"below the 2.0x bar at window={ACCEPTANCE_WINDOW}s ({cores} cores)"
+        )

@@ -1,7 +1,13 @@
-"""``python -m repro`` dispatches to the CLI."""
+"""``python -m repro`` dispatches to the CLI.
+
+The ``__name__`` guard is load-bearing: the process data plane's spawn
+workers re-import this module (as ``__mp_main__``) while bootstrapping,
+and must not re-run the command they were spawned to serve.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

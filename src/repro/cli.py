@@ -64,6 +64,7 @@ import numpy as np
 
 from repro.core.backends import available_backends
 from repro.core.build import BUILD_MODES
+from repro.core.executor import EXECUTOR_MODES
 from repro.core.journal import IndexJournal
 from repro.core.maintenance import compact_index
 from repro.core.persistence import load_index, load_keys, save_index, save_keys
@@ -130,6 +131,24 @@ def _parse_hostport(spec: str) -> "tuple[str, int]":
         return host, int(port)
     except ValueError:
         raise SystemExit(f"invalid port in address {spec!r}") from None
+
+
+def _add_executor_args(command: argparse.ArgumentParser) -> None:
+    """The ``--executor`` / ``--workers`` pair shared by serving commands."""
+    command.add_argument(
+        "--executor",
+        choices=EXECUTOR_MODES,
+        default=None,
+        help="batch execution mode: 'threads' (default) or 'processes' "
+        "(shared-memory data plane; bit-identical answers)",
+    )
+    command.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-process count for --executor processes "
+        "(default: the executor pool width; REPRO_WORKERS overrides)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -230,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a JSON report (ids, timings, byte accounting)",
     )
+    _add_executor_args(query)
     query.add_argument("--seed", type=int, default=None)
 
     demo = commands.add_parser("demo", help="end-to-end demo on synthetic data")
@@ -356,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit ids plus the full serving-metrics snapshot",
     )
+    _add_executor_args(serve)
     serve.add_argument("--seed", type=int, default=None)
 
     workload = commands.add_parser(
@@ -439,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_FRAME_TIMEOUT,
         help="per-frame read deadline in seconds (slow-loris budget)",
     )
+    _add_executor_args(listen)
     return parser
 
 
@@ -508,7 +530,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     keys = load_keys(args.keys)
     user = QueryUser(keys, rng=np.random.default_rng(args.seed))
-    server = CloudServer(index, refine_engine=args.refine_engine)
+    server = CloudServer(
+        index,
+        refine_engine=args.refine_engine,
+        executor=args.executor,
+        workers=args.workers,
+    )
     queries = _load_vectors(args.queries)
 
     encrypt_start = time.perf_counter()
@@ -520,11 +547,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
         mode="filter_only" if args.filter_only else "full",
     )
     encrypt_seconds = time.perf_counter() - encrypt_start
-    results = server.answer(batch)
+    try:
+        results = server.answer(batch)
+    finally:
+        server.close()
 
     if args.json:
         payload = {
             "backend": index.backend_kind,
+            "executor": server.executor,
             "shards": getattr(index, "num_shards", 1),
             "k": args.k,
             "mode": batch.request.mode,
@@ -724,7 +755,12 @@ def _serve_remote(args: argparse.Namespace, encrypted, key_id: int):
 
 def _serve_local(args: argparse.Namespace, encrypted, key_id: int, index):
     """Replay through an in-process frontend, via the admission layer."""
-    server = CloudServer(index, refine_engine=args.refine_engine)
+    server = CloudServer(
+        index,
+        refine_engine=args.refine_engine,
+        executor=args.executor,
+        workers=args.workers,
+    )
     queue_depth = (
         args.queue_depth
         if args.queue_depth is not None
@@ -739,11 +775,17 @@ def _serve_local(args: argparse.Namespace, encrypted, key_id: int, index):
     # The same admission path the network server uses, so the reported
     # tenancy view is the real thing, not a reconstruction.
     admission = TenantAdmission(frontend, TenantRegistry([TenantConfig(key_id)]))
-    with frontend:
-        channel = admission.channel(key_id)
-        results, elapsed = replay_open_loop(channel, encrypted, args.rate, args.seed)
-        tenancy = admission.stats()
-        tenancy["frontend"] = frontend.metrics.snapshot().as_dict()
+    try:
+        with frontend:
+            channel = admission.channel(key_id)
+            results, elapsed = replay_open_loop(
+                channel, encrypted, args.rate, args.seed
+            )
+            tenancy = admission.stats()
+            tenancy["frontend"] = frontend.metrics.snapshot().as_dict()
+            tenancy["frontend"]["executor"] = server.executor
+    finally:
+        server.close()
     return results, elapsed, tenancy
 
 
@@ -812,7 +854,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_listen(args: argparse.Namespace) -> int:
     index = load_index(args.index)
-    server = CloudServer(index, refine_engine=args.refine_engine)
+    server = CloudServer(
+        index,
+        refine_engine=args.refine_engine,
+        executor=args.executor,
+        workers=args.workers,
+    )
     tenants = [_parse_tenant_spec(spec) for spec in args.tenant] or [
         TenantConfig(int(index.dce_database.key_id))
     ]
@@ -822,7 +869,7 @@ def _cmd_listen(args: argparse.Namespace) -> int:
         max_queue_depth=args.queue_depth,
         cache_size=args.cache_size,
     )
-    with frontend:
+    with server, frontend:
         net = NetServer(
             frontend,
             tenants,
@@ -834,8 +881,8 @@ def _cmd_listen(args: argparse.Namespace) -> int:
         host, port = net.address
         print(
             f"listening on {host}:{port} "
-            f"(backend={index.backend_kind}, tenants="
-            f"{net.registry.key_ids()}); Ctrl-C to stop",
+            f"(backend={index.backend_kind}, executor={server.executor}, "
+            f"tenants={net.registry.key_ids()}); Ctrl-C to stop",
             flush=True,
         )
         net.serve_until_interrupt()

@@ -214,9 +214,20 @@ class HNSWBackend:
 
     @classmethod
     def from_state(
-        cls, sap_vectors: np.ndarray, data: Mapping[str, np.ndarray]
+        cls,
+        sap_vectors: np.ndarray,
+        data: Mapping[str, np.ndarray],
+        copy: bool = True,
     ) -> "HNSWBackend":
-        """Rebuild the backend from its persisted state arrays."""
+        """Rebuild the backend from its persisted state arrays.
+
+        ``copy=False`` aliases the caller's ``sap_vectors`` buffer
+        instead of copying it — the zero-copy attach path of the
+        process data plane (:mod:`repro.core.plane`), whose workers
+        read the vectors out of shared memory.  Safe because search
+        never writes the buffer and an insert reallocates it rather
+        than growing in place.
+        """
         # v1 files carried the vectors under graph_vectors; v2 dedups them
         # into the sap_vectors array the caller already loaded.
         vectors = data["graph_vectors"] if "graph_vectors" in data else sap_vectors
@@ -229,7 +240,7 @@ class HNSWBackend:
         # Reconstruct internal state directly; going through insert() would
         # re-run construction and change the edges.
         count = vectors.shape[0]
-        graph._buffer = vectors.copy()
+        graph._buffer = vectors.copy() if copy else vectors
         graph._nodes = [
             _Node(
                 level=int(levels[i]),
@@ -572,13 +583,25 @@ def build_backend(
 
 
 def backend_from_state(
-    kind: str, sap_vectors: np.ndarray, data: Mapping[str, np.ndarray]
+    kind: str,
+    sap_vectors: np.ndarray,
+    data: Mapping[str, np.ndarray],
+    copy: bool = True,
 ) -> FilterBackend:
-    """Rebuild a persisted backend of ``kind`` from its state arrays."""
+    """Rebuild a persisted backend of ``kind`` from its state arrays.
+
+    ``copy=False`` requests the zero-copy vector attach: the rebuilt
+    backend aliases ``sap_vectors`` instead of duplicating it.  Only
+    the HNSW backend copies in the first place — the other substrates
+    already store vectors by reference — so the flag is forwarded
+    where it matters and a no-op elsewhere.
+    """
     try:
         backend_cls = BACKENDS[kind]
     except KeyError:
         raise ParameterError(
             f"unknown backend {kind!r}; available: {', '.join(BACKENDS)}"
         ) from None
+    if backend_cls is HNSWBackend:
+        return backend_cls.from_state(sap_vectors, data, copy=copy)
     return backend_cls.from_state(sap_vectors, data)

@@ -43,6 +43,17 @@ A third caller — the parallel index-construction pipeline of
 same pool, and is the reason the fan-out takes an optional
 ``max_workers`` cap: build concurrency is a user-facing knob
 (``build_workers=``), while serving fan-outs always use the full pool.
+
+Threads are one of two **executor modes** (:data:`EXECUTOR_MODES`).
+``threads`` — this module's pool — is the default and the oracle;
+``processes`` routes batch execution through the multi-process data
+plane of :mod:`repro.core.plane`, whose worker processes attach the
+ciphertext matrices via shared memory and sidestep the GIL on the
+pure-Python filter hot path.  The knob threads through
+:class:`~repro.core.roles.CloudServer` (``executor=`` / ``workers=``),
+:class:`~repro.core.scheme.PPANNS`, the serving frontend, and the CLI
+(``--executor`` / ``--workers``); results are bit-identical between
+the modes at any worker count.
 """
 
 from __future__ import annotations
@@ -53,14 +64,33 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Generic, Iterable, Sequence, TypeVar
 
+from repro.core.errors import ParameterError
+
 __all__ = [
+    "EXECUTOR_MODES",
     "Settled",
     "map_settled",
     "map_ordered",
     "pool_width",
+    "resolve_executor",
     "shared_pool",
     "in_worker_thread",
 ]
+
+#: The server's execution modes: the shared thread pool (default, the
+#: oracle) and the shared-memory process data plane (repro.core.plane).
+EXECUTOR_MODES = ("threads", "processes")
+
+
+def resolve_executor(mode: "str | None") -> str:
+    """Validate an executor-mode knob; ``None`` means ``threads``."""
+    if mode is None:
+        return "threads"
+    if mode not in EXECUTOR_MODES:
+        raise ParameterError(
+            f"unknown executor {mode!r}; available: {', '.join(EXECUTOR_MODES)}"
+        )
+    return mode
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
@@ -73,7 +103,27 @@ _pool: ThreadPoolExecutor | None = None
 
 
 def pool_width() -> int:
-    """Worker count of the shared pool (sized to the host, capped)."""
+    """Worker count of the shared pool (sized to the host, capped).
+
+    The ``REPRO_WORKERS`` environment variable overrides the computed
+    width — a validated integer >= 1, still capped at the pool maximum
+    — so CI jobs and containers can pin concurrency without code
+    changes.  The thread pool reads the width once, when it is first
+    created; the process data plane re-reads it at every plane build.
+    """
+    override = os.environ.get("REPRO_WORKERS")
+    if override is not None and override.strip():
+        try:
+            value = int(override)
+        except ValueError:
+            raise ParameterError(
+                f"REPRO_WORKERS must be an integer >= 1, got {override!r}"
+            ) from None
+        if value < 1:
+            raise ParameterError(
+                f"REPRO_WORKERS must be an integer >= 1, got {override!r}"
+            )
+        return min(_MAX_WORKERS, value)
     return min(_MAX_WORKERS, max(4, os.cpu_count() or 1))
 
 

@@ -20,6 +20,7 @@
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,6 +30,7 @@ from repro.core.build import BUILD_MODES, BuildReport
 from repro.core.dcpe import DCPEScheme, dcpe_keygen, DEFAULT_SCALE
 from repro.core.dce import DCEScheme, DCETrapdoor
 from repro.core.errors import ParameterError
+from repro.core.executor import resolve_executor
 from repro.core.index import EncryptedIndex
 from repro.core.keys import DCEKey, DCPEKey
 from repro.core.protocol import (
@@ -396,6 +398,19 @@ class CloudServer:
         (``"heap"`` / ``"vectorized"``) or instance; ``None`` selects
         :data:`repro.core.refine.DEFAULT_REFINE_ENGINE`.  Per-call
         overrides on :meth:`answer` take precedence.
+    executor:
+        Batch execution mode (one of
+        :data:`repro.core.executor.EXECUTOR_MODES`): ``"threads"``
+        (default — the shared thread pool) or ``"processes"`` — the
+        shared-memory data plane of :mod:`repro.core.plane`, built
+        lazily on the first batch and rebuilt automatically after
+        maintenance.  Bit-identical answers either way; when the
+        platform can't run the process plane the server degrades to
+        threads with a one-time :class:`RuntimeWarning`.
+    workers:
+        Worker-process count for ``executor="processes"`` (``None`` =
+        :func:`repro.core.executor.pool_width`, which honors
+        ``REPRO_WORKERS``).  Ignored under threads.
     """
 
     def __init__(
@@ -403,12 +418,20 @@ class CloudServer:
         index: "EncryptedIndex | ShardedEncryptedIndex",
         default_ratio_k: int = 8,
         refine_engine: "str | RefineEngine | None" = None,
+        executor: "str | None" = None,
+        workers: "int | None" = None,
     ) -> None:
         if default_ratio_k < 1:
             raise ParameterError(f"ratio_k must be >= 1, got {default_ratio_k}")
+        if workers is not None and workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
         self._index = index
         self._default_ratio_k = default_ratio_k
         self._refine_engine = get_refine_engine(refine_engine)
+        self._executor = resolve_executor(executor)
+        self._workers = workers
+        self._plane = None
+        self._plane_warned = False
 
     @property
     def index(self) -> "EncryptedIndex | ShardedEncryptedIndex":
@@ -424,6 +447,62 @@ class CloudServer:
     def refine_engine(self) -> str:
         """Name of the server's default refine engine."""
         return self._refine_engine.name
+
+    @property
+    def executor(self) -> str:
+        """The server's configured execution mode."""
+        return self._executor
+
+    @property
+    def workers(self) -> "int | None":
+        """Configured process-plane worker count (None = pool width)."""
+        return self._workers
+
+    def data_plane(self):
+        """The live process data plane, or ``None`` under threads.
+
+        Built lazily on first use and rebuilt whenever the cached plane
+        stopped matching the index (maintenance bumps the fingerprint, a
+        worker crash marks it broken).  When the platform can't run the
+        plane at all, warns once and permanently degrades to threads.
+        """
+        if self._executor != "processes":
+            return None
+        if self._plane is not None and self._plane.matches(self._index):
+            return self._plane
+        from repro.core.plane import DataPlaneError, ProcessDataPlane
+
+        self.invalidate_data_plane()
+        try:
+            self._plane = ProcessDataPlane(self._index, workers=self._workers)
+        except DataPlaneError as exc:
+            if not self._plane_warned:
+                self._plane_warned = True
+                warnings.warn(
+                    f"process data plane unavailable ({exc}); "
+                    "degrading to thread execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            self._executor = "threads"
+            return None
+        return self._plane
+
+    def invalidate_data_plane(self) -> None:
+        """Tear down the cached plane (maintenance / index swap hook)."""
+        if self._plane is not None:
+            self._plane.close()
+            self._plane = None
+
+    def close(self) -> None:
+        """Release server-held process-plane resources (idempotent)."""
+        self.invalidate_data_plane()
+
+    def __enter__(self) -> "CloudServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def default_ratio_for(self, mode: str) -> int:
         """Default ``k'/k`` by mode.
@@ -449,6 +528,7 @@ class CloudServer:
         """
         from repro.core.maintenance import compact_index
 
+        self.invalidate_data_plane()
         return compact_index(self._index, rng=rng)
 
     def serving_frontend(
@@ -513,6 +593,7 @@ class CloudServer:
                 ratio_k=ratio_k,
                 ef_search=ef_search,
                 refine_engine=engine,
+                data_plane=self.data_plane(),
             )
         request = query.request.resolve(
             self._default_ratio_for(query.request.mode),

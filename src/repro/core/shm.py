@@ -1,0 +1,282 @@
+"""Shared-memory ciphertext arena for the multi-process data plane.
+
+The process executor (:mod:`repro.core.plane`) must hand each worker
+process the server-side ciphertext matrices — the ``C_SAP`` slices the
+filter backends walk and the ``C_DCE`` block the refine engines compare
+on — without copying them through a pipe per batch.  This module is the
+transport: the parent packs the arrays into **one**
+:class:`multiprocessing.shared_memory.SharedMemory` segment (the
+*arena*) and ships only tiny :class:`ShmArrayRef` descriptors — segment
+name, dtype, shape, byte offset — which pickle in a few dozen bytes and
+reconstruct worker-side as zero-copy numpy views over the attached
+segment.
+
+Layout: arrays are packed back to back at 64-byte-aligned offsets
+(cache-line alignment keeps worker-side views on friendly boundaries)::
+
+    arena "repro-arena-<pid>-<seq>"
+    ┌─────────────┬──────┬─────────────┬──────┬───────────────┐
+    │ C_SAP shard0│ pad  │ C_SAP shard1│ pad  │ C_DCE (n,4,w) │
+    └─────────────┴──────┴─────────────┴──────┴───────────────┘
+      ref[0]               ref[1]               ref[2]
+
+Views are handed out **read-only** on both sides: the arena holds the
+data plane's immutable snapshot of the ciphertexts, and an accidental
+in-place write by a worker would silently corrupt every sibling's
+answers — a readonly view turns that bug into an immediate
+``ValueError``.
+
+Lifecycle: the creating process owns the segment and must
+:meth:`ShmArena.unlink` it; every owner arena is tracked in a module
+registry with an ``atexit`` backstop, so even an abandoned plane cannot
+leak a segment past interpreter exit.  :func:`active_arenas` exposes
+the registry so the test suite can assert leak-freedom after close,
+including on error paths.  Workers only ever :meth:`ShmArena.attach`
+and :meth:`ShmArena.close` — unlinking is the owner's job.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ParameterError
+
+__all__ = [
+    "ShmArrayRef",
+    "ShmArena",
+    "active_arenas",
+    "shared_memory_available",
+]
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    _shared_memory = None
+
+#: Pack offsets to cache-line boundaries.
+_ALIGN = 64
+
+_registry_lock = threading.Lock()
+#: Owner-side arenas that have not been unlinked yet, by segment name.
+_owned: "dict[str, ShmArena]" = {}
+_sequence = itertools.count()
+_atexit_registered = False
+
+
+def shared_memory_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` works on this platform.
+
+    The data plane degrades to thread execution when it doesn't
+    (:func:`repro.core.plane.process_plane_available` folds this into
+    its overall gate).
+    """
+    return _shared_memory is not None
+
+
+def _cleanup_registry() -> None:
+    """``atexit`` backstop: unlink every still-owned arena."""
+    with _registry_lock:
+        leaked = list(_owned.values())
+    for arena in leaked:
+        arena.close()
+        arena.unlink()
+
+
+def active_arenas() -> tuple[str, ...]:
+    """Names of owner-side arenas not yet unlinked (leak-test hook)."""
+    with _registry_lock:
+        return tuple(_owned)
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """A picklable descriptor of one array inside a shared arena.
+
+    Attributes
+    ----------
+    segment:
+        Name of the :class:`~multiprocessing.shared_memory.SharedMemory`
+        segment holding the bytes.
+    dtype:
+        Numpy dtype string (``"float64"``, ...).
+    shape:
+        Array shape.
+    offset:
+        Byte offset of the array's first element inside the segment.
+    """
+
+    segment: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the referenced array in bytes."""
+        count = 1
+        for extent in self.shape:
+            count *= int(extent)
+        return count * np.dtype(self.dtype).itemsize
+
+    def resolve(self, buf) -> np.ndarray:
+        """A read-only numpy view of the referenced bytes in ``buf``."""
+        view = np.ndarray(
+            self.shape, dtype=np.dtype(self.dtype), buffer=buf, offset=self.offset
+        )
+        view.flags.writeable = False
+        return view
+
+
+def _aligned(offset: int) -> int:
+    """Round ``offset`` up to the next :data:`_ALIGN` boundary."""
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class ShmArena:
+    """One shared-memory segment packing a set of ciphertext arrays.
+
+    Create via :meth:`publish` (owner side) or :meth:`attach` (worker
+    side); never via the constructor directly.  ``close`` releases this
+    process's mapping, ``unlink`` destroys the segment (owner only).
+    Both are idempotent — double-close and double-unlink are explicit
+    no-ops, because teardown runs from ``finally`` blocks, context
+    managers, *and* the ``atexit`` backstop, in any order.
+    """
+
+    def __init__(self, shm, refs: tuple[ShmArrayRef, ...], owner: bool) -> None:
+        self._shm = shm
+        self._refs = refs
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def publish(cls, arrays: Sequence[np.ndarray]) -> "ShmArena":
+        """Pack ``arrays`` into a fresh owned segment; copies them once.
+
+        The returned arena's :attr:`refs` align with ``arrays`` by
+        position.  This is the only copy the data plane ever makes of
+        the ciphertexts — workers attach the same physical pages.
+        """
+        if not shared_memory_available():  # pragma: no cover - platform gate
+            raise ParameterError(
+                "multiprocessing.shared_memory is unavailable on this platform"
+            )
+        arrays = [np.ascontiguousarray(array) for array in arrays]
+        total = 0
+        offsets = []
+        for array in arrays:
+            offset = _aligned(total)
+            offsets.append(offset)
+            total = offset + array.nbytes
+        name = f"repro-arena-{os.getpid()}-{next(_sequence)}"
+        shm = _shared_memory.SharedMemory(name=name, create=True, size=max(total, 1))
+        refs = []
+        for array, offset in zip(arrays, offsets):
+            target = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=shm.buf, offset=offset
+            )
+            target[...] = array
+            refs.append(
+                ShmArrayRef(
+                    segment=shm.name,
+                    dtype=array.dtype.name,
+                    shape=tuple(int(extent) for extent in array.shape),
+                    offset=offset,
+                )
+            )
+        arena = cls(shm, tuple(refs), owner=True)
+        global _atexit_registered
+        with _registry_lock:
+            _owned[shm.name] = arena
+            if not _atexit_registered:
+                atexit.register(_cleanup_registry)
+                _atexit_registered = True
+        return arena
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmArena":
+        """Map an existing segment into this process (worker side)."""
+        if not shared_memory_available():  # pragma: no cover - platform gate
+            raise ParameterError(
+                "multiprocessing.shared_memory is unavailable on this platform"
+            )
+        try:
+            shm = _shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            # Python < 3.13 has no track= and registers the attach with
+            # the resource tracker (bpo-39959).  Our attachers are always
+            # spawn children sharing the owner's tracker process, where
+            # that register is a set no-op — the owner's unlink performs
+            # the single matching unregister, so nothing to undo here.
+            shm = _shared_memory.SharedMemory(name=name)
+        return cls(shm, (), owner=False)
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        return self._shm.name
+
+    @property
+    def refs(self) -> tuple[ShmArrayRef, ...]:
+        """Descriptors of the published arrays, in publish order."""
+        return self._refs
+
+    @property
+    def owner(self) -> bool:
+        """Whether this process created (and must unlink) the segment."""
+        return self._owner
+
+    @property
+    def closed(self) -> bool:
+        """Whether this process's mapping has been released."""
+        return self._closed
+
+    def resolve(self, ref: ShmArrayRef) -> np.ndarray:
+        """A read-only view of ``ref`` over this arena's mapping."""
+        if self._closed:
+            raise ParameterError(f"arena {self.name!r} is closed")
+        if ref.segment != self.name:
+            raise ParameterError(
+                f"ref names segment {ref.segment!r}, arena is {self.name!r}"
+            )
+        return ref.resolve(self._shm.buf)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release this process's mapping (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side; idempotent)."""
+        if self._unlinked or not self._owner:
+            return
+        self._unlinked = True
+        with _registry_lock:
+            _owned.pop(self.name, None)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+        self.unlink()

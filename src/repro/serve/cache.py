@@ -91,6 +91,7 @@ class ResultCache:
         self._entries: "OrderedDict[bytes, SearchResult]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._inserts = 0
         self._generation = 0
 
     @property
@@ -107,6 +108,11 @@ class ResultCache:
     def misses(self) -> int:
         """Lookups that found nothing."""
         return self._misses
+
+    @property
+    def inserts(self) -> int:
+        """Results actually stored (capacity-0 and stale puts excluded)."""
+        return self._inserts
 
     @property
     def generation(self) -> int:
@@ -129,23 +135,26 @@ class ResultCache:
 
     def put(
         self, digest: bytes, result: SearchResult, generation: int | None = None
-    ) -> None:
+    ) -> bool:
         """Store ``result`` under ``digest``, evicting LRU beyond capacity.
 
         ``generation`` — when given — must match the cache's current
         generation or the store is dropped: an answer computed before a
         :meth:`clear` (index mutation) must not repopulate the cache
-        after it.
+        after it.  Returns whether the result was actually stored, so
+        the serving metrics can count real inserts and not dropped ones.
         """
         if self._capacity == 0:
-            return
+            return False
         with self._lock:
             if generation is not None and generation != self._generation:
-                return
+                return False
             self._entries[digest] = result
             self._entries.move_to_end(digest)
+            self._inserts += 1
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
+            return True
 
     def clear(self) -> int:
         """Drop every entry and bump the generation (stale puts no-op).

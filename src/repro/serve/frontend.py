@@ -243,6 +243,7 @@ class ServingFrontend:
                 future: "Future[SearchResult]" = Future()
                 future.set_result(cached)
                 return future
+            self._metrics.record_cache_miss()
         pending = PendingQuery(
             query=query,
             digest=digest,
@@ -306,7 +307,12 @@ class ServingFrontend:
     # -- scheduler hooks ---------------------------------------------------------
 
     def _execute(self, batch):
-        """Run one stacked group through the settled batch engine."""
+        """Run one stacked group through the settled batch engine.
+
+        When the wrapped server runs ``executor="processes"`` its data
+        plane carries the batch (``getattr`` keeps duck-typed test
+        servers without the knob working).
+        """
         return execute_batch_settled(
             self._server.index,
             batch,
@@ -316,6 +322,7 @@ class ServingFrontend:
                 if self._refine_engine is not None
                 else self._server.refine_engine
             ),
+            data_plane=getattr(self._server, "data_plane", lambda: None)(),
         )
 
     def _cache_result(self, pending: PendingQuery, result: SearchResult) -> None:
@@ -326,7 +333,8 @@ class ServingFrontend:
         the stale answer is dropped instead of repopulating the cache.
         """
         if pending.digest is not None:
-            self._cache.put(pending.digest, result, pending.cache_generation)
+            if self._cache.put(pending.digest, result, pending.cache_generation):
+                self._metrics.record_cache_insert()
 
 
 def replay_open_loop(

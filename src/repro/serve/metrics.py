@@ -70,6 +70,12 @@ class MetricsSnapshot:
         :class:`~repro.serve.frontend.QueueFullError`.
     cache_hits:
         Queries answered from the result cache without being enqueued.
+    cache_misses:
+        Cache lookups that found nothing (the query went on to the
+        admission queue).  Only counted while a cache is enabled.
+    cache_inserts:
+        Answers actually stored in the cache (drops from capacity-0 or
+        stale-generation puts are excluded).
     qps:
         ``completed / elapsed_seconds`` (0.0 before any completion).
     latency_p50 / latency_p95 / latency_p99:
@@ -98,6 +104,8 @@ class MetricsSnapshot:
     failed: int
     rejected: int
     cache_hits: int
+    cache_misses: int
+    cache_inserts: int
     qps: float
     latency_p50: float
     latency_p95: float
@@ -120,6 +128,8 @@ class MetricsSnapshot:
             "failed": self.failed,
             "rejected": self.rejected,
             "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_inserts": self.cache_inserts,
             "qps": self.qps,
             "latency_p50": self.latency_p50,
             "latency_p95": self.latency_p95,
@@ -163,6 +173,8 @@ class ServerMetrics:
             self._failed = 0
             self._rejected = 0
             self._cache_hits = 0
+            self._cache_misses = 0
+            self._cache_inserts = 0
             self._latencies: deque[float] = deque(maxlen=self._latency_window)
             self._queue_depth = 0
             self._max_queue_depth = 0
@@ -189,6 +201,16 @@ class ServerMetrics:
         """One query was answered from the result cache."""
         with self._lock:
             self._cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        """One enabled-cache lookup found nothing."""
+        with self._lock:
+            self._cache_misses += 1
+
+    def record_cache_insert(self) -> None:
+        """One answer was stored in the result cache."""
+        with self._lock:
+            self._cache_inserts += 1
 
     def record_batch(self, batch_size: int) -> None:
         """The scheduler dispatched one micro-batch of the given size."""
@@ -244,6 +266,8 @@ class ServerMetrics:
                 failed=self._failed,
                 rejected=self._rejected,
                 cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                cache_inserts=self._cache_inserts,
                 qps=self._completed / elapsed if elapsed > 0 else 0.0,
                 latency_p50=percentile(ordered, 50),
                 latency_p95=percentile(ordered, 95),

@@ -5,12 +5,15 @@ import time
 
 import pytest
 
+from repro.core.errors import ParameterError
 from repro.core.executor import (
+    EXECUTOR_MODES,
     Settled,
     in_worker_thread,
     map_ordered,
     map_settled,
     pool_width,
+    resolve_executor,
     shared_pool,
 )
 
@@ -211,3 +214,41 @@ class TestPool:
 
     def test_pool_width_positive(self):
         assert pool_width() >= 1
+
+
+class TestPoolWidthOverride:
+    def test_env_override_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert pool_width() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert pool_width() == 1
+
+    def test_env_override_capped_at_pool_maximum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "100000")
+        assert pool_width() == 32
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "four", "2.5"])
+    def test_invalid_override_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(ParameterError, match="REPRO_WORKERS"):
+            pool_width()
+
+    def test_blank_override_falls_back_to_host_width(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "  ")
+        assert pool_width() >= 1
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert pool_width() >= 1
+
+
+class TestExecutorModes:
+    def test_modes_registry(self):
+        assert EXECUTOR_MODES == ("threads", "processes")
+
+    def test_resolve_default_and_passthrough(self):
+        assert resolve_executor(None) == "threads"
+        for mode in EXECUTOR_MODES:
+            assert resolve_executor(mode) == mode
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ParameterError, match="unknown executor"):
+            resolve_executor("fibers")

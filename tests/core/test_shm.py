@@ -1,0 +1,142 @@
+"""Shared-memory arena tests: layout, refs, lifecycle, leak hygiene.
+
+These run entirely in-process (attach works within the owning process
+too); the cross-process path is exercised by the data-plane tests in
+``tests/core/test_executor_processes.py``.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.core.shm import (
+    ShmArena,
+    ShmArrayRef,
+    active_arenas,
+    shared_memory_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="multiprocessing.shared_memory unavailable on this platform",
+)
+
+
+def _sample_arrays():
+    rng = np.random.default_rng(9)
+    return [
+        rng.standard_normal((7, 5)),
+        np.arange(13, dtype=np.int64),
+        rng.standard_normal((3, 4, 6)),
+    ]
+
+
+class TestPublishResolve:
+    def test_roundtrip_owner_side(self):
+        arrays = _sample_arrays()
+        with ShmArena.publish(arrays) as arena:
+            assert arena.owner
+            assert len(arena.refs) == len(arrays)
+            for array, ref in zip(arrays, arena.refs):
+                view = arena.resolve(ref)
+                assert np.array_equal(view, array)
+                assert view.dtype == array.dtype
+
+    def test_roundtrip_through_attach(self):
+        arrays = _sample_arrays()
+        with ShmArena.publish(arrays) as arena:
+            attached = ShmArena.attach(arena.name)
+            try:
+                assert not attached.owner
+                for array, ref in zip(arrays, arena.refs):
+                    # Refs travel by value (pickle) to the attacher.
+                    wire_ref = pickle.loads(pickle.dumps(ref))
+                    assert np.array_equal(attached.resolve(wire_ref), array)
+            finally:
+                attached.close()
+
+    def test_views_are_readonly(self):
+        with ShmArena.publish([np.zeros(4)]) as arena:
+            view = arena.resolve(arena.refs[0])
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0] = 1.0
+
+    def test_offsets_are_cache_line_aligned(self):
+        with ShmArena.publish(_sample_arrays()) as arena:
+            for ref in arena.refs:
+                assert ref.offset % 64 == 0
+
+    def test_refs_pickle_small(self):
+        # The whole point: a multi-megabyte array ships as a descriptor
+        # of a few dozen bytes, not as its contents.
+        big = np.zeros((512, 512))
+        with ShmArena.publish([big]) as arena:
+            ref = arena.refs[0]
+            assert ref.nbytes == big.nbytes
+            assert len(pickle.dumps(ref)) < 200
+
+    def test_non_contiguous_input_is_packed_correctly(self):
+        base = np.arange(40, dtype=np.float64).reshape(8, 5)
+        strided = base[::2]  # non-contiguous view
+        with ShmArena.publish([strided]) as arena:
+            assert np.array_equal(arena.resolve(arena.refs[0]), strided)
+
+
+class TestRefValidation:
+    def test_resolve_rejects_foreign_segment(self):
+        with ShmArena.publish([np.zeros(3)]) as arena:
+            foreign = ShmArrayRef(
+                segment="repro-arena-nope", dtype="float64", shape=(3,), offset=0
+            )
+            with pytest.raises(ParameterError, match="names segment"):
+                arena.resolve(foreign)
+
+    def test_resolve_after_close_raises(self):
+        arena = ShmArena.publish([np.zeros(3)])
+        ref = arena.refs[0]
+        arena.close()
+        try:
+            with pytest.raises(ParameterError, match="closed"):
+                arena.resolve(ref)
+        finally:
+            arena.unlink()
+
+
+class TestLifecycle:
+    def test_double_close_and_double_unlink_are_noops(self):
+        arena = ShmArena.publish([np.zeros(5)])
+        arena.close()
+        arena.close()
+        arena.unlink()
+        arena.unlink()
+
+    def test_registry_tracks_owned_arenas(self):
+        arena = ShmArena.publish([np.zeros(2)])
+        try:
+            assert arena.name in active_arenas()
+        finally:
+            arena.close()
+            arena.unlink()
+        assert arena.name not in active_arenas()
+
+    def test_context_manager_unlinks(self):
+        with ShmArena.publish([np.zeros(2)]) as arena:
+            name = arena.name
+            assert name in active_arenas()
+        assert name not in active_arenas()
+
+    def test_attacher_close_does_not_unlink(self):
+        with ShmArena.publish([np.ones(4)]) as arena:
+            attached = ShmArena.attach(arena.name)
+            attached.close()
+            attached.unlink()  # non-owner: explicit no-op
+            assert attached.closed
+            # The segment must still be there for the owner.
+            again = ShmArena.attach(arena.name)
+            try:
+                assert np.array_equal(again.resolve(arena.refs[0]), np.ones(4))
+            finally:
+                again.close()

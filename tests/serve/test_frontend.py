@@ -289,8 +289,13 @@ class TestCacheIntegration:
             snapshot = frontend.metrics.snapshot()
         assert np.array_equal(first.ids, second.ids)
         assert snapshot.cache_hits == 1
+        # The first answer missed, computed, and stored; the second hit.
+        assert snapshot.cache_misses == 1
+        assert snapshot.cache_inserts == 1
         assert snapshot.batches == batches_after_first  # no new dispatch
         assert frontend.cache.hits == 1
+        assert frontend.cache.misses == 1
+        assert frontend.cache.inserts == 1
 
     def test_cache_clear_forces_recompute(self):
         server, user, database = _build_actors()
@@ -312,7 +317,10 @@ class TestCacheIntegration:
         with server.serving_frontend(batch_window_seconds=0.0) as frontend:
             frontend.answer(query, timeout=30)
             frontend.answer(query, timeout=30)
-            assert frontend.metrics.snapshot().cache_hits == 0
+            snapshot = frontend.metrics.snapshot()
+            assert snapshot.cache_hits == 0
+            # A capacity-0 cache drops every store: no inserts counted.
+            assert snapshot.cache_inserts == 0
 
     def test_inflight_answer_cannot_repopulate_a_cleared_cache(self):
         """cache_clear() while a query is in flight: its (pre-mutation)

@@ -1,0 +1,100 @@
+"""Property tests: process-executor answers are bit-identical to threads.
+
+The process data plane's contract is *exact* equivalence with the
+thread executor — same ids, same order, same instrumentation counters —
+for every filter backend, monolithic or sharded, full pipeline or
+filter-only, at any worker count.  The plane reconstructs backends from
+the same ``state_arrays()`` snapshots persistence round-trips through
+and replays the thread path's merge byte-for-byte, so any divergence is
+a bug, never noise.
+
+Examples are few (a plane spawn costs real process-startup time) but
+each draw covers the whole cross-product axis Hypothesis picked:
+database, shard layout, mode, k, and worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.backends import available_backends
+from repro.core.plane import process_plane_available
+from repro.core.roles import CloudServer, DataOwner, QueryUser
+from repro.core.shm import active_arenas
+from repro.hnsw.graph import HNSWParams
+
+from tests.strategies import ks, seeds
+
+pytestmark = pytest.mark.skipif(
+    not process_plane_available(),
+    reason="process data plane unavailable on this host",
+)
+
+_TINY_HNSW = HNSWParams(m=4, ef_construction=20)
+
+_SETTINGS = settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+shard_layouts = st.sampled_from((None, 2, 3))
+modes = st.sampled_from(("full", "filter_only"))
+worker_counts = st.integers(min_value=1, max_value=2)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+@_SETTINGS
+@given(
+    shards=shard_layouts,
+    mode=modes,
+    k=ks,
+    workers=worker_counts,
+    seed=seeds,
+)
+def test_process_executor_is_bit_identical_to_threads(
+    backend, shards, mode, k, workers, seed
+):
+    """Threads and processes agree exactly, and nothing leaks."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(30, 60))
+    dim = 8
+    database = np.random.default_rng(seed + 1).standard_normal((n, dim)) * 2.0
+    owner = DataOwner(
+        dim,
+        beta=0.4,
+        hnsw_params=_TINY_HNSW,
+        backend=backend,
+        shards=shards,
+        rng=np.random.default_rng(seed + 2),
+    )
+    index = owner.build_index(database)
+    user = QueryUser(owner.authorize_user(), rng=np.random.default_rng(seed + 3))
+    queries = np.random.default_rng(seed + 4).standard_normal((4, dim)) * 2.0
+    batch = user.encrypt_queries(queries, k, ratio_k=3, mode=mode)
+
+    thread_results = CloudServer(index).answer(batch)
+    process_server = CloudServer(index, executor="processes", workers=workers)
+    try:
+        plane = process_server.data_plane()
+        assert plane is not None and plane.workers == workers
+        process_results = process_server.answer(batch)
+    finally:
+        process_server.close()
+
+    for t, p in zip(thread_results, process_results):
+        assert np.array_equal(t.ids, p.ids), (
+            f"id divergence: backend={backend} shards={shards} mode={mode} "
+            f"k={k} workers={workers} seed={seed}"
+        )
+        assert (
+            t.filter_stats.distance_computations
+            == p.filter_stats.distance_computations
+        )
+        assert t.filter_stats.hops == p.filter_stats.hops
+        assert t.refine_comparisons == p.refine_comparisons
+        assert t.k_prime == p.k_prime
+    assert not active_arenas(), "plane close leaked a shared-memory arena"

@@ -44,6 +44,29 @@ class TestParser:
                  "--queries", "q.npy", "--refine-engine", "quantum"]
             )
 
+    def test_executor_choices(self):
+        # The knob rides query, serve, and listen alike.
+        for base in (
+            ["query", "--index", "i.npz", "--keys", "k.npz", "--queries", "q.npy"],
+            ["serve", "--index", "i.npz", "--keys", "k.npz", "--queries", "q.npy"],
+            ["listen", "--index", "i.npz"],
+        ):
+            args = build_parser().parse_args(
+                [*base, "--executor", "processes", "--workers", "4"]
+            )
+            assert args.executor == "processes"
+            assert args.workers == 4
+        # Default: server-side resolution (threads), pool-width workers.
+        args = build_parser().parse_args(
+            ["query", "--index", "i.npz", "--keys", "k.npz", "--queries", "q.npy"]
+        )
+        assert args.executor is None and args.workers is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--index", "i.npz", "--keys", "k.npz",
+                 "--queries", "q.npy", "--executor", "fibers"]
+            )
+
 
 class TestBuildAndQuery:
     def test_roundtrip(self, cli_workspace, capsys):
@@ -135,6 +158,41 @@ class TestBuildAndQuery:
         )
         for i, ids in enumerate(payload["ids"]):
             assert i in ids
+
+    def test_process_executor_matches_threads(self, cli_workspace, capsys):
+        from repro.core.plane import process_plane_available
+
+        if not process_plane_available():
+            pytest.skip("process data plane unavailable on this host")
+        root, database, queries = cli_workspace
+        index_path = str(root / "exec_index.npz")
+        keys_path = str(root / "exec_keys.npz")
+        assert main(
+            ["build", str(root / "db.npy"), "--index", index_path,
+             "--keys", keys_path, "--beta", "0.2", "--backend", "bruteforce",
+             "--shards", "2", "--seed", "1"]
+        ) == 0
+        capsys.readouterr()
+
+        # Same seed on both runs: identical ciphertexts, so the executor
+        # modes must agree bit-for-bit, counters included.
+        def run(extra):
+            assert main(
+                ["query", "--index", index_path, "--keys", keys_path,
+                 "--queries", str(root / "queries.fvecs"), "-k", "5",
+                 "--json", "--seed", "7", *extra]
+            ) == 0
+            return json.loads(capsys.readouterr().out)
+
+        threads = run([])
+        procs = run(["--executor", "processes", "--workers", "2"])
+        assert threads["executor"] == "threads"
+        assert procs["executor"] == "processes"
+        assert procs["ids"] == threads["ids"]
+        assert procs["refine_comparisons"] == threads["refine_comparisons"]
+        from repro.core.shm import active_arenas
+
+        assert not active_arenas()
 
     def test_build_json_report(self, cli_workspace, capsys):
         root, database, _ = cli_workspace
