@@ -39,9 +39,11 @@ A deployable front-end over the library for the three lifecycle stages:
   one-query-at-a-time path, and report the micro-batching speedup.
 * ``listen`` — the network server: load an index, wrap its serving
   frontend in the ``repro.net`` TCP server, and accept wire-protocol
-  clients until interrupted.  ``--tenant KEYID[:TOKEN[:QUOTA]]``
-  (repeatable) registers the admitted tenants; with no ``--tenant``
+  clients until interrupted.  ``--tenant KEYID[:TOKEN[:QUOTA[:RATE]]]``
+  (repeatable) registers the admitted tenants — in-flight quota plus an
+  optional token-bucket rate in queries/second; with no ``--tenant``
   the index's own DCE ``key_id`` is admitted without credentials.
+  ``--max-connections`` caps concurrent connections server-wide.
 * ``serve --connect HOST:PORT`` — remote mode: encrypt the query file
   locally (keys never leave this side), replay it through a
   :class:`~repro.net.client.NetClient` against a ``listen`` server,
@@ -63,6 +65,7 @@ import time
 import numpy as np
 
 from repro.core.backends import available_backends
+from repro.core.errors import ParameterError
 from repro.core.build import BUILD_MODES
 from repro.core.executor import EXECUTOR_MODES
 from repro.core.journal import IndexJournal
@@ -99,8 +102,8 @@ def _load_vectors(path: str) -> np.ndarray:
 
 
 def _parse_tenant_spec(spec: str) -> TenantConfig:
-    """Parse a ``--tenant KEYID[:TOKEN[:QUOTA]]`` specification."""
-    parts = spec.split(":", 2)
+    """Parse a ``--tenant KEYID[:TOKEN[:QUOTA[:RATE]]]`` specification."""
+    parts = spec.split(":", 3)
     try:
         key_id = int(parts[0])
     except ValueError:
@@ -116,10 +119,28 @@ def _parse_tenant_spec(spec: str) -> TenantConfig:
             raise SystemExit(
                 f"invalid --tenant spec {spec!r}: quota must be an integer"
             ) from None
+    rate = None
+    if len(parts) > 3 and parts[3]:
+        try:
+            rate = float(parts[3])
+        except ValueError:
+            raise SystemExit(
+                f"invalid --tenant spec {spec!r}: rate must be a number"
+            ) from None
     try:
-        return TenantConfig(key_id, token=token, max_in_flight=quota)
+        return TenantConfig(key_id, token=token, max_in_flight=quota, rate=rate)
     except Exception as exc:
         raise SystemExit(f"invalid --tenant spec {spec!r}: {exc}") from None
+
+
+def _validate_resilience_args(args: argparse.Namespace) -> None:
+    """Reject bad ``--deadline-ms`` / ``--retries`` before any work runs."""
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        raise ParameterError(
+            f"--deadline-ms must be a positive integer, got {args.deadline_ms}"
+        )
+    if args.retries < 0:
+        raise ParameterError(f"--retries must be >= 0, got {args.retries}")
 
 
 def _parse_hostport(spec: str) -> "tuple[str, int]":
@@ -249,6 +270,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a JSON report (ids, timings, byte accounting)",
     )
+    query.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        help="overall latency budget; retry attempts stop with "
+        "DeadlineExceededError once it is spent",
+    )
+    query.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-attempt transient data-plane failures this many times "
+        "(capped-exponential backoff between attempts)",
+    )
     _add_executor_args(query)
     query.add_argument("--seed", type=int, default=None)
 
@@ -376,6 +411,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit ids plus the full serving-metrics snapshot",
     )
+    serve.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        help="per-query latency budget carried on every submission; "
+        "expired queries are shed with DeadlineExceededError",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="client retry budget for transient refusals "
+        "(--connect mode only)",
+    )
     _add_executor_args(serve)
     serve.add_argument("--seed", type=int, default=None)
 
@@ -424,10 +473,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--tenant",
         action="append",
         default=[],
-        metavar="KEYID[:TOKEN[:QUOTA]]",
+        metavar="KEYID[:TOKEN[:QUOTA[:RATE]]]",
         help="admit a tenant: DCE key_id, optional auth token, optional "
-        "in-flight quota (repeatable; default: the index's own key_id, "
-        "no token, no quota)",
+        "in-flight quota, optional sustained rate in queries/second "
+        "(token-bucket; repeatable; default: the index's own key_id, "
+        "no token, no quota, no rate cap)",
+    )
+    listen.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        help="server-wide concurrent-connection cap; connections over "
+        "it are refused with a BUSY + retry-after error",
     )
     listen.add_argument(
         "--refine-engine",
@@ -527,6 +584,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             "--refine-engine has no effect with --filter-only "
             "(the refine phase is skipped entirely)"
         )
+    _validate_resilience_args(args)
     index = load_index(args.index)
     keys = load_keys(args.keys)
     user = QueryUser(keys, rng=np.random.default_rng(args.seed))
@@ -548,7 +606,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     encrypt_seconds = time.perf_counter() - encrypt_start
     try:
-        results = server.answer(batch)
+        results = _answer_with_retries(server, batch, args)
     finally:
         server.close()
 
@@ -587,6 +645,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
     for i, result in enumerate(results):
         print(f"query {i}: {' '.join(str(x) for x in result.ids.tolist())}")
     return 0
+
+
+def _answer_with_retries(server, batch, args: argparse.Namespace):
+    """``server.answer`` under the ``query`` command's retry policy.
+
+    Only :class:`~repro.core.plane.DataPlaneError` is transient here —
+    the self-healing plane respawns a dead worker, so a short backoff
+    and a re-run can genuinely succeed.  ``--deadline-ms`` bounds the
+    whole attempt sequence.
+    """
+    from repro.core.plane import DataPlaneError
+    from repro.serve.frontend import DeadlineExceededError
+
+    start = time.perf_counter()
+    attempt = 0
+    while True:
+        try:
+            return server.answer(batch)
+        except DataPlaneError:
+            if attempt >= args.retries:
+                raise
+            if args.deadline_ms is not None:
+                spent_ms = (time.perf_counter() - start) * 1000.0
+                if spent_ms >= args.deadline_ms:
+                    raise DeadlineExceededError(
+                        f"latency budget of {args.deadline_ms}ms spent "
+                        f"after {attempt + 1} attempt(s)"
+                    ) from None
+            time.sleep(min(1.0, 0.1 * (2.0 ** attempt)))
+            attempt += 1
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -747,9 +835,15 @@ def _cmd_compact(args: argparse.Namespace) -> int:
 def _serve_remote(args: argparse.Namespace, encrypted, key_id: int):
     """Replay through a ``listen`` server over the wire protocol."""
     host, port = _parse_hostport(args.connect)
-    with NetClient(host, port, key_id, token=args.token) as client:
-        results, elapsed = replay_open_loop(client, encrypted, args.rate, args.seed)
+    with NetClient(
+        host, port, key_id, token=args.token, retries=args.retries
+    ) as client:
+        results, elapsed = replay_open_loop(
+            client, encrypted, args.rate, args.seed,
+            deadline_ms=args.deadline_ms,
+        )
         tenancy = client.stats()
+        tenancy["client_retries"] = client.retry_count
     return results, elapsed, tenancy
 
 
@@ -779,7 +873,8 @@ def _serve_local(args: argparse.Namespace, encrypted, key_id: int, index):
         with frontend:
             channel = admission.channel(key_id)
             results, elapsed = replay_open_loop(
-                channel, encrypted, args.rate, args.seed
+                channel, encrypted, args.rate, args.seed,
+                deadline_ms=args.deadline_ms,
             )
             tenancy = admission.stats()
             tenancy["frontend"] = frontend.metrics.snapshot().as_dict()
@@ -792,6 +887,9 @@ def _serve_local(args: argparse.Namespace, encrypted, key_id: int, index):
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.connect is None and args.index is None:
         raise SystemExit("serve needs --index (local) or --connect (remote)")
+    _validate_resilience_args(args)
+    if args.connect is None and args.retries:
+        raise SystemExit("--retries applies to --connect mode only")
     keys = load_keys(args.keys)
     user = QueryUser(keys, rng=np.random.default_rng(args.seed))
     queries = _load_vectors(args.queries)
@@ -820,6 +918,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "max_batch_size": args.max_batch,
             "batch_window_seconds": args.batch_window,
             "rate": args.rate,
+            "deadline_ms": args.deadline_ms,
+            "client_retries": tenancy.get("client_retries", 0),
             "served_qps": served_qps,
             "ids": [result.ids.tolist() for result in results],
             "metrics": snapshot,
@@ -877,6 +977,7 @@ def _cmd_listen(args: argparse.Namespace) -> int:
             port=args.port,
             max_body_bytes=args.max_body_bytes,
             frame_timeout=args.frame_timeout,
+            max_connections=args.max_connections,
         )
         host, port = net.address
         print(

@@ -33,12 +33,18 @@ thread path's merge — so ``executor=processes`` answers are
 bit-identical to ``executor=threads`` at any worker count
 (``tests/strategies/test_executor_properties.py``).
 
-Fault containment: a worker that dies mid-batch surfaces a
-:class:`DataPlaneError` on exactly the queries that depended on it
-(all of them when sharded — every query needs every shard; only the
-dead worker's stripe when monolithic) and marks the plane *broken*;
-the owning :class:`~repro.core.roles.CloudServer` rebuilds a fresh
-plane for the next batch.  The plane also snapshots an index
+Fault containment and self-healing: a worker that dies mid-batch
+surfaces a :class:`DataPlaneError` on exactly the queries that
+depended on it (all of them when sharded — every query needs every
+shard; only the dead worker's stripe when monolithic).  The plane then
+**restarts the dead worker in place** with capped exponential backoff
+instead of declaring itself broken: the worker's specs still point at
+the published arena, so a respawn re-attaches zero-copy and the next
+batch after a successful restart runs at full width.  While a restart
+is pending, monolithic stripes route around the dead worker (degraded
+capacity, full availability) and sharded batches fail typed — never a
+hang, never a whole-fleet rebuild.  :meth:`health` exposes the
+per-worker restart state.  The plane also snapshots an index
 fingerprint (row count, tombstones, retired ids) so maintenance
 automatically invalidates it.
 
@@ -53,6 +59,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+import threading
 import time
 import weakref
 from dataclasses import dataclass
@@ -81,14 +88,20 @@ _ABORT_EXIT_CODE = 17
 #: Parent-side poll interval while waiting on a worker reply (seconds).
 _POLL_SECONDS = 0.05
 
+#: Default worker-restart backoff: first respawn after base seconds,
+#: doubling per consecutive failure up to the cap.
+DEFAULT_RESTART_BACKOFF_BASE = 0.1
+DEFAULT_RESTART_BACKOFF_CAP = 5.0
+
 
 class DataPlaneError(PPANNSError):
     """A process-plane worker failed or died while holding our work.
 
     Raised per affected query (the settled batch path delivers it to
-    each poisoned query's future) or from plane construction.  A
-    transport-level failure also marks the plane broken, which makes
-    the owning server rebuild it before the next batch.
+    each poisoned query's future) or from plane construction.  A dead
+    worker is restarted in place with capped backoff (see
+    :meth:`ProcessDataPlane.health`); only queries that depended on it
+    while it was down carry this error.
     """
 
 
@@ -297,14 +310,17 @@ def _worker_main(conn, init: dict) -> None:
 
 
 class _Worker:
-    """Parent-side handle on one spawned worker."""
+    """Parent-side handle on one spawned worker (plus restart state)."""
 
-    __slots__ = ("process", "conn", "specs")
+    __slots__ = ("process", "conn", "specs", "dead", "restarts", "next_restart_at")
 
     def __init__(self, process, conn, specs: "list[_BackendSpec]") -> None:
         self.process = process
         self.conn = conn
         self.specs = specs
+        self.dead = False  #: death observed; a respawn is pending
+        self.restarts = 0  #: successful in-place respawns so far
+        self.next_restart_at: "float | None" = None  #: monotonic respawn time
 
 
 class ProcessDataPlane:
@@ -325,11 +341,32 @@ class ProcessDataPlane:
         Worker-process count (``None`` = the executor's
         :func:`~repro.core.executor.pool_width`, which honors
         ``REPRO_WORKERS``).
+    restart_backoff_base / restart_backoff_cap:
+        The self-healing schedule: a worker observed dead is respawned
+        in place no sooner than ``base * 2**consecutive_failures``
+        seconds after detection, capped at ``cap`` — so a worker that
+        keeps crashing (poisoned state, OOM loop) cannot turn the plane
+        into a fork bomb.
     """
 
-    def __init__(self, index, workers: "int | None" = None) -> None:
+    def __init__(
+        self,
+        index,
+        workers: "int | None" = None,
+        restart_backoff_base: float = DEFAULT_RESTART_BACKOFF_BASE,
+        restart_backoff_cap: float = DEFAULT_RESTART_BACKOFF_CAP,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
+        if restart_backoff_base <= 0 or restart_backoff_cap < restart_backoff_base:
+            raise ParameterError(
+                "restart backoff needs 0 < base <= cap, got "
+                f"{restart_backoff_base} / {restart_backoff_cap}"
+            )
+        self._restart_base = float(restart_backoff_base)
+        self._restart_cap = float(restart_backoff_cap)
+        self._restart_failures: "dict[int, int]" = {}
+        self._heal_lock = threading.RLock()
         if not process_plane_available():
             raise DataPlaneError(
                 "process data plane unavailable: shared memory or the spawn "
@@ -393,11 +430,12 @@ class ProcessDataPlane:
         for spec in specs:
             if spec.kind is not None:
                 spec.vectors_ref = next(ref_iter)
-        dce_ref = self._arena.refs[-1]
+        self._dce_ref = self._arena.refs[-1]
+        self._dce_key_id = dce.key_id
+        self._ctx = multiprocessing.get_context("spawn")
 
         self._workers: "list[_Worker]" = []
         try:
-            ctx = multiprocessing.get_context("spawn")
             assigned: "list[list[_BackendSpec]]" = [[] for _ in range(width)]
             if self._sharded:
                 for spec in specs:
@@ -406,19 +444,7 @@ class ProcessDataPlane:
                 for worker_specs in assigned:
                     worker_specs.append(specs[0])
             for worker_specs in assigned:
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                init = {
-                    "arena": self._arena.name,
-                    "specs": worker_specs,
-                    "dce_ref": dce_ref,
-                    "dce_key_id": dce.key_id,
-                }
-                process = ctx.Process(
-                    target=_worker_main, args=(child_conn, init), daemon=True
-                )
-                process.start()
-                child_conn.close()
-                self._workers.append(_Worker(process, parent_conn, worker_specs))
+                self._workers.append(self._spawn(worker_specs))
             # One handshake per worker: backends rebuilt, arena attached.
             # Workers start concurrently; gathering after all spawns
             # overlaps their import + rebuild time.
@@ -431,6 +457,22 @@ class ProcessDataPlane:
         except BaseException:
             self.close()
             raise
+
+    def _spawn(self, worker_specs: "list[_BackendSpec]") -> _Worker:
+        """Start one worker process over the published arena."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        init = {
+            "arena": self._arena.name,
+            "specs": worker_specs,
+            "dce_ref": self._dce_ref,
+            "dce_key_id": self._dce_key_id,
+        }
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn, init), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn, worker_specs)
 
     # -- accessors ---------------------------------------------------------------
 
@@ -451,7 +493,11 @@ class ProcessDataPlane:
 
     @property
     def broken(self) -> bool:
-        """Whether a worker died mid-batch (plane needs a rebuild)."""
+        """Whether the plane is unrecoverable (construction-time failure).
+
+        Worker deaths no longer break the plane — they mark the worker
+        dead and schedule an in-place respawn (see :meth:`health`).
+        """
         return self._broken
 
     @property
@@ -484,10 +530,104 @@ class ProcessDataPlane:
         """
         if self._closed:
             raise DataPlaneError("data plane is closed")
+        self._ensure_workers()
         outcome = self._exchange([worker_index], [("ping",)])[worker_index]
         if isinstance(outcome, Exception):
             raise outcome
         return outcome
+
+    def health(self) -> dict:
+        """A point-in-time self-healing snapshot (JSON-ready).
+
+        One entry per worker: pid, liveness, observed-dead flag,
+        successful in-place restarts, exit code, and the seconds until
+        the next respawn attempt (``None`` when not pending).
+        """
+        now = time.monotonic()
+        workers = []
+        with self._heal_lock:
+            for index, worker in enumerate(self._workers):
+                workers.append(
+                    {
+                        "worker": index,
+                        "pid": worker.process.pid,
+                        "alive": worker.process.is_alive(),
+                        "dead": worker.dead,
+                        "restarts": worker.restarts,
+                        "exitcode": worker.process.exitcode,
+                        "restart_in_seconds": (
+                            None
+                            if worker.next_restart_at is None
+                            else max(0.0, worker.next_restart_at - now)
+                        ),
+                    }
+                )
+        return {
+            "closed": self._closed,
+            "broken": self._broken,
+            "sharded": self._sharded,
+            "workers": workers,
+        }
+
+    # -- self-healing ------------------------------------------------------------
+
+    def _mark_dead(self, worker_index: int, reschedule: bool = False) -> None:
+        """Record a worker death and schedule its in-place respawn.
+
+        The respawn delay doubles with consecutive *failed* restarts
+        (``restart_backoff_base`` up to ``restart_backoff_cap``), so a
+        crash-looping worker backs off instead of fork-bombing.
+        """
+        with self._heal_lock:
+            worker = self._workers[worker_index]
+            if worker.dead and not reschedule:
+                return
+            worker.dead = True
+            failures = self._restart_failures.get(worker_index, 0)
+            delay = min(self._restart_cap, self._restart_base * (2.0 ** failures))
+            worker.next_restart_at = time.monotonic() + delay
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+
+    def _ensure_workers(self) -> None:
+        """Respawn every dead worker whose backoff window has elapsed.
+
+        Runs at batch entry (filter / refine / ping): the plane heals
+        lazily, on the traffic that needs it, and a restart that fails
+        re-enters the backoff schedule with a doubled delay.
+        """
+        with self._heal_lock:
+            now = time.monotonic()
+            for worker_index, worker in enumerate(self._workers):
+                if (
+                    not worker.dead
+                    or worker.next_restart_at is None
+                    or now < worker.next_restart_at
+                ):
+                    continue
+                replacement = None
+                try:
+                    replacement = self._spawn(worker.specs)
+                    replacement.restarts = worker.restarts + 1
+                    self._workers[worker_index] = replacement
+                    reply = self._recv(worker_index)
+                    ok = reply[0] == "ok"
+                except (DataPlaneError, OSError):
+                    ok = False
+                if ok:
+                    replacement.dead = False
+                    replacement.next_restart_at = None
+                    self._restart_failures.pop(worker_index, None)
+                else:
+                    self._restart_failures[worker_index] = (
+                        self._restart_failures.get(worker_index, 0) + 1
+                    )
+                    if replacement is not None and replacement.process.is_alive():
+                        replacement.process.terminate()
+                        replacement.process.join(timeout=5.0)
+                    self._mark_dead(worker_index, reschedule=True)
 
     # -- the batch data path -----------------------------------------------------
 
@@ -504,6 +644,7 @@ class ProcessDataPlane:
         """
         if self._closed:
             raise DataPlaneError("data plane is closed")
+        self._ensure_workers()
         count = int(sap_rows.shape[0])
         if count == 0:
             return []
@@ -523,8 +664,8 @@ class ProcessDataPlane:
         )
         if failure is not None:
             # Every query needs every shard, so one dead worker poisons
-            # the whole block — but only this block; the server rebuilds
-            # the plane for the next one.
+            # the whole block — but only this block; the worker is
+            # respawned in place before a later batch.
             return [failure] * count
         per_shard: "dict[int, list]" = {}
         for payload in outcomes.values():
@@ -569,10 +710,18 @@ class ProcessDataPlane:
         return results
 
     def _filter_striped(self, sap_rows, count, k_prime, ef_search) -> list:
-        stripe_count = min(len(self._workers), count)
+        alive = [
+            index for index, worker in enumerate(self._workers) if not worker.dead
+        ]
+        if not alive:
+            error = DataPlaneError(
+                "all data-plane workers are down (restarts pending)"
+            )
+            return [error] * count
+        stripe_count = min(len(alive), count)
         stripes = np.array_split(np.arange(count), stripe_count)
         targets, messages, stripe_of = [], [], {}
-        for worker_index, stripe in enumerate(stripes):
+        for worker_index, stripe in zip(alive, stripes):
             if stripe.size == 0:
                 continue
             targets.append(worker_index)
@@ -606,12 +755,20 @@ class ProcessDataPlane:
         """
         if self._closed:
             raise DataPlaneError("data plane is closed")
+        self._ensure_workers()
         if not items:
             return []
-        width = len(self._workers)
+        alive = [
+            index for index, worker in enumerate(self._workers) if not worker.dead
+        ]
+        if not alive:
+            error = DataPlaneError(
+                "all data-plane workers are down (restarts pending)"
+            )
+            return [error] * len(items)
         assigned: "dict[int, list]" = {}
         for slot, (trapdoor_vector, candidate_ids, k) in enumerate(items):
-            assigned.setdefault(slot % width, []).append(
+            assigned.setdefault(alive[slot % len(alive)], []).append(
                 (slot, trapdoor_vector, candidate_ids, k)
             )
         targets = sorted(assigned)
@@ -656,11 +813,18 @@ class ProcessDataPlane:
         outcomes: dict = {}
         pending = []
         for worker_index, message in zip(targets, messages):
+            worker = self._workers[worker_index]
+            if worker.dead:
+                outcomes[worker_index] = DataPlaneError(
+                    f"worker {worker_index} is down; restart pending "
+                    "(see health())"
+                )
+                continue
             try:
-                self._workers[worker_index].conn.send(message)
+                worker.conn.send(message)
                 pending.append(worker_index)
             except Exception as exc:
-                self._broken = True
+                self._mark_dead(worker_index)
                 outcomes[worker_index] = DataPlaneError(
                     f"worker {worker_index} is unreachable: {exc}"
                 )
@@ -689,14 +853,14 @@ class ProcessDataPlane:
                     # empty pipe is a crash.
                     if worker.conn.poll(0):
                         break
-                    self._broken = True
+                    self._mark_dead(worker_index)
                     raise DataPlaneError(
                         f"worker {worker_index} (pid {worker.process.pid}) died "
                         f"mid-batch (exit code {worker.process.exitcode})"
                     )
             return worker.conn.recv()
         except (EOFError, BrokenPipeError, OSError) as exc:
-            self._broken = True
+            self._mark_dead(worker_index)
             raise DataPlaneError(
                 f"worker {worker_index} (pid {worker.process.pid}) died "
                 f"mid-batch: {type(exc).__name__}"
@@ -708,8 +872,9 @@ class ProcessDataPlane:
         """Make one worker exit without replying (crash-path testing).
 
         The next batch that depends on the worker settles its queries
-        with :class:`DataPlaneError` and marks the plane broken; the
-        owning server then rebuilds.  Blocks until the process is gone.
+        with :class:`DataPlaneError`; the plane then respawns the worker
+        in place after its restart backoff.  Blocks until the process is
+        gone.
         """
         worker = self._workers[worker_index]
         try:

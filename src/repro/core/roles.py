@@ -19,6 +19,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from dataclasses import dataclass
@@ -431,6 +432,7 @@ class CloudServer:
         self._executor = resolve_executor(executor)
         self._workers = workers
         self._plane = None
+        self._plane_lock = threading.Lock()
         self._plane_warned = False
 
     @property
@@ -462,37 +464,54 @@ class CloudServer:
         """The live process data plane, or ``None`` under threads.
 
         Built lazily on first use and rebuilt whenever the cached plane
-        stopped matching the index (maintenance bumps the fingerprint, a
-        worker crash marks it broken).  When the platform can't run the
-        plane at all, warns once and permanently degrades to threads.
+        stopped matching the index (maintenance bumps the fingerprint).
+        Worker crashes do *not* force a rebuild: the plane respawns dead
+        workers in place (see :meth:`ProcessDataPlane.health`).  When
+        the platform can't run the plane at all, warns once and
+        permanently degrades to threads.
         """
         if self._executor != "processes":
             return None
-        if self._plane is not None and self._plane.matches(self._index):
-            return self._plane
+        # Double-checked: concurrent first callers (a serving scheduler
+        # plus a direct answer(), say) must not each spawn a plane —
+        # the loser's workers and shared memory would leak unclosed.
+        plane = self._plane
+        if plane is not None and plane.matches(self._index):
+            return plane
         from repro.core.plane import DataPlaneError, ProcessDataPlane
 
-        self.invalidate_data_plane()
-        try:
-            self._plane = ProcessDataPlane(self._index, workers=self._workers)
-        except DataPlaneError as exc:
-            if not self._plane_warned:
-                self._plane_warned = True
-                warnings.warn(
-                    f"process data plane unavailable ({exc}); "
-                    "degrading to thread execution",
-                    RuntimeWarning,
-                    stacklevel=2,
+        with self._plane_lock:
+            if self._executor != "processes":
+                return None
+            plane = self._plane
+            if plane is not None and plane.matches(self._index):
+                return plane
+            if plane is not None:
+                plane.close()
+                self._plane = None
+            try:
+                self._plane = ProcessDataPlane(
+                    self._index, workers=self._workers
                 )
-            self._executor = "threads"
-            return None
-        return self._plane
+            except DataPlaneError as exc:
+                if not self._plane_warned:
+                    self._plane_warned = True
+                    warnings.warn(
+                        f"process data plane unavailable ({exc}); "
+                        "degrading to thread execution",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                self._executor = "threads"
+                return None
+            return self._plane
 
     def invalidate_data_plane(self) -> None:
         """Tear down the cached plane (maintenance / index swap hook)."""
-        if self._plane is not None:
-            self._plane.close()
-            self._plane = None
+        with self._plane_lock:
+            if self._plane is not None:
+                self._plane.close()
+                self._plane = None
 
     def close(self) -> None:
         """Release server-held process-plane resources (idempotent)."""

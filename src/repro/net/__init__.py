@@ -15,23 +15,31 @@ diagram in ``docs/ARCHITECTURE.md`` — is::
   serving ergonomics over the socket.
 """
 
-from repro.net.client import ConnectionClosedError, NetClient, RemoteError
+from repro.net.client import (
+    ConnectionClosedError,
+    NetClient,
+    RemoteError,
+    RequestTimeoutError,
+)
 from repro.net.codec import (
     DEFAULT_MAX_BODY_BYTES,
+    PROTOCOL_VERSION_MAX,
     ErrorCode,
     FrameTooLargeError,
     MessageType,
     TruncatedFrameError,
     WireFormatError,
 )
-from repro.net.server import NetServer
+from repro.net.server import ConnectionLimitError, NetServer
 from repro.net.tenancy import (
     AuthError,
     QuotaExceededError,
+    RateLimitError,
     TenantAdmission,
     TenantChannel,
     TenantConfig,
     TenantRegistry,
+    TokenBucket,
 )
 
 __all__ = [
@@ -39,14 +47,19 @@ __all__ = [
     "NetServer",
     "RemoteError",
     "ConnectionClosedError",
+    "RequestTimeoutError",
+    "ConnectionLimitError",
     "MessageType",
     "ErrorCode",
     "WireFormatError",
     "TruncatedFrameError",
     "FrameTooLargeError",
     "DEFAULT_MAX_BODY_BYTES",
+    "PROTOCOL_VERSION_MAX",
     "AuthError",
     "QuotaExceededError",
+    "RateLimitError",
+    "TokenBucket",
     "TenantConfig",
     "TenantRegistry",
     "TenantAdmission",

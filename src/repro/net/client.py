@@ -16,14 +16,43 @@ same typed exceptions the in-process path raises — a remote
 :class:`~repro.net.tenancy.QuotaExceededError` is
 ``QuotaExceededError`` here too — so calling code cannot tell (and
 need not care) which side of the socket refused it.
+
+Resilience (the blocking APIs only — futures from ``submit`` settle
+exactly once and are never replayed):
+
+* **Version negotiation.**  The HELLO_OK body advertises the server's
+  highest protocol version; the client speaks
+  ``min(its max, server max)``.  Under v2 every query rides a QUERY_V2
+  frame that can carry ``deadline_ms``, and ERROR replies carry
+  retry-after hints.  A v1 server gets plain QUERY frames — the v1
+  stream, byte for byte.
+* **Retries with capped exponential backoff + full jitter.**  With
+  ``retries=N``, the blocking calls retry transient refusals
+  (connection loss, BUSY, QUOTA, caller timeouts) up to N times,
+  sleeping ``uniform(0, min(cap, base * 2^attempt))`` between attempts
+  and honoring any server retry-after hint.  The clock and RNG are
+  injectable, so tests drive the schedule deterministically.
+* **Safe re-execution.**  A retried query re-sends byte-identical
+  ciphertexts; the server's result cache keys on exactly those bytes
+  (:func:`repro.serve.cache.query_digest`), so a retry whose first
+  attempt actually executed dedups server-side instead of
+  double-running.
+* **Fail-fast caller timeouts.**  ``answer(timeout=...)`` expiry aborts
+  the connection (failing every in-flight future typed) and raises
+  :class:`RequestTimeoutError` — the FIFO reply stream is never left
+  desynced behind a stalled request.  The next blocking call (or retry
+  attempt) reconnects automatically.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
+import time
 from collections import deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from repro.core.errors import KeyMismatchError, ParameterError, PPANNSError
 from repro.core.protocol import (
@@ -35,9 +64,15 @@ from repro.core.protocol import (
 from repro.net import codec
 from repro.net.codec import ErrorCode, MessageType, WireFormatError
 from repro.net.tenancy import AuthError, QuotaExceededError
-from repro.serve.frontend import QueueFullError
+from repro.serve.frontend import DeadlineExceededError, QueueFullError
 
-__all__ = ["NetClient", "RemoteError", "ConnectionClosedError", "exception_for"]
+__all__ = [
+    "NetClient",
+    "RemoteError",
+    "ConnectionClosedError",
+    "RequestTimeoutError",
+    "exception_for",
+]
 
 
 class RemoteError(PPANNSError):
@@ -46,6 +81,17 @@ class RemoteError(PPANNSError):
 
 class ConnectionClosedError(RemoteError):
     """The connection dropped with requests still awaiting replies."""
+
+
+class RequestTimeoutError(RemoteError):
+    """A caller-side timeout expired waiting for a reply.
+
+    Raised by the blocking APIs instead of a bare
+    ``concurrent.futures.TimeoutError``.  The connection is aborted
+    first — every in-flight future fails typed and the FIFO reply
+    stream cannot desync behind the stalled request; a retrying client
+    reconnects on the next attempt.
+    """
 
 
 #: ERROR-frame code → the local exception type it round-trips to.
@@ -57,12 +103,29 @@ _ERROR_TYPES = {
     ErrorCode.PARAMETER: ParameterError,
     ErrorCode.KEY: KeyMismatchError,
     ErrorCode.INTERNAL: RemoteError,
+    ErrorCode.DEADLINE: DeadlineExceededError,
 }
 
+#: Transient refusals the blocking APIs replay under ``retries=N``.
+#: QUOTA/BUSY clear as completions drain, connection loss and caller
+#: timeouts clear on reconnect; everything else (AUTH, KEY, FORMAT,
+#: PARAMETER, DEADLINE) would fail identically and is raised at once.
+_RETRYABLE = (
+    ConnectionClosedError,
+    RequestTimeoutError,
+    QueueFullError,
+    QuotaExceededError,
+)
 
-def exception_for(code: ErrorCode, message: str) -> PPANNSError:
+
+def exception_for(
+    code: ErrorCode, message: str, retry_after: float | None = None
+) -> PPANNSError:
     """Rehydrate an ERROR frame into the matching typed exception."""
-    return _ERROR_TYPES.get(code, RemoteError)(message)
+    exc = _ERROR_TYPES.get(code, RemoteError)(message)
+    if retry_after is not None:
+        exc.retry_after = retry_after
+    return exc
 
 
 class NetClient:
@@ -80,6 +143,20 @@ class NetClient:
     timeout:
         Seconds allowed for connect + handshake, and the per-frame
         read deadline on replies.
+    retries:
+        How many times the *blocking* APIs replay a transient refusal
+        (see the module docstring) before raising it; 0 disables.
+    backoff_base / backoff_cap:
+        The capped-exponential schedule: attempt ``i`` sleeps a
+        full-jitter draw from ``[0, min(cap, base * 2**i)]`` seconds.
+    rng / sleep:
+        The jitter source (``random.Random``-like) and sleep function —
+        injectable so retry tests are deterministic and instant.
+    on_retry:
+        Optional zero-argument hook invoked once per performed retry —
+        the CLI wires it to
+        :meth:`~repro.serve.metrics.ServerMetrics.record_retry` so
+        client-visible retries reach the metrics view.
 
     Construction performs the HELLO handshake; an
     :class:`~repro.net.tenancy.AuthError` raised here is the server's
@@ -94,20 +171,55 @@ class NetClient:
         key_id: int,
         token: str | None = None,
         timeout: float = 30.0,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        rng=None,
+        sleep=time.sleep,
+        on_retry=None,
     ) -> None:
+        if retries < 0:
+            raise ParameterError(f"retries must be >= 0, got {retries}")
+        if backoff_base <= 0 or backoff_cap <= 0:
+            raise ParameterError(
+                "backoff_base and backoff_cap must be > 0, got "
+                f"{backoff_base} / {backoff_cap}"
+            )
         self.key_id = int(key_id)
+        self._host = host
+        self._port = port
+        self._token = token
         self._timeout = timeout
+        self._retries = int(retries)
+        self._backoff_base = float(backoff_base)
+        self._backoff_cap = float(backoff_cap)
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self._on_retry = on_retry
+        self.retry_count = 0
         self._send_lock = threading.Lock()
-        self._pending: "deque[tuple[str, object]]" = deque()
+        self._connect_lock = threading.Lock()
+        self._pending: "deque[tuple[str, object, bool]]" = deque()
         self._closed = False
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock: socket.socket | None = None
+        self._reader: threading.Thread | None = None
+        self.protocol_version = 1
+        self._connect()
+
+    # -- connection lifecycle ----------------------------------------------------
+
+    def _connect(self) -> None:
+        """Dial, handshake, negotiate, and start this socket's reader."""
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
         try:
             codec.send_frame(
-                self._sock,
+                sock,
                 MessageType.HELLO,
-                codec.encode_hello(self.key_id, token),
+                codec.encode_hello(self.key_id, self._token),
             )
-            reply = codec.read_frame_from(self._sock, timeout=timeout)
+            reply = codec.read_frame_from(sock, timeout=self._timeout)
             if reply is None:
                 raise ConnectionClosedError(
                     "server closed the connection during the handshake"
@@ -119,39 +231,99 @@ class NetClient:
                 raise WireFormatError(
                     f"expected HELLO_OK, server sent {msg_type.name}"
                 )
+            # Negotiation: the HELLO_OK body advertises the server's
+            # max version (empty body = a v1-era server).  Both sides
+            # then speak the minimum.
+            self.protocol_version = min(
+                codec.PROTOCOL_VERSION_MAX, codec.decode_hello_ok(body)
+            )
         except BaseException:
-            self._sock.close()
+            sock.close()
             raise
+        self._sock = sock
         self._reader = threading.Thread(
-            target=self._reader_loop, name="repro-net-client-reader", daemon=True
+            target=self._reader_loop,
+            args=(sock,),
+            name="repro-net-client-reader",
+            daemon=True,
         )
         self._reader.start()
 
+    def _ensure_connected(self) -> None:
+        """Reconnect if a previous abort dropped the socket."""
+        if self._closed:
+            raise ConnectionClosedError("client is closed")
+        with self._connect_lock:
+            if self._closed:
+                raise ConnectionClosedError("client is closed")
+            if self._sock is None:
+                self._connect()
+
+    def _abort_connection(self) -> None:
+        """Drop the socket now; every in-flight future fails typed.
+
+        The fail-fast half of the caller-timeout contract: a stalled
+        request must not leave the FIFO stream waiting behind it, so
+        the whole connection goes — the reader unblocks, pending
+        futures settle with :class:`ConnectionClosedError`, and the
+        next blocking call reconnects.
+        """
+        with self._connect_lock:
+            sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+        self._fail_pending(
+            ConnectionClosedError("connection aborted with requests in flight")
+        )
+
     # -- reply side --------------------------------------------------------------
 
-    def _reader_loop(self) -> None:
+    def _reader_loop(self, sock: socket.socket) -> None:
         """Match reply frames to pending requests in FIFO order."""
         try:
             while True:
-                frame = codec.read_frame_from(self._sock, timeout=None)
+                frame = codec.read_frame_from(sock, timeout=None)
                 if frame is None:
                     break
                 self._dispatch(*frame)
         except (OSError, WireFormatError):
             pass
+        with self._connect_lock:
+            if sock is not self._sock:
+                # A reconnect superseded this socket; whoever aborted it
+                # already settled the futures that were riding it.
+                return
+            # The peer closed first: clear the slot so the next blocking
+            # call (or retry attempt) reconnects instead of writing into
+            # a dead socket.
+            self._sock = None
+        try:
+            sock.close()
+        except OSError:
+            pass
         self._fail_pending(
             ConnectionClosedError("connection closed with requests in flight")
         )
 
-    def _next_pending(self) -> "tuple[str, object] | None":
+    def _next_pending(self) -> "tuple[str, object, bool] | None":
         with self._send_lock:
             return self._pending.popleft() if self._pending else None
+
+    def _decode_error(self, body: bytes, v2: bool) -> PPANNSError:
+        """Decode an ERROR body in the layout its request negotiated."""
+        if v2:
+            return exception_for(*codec.decode_error_v2(body))
+        return exception_for(*codec.decode_error(body))
 
     def _dispatch(self, msg_type: MessageType, body: bytes) -> None:
         entry = self._next_pending()
         if entry is None:
             return  # unsolicited frame; nothing is waiting on it
-        kind, target = entry
+        kind, target, v2 = entry
         if msg_type is MessageType.RESULT and kind == "query":
             try:
                 batch = codec.decode_result_batch(body)
@@ -171,7 +343,7 @@ class NetClient:
                 if not future.cancelled():
                     future.set_result(result)
         elif msg_type is MessageType.ERROR:
-            error = exception_for(*codec.decode_error(body))
+            error = self._decode_error(body, v2)
             if kind == "query":
                 self._settle_queries(target, error=error)
             else:
@@ -204,7 +376,7 @@ class NetClient:
             entry = self._next_pending()
             if entry is None:
                 return
-            kind, target = entry
+            kind, target, _ = entry
             if kind == "query":
                 self._settle_queries(target, error)
             elif not target.done():
@@ -212,15 +384,28 @@ class NetClient:
 
     # -- request side ------------------------------------------------------------
 
-    def _send_request(self, kind: str, target, msg_type: MessageType, body: bytes):
+    def _send_request(
+        self,
+        kind: str,
+        target,
+        msg_type: MessageType,
+        body: bytes,
+        v2: bool = False,
+    ):
         with self._send_lock:
             if self._closed:
                 raise ConnectionClosedError("client is closed")
+            sock = self._sock
+            if sock is None:
+                raise ConnectionClosedError(
+                    "connection is down (aborted by a timeout or fault); "
+                    "a blocking call will reconnect"
+                )
             # Registered before the bytes leave: the reader can never
             # see a reply with no pending entry to match it.
-            self._pending.append((kind, target))
+            self._pending.append((kind, target, v2))
             try:
-                codec.send_frame(self._sock, msg_type, body)
+                codec.send_frame(sock, msg_type, body)
             except OSError as exc:
                 self._pending.pop()
                 raise ConnectionClosedError(
@@ -229,44 +414,157 @@ class NetClient:
         return target
 
     def submit_batch(
-        self, batch: EncryptedQueryBatch
+        self, batch: EncryptedQueryBatch, deadline_ms: int | None = None
     ) -> "list[Future[SearchResult]]":
-        """Send one batch message; returns a future per query, in order."""
-        futures: "list[Future[SearchResult]]" = [Future() for _ in range(len(batch))]
-        self._send_request(
-            "query", futures, MessageType.QUERY, codec.encode_query_batch(batch)
-        )
+        """Send one batch message; returns a future per query, in order.
+
+        ``deadline_ms`` is the whole batch's latency budget, carried on
+        the QUERY_V2 envelope; it requires a server that negotiated
+        protocol v2 (:class:`~repro.core.errors.ParameterError`
+        otherwise — a v1 server would silently ignore the budget, which
+        is worse than refusing).
+        """
+        self._ensure_connected()
+        if deadline_ms is not None:
+            if deadline_ms <= 0:
+                raise ParameterError(
+                    f"deadline_ms must be a positive integer, got {deadline_ms}"
+                )
+            if self.protocol_version < 2:
+                raise ParameterError(
+                    "deadline_ms needs protocol v2, but the server "
+                    "negotiated v1"
+                )
+        v2 = self.protocol_version >= 2
+        if v2:
+            msg_type = MessageType.QUERY_V2
+            body = codec.encode_query_batch_v2(batch, deadline_ms)
+        else:
+            msg_type = MessageType.QUERY
+            body = codec.encode_query_batch(batch)
+        futures: "list[Future[SearchResult]]" = [
+            Future() for _ in range(len(batch))
+        ]
+        self._send_request("query", futures, msg_type, body, v2)
         return futures
 
-    def submit(self, query: EncryptedQuery) -> "Future[SearchResult]":
+    def submit(
+        self, query: EncryptedQuery, deadline_ms: int | None = None
+    ) -> "Future[SearchResult]":
         """Admit one query (frontend parity); returns its future."""
-        return self.submit_batch(EncryptedQueryBatch.from_queries([query]))[0]
+        return self.submit_batch(
+            EncryptedQueryBatch.from_queries([query]), deadline_ms=deadline_ms
+        )[0]
 
-    def answer(self, query: EncryptedQuery, timeout: float | None = None):
+    # -- retry engine ------------------------------------------------------------
+
+    def _backoff_delay(self, attempt: int, hint: float | None) -> float:
+        """Full-jitter draw, floored by the server's retry-after hint."""
+        cap = min(self._backoff_cap, self._backoff_base * (2.0 ** attempt))
+        delay = self._rng.uniform(0.0, cap)
+        if hint is not None:
+            delay = max(delay, float(hint))
+        return delay
+
+    def _with_retries(self, op):
+        """Run one blocking operation under the retry policy.
+
+        Only :data:`_RETRYABLE` refusals are replayed, up to the
+        configured count.  Re-sending is safe by construction: the
+        retried ciphertext bytes are identical, so the server's result
+        cache digest matches and an attempt that actually executed is
+        answered from cache rather than run twice.
+        """
+        attempt = 0
+        while True:
+            try:
+                self._ensure_connected()
+                return op()
+            except _RETRYABLE as exc:
+                if attempt >= self._retries or self._closed:
+                    raise
+                self.retry_count += 1
+                if self._on_retry is not None:
+                    self._on_retry()
+                self._sleep(
+                    self._backoff_delay(
+                        attempt, getattr(exc, "retry_after", None)
+                    )
+                )
+                attempt += 1
+
+    def _await(self, future: "Future", timeout: float | None):
+        """Wait on one future; a caller timeout aborts the connection."""
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            self._abort_connection()
+            raise RequestTimeoutError(
+                f"no reply within {timeout}s; connection aborted so the "
+                "reply stream cannot desync"
+            ) from None
+
+    # -- blocking conveniences (the retrying APIs) -------------------------------
+
+    def answer(
+        self,
+        query: EncryptedQuery,
+        timeout: float | None = None,
+        deadline_ms: int | None = None,
+    ):
         """Blocking single-query convenience: ``submit`` + wait."""
-        return self.submit(query).result(timeout=timeout)
+        return self._with_retries(
+            lambda: self._await(
+                self.submit(query, deadline_ms=deadline_ms), timeout
+            )
+        )
 
     def answer_many(
-        self, queries: "list[EncryptedQuery]", timeout: float | None = None
+        self,
+        queries: "list[EncryptedQuery]",
+        timeout: float | None = None,
+        deadline_ms: int | None = None,
     ) -> "list[SearchResult]":
         """Submit several queries as one message and wait for all."""
         if not queries:
             return []
-        futures = self.submit_batch(EncryptedQueryBatch.from_queries(queries))
-        return [future.result(timeout=timeout) for future in futures]
+
+        def op():
+            futures = self.submit_batch(
+                EncryptedQueryBatch.from_queries(queries),
+                deadline_ms=deadline_ms,
+            )
+            return [self._await(future, timeout) for future in futures]
+
+        return self._with_retries(op)
 
     def answer_batch(
-        self, batch: EncryptedQueryBatch, timeout: float | None = None
+        self,
+        batch: EncryptedQueryBatch,
+        timeout: float | None = None,
+        deadline_ms: int | None = None,
     ) -> SearchResultBatch:
         """Round-trip a whole batch; the remote ``PPANNS.serve()`` shape."""
-        futures = self.submit_batch(batch)
-        return SearchResultBatch([f.result(timeout=timeout) for f in futures])
+
+        def op():
+            futures = self.submit_batch(batch, deadline_ms=deadline_ms)
+            return SearchResultBatch(
+                [self._await(future, timeout) for future in futures]
+            )
+
+        return self._with_retries(op)
 
     def stats(self, timeout: float | None = None) -> dict:
         """Fetch the server's tenancy/metrics view (the STATS message)."""
-        future: "Future[dict]" = Future()
-        self._send_request("stats", future, MessageType.STATS, b"")
-        return future.result(timeout=timeout if timeout is not None else self._timeout)
+
+        def op():
+            future: "Future[dict]" = Future()
+            self._send_request("stats", future, MessageType.STATS, b"")
+            return self._await(
+                future, timeout if timeout is not None else self._timeout
+            )
+
+        return self._with_retries(op)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -276,13 +574,10 @@ class NetClient:
             if self._closed:
                 return
             self._closed = True
-        try:
-            self._sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        self._sock.close()
-        if self._reader.is_alive():
-            self._reader.join(timeout=self._timeout)
+        reader = self._reader
+        self._abort_connection()
+        if reader is not None and reader.is_alive():
+            reader.join(timeout=self._timeout)
 
     def __enter__(self) -> "NetClient":
         return self

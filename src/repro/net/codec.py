@@ -73,6 +73,7 @@ from repro.crypto.serialization import (
 __all__ = [
     "MAGIC",
     "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION_MAX",
     "HEADER_SIZE",
     "DEFAULT_MAX_BODY_BYTES",
     "MessageType",
@@ -85,13 +86,19 @@ __all__ = [
     "parse_header",
     "encode_hello",
     "decode_hello",
+    "encode_hello_ok",
+    "decode_hello_ok",
     "encode_query_batch",
     "decode_query_batch",
+    "encode_query_batch_v2",
+    "decode_query_batch_v2",
     "query_frame_size",
     "encode_result_batch",
     "decode_result_batch",
     "encode_error",
     "decode_error",
+    "encode_error_v2",
+    "decode_error_v2",
     "encode_stats",
     "decode_stats",
     "send_frame",
@@ -102,7 +109,16 @@ __all__ = [
 MAGIC = b"PPAN"
 
 #: Wire protocol version; bumped on any incompatible layout change.
+#: The frame *header* byte stays 1 — protocol v2 is purely additive
+#: (new message types, negotiated via HELLO_OK), so v1 peers keep
+#: parsing every frame a conforming peer will actually send them.
 PROTOCOL_VERSION = 1
+
+#: Highest *negotiable* protocol version this build understands.  The
+#: server advertises it in the HELLO_OK body; both sides then speak
+#: ``min(client max, server max)``.  An empty HELLO_OK body — what a
+#: pre-negotiation server sends — decodes as version 1.
+PROTOCOL_VERSION_MAX = 2
 
 #: Default cap on a frame's body length (16 MiB).
 DEFAULT_MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -125,6 +141,15 @@ _HELLO_PREFIX = struct.Struct("<qH")
 # ERROR body prefix: error code.
 _ERROR_PREFIX = struct.Struct("<H")
 
+# v2 QUERY body prefix: the v1 fields plus deadline_ms (0 encodes None).
+_QUERY_V2_PREFIX = struct.Struct("<qIIIIiiB3xI")
+
+# v2 ERROR body prefix: error code, retry-after seconds (NaN encodes None).
+_ERROR_V2_PREFIX = struct.Struct("<Hd")
+
+# HELLO_OK body (v2+): the server's highest negotiable protocol version.
+_HELLO_OK_PREFIX = struct.Struct("<B")
+
 _MODE_CODES = {"full": 0, "filter_only": 1}
 _MODE_NAMES = {code: name for name, code in _MODE_CODES.items()}
 
@@ -139,6 +164,7 @@ class MessageType(enum.IntEnum):
     ERROR = 5  #: server → client: typed failure for the preceding frame
     STATS = 6  #: client → server: request the tenancy/metrics view
     STATS_OK = 7  #: server → client: JSON stats payload
+    QUERY_V2 = 8  #: client → server: QUERY envelope + deadline_ms (v2 only)
 
 
 class ErrorCode(enum.IntEnum):
@@ -151,6 +177,7 @@ class ErrorCode(enum.IntEnum):
     PARAMETER = 5  #: invalid search parameters
     KEY = 6  #: trapdoor key does not match the index
     INTERNAL = 7  #: any other server-side failure
+    DEADLINE = 8  #: the query's deadline budget expired before execution
 
 
 class WireFormatError(PPANNSError):
@@ -263,19 +290,14 @@ def decode_hello(body: bytes) -> "tuple[int, str]":
     return int(key_id), token
 
 
-def encode_query_batch(batch: EncryptedQueryBatch) -> bytes:
-    """QUERY body: the batch envelope plus both ciphertext matrices.
-
-    The envelope carries ``key_id`` explicitly — **not** via the
-    trapdoors — so a ``filter_only`` batch with a ``(n, 0)`` trapdoor
-    matrix serializes without inventing one.  DCPE ciphertexts go as
-    float32 (the FORMATS.md wire accounting), trapdoors as exact
-    float64.
-    """
+def _query_envelope_fields(
+    batch: EncryptedQueryBatch,
+) -> "tuple[int, int, int, int, int, int, int, int]":
+    """The envelope prefix fields shared by the v1 and v2 QUERY bodies."""
     request = batch.request
     n, d = batch.sap_vectors.shape
     t_dim = int(batch.trapdoor_vectors.shape[1])
-    prefix = _QUERY_PREFIX.pack(
+    return (
         int(batch.key_id),
         int(n),
         int(d),
@@ -285,8 +307,69 @@ def encode_query_batch(batch: EncryptedQueryBatch) -> bytes:
         -1 if request.ef_search is None else int(request.ef_search),
         _MODE_CODES[request.mode],
     )
+
+
+def encode_hello_ok(max_version: int = PROTOCOL_VERSION_MAX) -> bytes:
+    """HELLO_OK body: the server's highest negotiable protocol version.
+
+    A v1-era server sent an *empty* HELLO_OK body; a v1-era client
+    ignores the body entirely.  Advertising the version here is
+    therefore backward compatible in both directions — the negotiated
+    version is ``min(client max, server max)``, and an empty body
+    decodes as 1.
+    """
+    if not 1 <= int(max_version) <= 0xFF:
+        raise WireFormatError(f"protocol version {max_version} out of range")
+    return _HELLO_OK_PREFIX.pack(int(max_version))
+
+
+def decode_hello_ok(body: bytes) -> int:
+    """Inverse of :func:`encode_hello_ok`; an empty body means version 1."""
+    if not body:
+        return 1
+    (version,) = _HELLO_OK_PREFIX.unpack(body[: _HELLO_OK_PREFIX.size])
+    if version < 1:
+        raise WireFormatError(f"HELLO_OK advertises protocol version {version}")
+    return int(version)
+
+
+def encode_query_batch(batch: EncryptedQueryBatch) -> bytes:
+    """QUERY body: the batch envelope plus both ciphertext matrices.
+
+    The envelope carries ``key_id`` explicitly — **not** via the
+    trapdoors — so a ``filter_only`` batch with a ``(n, 0)`` trapdoor
+    matrix serializes without inventing one.  DCPE ciphertexts go as
+    float32 (the FORMATS.md wire accounting), trapdoors as exact
+    float64.
+    """
     return (
-        prefix
+        _QUERY_PREFIX.pack(*_query_envelope_fields(batch))
+        + vectors_to_bytes(batch.sap_vectors)
+        + vectors_to_bytes_f64(batch.trapdoor_vectors)
+    )
+
+
+def encode_query_batch_v2(
+    batch: EncryptedQueryBatch, deadline_ms: int | None = None
+) -> bytes:
+    """QUERY_V2 body: the v1 envelope plus a per-batch deadline budget.
+
+    ``deadline_ms`` is the client's remaining latency budget in
+    milliseconds (0 on the wire encodes "no deadline").  The matrices
+    are byte-identical to the v1 layout — v2 only prepends one more
+    envelope field — so the dedup digest over the ciphertexts is
+    unchanged and a retried query still hits the server's result cache.
+    """
+    if deadline_ms is not None:
+        deadline_ms = int(deadline_ms)
+        if not 0 < deadline_ms <= 0xFFFFFFFF:
+            raise WireFormatError(
+                f"deadline_ms must be in [1, {0xFFFFFFFF}], got {deadline_ms}"
+            )
+    return (
+        _QUERY_V2_PREFIX.pack(
+            *_query_envelope_fields(batch), 0 if deadline_ms is None else deadline_ms
+        )
         + vectors_to_bytes(batch.sap_vectors)
         + vectors_to_bytes_f64(batch.trapdoor_vectors)
     )
@@ -306,11 +389,52 @@ def decode_query_batch(body: bytes) -> EncryptedQueryBatch:
     key_id, n, d, t_dim, k, ratio_k, ef_search, mode_code = _QUERY_PREFIX.unpack(
         body[: _QUERY_PREFIX.size]
     )
+    return _decode_query_payload(
+        body, _QUERY_PREFIX.size, key_id, n, d, t_dim, k, ratio_k, ef_search,
+        mode_code,
+    )
+
+
+def decode_query_batch_v2(
+    body: bytes,
+) -> "tuple[EncryptedQueryBatch, int | None]":
+    """Inverse of :func:`encode_query_batch_v2`.
+
+    Returns ``(batch, deadline_ms)`` where ``deadline_ms`` is ``None``
+    when the client declared no budget (0 on the wire).
+    """
+    if len(body) < _QUERY_V2_PREFIX.size:
+        raise TruncatedFrameError(
+            f"QUERY_V2 body is {len(body)} bytes, need >= {_QUERY_V2_PREFIX.size}"
+        )
+    (
+        key_id, n, d, t_dim, k, ratio_k, ef_search, mode_code, deadline_ms,
+    ) = _QUERY_V2_PREFIX.unpack(body[: _QUERY_V2_PREFIX.size])
+    batch = _decode_query_payload(
+        body, _QUERY_V2_PREFIX.size, key_id, n, d, t_dim, k, ratio_k, ef_search,
+        mode_code,
+    )
+    return batch, None if deadline_ms == 0 else int(deadline_ms)
+
+
+def _decode_query_payload(
+    body: bytes,
+    prefix_size: int,
+    key_id: int,
+    n: int,
+    d: int,
+    t_dim: int,
+    k: int,
+    ratio_k: int,
+    ef_search: int,
+    mode_code: int,
+) -> EncryptedQueryBatch:
+    """Decode the matrices + request shared by the v1 and v2 bodies."""
     if mode_code not in _MODE_NAMES:
         raise WireFormatError(f"unknown search-mode code {mode_code}")
     sap_bytes = n * d * 4
     trap_bytes = n * t_dim * 8
-    expected = _QUERY_PREFIX.size + sap_bytes + trap_bytes
+    expected = prefix_size + sap_bytes + trap_bytes
     if len(body) < expected:
         raise TruncatedFrameError(
             f"QUERY body declares ({n}, {d}) + ({n}, {t_dim}) matrices "
@@ -329,9 +453,9 @@ def decode_query_batch(body: bytes) -> EncryptedQueryBatch:
         )
     except PPANNSError as exc:
         raise WireFormatError(f"QUERY carries invalid parameters: {exc}") from None
-    sap_end = _QUERY_PREFIX.size + sap_bytes
+    sap_end = prefix_size + sap_bytes
     if d > 0:
-        sap = bytes_to_vectors(body[_QUERY_PREFIX.size:sap_end], d)
+        sap = bytes_to_vectors(body[prefix_size:sap_end], d)
         if sap.shape[0] != n:
             raise WireFormatError(
                 f"QUERY SAP payload holds {sap.shape[0]} rows, declared {n}"
@@ -426,6 +550,36 @@ def decode_error(body: bytes) -> "tuple[ErrorCode, str]":
     except ValueError:
         error_code = ErrorCode.INTERNAL
     return error_code, body[_ERROR_PREFIX.size:].decode("utf-8", errors="replace")
+
+
+def encode_error_v2(
+    code: ErrorCode, message: str, retry_after: float | None = None
+) -> bytes:
+    """v2 ERROR body: code, retry-after hint, then the UTF-8 message.
+
+    ``retry_after`` is the server's advice (in seconds) on when a
+    retry might succeed — populated for load-shedding refusals (BUSY,
+    QUOTA) and NaN-encoded as "no hint" otherwise.  Only sent on
+    connections that negotiated protocol v2; v1 peers get the
+    :func:`encode_error` layout.
+    """
+    hint = float("nan") if retry_after is None else float(retry_after)
+    return _ERROR_V2_PREFIX.pack(int(code), hint) + message.encode("utf-8")
+
+
+def decode_error_v2(body: bytes) -> "tuple[ErrorCode, str, float | None]":
+    """Inverse of :func:`encode_error_v2`; unknown codes map to INTERNAL."""
+    if len(body) < _ERROR_V2_PREFIX.size:
+        raise TruncatedFrameError(
+            f"v2 ERROR body is {len(body)} bytes, need >= {_ERROR_V2_PREFIX.size}"
+        )
+    code, hint = _ERROR_V2_PREFIX.unpack(body[: _ERROR_V2_PREFIX.size])
+    try:
+        error_code = ErrorCode(code)
+    except ValueError:
+        error_code = ErrorCode.INTERNAL
+    message = body[_ERROR_V2_PREFIX.size:].decode("utf-8", errors="replace")
+    return error_code, message, None if np.isnan(hint) else float(hint)
 
 
 def encode_stats(payload: dict) -> bytes:

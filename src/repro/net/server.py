@@ -60,18 +60,37 @@ from repro.net.tenancy import (
     TenantConfig,
     TenantRegistry,
 )
-from repro.serve.frontend import QueueFullError, ServingFrontend
+from repro.serve.frontend import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServingFrontend,
+)
 
-__all__ = ["NetServer", "DEFAULT_FRAME_TIMEOUT"]
+__all__ = ["NetServer", "DEFAULT_FRAME_TIMEOUT", "ConnectionLimitError"]
 
 #: Default per-frame read deadline in seconds (the slow-loris budget).
 DEFAULT_FRAME_TIMEOUT = 30.0
+
+
+class ConnectionLimitError(QueueFullError):
+    """The server-wide connection limit refused this connection.
+
+    A :class:`~repro.serve.frontend.QueueFullError` subclass (BUSY on
+    the wire) carrying ``retry_after`` — the server's hint on when an
+    accept slot may be free again.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 def classify_error(exc: BaseException) -> ErrorCode:
     """Map a server-side exception to its wire error code."""
     if isinstance(exc, AuthError):
         return ErrorCode.AUTH
+    if isinstance(exc, DeadlineExceededError):
+        return ErrorCode.DEADLINE
     if isinstance(exc, QuotaExceededError):
         return ErrorCode.QUOTA
     if isinstance(exc, QueueFullError):
@@ -112,7 +131,7 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
             except OSError:
                 return  # peer gone; scheduler-side work settles on its own
 
-    def _reply_result(self, futures) -> bytes:
+    def _reply_result(self, futures, v2: bool = False) -> bytes:
         """Await one QUERY frame's futures and encode its reply."""
         results = []
         for future in futures:
@@ -122,10 +141,7 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 # One reply per request frame: the first per-query
                 # failure answers for the frame (siblings still settle
                 # and release their quota via callbacks).
-                return codec.encode_frame(
-                    MessageType.ERROR,
-                    codec.encode_error(classify_error(exc), str(exc)),
-                )
+                return self._error_frame(exc, v2)
         batch = codec.SearchResultBatch(results)
         return codec.encode_frame(
             MessageType.RESULT, codec.encode_result_batch(batch)
@@ -133,14 +149,27 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
 
     # -- reader side -------------------------------------------------------------
 
-    def _send_error(self, exc: BaseException) -> None:
-        """Enqueue an in-order ERROR reply for the frame just read."""
-        self._outbox.put(
-            codec.encode_frame(
-                MessageType.ERROR,
-                codec.encode_error(classify_error(exc), str(exc)),
+    def _error_frame(self, exc: BaseException, v2: bool) -> bytes:
+        """Encode an ERROR frame in the version the request negotiated.
+
+        A peer proves it speaks v2 by sending QUERY_V2; its errors then
+        carry the v2 body with the ``retry_after`` hint (load-shedding
+        refusals attach one).  Everything earlier — including the
+        handshake and connection-limit refusals — stays in the v1
+        layout every peer parses.
+        """
+        code = classify_error(exc)
+        if v2:
+            body = codec.encode_error_v2(
+                code, str(exc), getattr(exc, "retry_after", None)
             )
-        )
+        else:
+            body = codec.encode_error(code, str(exc))
+        return codec.encode_frame(MessageType.ERROR, body)
+
+    def _send_error(self, exc: BaseException, v2: bool = False) -> None:
+        """Enqueue an in-order ERROR reply for the frame just read."""
+        self._outbox.put(self._error_frame(exc, v2))
 
     def _handshake(self) -> bool:
         """Authenticate the connection's first frame (HELLO)."""
@@ -168,7 +197,15 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         except AuthError as exc:
             self._send_error(exc)
             return False
-        self._outbox.put(codec.encode_frame(MessageType.HELLO_OK))
+        # HELLO_OK advertises the server's highest negotiable protocol
+        # version.  v1 clients ignore the body (negotiation is free for
+        # them); v2 clients answer with QUERY_V2 frames from then on.
+        self._outbox.put(
+            codec.encode_frame(
+                MessageType.HELLO_OK,
+                codec.encode_hello_ok(codec.PROTOCOL_VERSION_MAX),
+            )
+        )
         return True
 
     def _serve_frames(self) -> None:
@@ -181,15 +218,24 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
             if frame is None:
                 return
             msg_type, body = frame
-            if msg_type is MessageType.QUERY:
+            if msg_type in (MessageType.QUERY, MessageType.QUERY_V2):
+                # Error-body encoding follows the *request*: a QUERY_V2
+                # frame gets v2 ERROR replies (retry hints attached),
+                # anything else stays in the v1 layout every peer parses.
+                v2 = msg_type is MessageType.QUERY_V2
                 try:
-                    batch = codec.decode_query_batch(body)
-                    futures = self._channel.submit_batch(list(batch))
+                    if v2:
+                        batch, deadline_ms = codec.decode_query_batch_v2(body)
+                    else:
+                        batch, deadline_ms = codec.decode_query_batch(body), None
+                    futures = self._channel.submit_batch(
+                        list(batch), deadline_ms=deadline_ms
+                    )
                 except Exception as exc:
-                    self._send_error(exc)
+                    self._send_error(exc, v2)
                     continue
                 self._outbox.put(
-                    lambda futures=futures: self._reply_result(futures)
+                    lambda futures=futures, v2=v2: self._reply_result(futures, v2)
                 )
             elif msg_type is MessageType.STATS:
                 self._outbox.put(
@@ -210,6 +256,7 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         self.request.settimeout(self.server.owner.frame_timeout)
         self._outbox: "queue.Queue" = queue.Queue()
         self._channel = None
+        self._admitted = self.server.owner._acquire_connection()
         self._writer = threading.Thread(
             target=self._writer_loop, name="repro-net-writer", daemon=True
         )
@@ -217,6 +264,19 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
 
     def handle(self) -> None:  # noqa: D102 (socketserver hook)
         try:
+            if not self._admitted:
+                # Refused before the handshake: the peer gets one BUSY
+                # error (v1 layout — nothing is negotiated yet) with a
+                # retry hint, then the connection closes.
+                server: NetServer = self.server.owner
+                self._send_error(
+                    ConnectionLimitError(
+                        "server is at its connection limit "
+                        f"({server.max_connections}); retry later",
+                        retry_after=1.0,
+                    )
+                )
+                return
             if self._handshake():
                 self._serve_frames()
         except (FrameTooLargeError, WireFormatError) as exc:
@@ -231,6 +291,8 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
     def finish(self) -> None:  # noqa: D102 (socketserver hook)
         self._outbox.put(None)
         self._writer.join(timeout=DEFAULT_FRAME_TIMEOUT)
+        if self._admitted:
+            self.server.owner._release_connection()
 
 
 class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
@@ -264,6 +326,10 @@ class NetServer:
     frame_timeout:
         Per-frame read deadline in seconds (the slow-loris budget) —
         also the idle timeout between a connection's frames.
+    max_connections:
+        Server-wide cap on concurrently open connections; an accept
+        over the cap is answered with one BUSY error (retry hint
+        attached) and closed.  ``None`` = unlimited.
 
     The server is a context manager: ``with NetServer(...) as server:``
     binds, starts accepting in a background thread, and shuts down on
@@ -279,7 +345,12 @@ class NetServer:
         port: int = 0,
         max_body_bytes: int = codec.DEFAULT_MAX_BODY_BYTES,
         frame_timeout: float = DEFAULT_FRAME_TIMEOUT,
+        max_connections: int | None = None,
     ) -> None:
+        if max_connections is not None and max_connections < 1:
+            raise ParameterError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
         registry = (
             tenants
             if isinstance(tenants, TenantRegistry)
@@ -288,9 +359,34 @@ class NetServer:
         self.admission = TenantAdmission(frontend, registry)
         self.max_body_bytes = max_body_bytes
         self.frame_timeout = frame_timeout
+        self.max_connections = max_connections
         self.closing = False
+        self._connection_lock = threading.Lock()
+        self._connections = 0
         self._tcp = _ThreadingTCPServer(self, (host, port))
         self._thread: threading.Thread | None = None
+
+    def _acquire_connection(self) -> bool:
+        """Claim an accept slot; ``False`` (and a metric) over the cap."""
+        with self._connection_lock:
+            if (
+                self.max_connections is not None
+                and self._connections >= self.max_connections
+            ):
+                self.frontend.metrics.record_connection_refused()
+                return False
+            self._connections += 1
+            return True
+
+    def _release_connection(self) -> None:
+        with self._connection_lock:
+            self._connections = max(0, self._connections - 1)
+
+    @property
+    def connections(self) -> int:
+        """Connections currently admitted (past the limit check)."""
+        with self._connection_lock:
+            return self._connections
 
     @property
     def frontend(self) -> ServingFrontend:

@@ -54,6 +54,8 @@ from repro.serve.metrics import ServerMetrics
 __all__ = [
     "AuthError",
     "QuotaExceededError",
+    "RateLimitError",
+    "TokenBucket",
     "TenantConfig",
     "Tenant",
     "TenantRegistry",
@@ -76,6 +78,73 @@ class QuotaExceededError(PPANNSError):
     """
 
 
+class RateLimitError(QuotaExceededError):
+    """Admission refused: the tenant's token-bucket rate is exhausted.
+
+    A subclass of :class:`QuotaExceededError` (same QUOTA wire code, so
+    v1 peers see a familiar refusal) carrying ``retry_after`` — the
+    bucket's own estimate, in seconds, of when enough tokens will have
+    accrued for the refused request.  Protocol-v2 connections forward
+    the hint in the ERROR frame; the resilient client sleeps on it
+    instead of guessing.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    The *rate* half of tenant admission (the in-flight quota bounds
+    concurrency; this bounds throughput).  Tokens accrue continuously
+    at ``rate`` up to ``burst``; each admitted query spends one.
+    ``clock`` is injectable (monotonic seconds) so tests can drive the
+    bucket deterministically.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise PPANNSError(f"rate must be > 0 tokens/second, got {rate}")
+        if burst < 1:
+            raise PPANNSError(f"burst must be >= 1 token, got {burst}")
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = self._burst
+        self._updated_at = clock()
+
+    @property
+    def rate(self) -> float:
+        """Sustained refill rate in tokens per second."""
+        return self._rate
+
+    @property
+    def burst(self) -> float:
+        """Bucket capacity (the largest instantaneous spend)."""
+        return self._burst
+
+    def try_acquire(self, count: int = 1) -> float | None:
+        """Spend ``count`` tokens; ``None`` on success.
+
+        On refusal returns the **retry-after hint**: the seconds until
+        the bucket will have accrued enough tokens for this request
+        (all-or-nothing, like the in-flight quota — a batch either fits
+        or nothing is spent).
+        """
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._updated_at)
+            self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+            self._updated_at = now
+            if count <= self._tokens:
+                self._tokens -= count
+                return None
+            return (count - self._tokens) / self._rate
+
+
 class TenantConfig:
     """Static tenant definition: identity, credential, quota.
 
@@ -90,6 +159,14 @@ class TenantConfig:
         Admission quota: the most queries this tenant may hold in the
         serving queue at once; ``None`` = unbounded (only the global
         queue bound applies).
+    rate:
+        Sustained admission rate in queries/second enforced by a
+        :class:`TokenBucket`; ``None`` = unmetered.  Refusals raise
+        :class:`RateLimitError` with a retry-after hint.
+    burst:
+        Token-bucket capacity (largest instantaneous batch the rate
+        quota admits).  Defaults to ``max(rate, 1)`` — one second of
+        headroom — and requires ``rate``.
     """
 
     def __init__(
@@ -97,24 +174,48 @@ class TenantConfig:
         key_id: int,
         token: str | None = None,
         max_in_flight: int | None = None,
+        rate: float | None = None,
+        burst: float | None = None,
     ) -> None:
         if max_in_flight is not None and max_in_flight < 1:
             raise PPANNSError(
                 f"max_in_flight must be >= 1, got {max_in_flight}"
             )
+        if rate is not None and rate <= 0:
+            raise PPANNSError(f"rate must be > 0 queries/second, got {rate}")
+        if burst is not None:
+            if rate is None:
+                raise PPANNSError("burst requires a rate")
+            if burst < 1:
+                raise PPANNSError(f"burst must be >= 1, got {burst}")
         self.key_id = int(key_id)
         self.token = token
         self.max_in_flight = max_in_flight
+        self.rate = None if rate is None else float(rate)
+        self.burst = (
+            None
+            if rate is None
+            else (max(float(rate), 1.0) if burst is None else float(burst))
+        )
 
 
 class Tenant:
-    """One tenant's live admission state: quota counter plus metrics."""
+    """One tenant's live admission state: quota counter plus metrics.
 
-    def __init__(self, config: TenantConfig) -> None:
+    ``clock`` feeds the tenant's rate bucket (when its config carries a
+    ``rate``); tests inject a fake clock for deterministic refills.
+    """
+
+    def __init__(self, config: TenantConfig, clock=time.monotonic) -> None:
         self.config = config
         self.metrics = ServerMetrics()
         self._lock = threading.Lock()
         self._in_flight = 0
+        self.bucket = (
+            None
+            if config.rate is None
+            else TokenBucket(config.rate, config.burst, clock=clock)
+        )
 
     @property
     def key_id(self) -> int:
@@ -146,6 +247,24 @@ class Tenant:
         with self._lock:
             self._in_flight = max(0, self._in_flight - count)
 
+    def check_rate(self, count: int = 1) -> None:
+        """Spend rate tokens for ``count`` queries, or refuse typed.
+
+        No-op for unmetered tenants.  Raises :class:`RateLimitError`
+        carrying the bucket's retry-after hint when the tokens are not
+        there; all-or-nothing, mirroring :meth:`try_acquire`.
+        """
+        if self.bucket is None:
+            return
+        retry_after = self.bucket.try_acquire(count)
+        if retry_after is not None:
+            raise RateLimitError(
+                f"tenant {self.key_id} exceeded its rate quota "
+                f"({self.config.rate:g} queries/second); retry in "
+                f"{retry_after:.3f}s",
+                retry_after=retry_after,
+            )
+
     def stats(self) -> dict:
         """The tenant's slice of the tenancy view (JSON-ready)."""
         snapshot = self.metrics.snapshot()
@@ -153,6 +272,8 @@ class Tenant:
             "key_id": self.key_id,
             "authenticated": self.config.token is not None,
             "max_in_flight": self.config.max_in_flight,
+            "rate": self.config.rate,
+            "rate_limited": snapshot.rate_limited,
             "in_flight": self.in_flight,
             "submitted": snapshot.submitted,
             "completed": snapshot.completed,
@@ -173,9 +294,13 @@ class TenantRegistry:
         for config in configs or []:
             self.register(config)
 
-    def register(self, config: TenantConfig) -> Tenant:
-        """Add (or replace) a tenant; returns its live state."""
-        tenant = Tenant(config)
+    def register(self, config: TenantConfig, clock=time.monotonic) -> Tenant:
+        """Add (or replace) a tenant; returns its live state.
+
+        ``clock`` feeds the tenant's rate bucket (injectable for
+        deterministic tests).
+        """
+        tenant = Tenant(config, clock=clock)
         with self._lock:
             self._tenants[config.key_id] = tenant
         return tenant
@@ -301,10 +426,31 @@ class TenantChannel:
         future.add_done_callback(settle)
         return future
 
-    def submit(self, query: EncryptedQuery) -> "Future[SearchResult]":
-        """Admit one query under the tenant's quota; returns its future."""
+    def _refuse_rate(self, count: int, exc: RateLimitError) -> None:
+        """Account a rate refusal on both metric scopes, then re-raise."""
+        tenant = self._tenant
+        for _ in range(count):
+            tenant.metrics.record_rate_limited()
+            tenant.metrics.record_rejected()
+            self._frontend.metrics.record_rate_limited()
+        raise exc
+
+    def submit(
+        self, query: EncryptedQuery, deadline_ms: int | None = None
+    ) -> "Future[SearchResult]":
+        """Admit one query under the tenant's quotas; returns its future.
+
+        ``deadline_ms`` passes through to
+        :meth:`ServingFrontend.submit` — the rate and in-flight quotas
+        are checked first, so a refused query never spends its budget
+        waiting.
+        """
         self._check_key(query)
         tenant = self._tenant
+        try:
+            tenant.check_rate()
+        except RateLimitError as exc:
+            self._refuse_rate(1, exc)
         if not tenant.try_acquire():
             tenant.metrics.record_rejected()
             raise QuotaExceededError(
@@ -312,18 +458,23 @@ class TenantChannel:
                 f"({tenant.config.max_in_flight}); retry after completions"
             )
         try:
-            future = self._frontend.submit(query)
+            future = self._frontend.submit(query, deadline_ms=deadline_ms)
         except Exception:
             tenant.release()
             tenant.metrics.record_rejected()
             raise
         return self._track(future)
 
-    def submit_batch(self, queries: "list[EncryptedQuery]") -> "list[Future[SearchResult]]":
+    def submit_batch(
+        self,
+        queries: "list[EncryptedQuery]",
+        deadline_ms: int | None = None,
+    ) -> "list[Future[SearchResult]]":
         """Admit a whole batch message atomically against the quota.
 
-        All-or-nothing at the quota: the batch either fits under the
-        tenant's remaining quota or raises :class:`QuotaExceededError`
+        All-or-nothing at both quotas: the batch either fits under the
+        tenant's remaining rate tokens and in-flight quota or raises
+        :class:`RateLimitError` / :class:`QuotaExceededError`
         without submitting anything.  A mid-batch
         :class:`~repro.serve.frontend.QueueFullError` (global bound)
         releases the unsubmitted positions and re-raises; queries
@@ -335,6 +486,10 @@ class TenantChannel:
         count = len(queries)
         if count == 0:
             return []
+        try:
+            tenant.check_rate(count)
+        except RateLimitError as exc:
+            self._refuse_rate(count, exc)
         if not tenant.try_acquire(count):
             for _ in range(count):
                 tenant.metrics.record_rejected()
@@ -345,7 +500,11 @@ class TenantChannel:
         futures: "list[Future[SearchResult]]" = []
         try:
             for query in queries:
-                futures.append(self._track(self._frontend.submit(query)))
+                futures.append(
+                    self._track(
+                        self._frontend.submit(query, deadline_ms=deadline_ms)
+                    )
+                )
         except Exception:
             unsubmitted = count - len(futures)
             tenant.release(unsubmitted)

@@ -35,13 +35,19 @@ through this stack and asserts the micro-batched throughput bar.
 """
 
 from repro.serve.cache import ResultCache, query_digest
-from repro.serve.frontend import QueueFullError, ServingFrontend, replay_open_loop
+from repro.serve.frontend import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServingFrontend,
+    replay_open_loop,
+)
 from repro.serve.metrics import MetricsSnapshot, ServerMetrics
 from repro.serve.scheduler import BatchScheduler, PendingQuery
 
 __all__ = [
     "ServingFrontend",
     "QueueFullError",
+    "DeadlineExceededError",
     "BatchScheduler",
     "PendingQuery",
     "ResultCache",

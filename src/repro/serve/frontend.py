@@ -53,9 +53,18 @@ from repro.core.protocol import EncryptedQuery, SearchResult, SearchResultBatch
 from repro.core.search import execute_batch_settled
 from repro.serve.cache import ResultCache, query_digest
 from repro.serve.metrics import ServerMetrics
-from repro.serve.scheduler import BatchScheduler, PendingQuery
+from repro.serve.scheduler import (
+    BatchScheduler,
+    DeadlineExceededError,
+    PendingQuery,
+)
 
-__all__ = ["QueueFullError", "ServingFrontend", "replay_open_loop"]
+__all__ = [
+    "DeadlineExceededError",
+    "QueueFullError",
+    "ServingFrontend",
+    "replay_open_loop",
+]
 
 
 def _weak_hook(fn):
@@ -220,7 +229,9 @@ class ServingFrontend:
 
     # -- the serving API ---------------------------------------------------------
 
-    def submit(self, query: EncryptedQuery) -> "Future[SearchResult]":
+    def submit(
+        self, query: EncryptedQuery, deadline_ms: int | None = None
+    ) -> "Future[SearchResult]":
         """Admit one query; returns its future immediately.
 
         Raises :class:`QueueFullError` when the admission queue is at
@@ -228,7 +239,20 @@ class ServingFrontend:
         query whose dimensionality cannot match the index (failing fast
         beats failing a formed batch).  A cache hit resolves the future
         synchronously without entering the queue.
+
+        ``deadline_ms`` is the query's end-to-end latency budget.  Two
+        shedding points enforce it: admission refuses synchronously
+        (:class:`DeadlineExceededError`) when the metrics' estimated
+        queue wait already exceeds the budget — a query that cannot
+        possibly make it never occupies a queue slot — and the
+        scheduler sheds any query whose deadline passes while it waits,
+        *before* filter/refine work starts.  A cache hit always
+        succeeds: it costs no pipeline time.
         """
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ParameterError(
+                f"deadline_ms must be a positive integer, got {deadline_ms}"
+            )
         if query.sap_vector.shape[-1] != self._server.index.dim:
             raise ParameterError(
                 f"query has dimension {query.sap_vector.shape[-1]}, but the "
@@ -244,10 +268,22 @@ class ServingFrontend:
                 future.set_result(cached)
                 return future
             self._metrics.record_cache_miss()
+        deadline_at = None
+        if deadline_ms is not None:
+            budget = deadline_ms / 1000.0
+            estimated_wait = self._metrics.estimated_wait_seconds()
+            if estimated_wait > budget:
+                self._metrics.record_deadline_shed()
+                raise DeadlineExceededError(
+                    f"estimated queue wait {estimated_wait:.3f}s exceeds the "
+                    f"{budget:.3f}s deadline budget; query refused at admission"
+                )
+            deadline_at = time.perf_counter() + budget
         pending = PendingQuery(
             query=query,
             digest=digest,
             cache_generation=self._cache.generation,
+            deadline_at=deadline_at,
         )
         try:
             with self._lock:
@@ -268,9 +304,14 @@ class ServingFrontend:
         self._metrics.record_admitted(self._queue.qsize())
         return pending.future
 
-    def answer(self, query: EncryptedQuery, timeout: float | None = None):
+    def answer(
+        self,
+        query: EncryptedQuery,
+        timeout: float | None = None,
+        deadline_ms: int | None = None,
+    ):
         """Blocking convenience: ``submit`` + wait for the result."""
-        return self.submit(query).result(timeout=timeout)
+        return self.submit(query, deadline_ms=deadline_ms).result(timeout=timeout)
 
     def answer_many(
         self, queries, timeout: float | None = None
@@ -342,6 +383,7 @@ def replay_open_loop(
     encrypted,
     rate: float | None = None,
     seed: int = 0,
+    deadline_ms: int | None = None,
 ) -> "tuple[list[SearchResult], float]":
     """Replay an encrypted workload open-loop; ``(results, elapsed)``.
 
@@ -354,7 +396,9 @@ def replay_open_loop(
     gaps drawn from a ``seed``-ed exponential); ``None`` submits
     back-to-back, the heavy-traffic limit.  ``elapsed`` runs from the
     first submission to the last completion, which is what served-qps
-    figures divide by.
+    figures divide by.  ``deadline_ms`` rides on every submission (all
+    replay targets — frontend, tenant channel, net client — accept it);
+    ``None`` keeps the call compatible with targets that predate it.
     """
     arrival_rng = np.random.default_rng(seed)
     start = None
@@ -366,7 +410,10 @@ def replay_open_loop(
             # The clock starts at the first submission — the gap drawn
             # before it has nothing in flight and must not count.
             start = time.perf_counter()
-        futures.append(frontend.submit(query))
+        if deadline_ms is None:
+            futures.append(frontend.submit(query))
+        else:
+            futures.append(frontend.submit(query, deadline_ms=deadline_ms))
     if start is None:
         return [], 0.0
     results = [future.result() for future in futures]

@@ -96,6 +96,21 @@ class MetricsSnapshot:
     stage_seconds:
         Total pipeline-stage wall clock summed over completed queries,
         keyed by stage name (``filter`` / ``mask`` / ``refine``).
+    deadline_sheds:
+        Queries shed with
+        :class:`~repro.serve.frontend.DeadlineExceededError` — refused
+        at admission because the estimated queue wait already exceeded
+        their budget, or dropped by the scheduler after expiring in the
+        queue.
+    rate_limited:
+        Queries refused by a per-tenant token-bucket rate quota.
+    connection_refusals:
+        TCP connections refused by the server-wide connection limit.
+    retries:
+        Client-visible retries: re-sends performed by a resilient
+        :class:`~repro.net.client.NetClient` whose ``on_retry`` hook is
+        wired to these metrics (pure server-side deployments leave
+        it 0).
     """
 
     elapsed_seconds: float
@@ -118,6 +133,10 @@ class MetricsSnapshot:
     batch_size_histogram: "dict[int, int]"
     mean_batch_size: float
     stage_seconds: "dict[str, float]"
+    deadline_sheds: int = 0
+    rate_limited: int = 0
+    connection_refusals: int = 0
+    retries: int = 0
 
     def as_dict(self) -> dict:
         """JSON-ready form (the CLI ``serve`` / ``workload`` payload)."""
@@ -145,6 +164,10 @@ class MetricsSnapshot:
             },
             "mean_batch_size": self.mean_batch_size,
             "stage_seconds": dict(self.stage_seconds),
+            "deadline_sheds": self.deadline_sheds,
+            "rate_limited": self.rate_limited,
+            "connection_refusals": self.connection_refusals,
+            "retries": self.retries,
         }
 
 
@@ -181,6 +204,10 @@ class ServerMetrics:
             self._batch_sizes: dict[int, int] = {}
             self._batches = 0
             self._stage_seconds: dict[str, float] = {}
+            self._deadline_sheds = 0
+            self._rate_limited = 0
+            self._connection_refusals = 0
+            self._retries = 0
 
     # -- producers ---------------------------------------------------------------
 
@@ -249,6 +276,47 @@ class ServerMetrics:
         with self._lock:
             self._queue_depth = queue_depth
 
+    def record_deadline_shed(self) -> None:
+        """One query was shed because its deadline budget expired."""
+        with self._lock:
+            self._deadline_sheds += 1
+
+    def record_rate_limited(self) -> None:
+        """One query was refused by a per-tenant rate quota."""
+        with self._lock:
+            self._rate_limited += 1
+
+    def record_connection_refused(self) -> None:
+        """One connection was refused by the server-wide limit."""
+        with self._lock:
+            self._connection_refusals += 1
+
+    def record_retry(self) -> None:
+        """One client-visible retry (a resilient client re-sent a query)."""
+        with self._lock:
+            self._retries += 1
+
+    def estimated_wait_seconds(self) -> float:
+        """A Little's-law estimate of the current queue wait.
+
+        ``queue depth / observed service rate`` — the time a query
+        admitted *now* should expect to sit before the scheduler
+        reaches it.  Returns 0.0 before any completion (no rate
+        observed yet): an idle or cold server never refuses on a
+        guess.  The admission path compares this against a query's
+        deadline budget to shed work that cannot possibly make it.
+        """
+        with self._lock:
+            if self._completed == 0 or self._queue_depth == 0:
+                return 0.0
+            elapsed = time.perf_counter() - self._started_at
+            if elapsed <= 0:
+                return 0.0
+            rate = self._completed / elapsed
+            if rate <= 0:
+                return 0.0
+            return self._queue_depth / rate
+
     # -- consumers ---------------------------------------------------------------
 
     def snapshot(self) -> MetricsSnapshot:
@@ -284,4 +352,8 @@ class ServerMetrics:
                     total_batch_queries / self._batches if self._batches else 0.0
                 ),
                 stage_seconds=dict(self._stage_seconds),
+                deadline_sheds=self._deadline_sheds,
+                rate_limited=self._rate_limited,
+                connection_refusals=self._connection_refusals,
+                retries=self._retries,
             )

@@ -47,10 +47,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.errors import ParameterError
+from repro.core.errors import ParameterError, PPANNSError
 from repro.core.protocol import EncryptedQueryBatch
 
-__all__ = ["PendingQuery", "BatchScheduler"]
+__all__ = ["DeadlineExceededError", "PendingQuery", "BatchScheduler"]
+
+
+class DeadlineExceededError(PPANNSError):
+    """The query's deadline budget expired before execution.
+
+    Raised (into the query's future, or synchronously at admission)
+    when a per-query ``deadline_ms`` budget runs out *before* any
+    filter/refine work starts — the load-shedding contract: an expired
+    query never occupies the pipeline, and the caller always receives
+    this type rather than a stale answer or a hang.  Maps to the
+    ``DEADLINE`` wire code on protocol-v2 connections.
+    """
 
 #: Sentinel enqueued by ``stop()`` to wake the scheduler thread.
 _STOP = object()
@@ -88,6 +100,10 @@ class PendingQuery:
         The cache generation observed at admission; a completion whose
         generation went stale (the cache was cleared mid-flight) must
         not repopulate the cache.
+    deadline_at:
+        Absolute ``time.perf_counter()`` deadline, or ``None`` for no
+        budget.  The scheduler sheds queries past it *before* any
+        filter/refine work (see :class:`DeadlineExceededError`).
     """
 
     query: object
@@ -95,6 +111,7 @@ class PendingQuery:
     enqueued_at: float = field(default_factory=time.perf_counter)
     digest: bytes | None = None
     cache_generation: int = 0
+    deadline_at: float | None = None
 
 
 class BatchScheduler:
@@ -288,6 +305,30 @@ class BatchScheduler:
             for pending in batch
             if pending.future.set_running_or_notify_cancel()
         ]
+        if not batch:
+            return
+        # Shed expired queries before any filter/refine work: a query
+        # whose deadline passed while it waited gets a typed failure
+        # now instead of burning pipeline time on an answer nobody is
+        # still waiting for.
+        now = time.perf_counter()
+        expired = [
+            p for p in batch if p.deadline_at is not None and now >= p.deadline_at
+        ]
+        if expired:
+            dropped = {id(p) for p in expired}
+            batch = [p for p in batch if id(p) not in dropped]
+            for pending in expired:
+                if self._metrics is not None:
+                    self._metrics.record_deadline_shed()
+                    self._metrics.record_failed(now - pending.enqueued_at)
+                pending.future.set_exception(
+                    DeadlineExceededError(
+                        "deadline expired after "
+                        f"{now - pending.enqueued_at:.3f}s in the serving "
+                        "queue; the query was shed before execution"
+                    )
+                )
         if not batch:
             return
         execute = _resolve_hook(self._execute)

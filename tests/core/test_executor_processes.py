@@ -5,6 +5,8 @@ indexes tiny and worker counts at 1-2; the broad backend x mode x shard
 sweep lives in ``tests/strategies/test_executor_properties.py``.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -85,6 +87,33 @@ class TestServerIntegration:
             assert not second.closed
         assert not active_arenas()
 
+    def test_concurrent_first_use_builds_exactly_one_plane(self):
+        """Racing first callers (a serving scheduler plus a direct
+        answer, say) must share one plane — a second build would leak
+        its worker processes and shared-memory arena unclosed."""
+        import threading
+
+        index, batch = _workload(queries=2)
+        with CloudServer(index, executor="processes", workers=1) as server:
+            planes = [None] * 4
+            barrier = threading.Barrier(4)
+
+            def grab(slot):
+                barrier.wait()
+                planes[slot] = server.data_plane()
+
+            threads = [
+                threading.Thread(target=grab, args=(slot,)) for slot in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert all(plane is planes[0] for plane in planes)
+            assert planes[0] is not None and not planes[0].closed
+            assert len(active_arenas()) == 1
+        assert not active_arenas()
+
     def test_degrades_to_threads_when_unavailable(self, monkeypatch):
         index, batch = _workload(queries=2)
         monkeypatch.setattr(plane_module, "process_plane_available", lambda: False)
@@ -97,7 +126,7 @@ class TestServerIntegration:
         assert server.data_plane() is None
         _assert_same_answers(oracle, server.answer(batch))
 
-    def test_worker_crash_fails_batch_then_server_rebuilds(self):
+    def test_worker_crash_fails_batch_then_plane_self_heals(self):
         index, batch = _workload()
         oracle = CloudServer(index).answer(batch)
         with CloudServer(index, executor="processes", workers=1) as server:
@@ -109,11 +138,22 @@ class TestServerIntegration:
             # the OS tears the pipe down.
             with pytest.raises(DataPlaneError, match="died mid-batch|unreachable"):
                 server.answer(batch)
-            assert crashed.broken
-            # ... and the next batch gets a fresh plane automatically.
-            rebuilt = server.data_plane()
-            assert rebuilt is not crashed
-            _assert_same_answers(oracle, server.answer(batch))
+            # A crash no longer breaks the plane: the server keeps the
+            # same plane and the dead worker respawns in place.
+            assert not crashed.broken
+            assert server.data_plane() is crashed
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                try:
+                    _assert_same_answers(oracle, server.answer(batch))
+                    break
+                except DataPlaneError:
+                    time.sleep(0.05)
+            else:
+                pytest.fail("plane did not self-heal within 30s")
+            health = crashed.health()
+            assert health["workers"][0]["restarts"] >= 1
+            assert not health["workers"][0]["dead"]
         assert not active_arenas()
 
     def test_invalid_workers_rejected(self):
@@ -144,8 +184,13 @@ class TestPlaneLifecycle:
             outcomes = plane.filter_batch(batch.sap_vectors, 6, None)
             assert len(outcomes) == batch.sap_vectors.shape[0]
             assert all(isinstance(o, DataPlaneError) for o in outcomes)
-            assert plane.broken
-            assert not plane.matches(index)
+            # The crash marks the worker dead (restart pending) but the
+            # plane itself stays serviceable and current.
+            assert not plane.broken
+            assert plane.matches(index)
+            health = plane.health()
+            assert health["workers"][0]["dead"]
+            assert health["workers"][0]["restart_in_seconds"] is not None
         assert not active_arenas()
 
     def test_monolithic_stripe_crash_poisons_only_dead_stripe(self):

@@ -304,3 +304,91 @@ class TestSmallBodies:
 
     def test_default_body_cap(self):
         assert DEFAULT_MAX_BODY_BYTES == 16 * 1024 * 1024
+
+
+class TestProtocolV2:
+    """The v2 additions: negotiation, deadline envelope, retry-after."""
+
+    @given(seed=seeds, n=ns, d=dims, mode=modes,
+           deadline=st.one_of(st.none(), st.integers(1, 0xFFFFFFFF)))
+    @_SETTINGS
+    def test_query_v2_roundtrip(self, seed, n, d, mode, deadline):
+        batch = _make_batch(n, d, mode, seed)
+        body = codec.encode_query_batch_v2(batch, deadline)
+        got, got_deadline = codec.decode_query_batch_v2(body)
+        assert got_deadline == deadline
+        assert got.key_id == batch.key_id
+        assert np.array_equal(got.trapdoor_vectors, batch.trapdoor_vectors)
+        assert got.request == batch.request
+
+    @given(seed=seeds, n=ns, d=dims, mode=modes)
+    @_SETTINGS
+    def test_v2_matrices_are_byte_identical_to_v1(self, seed, n, d, mode):
+        """The dedup digest hinges on this: v2 only prepends envelope
+        bytes, so the ciphertext payload (and its digest) is unchanged."""
+        batch = _make_batch(n, d, mode, seed)
+        v1 = codec.encode_query_batch(batch)
+        v2 = codec.encode_query_batch_v2(batch, 1234)
+        from repro.net.codec import _QUERY_PREFIX, _QUERY_V2_PREFIX
+
+        assert v1[_QUERY_PREFIX.size:] == v2[_QUERY_V2_PREFIX.size:]
+
+    @pytest.mark.parametrize("bad", [0, -1, 0x1_0000_0000])
+    def test_bad_deadline_rejected_on_encode(self, bad):
+        batch = _make_batch(1, 3, "full", 7)
+        with pytest.raises(WireFormatError, match="deadline"):
+            codec.encode_query_batch_v2(batch, bad)
+
+    def test_zero_deadline_on_wire_decodes_none(self):
+        batch = _make_batch(1, 3, "full", 7)
+        body = codec.encode_query_batch_v2(batch, None)
+        _, deadline = codec.decode_query_batch_v2(body)
+        assert deadline is None
+
+    def test_hello_ok_roundtrip_and_legacy_bodies(self):
+        assert codec.decode_hello_ok(codec.encode_hello_ok()) == (
+            codec.PROTOCOL_VERSION_MAX
+        )
+        assert codec.decode_hello_ok(codec.encode_hello_ok(7)) == 7
+        # A v1-era server sends an empty HELLO_OK body.
+        assert codec.decode_hello_ok(b"") == 1
+
+    @pytest.mark.parametrize("bad", [0, -3, 256])
+    def test_hello_ok_version_out_of_range_rejected(self, bad):
+        with pytest.raises(WireFormatError):
+            codec.encode_hello_ok(bad)
+
+    @given(code=st.sampled_from(list(ErrorCode)), message=st.text(max_size=80),
+           hint=st.one_of(st.none(),
+                          st.floats(min_value=0.0, max_value=3600.0,
+                                    allow_nan=False)))
+    @_SETTINGS
+    def test_error_v2_roundtrip(self, code, message, hint):
+        got_code, got_message, got_hint = codec.decode_error_v2(
+            codec.encode_error_v2(code, message, hint)
+        )
+        assert got_code is code
+        assert got_message == message
+        assert got_hint == hint
+
+    def test_error_v2_unknown_code_maps_to_internal(self):
+        body = codec.encode_error_v2(ErrorCode.BUSY, "x", 1.0)
+        body = (250).to_bytes(2, "little") + body[2:]
+        code, _, hint = codec.decode_error_v2(body)
+        assert code is ErrorCode.INTERNAL
+        assert hint == 1.0
+
+    def test_deadline_error_code_exists(self):
+        assert ErrorCode.DEADLINE == 8
+
+    def test_negotiation_is_min_of_both_sides(self):
+        """The property a v1 peer depends on: min() never exceeds the
+        older side, whatever the newer side advertises."""
+        for client_max in range(1, 5):
+            for server_max in range(1, 5):
+                negotiated = min(client_max,
+                                 codec.decode_hello_ok(
+                                     codec.encode_hello_ok(server_max)))
+                assert negotiated <= client_max
+                assert negotiated <= server_max
+                assert negotiated >= 1

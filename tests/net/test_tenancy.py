@@ -21,10 +21,12 @@ from repro.core.roles import CloudServer, DataOwner, QueryUser
 from repro.net.tenancy import (
     AuthError,
     QuotaExceededError,
+    RateLimitError,
     Tenant,
     TenantAdmission,
     TenantConfig,
     TenantRegistry,
+    TokenBucket,
 )
 from tests.conftest import FAST_HNSW
 
@@ -209,4 +211,116 @@ class TestChannel:
         with server.serving_frontend(batch_window_seconds=0.0) as frontend:
             channel = TenantAdmission(frontend, registry).channel(key_id)
             assert channel.submit_batch([]) == []
+            assert registry.get(key_id).in_flight == 0
+
+
+class _FakeClock:
+    """A hand-cranked monotonic clock for deterministic bucket refills."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_hint(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        for _ in range(3):
+            assert bucket.try_acquire() is None
+        hint = bucket.try_acquire()
+        # Empty bucket at 10 tokens/s: one token is 0.1 s away.
+        assert hint == pytest.approx(0.1)
+
+    def test_refill_is_continuous_and_capped(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            assert bucket.try_acquire() is None
+        clock.advance(0.5)  # one token back
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is not None
+        clock.advance(1000.0)  # refill far past burst; cap holds
+        for _ in range(4):
+            assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is not None
+
+    def test_batch_acquire_is_all_or_nothing(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=5.0, clock=clock)
+        hint = bucket.try_acquire(8)  # can never fit? burst is 5
+        assert hint == pytest.approx(3.0)  # 8 - 5 tokens at 1/s
+        # The refusal spent nothing: 5 singles still fit.
+        for _ in range(5):
+            assert bucket.try_acquire() is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(PPANNSError, match="rate"):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(PPANNSError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5)
+        with pytest.raises(PPANNSError):
+            TenantConfig(1, burst=4.0)  # burst requires rate
+        with pytest.raises(PPANNSError):
+            TenantConfig(1, rate=-1.0)
+
+
+class TestRateLimitedTenant:
+    def test_check_rate_raises_typed_with_hint(self):
+        clock = _FakeClock()
+        tenant = Tenant(TenantConfig(5, rate=2.0, burst=2.0), clock=clock)
+        tenant.check_rate()
+        tenant.check_rate()
+        with pytest.raises(RateLimitError) as excinfo:
+            tenant.check_rate()
+        assert isinstance(excinfo.value, QuotaExceededError)
+        assert excinfo.value.retry_after == pytest.approx(0.5)
+        clock.advance(0.5)
+        tenant.check_rate()  # token accrued; admitted again
+
+    def test_unmetered_tenant_never_rate_limits(self):
+        tenant = Tenant(TenantConfig(5))
+        for _ in range(1000):
+            tenant.check_rate()
+
+    def test_channel_refuses_over_rate_and_counts_it(self, actors):
+        server, user, database, key_id = actors
+        clock = _FakeClock()
+        registry = TenantRegistry()
+        registry.register(TenantConfig(key_id, rate=1.0, burst=2.0), clock=clock)
+        query = user.encrypt_query(database[0] + 0.01, 3)
+        with server.serving_frontend(batch_window_seconds=0.0) as frontend:
+            channel = TenantAdmission(frontend, registry).channel(key_id)
+            channel.answer(query, timeout=30)
+            channel.answer(query, timeout=30)
+            with pytest.raises(RateLimitError):
+                channel.submit(query)
+            stats = registry.get(key_id).stats()
+            assert stats["rate"] == 1.0
+            assert stats["rate_limited"] == 1
+            assert stats["rejected"] == 1
+            # The refusal spent no in-flight quota and the frontend
+            # counted the shed for the metrics view.
+            assert registry.get(key_id).in_flight == 0
+            assert frontend.metrics.snapshot().rate_limited == 1
+
+    def test_rate_refusal_checked_before_quota(self, actors):
+        """A rate-refused batch must not consume in-flight positions."""
+        server, user, database, key_id = actors
+        clock = _FakeClock()
+        registry = TenantRegistry()
+        registry.register(
+            TenantConfig(key_id, max_in_flight=8, rate=1.0, burst=1.0),
+            clock=clock,
+        )
+        queries = [user.encrypt_query(database[i] + 0.01, 3) for i in range(3)]
+        with server.serving_frontend(batch_window_seconds=0.0) as frontend:
+            channel = TenantAdmission(frontend, registry).channel(key_id)
+            with pytest.raises(RateLimitError):
+                channel.submit_batch(queries)
             assert registry.get(key_id).in_flight == 0

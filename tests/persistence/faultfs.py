@@ -14,12 +14,9 @@ modeling a torn page.
 from __future__ import annotations
 
 from repro.core.journal import FileOps
+from repro.testing.faults import CallTrigger, InjectedFault
 
 __all__ = ["InjectedFault", "CountingOps", "FaultyOps"]
-
-
-class InjectedFault(RuntimeError):
-    """The simulated crash — never caught by production code."""
 
 
 class CountingOps(FileOps):
@@ -59,13 +56,16 @@ class FaultyOps(FileOps):
     """
 
     def __init__(self, fail_at: int, torn: bool = False) -> None:
-        self.calls = 0
+        self._trigger = CallTrigger(fail_at)
         self.fail_at = fail_at
         self.torn = torn
 
+    @property
+    def calls(self) -> int:
+        return self._trigger.calls
+
     def _trip(self) -> bool:
-        self.calls += 1
-        return self.calls == self.fail_at
+        return self._trigger.observe()
 
     def write(self, fh, data):
         if self._trip():

@@ -547,6 +547,127 @@ class TestNetworkServe:
             _parse_hostport("host:notaport")
 
 
+class TestResilienceFlags:
+    def test_parser_defaults(self):
+        for base in (
+            ["query", "--index", "i.npz", "--keys", "k.npz", "--queries", "q.npy"],
+            ["serve", "--index", "i.npz", "--keys", "k.npz", "--queries", "q.npy"],
+        ):
+            args = build_parser().parse_args(base)
+            assert args.deadline_ms is None
+            assert args.retries == 0
+            args = build_parser().parse_args(
+                [*base, "--deadline-ms", "500", "--retries", "3"]
+            )
+            assert args.deadline_ms == 500
+            assert args.retries == 3
+        args = build_parser().parse_args(["listen", "--index", "i.npz"])
+        assert args.max_connections is None
+        args = build_parser().parse_args(
+            ["listen", "--index", "i.npz", "--max-connections", "16"]
+        )
+        assert args.max_connections == 16
+
+    def test_tenant_rate_spec(self):
+        from repro.cli import _parse_tenant_spec
+
+        config = _parse_tenant_spec("42:secret:8:25.5")
+        assert (config.key_id, config.token, config.max_in_flight) == (
+            42, "secret", 8,
+        )
+        assert config.rate == 25.5
+        # Rate without token or quota: empty segments stay unset.
+        config = _parse_tenant_spec("9:::2.5")
+        assert config.token is None
+        assert config.max_in_flight is None
+        assert config.rate == 2.5
+        with pytest.raises(SystemExit, match="rate"):
+            _parse_tenant_spec("1:tok:2:fast")
+        with pytest.raises(SystemExit):
+            _parse_tenant_spec("1:tok:2:-3.0")  # TenantConfig refuses
+
+    def test_invalid_deadline_and_retries_fail_fast(self, cli_workspace):
+        from repro.core.errors import ParameterError
+
+        root, _, _ = cli_workspace
+        base = [
+            "query",
+            "--index", str(root / "index.npz"),
+            "--keys", str(root / "keys.npz"),
+            "--queries", str(root / "queries.fvecs"),
+        ]
+        with pytest.raises(ParameterError, match="deadline-ms"):
+            main([*base, "--deadline-ms", "0"])
+        with pytest.raises(ParameterError, match="retries"):
+            main([*base, "--retries", "-1"])
+
+    def test_serve_retries_needs_connect(self, cli_workspace):
+        root, _, _ = cli_workspace
+        with pytest.raises(SystemExit, match="connect"):
+            main(
+                [
+                    "serve",
+                    "--index", str(root / "index.npz"),
+                    "--keys", str(root / "keys.npz"),
+                    "--queries", str(root / "queries.fvecs"),
+                    "--retries", "2",
+                ]
+            )
+
+    def test_query_with_budget_matches_plain_query(self, cli_workspace, capsys):
+        root, _, _ = cli_workspace
+        base = [
+            "query",
+            "--index", str(root / "index.npz"),
+            "--keys", str(root / "keys.npz"),
+            "--queries", str(root / "queries.fvecs"),
+            "-k", "5",
+            "--seed", "2",
+        ]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main([*base, "--deadline-ms", "60000", "--retries", "2"]) == 0
+        budgeted = capsys.readouterr().out
+        plain_ids = [l for l in plain.splitlines() if l.startswith("query")]
+        budgeted_ids = [
+            l for l in budgeted.splitlines() if l.startswith("query")
+        ]
+        assert plain_ids == budgeted_ids
+
+    def test_remote_serve_reports_budget_and_retries(
+        self, cli_workspace, capsys
+    ):
+        from repro.core.persistence import load_index
+        from repro.core.roles import CloudServer
+        from repro.net import NetServer, TenantConfig
+
+        root, _, _ = cli_workspace
+        index = load_index(str(root / "index.npz"))
+        server = CloudServer(index)
+        with server.serving_frontend(batch_window_seconds=0.002) as frontend:
+            with NetServer(
+                frontend, [TenantConfig(int(index.dce_database.key_id))]
+            ) as net:
+                host, port = net.address
+                code = main(
+                    [
+                        "serve",
+                        "--connect", f"{host}:{port}",
+                        "--keys", str(root / "keys.npz"),
+                        "--queries", str(root / "queries.fvecs"),
+                        "-k", "5",
+                        "--json",
+                        "--seed", "2",
+                        "--deadline-ms", "60000",
+                        "--retries", "2",
+                    ]
+                )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deadline_ms"] == 60000
+        assert payload["client_retries"] == 0  # healthy run: no retries
+
+
 class TestWorkload:
     def test_workload_json(self, capsys):
         code = main(
