@@ -132,6 +132,7 @@ def test_executor_filter_sweep():
                 "queries": N_QUERIES,
                 "repeats": REPEATS,
                 "mode": "filter_only",
+                "filter_engine": thread_server.filter_engine,
                 **bench_environment(executor="processes"),
                 "process_plane_available": process_plane_available(),
                 "thread_qps": thread_qps,

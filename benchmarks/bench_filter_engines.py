@@ -1,0 +1,292 @@
+"""Filter engines: seed beam-search oracle vs. CSR / batched kernels.
+
+The filter phase — k'-ANNS over the DCPE ciphertexts — dominates the
+server's wall clock, and the seed implementation is a per-query Python
+beam search over list-of-lists adjacency.  The ``vectorized`` engine
+(``repro.core.filterengine``) walks a flat CSR snapshot of the graph
+with an epoch-stamped visited array and whole-row numpy gathers, and on
+the flat backends answers an entire micro-batch with one norm-cached
+GEMM — replaying the oracle's decisions exactly, so ids, distances and
+stats are bit-identical.
+
+This bench isolates the filter stage: backends are built directly over
+random "ciphertext" vectors (DCPE output is distributionally just a
+scaled/perturbed cloud, and the engines never look past the backend
+interface), so the timing contains nothing but engine work.  It sweeps
+an ``(n, d, ef_search, backend)`` grid per engine plus the batched
+multi-query path (``engine.search_batch`` — the call
+``execute_batch`` actually drives: the graph backends' lockstep beam
+search, the flat backends' norm-cached GEMM) and writes the
+machine-readable ``BENCH_filter.json`` next to the repo root.
+
+Acceptance bars (graded hosts — see ``benchmarks/grading.py``): the
+vectorized engine's batched path must beat the heap engine by ≥2x at
+``n=4096, d=64, ef_search=128`` on the HNSW backend, and the batched
+brute-force path must beat the per-query oracle loop by ≥3x at batch
+size 32.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.grading import bench_environment, is_graded
+from repro.core.backends import build_backend
+from repro.core.filterengine import FILTER_ENGINES
+from repro.eval.reporting import format_table
+from repro.hnsw.graph import HNSWParams, SearchStats
+
+N_QUERIES = 24
+REPEATS = 5
+K_PRIME = 32
+BATCH_SIZE = 32
+
+#: The swept ``(n, d, ef_search, backend)`` grid; the hnsw entry at
+#: ``(4096, 64, 128)`` is the acceptance-bar configuration.
+GRID = (
+    (1024, 32, 64, "hnsw"),
+    (2048, 64, 64, "nsg"),
+    (4096, 64, 128, "hnsw"),
+    (4096, 64, 128, "ivf"),
+)
+
+#: The configuration the ≥2x batched assertion applies to.
+ACCEPTANCE = (4096, 64, 128, "hnsw")
+
+#: Backends whose ``search_batch`` is a genuinely batched kernel
+#: (lockstep beam search on the graphs, one GEMM on the flat backends);
+#: the hnsw entry carries the ≥2x and the bruteforce entry the ≥3x
+#: acceptance bar.
+BATCHED_GRID = (
+    (4096, 64, 128, "hnsw"),
+    (4096, 64, 128, "nsg"),
+    (4096, 64, None, "bruteforce"),
+    (4096, 64, None, "ivf"),
+)
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_filter.json"
+
+
+def _build(kind: str, n: int, d: int, seed: int = 60):
+    """A filter backend over random ciphertext-like vectors + queries."""
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n, d)) * 2.0
+    queries = rng.standard_normal((N_QUERIES, d)) * 2.0
+    params = HNSWParams(m=8, ef_construction=64) if kind == "hnsw" else None
+    build_mode = "bulk" if kind == "hnsw" else "sequential"
+    backend = build_backend(
+        kind, vectors, rng=np.random.default_rng(seed + 1),
+        params=params, build_mode=build_mode,
+    )
+    return backend, queries
+
+
+def _engine_seconds(engine, backend, queries, ef_search):
+    """(median, best) over repeats of the all-queries filter wall clock.
+
+    The JSON artifact records the median (the representative number);
+    the speedup assertion uses the best so a single scheduler hiccup on
+    a loaded CI host cannot fail the bar.
+    """
+    samples = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for row in range(queries.shape[0]):
+            engine.search(backend, queries[row], K_PRIME, ef_search=ef_search)
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples)), float(min(samples))
+
+
+def _assert_identical(backend, queries, ef_search):
+    """Every engine answer must be bit-identical to the heap oracle."""
+    for row in range(queries.shape[0]):
+        answers = {}
+        for name, engine in FILTER_ENGINES.items():
+            stats = SearchStats()
+            ids, dists = engine.search(
+                backend, queries[row], K_PRIME, ef_search=ef_search, stats=stats
+            )
+            answers[name] = (ids, dists, stats)
+        ids_h, dists_h, stats_h = answers["heap"]
+        ids_v, dists_v, stats_v = answers["vectorized"]
+        assert np.array_equal(ids_h, ids_v), f"ids diverged on query {row}"
+        assert np.array_equal(dists_h, dists_v)
+        assert stats_h.distance_computations == stats_v.distance_computations
+        assert stats_h.hops == stats_v.hops
+
+
+def test_filter_engine_grid():
+    """Heap vs vectorized across the grid; JSON artifact + speedup bars."""
+    rows = []
+    configs = []
+    speedups = {}
+    for n, d, ef_search, kind in GRID:
+        backend, queries = _build(kind, n, d)
+        _assert_identical(backend, queries, ef_search)
+        medians = {}
+        bests = {}
+        for name, engine in FILTER_ENGINES.items():
+            medians[name], bests[name] = _engine_seconds(
+                engine, backend, queries, ef_search
+            )
+        speedup = (
+            bests["heap"] / bests["vectorized"]
+            if bests["vectorized"] > 0
+            else float("inf")
+        )
+        speedups[(n, d, ef_search, kind)] = speedup
+        configs.append(
+            {
+                "n": n,
+                "d": d,
+                "ef_search": ef_search,
+                "backend": kind,
+                "k_prime": K_PRIME,
+                "engines": {
+                    name: {
+                        "median_seconds": medians[name],
+                        "best_seconds": bests[name],
+                    }
+                    for name in medians
+                },
+                "speedup": speedup,
+            }
+        )
+        rows.append(
+            [
+                n,
+                d,
+                ef_search,
+                kind,
+                medians["heap"] * 1e3 / N_QUERIES,
+                medians["vectorized"] * 1e3 / N_QUERIES,
+                speedup,
+            ]
+        )
+
+    # The batched multi-query path — the call ``execute_batch``
+    # actually drives: lockstep beam search on the graph backends, one
+    # GEMM per micro-batch on the flat ones, vs the heap engine's
+    # per-query oracle loop.  Samples interleave the engines so drift
+    # on a noisy host hits both columns alike.
+    batched_rows = []
+    batched_configs = []
+    batched_speedups = {}
+    for n, d, ef_search, kind in BATCHED_GRID:
+        backend, _ = _build(kind, n, d)
+        batch = np.random.default_rng(61).standard_normal((BATCH_SIZE, d)) * 2.0
+        heap_out = FILTER_ENGINES["heap"].search_batch(
+            backend, batch, K_PRIME, ef_search=ef_search
+        )
+        vec_out = FILTER_ENGINES["vectorized"].search_batch(
+            backend, batch, K_PRIME, ef_search=ef_search
+        )
+        for (ids_h, dists_h), (ids_v, dists_v) in zip(heap_out, vec_out):
+            assert np.array_equal(ids_h, ids_v), f"batched ids diverged on {kind}"
+            assert np.array_equal(dists_h, dists_v)
+        samples = {name: [] for name in FILTER_ENGINES}
+        for _ in range(REPEATS):
+            for name, engine in FILTER_ENGINES.items():
+                start = time.perf_counter()
+                engine.search_batch(backend, batch, K_PRIME, ef_search=ef_search)
+                samples[name].append(time.perf_counter() - start)
+        medians = {name: float(np.median(vals)) for name, vals in samples.items()}
+        bests = {name: float(min(vals)) for name, vals in samples.items()}
+        speedup = (
+            bests["heap"] / bests["vectorized"]
+            if bests["vectorized"] > 0
+            else float("inf")
+        )
+        batched_speedups[kind] = speedup
+        batched_configs.append(
+            {
+                "n": n,
+                "d": d,
+                "ef_search": ef_search,
+                "backend": kind,
+                "batch_size": BATCH_SIZE,
+                "k_prime": K_PRIME,
+                "engines": {
+                    name: {
+                        "median_seconds": medians[name],
+                        "best_seconds": bests[name],
+                    }
+                    for name in medians
+                },
+                "speedup": speedup,
+            }
+        )
+        batched_rows.append(
+            [
+                n,
+                d,
+                kind,
+                medians["heap"] * 1e3 / BATCH_SIZE,
+                medians["vectorized"] * 1e3 / BATCH_SIZE,
+                speedup,
+            ]
+        )
+
+    _RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "queries": N_QUERIES,
+                "repeats": REPEATS,
+                "k_prime": K_PRIME,
+                **bench_environment(executor="threads"),
+                "configs": configs,
+                "batched": batched_configs,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    print()
+    print(
+        format_table(
+            ["n", "d", "ef", "backend", "heap ms/q", "vectorized ms/q", "speedup"],
+            rows,
+            title=f"filter engines, q={N_QUERIES}, median of {REPEATS} repeats",
+        )
+    )
+    print(
+        format_table(
+            ["n", "d", "backend", "heap ms/q", "vectorized ms/q", "speedup"],
+            batched_rows,
+            title=f"batched filter path, batch={BATCH_SIZE}",
+        )
+    )
+    print(f"wrote {_RESULT_PATH.name}")
+
+    # Mirroring bench_refine_engines.py, the bars are guarded: shared
+    # CI runners only check that the vectorized engine is not slower —
+    # their multi-tenant clocks are too noisy for a perf bar — while
+    # real hosts assert a floor graded by core count (the win is
+    # interpreter dispatch, not parallelism, but 1-core boxes are
+    # typically also the throttled ones, and the lockstep fusion's
+    # round-level numpy calls amortize less on them).  The per-query
+    # grid above is informational: serving batches queries, so the bars
+    # sit on the batched path.
+    cores = os.cpu_count() or 1
+    if is_graded():
+        floor, batched_floor = 2.0, 3.0
+    elif os.environ.get("CI"):
+        floor = batched_floor = 1.0
+    else:
+        floor = 1.5 if cores >= 2 else 1.25
+        batched_floor = 2.0 if cores >= 2 else 1.5
+    best = batched_speedups["hnsw"]
+    assert best >= floor, (
+        f"lockstep filter speedup {best:.2f}x below the {floor}x bar at "
+        f"n={ACCEPTANCE[0]}, d={ACCEPTANCE[1]}, ef_search={ACCEPTANCE[2]}, "
+        f"backend={ACCEPTANCE[3]}, batch={BATCH_SIZE} ({cores} cores)"
+    )
+    batched_best = batched_speedups["bruteforce"]
+    assert batched_best >= batched_floor, (
+        f"batched bruteforce speedup {batched_best:.2f}x below the "
+        f"{batched_floor}x bar at batch={BATCH_SIZE} ({cores} cores)"
+    )

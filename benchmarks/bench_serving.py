@@ -194,6 +194,7 @@ def test_serving_window_sweep():
                 "repeats": REPEATS,
                 "max_batch_size": MAX_BATCH,
                 "rate_multiplier": RATE_MULTIPLIER,
+                "filter_engine": server.filter_engine,
                 **bench_environment(executor="threads"),
                 "sequential_qps": sequential_qps,
                 "windows": windows,

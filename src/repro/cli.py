@@ -15,7 +15,8 @@ A deployable front-end over the library for the three lifecycle stages:
   queries from a file, answer them in one pipelined pass, print neighbor
   ids (or a JSON report with ``--json``).  ``--filter-only`` runs the
   filter phase alone; ``--refine-engine heap|vectorized`` selects the
-  refine-stage engine.
+  refine-stage engine and ``--filter-engine heap|vectorized`` the
+  filter-stage k'-ANNS engine (bit-identical results either way).
 * ``demo``   — one-command end-to-end demo on a synthetic dataset with a
   recall report.
 * ``info``   — inspect an index without keys: backend kind, shard
@@ -71,6 +72,7 @@ from repro.core.executor import EXECUTOR_MODES
 from repro.core.journal import IndexJournal
 from repro.core.maintenance import compact_index
 from repro.core.persistence import load_index, load_keys, save_index, save_keys
+from repro.core.filterengine import available_filter_engines
 from repro.core.refine import available_refine_engines
 from repro.core.sharding import SHARD_STRATEGIES
 from repro.core.roles import CloudServer, DataOwner, QueryUser
@@ -261,6 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="refine-stage engine (default: the server's vectorized engine)",
     )
     query.add_argument(
+        "--filter-engine",
+        choices=available_filter_engines(),
+        default=None,
+        help="filter-stage k'-ANNS engine (default: the server's "
+        "vectorized engine; bit-identical results either way)",
+    )
+    query.add_argument(
         "--filter-only",
         action="store_true",
         help="run the filter phase only (skip DCE refinement)",
@@ -305,6 +314,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_refine_engines(),
         default=None,
         help="refine-stage engine (default: vectorized)",
+    )
+    demo.add_argument(
+        "--filter-engine",
+        choices=available_filter_engines(),
+        default=None,
+        help="filter-stage engine (default: vectorized)",
     )
     demo.add_argument("--seed", type=int, default=0)
 
@@ -372,6 +387,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_refine_engines(),
         default=None,
         help="refine-stage engine (default: the server's vectorized engine)",
+    )
+    serve.add_argument(
+        "--filter-engine",
+        choices=available_filter_engines(),
+        default=None,
+        help="filter-stage k'-ANNS engine (default: the server's "
+        "vectorized engine)",
     )
     serve.add_argument(
         "--max-batch",
@@ -492,6 +514,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="refine-stage engine (default: the server's vectorized engine)",
     )
+    listen.add_argument(
+        "--filter-engine",
+        choices=available_filter_engines(),
+        default=None,
+        help="filter-stage k'-ANNS engine (default: the server's "
+        "vectorized engine)",
+    )
     listen.add_argument("--max-batch", type=int, default=32)
     listen.add_argument(
         "--batch-window",
@@ -591,6 +620,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     server = CloudServer(
         index,
         refine_engine=args.refine_engine,
+        filter_engine=args.filter_engine,
         executor=args.executor,
         workers=args.workers,
     )
@@ -629,6 +659,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
             "upload_bytes": batch.upload_bytes(),
             "download_bytes": results.download_bytes(),
             "refine_comparisons": results.refine_comparisons,
+            # The filter phase runs in every mode, so these are
+            # unconditional (unlike the refine fields below).
+            "filter_engine": server.filter_engine,
+            "filter_kernel_seconds": results.filter_kernel_seconds,
         }
         if batch.request.mode == "full":
             payload["refine_engine"] = server.refine_engine
@@ -686,7 +720,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         shards=args.shards, rng=rng,
     )
     index = owner.build_index(dataset.database)
-    server = CloudServer(index, refine_engine=args.refine_engine)
+    server = CloudServer(
+        index,
+        refine_engine=args.refine_engine,
+        filter_engine=args.filter_engine,
+    )
     user = QueryUser(owner.authorize_user(), rng=rng)
     truth = compute_ground_truth(dataset.database, dataset.queries, args.k)
     batch = user.encrypt_queries(dataset.queries, args.k, ef_search=120)
@@ -852,6 +890,7 @@ def _serve_local(args: argparse.Namespace, encrypted, key_id: int, index):
     server = CloudServer(
         index,
         refine_engine=args.refine_engine,
+        filter_engine=args.filter_engine,
         executor=args.executor,
         workers=args.workers,
     )
@@ -957,6 +996,7 @@ def _cmd_listen(args: argparse.Namespace) -> int:
     server = CloudServer(
         index,
         refine_engine=args.refine_engine,
+        filter_engine=args.filter_engine,
         executor=args.executor,
         workers=args.workers,
     )

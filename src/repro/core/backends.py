@@ -18,6 +18,13 @@ Contract (the :class:`FilterBackend` protocol):
   over the DCPE ciphertext matrix;
 * ``search(sap_query, k_prime, ef_search=..., stats=...)`` — k'-ANNS on
   ciphertexts, returning ``(ids, squared_distances)`` nearest-first;
+* ``search_vectorized(...)`` — same contract, bit-identical results,
+  served from the substrate's flat (CSR) search mode where one exists
+  (graph backends) — the ``vectorized`` filter engine's per-query path;
+* ``search_batch(sap_queries, k_prime, ...)`` — multi-query filtering;
+  the default loops ``search`` per query, while brute-force and IVF
+  override it with genuinely batched GEMM kernels (``batched_kernel``
+  advertises the override, and results stay bit-identical to the loop);
 * ``insert(sap_row)`` / ``mark_deleted(vector_id)`` — maintenance
   (Section V-D), keeping ids aligned with ``C_SAP`` / ``C_DCE``;
 * ``state_arrays()`` / ``from_state(...)`` — persistence hooks.
@@ -66,6 +73,10 @@ class FilterBackend(Protocol):
 
     kind: ClassVar[str]
 
+    #: Whether ``search_batch`` is a genuinely batched kernel (GEMM per
+    #: micro-batch) rather than the default per-query loop.
+    batched_kernel: ClassVar[bool]
+
     @property
     def substrate(self):  # pragma: no cover - trivial accessor
         """The wrapped index object."""
@@ -84,6 +95,27 @@ class FilterBackend(Protocol):
         stats: SearchStats | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """k'-ANNS over DCPE ciphertexts: ``(ids, dists)`` nearest-first."""
+        ...
+
+    def search_vectorized(
+        self,
+        sap_query: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats: SearchStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Same contract and bit-identical results as :meth:`search`,
+        served from the substrate's flat search mode where one exists."""
+        ...
+
+    def search_batch(
+        self,
+        sap_queries: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats_list: "list[SearchStats] | None" = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Multi-query filtering, bit-identical to looping :meth:`search`."""
         ...
 
     def insert(self, sap_row: np.ndarray) -> int:
@@ -107,6 +139,7 @@ class HNSWBackend:
     """The paper's default: an HNSW graph over ``C_SAP`` (Section V-A)."""
 
     kind: ClassVar[str] = "hnsw"
+    batched_kernel: ClassVar[bool] = True
 
     def __init__(self, graph: HNSWIndex) -> None:
         self._graph = graph
@@ -152,6 +185,43 @@ class HNSWBackend:
     ) -> tuple[np.ndarray, np.ndarray]:
         """k'-ANNS over DCPE ciphertexts: ``(ids, dists)`` nearest-first."""
         return self._graph.search(sap_query, k_prime, ef_search=ef_search, stats=stats)
+
+    def search_vectorized(
+        self,
+        sap_query: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats: SearchStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bit-identical :meth:`search` over the graph's CSR search mode."""
+        return self._graph.search_vectorized(
+            sap_query, k_prime, ef_search=ef_search, stats=stats
+        )
+
+    def search_batch(
+        self,
+        sap_queries: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats_list: "list[SearchStats] | None" = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Lockstep multi-query beam search, bit-identical per query.
+
+        The whole micro-batch marches over the CSR snapshot together
+        and each round's distance blocks are fused into one gather +
+        einsum (see :meth:`repro.hnsw.graph.HNSWIndex.search_batch`).
+        """
+        return self._graph.search_batch(
+            sap_queries, k_prime, ef_search=ef_search, stats_list=stats_list
+        )
+
+    def search_mode_arrays(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-layer CSR ``(indptr, indices)`` pairs (shm publishing)."""
+        return self._graph.search_mode_arrays()
+
+    def adopt_search_mode(self, layers) -> None:
+        """Install externally provided CSR layers (zero-copy attach)."""
+        self._graph.adopt_search_mode(layers)
 
     def insert(self, sap_row: np.ndarray, level: int | None = None) -> int:
         """Insert one DCPE ciphertext row; returns the assigned id.
@@ -261,6 +331,7 @@ class NSGBackend:
     """Flat NSG-style proximity graph backend."""
 
     kind: ClassVar[str] = "nsg"
+    batched_kernel: ClassVar[bool] = True
 
     def __init__(self, index: NSGIndex) -> None:
         self._index = index
@@ -299,6 +370,43 @@ class NSGBackend:
     ) -> tuple[np.ndarray, np.ndarray]:
         """k'-ANNS over DCPE ciphertexts: ``(ids, dists)`` nearest-first."""
         return self._index.search(sap_query, k_prime, ef_search=ef_search, stats=stats)
+
+    def search_vectorized(
+        self,
+        sap_query: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats: SearchStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bit-identical :meth:`search` over the graph's CSR search mode."""
+        return self._index.search_vectorized(
+            sap_query, k_prime, ef_search=ef_search, stats=stats
+        )
+
+    def search_batch(
+        self,
+        sap_queries: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats_list: "list[SearchStats] | None" = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Lockstep multi-query beam search, bit-identical per query.
+
+        The whole micro-batch marches over the CSR snapshot together
+        and each round's distance blocks are fused into one gather +
+        einsum (see :meth:`repro.hnsw.nsg.NSGIndex.search_batch`).
+        """
+        return self._index.search_batch(
+            sap_queries, k_prime, ef_search=ef_search, stats_list=stats_list
+        )
+
+    def search_mode_arrays(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-layer CSR ``(indptr, indices)`` pairs (shm publishing)."""
+        return self._index.search_mode_arrays()
+
+    def adopt_search_mode(self, layers) -> None:
+        """Install externally provided CSR layers (zero-copy attach)."""
+        self._index.adopt_search_mode(layers)
 
     def insert(self, sap_row: np.ndarray) -> int:
         """Insert one DCPE ciphertext row; returns the assigned id."""
@@ -360,6 +468,7 @@ class IVFBackend:
     """
 
     kind: ClassVar[str] = "ivf"
+    batched_kernel: ClassVar[bool] = True
 
     def __init__(self, index: IVFFlatIndex, default_nprobe: int = 4) -> None:
         if default_nprobe < 1:
@@ -409,6 +518,31 @@ class IVFBackend:
         """k'-ANNS over DCPE ciphertexts: ``(ids, dists)`` nearest-first."""
         return self._index.search(
             sap_query, k_prime, nprobe=self._nprobe_for(ef_search), stats=stats
+        )
+
+    def search_vectorized(
+        self,
+        sap_query: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats: SearchStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Alias of :meth:`search` — the IVF scan is already array code."""
+        return self.search(sap_query, k_prime, ef_search=ef_search, stats=stats)
+
+    def search_batch(
+        self,
+        sap_queries: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats_list: "list[SearchStats] | None" = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched probe-and-rerank (norm-cached GEMV preselect)."""
+        return self._index.search_batch(
+            sap_queries,
+            k_prime,
+            nprobe=self._nprobe_for(ef_search),
+            stats_list=stats_list,
         )
 
     def insert(self, sap_row: np.ndarray) -> int:
@@ -473,6 +607,7 @@ class BruteForceBackend:
     """Exact linear scan — the no-index reference backend."""
 
     kind: ClassVar[str] = "bruteforce"
+    batched_kernel: ClassVar[bool] = True
 
     def __init__(self, index: BruteForceIndex) -> None:
         self._index = index
@@ -511,6 +646,28 @@ class BruteForceBackend:
     ) -> tuple[np.ndarray, np.ndarray]:
         """k'-ANNS over DCPE ciphertexts: ``(ids, dists)`` nearest-first."""
         return self._index.search(sap_query, k_prime, ef_search=ef_search, stats=stats)
+
+    def search_vectorized(
+        self,
+        sap_query: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats: SearchStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Alias of :meth:`search` — the linear scan is already array code."""
+        return self.search(sap_query, k_prime, ef_search=ef_search, stats=stats)
+
+    def search_batch(
+        self,
+        sap_queries: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats_list: "list[SearchStats] | None" = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched exact scan: one GEMM for the whole micro-batch."""
+        return self._index.search_batch(
+            sap_queries, k_prime, ef_search=ef_search, stats_list=stats_list
+        )
 
     def insert(self, sap_row: np.ndarray) -> int:
         """Insert one DCPE ciphertext row; returns the assigned id."""

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.backends import FilterBackend, HNSWBackend
 from repro.core.dce import DCEEncryptedDatabase
 from repro.core.errors import CiphertextFormatError, ParameterError
+from repro.core.filterengine import get_filter_engine
 from repro.hnsw.graph import HNSWIndex
 
 __all__ = ["EncryptedIndex", "IndexSizeReport"]
@@ -260,6 +261,7 @@ class EncryptedIndex:
         k_prime: int,
         ef_search: int | None = None,
         stats=None,
+        engine=None,
     ) -> tuple[np.ndarray, np.ndarray, tuple | None]:
         """Filter-phase k'-ANNS over ``C_SAP``.
 
@@ -267,16 +269,48 @@ class EncryptedIndex:
         element is always ``None`` for a monolithic index — the sharded
         index (:class:`~repro.core.sharding.ShardedEncryptedIndex`)
         answers the same call by scatter-gather and fills it in.
+        ``engine`` selects the filter engine (name, instance or ``None``
+        for the default — see :mod:`repro.core.filterengine`); every
+        engine returns bit-identical results.
         """
         # One read of the swap-atomic view: a concurrent compaction can
         # replace self._view but never mutate the tuple we hold.
         view = self._view
-        ids, dists = view.backend.search(
-            sap_query, k_prime, ef_search=ef_search, stats=stats
+        ids, dists = get_filter_engine(engine).search(
+            view.backend, sap_query, k_prime, ef_search=ef_search, stats=stats
         )
         if view.live_ids is not None and ids.size:
             ids = np.where(ids >= 0, view.live_ids[np.clip(ids, 0, None)], ids)
         return ids, dists, None
+
+    def filter_search_batch(
+        self,
+        sap_queries: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats_list=None,
+        engine=None,
+    ) -> list[tuple[np.ndarray, np.ndarray, tuple | None]]:
+        """Filter-phase k'-ANNS for a whole micro-batch of queries.
+
+        One ``(ids, dists, shard_timings)`` tuple per query, in order —
+        the per-query contract of :meth:`filter_search`, but the engine
+        may answer the batch with one kernel where the backend supports
+        it (``vectorized`` engine: one GEMM on brute-force / IVF, a
+        lockstep beam search on the graph backends).  Results are
+        bit-identical to looping :meth:`filter_search`.
+        """
+        view = self._view
+        results = get_filter_engine(engine).search_batch(
+            view.backend, sap_queries, k_prime, ef_search=ef_search,
+            stats_list=stats_list,
+        )
+        out: list[tuple[np.ndarray, np.ndarray, tuple | None]] = []
+        for ids, dists in results:
+            if view.live_ids is not None and ids.size:
+                ids = np.where(ids >= 0, view.live_ids[np.clip(ids, 0, None)], ids)
+            out.append((ids, dists, None))
+        return out
 
     # -- maintenance routing (used by repro.core.maintenance) --------------------
 

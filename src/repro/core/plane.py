@@ -8,8 +8,15 @@ server publishes its ciphertext matrices (every shard's ``C_SAP``
 slice and the global ``C_DCE`` block) into one shared-memory arena
 (:mod:`repro.core.shm`) and spawns worker processes that attach the
 arena **zero-copy** and rebuild their filter backends as numpy views
-over it.  Per batch, only the query ciphertext block crosses the
-process boundary going out and only top-k' id/score arrays come back.
+over it.  Graph backends also get their compiled flat CSR search mode
+(:meth:`~repro.hnsw.graph.HNSWIndex.search_mode_arrays`) published in
+the same arena, so workers adopt the parent's snapshot zero-copy
+instead of recompiling the adjacency per process.  Per batch, only the
+query ciphertext block crosses the process boundary going out and only
+top-k' id/score arrays come back.  The filter engine
+(:mod:`repro.core.filterengine`) travels by name inside the filter
+message and is resolved worker-side, so ``--filter-engine`` behaves
+identically under both executors.
 
 Affinity and routing:
 
@@ -71,6 +78,7 @@ from repro.core.backends import backend_from_state
 from repro.core.dce import DCEEncryptedDatabase, DCETrapdoor
 from repro.core.errors import PPANNSError, ParameterError
 from repro.core.executor import pool_width
+from repro.core.filterengine import get_filter_engine
 from repro.core.protocol import ShardTiming
 from repro.core.refine import RefineOutcome, get_refine_engine
 from repro.core.shm import ShmArena, ShmArrayRef, shared_memory_available
@@ -145,6 +153,12 @@ class _BackendSpec:
     or ``None`` for the identity case).  ``kind`` is ``None`` for an
     empty shard (no backend yet) — the worker answers it with empty
     candidate arrays, like :meth:`repro.core.sharding.Shard.search`.
+
+    ``search_mode_refs`` carries the published flat CSR search mode of
+    a graph backend as alternating ``indptr`` / ``indices`` refs (two
+    per layer); the worker adopts the resolved views so the vectorized
+    engine never recompiles the adjacency.  ``None`` for backends
+    without a search mode (brute force, IVF).
     """
 
     shard_id: int
@@ -153,6 +167,7 @@ class _BackendSpec:
     vectors_ref: "ShmArrayRef | None"
     state: "dict[str, np.ndarray] | None"
     global_ids: "np.ndarray | None"
+    search_mode_refs: "tuple[ShmArrayRef, ...] | None" = None
 
 
 def _map_ids(spec: _BackendSpec, local_ids: np.ndarray) -> np.ndarray:
@@ -174,31 +189,71 @@ def _map_ids(spec: _BackendSpec, local_ids: np.ndarray) -> np.ndarray:
     return local_ids
 
 
-def _worker_filter(built, rows: np.ndarray, k_prime: int, ef_search: "int | None"):
-    """Run every owned backend over every query row; fully instrumented."""
+def _worker_filter(
+    built,
+    rows: np.ndarray,
+    k_prime: int,
+    ef_search: "int | None",
+    engine_name: str,
+):
+    """Run every owned backend over every query row; fully instrumented.
+
+    The engine arrives by name and is resolved here, worker-side, so
+    the plane serves exactly the registry engine the thread path would
+    use.  Backends that advertise a genuinely batched kernel take the
+    whole row block through ``engine.search_batch`` (one GEMM for the
+    brute-force / IVF paths, with the per-backend wall time smeared
+    evenly across the rows); everything else loops the engine's
+    per-query path with true per-query timing.
+    """
+    engine = get_filter_engine(engine_name)
     payload = []
     for spec, backend in built:
         per_query = []
-        for row in rows:
+        if (
+            backend is not None
+            and len(rows) > 1
+            and getattr(backend, "batched_kernel", False)
+        ):
+            stats_list = [SearchStats() for _ in range(len(rows))]
             start = time.perf_counter()
-            stats = SearchStats()
-            if backend is None:
-                ids = np.empty(0, dtype=np.int64)
-                dists = np.empty(0)
-            else:
-                local_ids, dists = backend.search(
-                    row, k_prime, ef_search=ef_search, stats=stats
-                )
-                ids = _map_ids(spec, local_ids)
-            per_query.append(
-                (
-                    ids,
-                    dists,
-                    time.perf_counter() - start,
-                    stats.distance_computations,
-                    stats.hops,
-                )
+            results = engine.search_batch(
+                backend, rows, k_prime, ef_search=ef_search, stats_list=stats_list
             )
+            share = (time.perf_counter() - start) / len(rows)
+            for (local_ids, dists), stats in zip(results, stats_list):
+                per_query.append(
+                    (
+                        _map_ids(spec, local_ids),
+                        dists,
+                        share,
+                        stats.distance_computations,
+                        stats.hops,
+                        stats.kernel_seconds,
+                    )
+                )
+        else:
+            for row in rows:
+                start = time.perf_counter()
+                stats = SearchStats()
+                if backend is None:
+                    ids = np.empty(0, dtype=np.int64)
+                    dists = np.empty(0)
+                else:
+                    local_ids, dists = engine.search(
+                        backend, row, k_prime, ef_search=ef_search, stats=stats
+                    )
+                    ids = _map_ids(spec, local_ids)
+                per_query.append(
+                    (
+                        ids,
+                        dists,
+                        time.perf_counter() - start,
+                        stats.distance_computations,
+                        stats.hops,
+                        stats.kernel_seconds,
+                    )
+                )
         payload.append((spec.shard_id, per_query))
     return payload
 
@@ -261,9 +316,13 @@ def _worker_main(conn, init: dict) -> None:
                 built.append((spec, None))
                 continue
             vectors = arena.resolve(spec.vectors_ref)
-            built.append(
-                (spec, backend_from_state(spec.kind, vectors, spec.state, copy=False))
-            )
+            backend = backend_from_state(spec.kind, vectors, spec.state, copy=False)
+            if spec.search_mode_refs:
+                resolved = [arena.resolve(ref) for ref in spec.search_mode_refs]
+                backend.adopt_search_mode(
+                    list(zip(resolved[0::2], resolved[1::2]))
+                )
+            built.append((spec, backend))
         dce = DCEEncryptedDatabase(
             arena.resolve(init["dce_ref"]), init["dce_key_id"]
         )
@@ -291,8 +350,11 @@ def _worker_main(conn, init: dict) -> None:
                 if op == "ping":
                     reply = ("ok", _worker_diagnostics())
                 elif op == "filter":
-                    _, rows, k_prime, ef_search = message
-                    reply = ("ok", _worker_filter(built, rows, k_prime, ef_search))
+                    _, rows, k_prime, ef_search, engine_name = message
+                    reply = (
+                        "ok",
+                        _worker_filter(built, rows, k_prime, ef_search, engine_name),
+                    )
                 elif op == "refine":
                     _, engine_name, key_id, items = message
                     reply = ("ok", _worker_refine(dce, engine_name, key_id, items))
@@ -380,7 +442,29 @@ class ProcessDataPlane:
 
         shards = getattr(index, "shards", None)
         specs: "list[_BackendSpec]" = []
-        vector_arrays: "list[np.ndarray]" = []
+        arrays: "list[np.ndarray]" = []
+        # Per spec index: the published slot of its vectors and of its
+        # CSR search-mode arrays (alternating indptr/indices, two per
+        # layer).  Recording slots instead of iterating refs keeps the
+        # patch-up below correct with a variable number of arrays per
+        # backend.
+        vector_slots: "dict[int, int]" = {}
+        mode_slots: "dict[int, list[int]]" = {}
+
+        def stage_backend(spec_index: int, backend) -> None:
+            vector_slots[spec_index] = len(arrays)
+            arrays.append(np.ascontiguousarray(backend.vectors, dtype=np.float64))
+            mode_arrays = getattr(backend, "search_mode_arrays", None)
+            if mode_arrays is None:
+                return
+            slots: "list[int]" = []
+            for indptr, indices in mode_arrays():
+                slots.append(len(arrays))
+                arrays.append(np.ascontiguousarray(indptr))
+                slots.append(len(arrays))
+                arrays.append(np.ascontiguousarray(indices))
+            mode_slots[spec_index] = slots
+
         if shards is not None:
             self._sharded = True
             for shard in shards:
@@ -390,9 +474,7 @@ class ProcessDataPlane:
                                      shard.global_ids)
                     )
                     continue
-                vector_arrays.append(
-                    np.ascontiguousarray(shard.backend.vectors, dtype=np.float64)
-                )
+                stage_backend(len(specs), shard.backend)
                 specs.append(
                     _BackendSpec(
                         shard.shard_id,
@@ -409,9 +491,7 @@ class ProcessDataPlane:
             # and its live_ids map coherent even under a concurrent
             # compaction (the same discipline filter_search uses).
             view = index._view
-            vector_arrays.append(
-                np.ascontiguousarray(view.backend.vectors, dtype=np.float64)
-            )
+            stage_backend(0, view.backend)
             specs.append(
                 _BackendSpec(
                     0,
@@ -424,13 +504,16 @@ class ProcessDataPlane:
             )
 
         dce = index.dce_database
-        arrays = vector_arrays + [np.ascontiguousarray(dce.components)]
+        arrays.append(np.ascontiguousarray(dce.components))
         self._arena = ShmArena.publish(arrays)
-        ref_iter = iter(self._arena.refs)
-        for spec in specs:
+        refs = self._arena.refs
+        for spec_index, spec in enumerate(specs):
             if spec.kind is not None:
-                spec.vectors_ref = next(ref_iter)
-        self._dce_ref = self._arena.refs[-1]
+                spec.vectors_ref = refs[vector_slots[spec_index]]
+                slots = mode_slots.get(spec_index)
+                if slots is not None:
+                    spec.search_mode_refs = tuple(refs[slot] for slot in slots)
+        self._dce_ref = refs[-1]
         self._dce_key_id = dce.key_id
         self._ctx = multiprocessing.get_context("spawn")
 
@@ -632,31 +715,42 @@ class ProcessDataPlane:
     # -- the batch data path -----------------------------------------------------
 
     def filter_batch(
-        self, sap_rows: np.ndarray, k_prime: int, ef_search: "int | None"
+        self,
+        sap_rows: np.ndarray,
+        k_prime: int,
+        ef_search: "int | None",
+        engine: "str | None" = None,
     ) -> list:
         """Run the filter phase for a query block across the workers.
 
-        Returns one entry per query row: ``(ids, dists, shard_timings,
-        stats, filter_seconds)`` on success or the :class:`Exception`
-        that poisoned that query.  Sharded snapshots broadcast the block
-        and merge per-shard candidates; monolithic snapshots stripe the
-        block across workers.
+        ``engine`` is a registered filter-engine name (``None`` = the
+        default) shipped inside the filter message and resolved
+        worker-side.  Returns one entry per query row: ``(ids, dists,
+        shard_timings, stats, filter_seconds)`` on success or the
+        :class:`Exception` that poisoned that query.  Sharded snapshots
+        broadcast the block and merge per-shard candidates; monolithic
+        snapshots stripe the block across workers.
         """
         if self._closed:
             raise DataPlaneError("data plane is closed")
         self._ensure_workers()
+        # Resolve parent-side too: an unknown name fails fast with the
+        # thread path's ParameterError instead of a worker error.
+        engine_name = get_filter_engine(engine).name
         count = int(sap_rows.shape[0])
         if count == 0:
             return []
         if self._sharded:
-            return self._filter_sharded(sap_rows, count, k_prime, ef_search)
-        return self._filter_striped(sap_rows, count, k_prime, ef_search)
+            return self._filter_sharded(
+                sap_rows, count, k_prime, ef_search, engine_name
+            )
+        return self._filter_striped(sap_rows, count, k_prime, ef_search, engine_name)
 
-    def _filter_sharded(self, sap_rows, count, k_prime, ef_search) -> list:
+    def _filter_sharded(self, sap_rows, count, k_prime, ef_search, engine_name) -> list:
         targets = [
             index for index, worker in enumerate(self._workers) if worker.specs
         ]
-        message = ("filter", sap_rows, k_prime, ef_search)
+        message = ("filter", sap_rows, k_prime, ef_search, engine_name)
         outcomes = self._exchange(targets, [message] * len(targets))
         failure = next(
             (value for value in outcomes.values() if isinstance(value, Exception)),
@@ -677,7 +771,7 @@ class ProcessDataPlane:
             stats = SearchStats()
             total_seconds = 0.0
             for shard_id in sorted(per_shard):
-                ids, dists, seconds, computations, hops = (
+                ids, dists, seconds, computations, hops, kernel_seconds = (
                     per_shard[shard_id][query_index]
                 )
                 id_parts.append(ids)
@@ -691,6 +785,7 @@ class ProcessDataPlane:
                 )
                 stats.distance_computations += int(computations)
                 stats.hops += int(hops)
+                stats.kernel_seconds += kernel_seconds
                 total_seconds += seconds
             all_ids = np.concatenate(id_parts)
             all_dists = np.concatenate(dist_parts)
@@ -709,7 +804,9 @@ class ProcessDataPlane:
             )
         return results
 
-    def _filter_striped(self, sap_rows, count, k_prime, ef_search) -> list:
+    def _filter_striped(
+        self, sap_rows, count, k_prime, ef_search, engine_name
+    ) -> list:
         alive = [
             index for index, worker in enumerate(self._workers) if not worker.dead
         ]
@@ -725,7 +822,9 @@ class ProcessDataPlane:
             if stripe.size == 0:
                 continue
             targets.append(worker_index)
-            messages.append(("filter", sap_rows[stripe], k_prime, ef_search))
+            messages.append(
+                ("filter", sap_rows[stripe], k_prime, ef_search, engine_name)
+            )
             stripe_of[worker_index] = stripe
         outcomes = self._exchange(targets, messages)
         results: list = [None] * count
@@ -738,9 +837,13 @@ class ProcessDataPlane:
                 continue
             ((_, per_query),) = payload
             for position, query_index in enumerate(stripe):
-                ids, dists, seconds, computations, hops = per_query[position]
+                ids, dists, seconds, computations, hops, kernel_seconds = (
+                    per_query[position]
+                )
                 stats = SearchStats(
-                    distance_computations=int(computations), hops=int(hops)
+                    distance_computations=int(computations),
+                    hops=int(hops),
+                    kernel_seconds=kernel_seconds,
                 )
                 results[int(query_index)] = (ids, dists, None, stats, seconds)
         return results

@@ -348,6 +348,13 @@ class SearchResult:
         Wall clock inside the refine engine's batched numeric kernels
         (candidate gather + sign matrix); 0.0 for the scalar ``heap``
         engine.  Always <= ``refine_seconds``.
+    filter_engine:
+        Name of the :class:`~repro.core.filterengine.FilterEngine` that
+        ran the filter stage (``None`` on legacy paths).
+    filter_kernel_seconds:
+        Wall clock inside the filter engine's flat/batched kernels
+        (CSR traversal, batched GEMM scans); 0.0 for the ``heap``
+        engine.  Mirrors ``SearchStats.kernel_seconds``.
     request:
         The resolved request this result answers (None on legacy paths).
     shard_timings:
@@ -363,6 +370,8 @@ class SearchResult:
     refine_seconds: float = 0.0
     refine_engine: str | None = None
     refine_kernel_seconds: float = 0.0
+    filter_engine: str | None = None
+    filter_kernel_seconds: float = 0.0
     request: SearchRequest | None = None
     shard_timings: tuple[ShardTiming, ...] | None = None
 
@@ -475,6 +484,18 @@ class SearchResultBatch:
         """Distinct refine-engine names across the batch (usually one)."""
         return tuple(
             sorted({r.refine_engine for r in self.results if r.refine_engine})
+        )
+
+    @property
+    def filter_kernel_seconds(self) -> float:
+        """Total filter-engine kernel wall clock across the batch."""
+        return sum(r.filter_kernel_seconds for r in self.results)
+
+    @property
+    def filter_engines(self) -> tuple[str, ...]:
+        """Distinct filter-engine names across the batch (usually one)."""
+        return tuple(
+            sorted({r.filter_engine for r in self.results if r.filter_engine})
         )
 
     @property

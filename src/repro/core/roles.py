@@ -32,6 +32,7 @@ from repro.core.dcpe import DCPEScheme, dcpe_keygen, DEFAULT_SCALE
 from repro.core.dce import DCEScheme, DCETrapdoor
 from repro.core.errors import ParameterError
 from repro.core.executor import resolve_executor
+from repro.core.filterengine import FilterEngine, get_filter_engine
 from repro.core.index import EncryptedIndex
 from repro.core.keys import DCEKey, DCPEKey
 from repro.core.protocol import (
@@ -399,6 +400,13 @@ class CloudServer:
         (``"heap"`` / ``"vectorized"``) or instance; ``None`` selects
         :data:`repro.core.refine.DEFAULT_REFINE_ENGINE`.  Per-call
         overrides on :meth:`answer` take precedence.
+    filter_engine:
+        Filter-stage engine (k'-ANNS substrate): an engine name
+        (``"heap"`` / ``"vectorized"``) or instance; ``None`` selects
+        :data:`repro.core.filterengine.DEFAULT_FILTER_ENGINE`.  Both
+        engines are bit-identical — the knob trades the seed's
+        per-query beam search against the flat CSR / batched-kernel
+        path.  Per-call overrides on :meth:`answer` take precedence.
     executor:
         Batch execution mode (one of
         :data:`repro.core.executor.EXECUTOR_MODES`): ``"threads"``
@@ -419,6 +427,7 @@ class CloudServer:
         index: "EncryptedIndex | ShardedEncryptedIndex",
         default_ratio_k: int = 8,
         refine_engine: "str | RefineEngine | None" = None,
+        filter_engine: "str | FilterEngine | None" = None,
         executor: "str | None" = None,
         workers: "int | None" = None,
     ) -> None:
@@ -429,6 +438,7 @@ class CloudServer:
         self._index = index
         self._default_ratio_k = default_ratio_k
         self._refine_engine = get_refine_engine(refine_engine)
+        self._filter_engine = get_filter_engine(filter_engine)
         self._executor = resolve_executor(executor)
         self._workers = workers
         self._plane = None
@@ -449,6 +459,11 @@ class CloudServer:
     def refine_engine(self) -> str:
         """Name of the server's default refine engine."""
         return self._refine_engine.name
+
+    @property
+    def filter_engine(self) -> str:
+        """Name of the server's default filter engine."""
+        return self._filter_engine.name
 
     @property
     def executor(self) -> str:
@@ -557,6 +572,7 @@ class CloudServer:
         max_queue_depth: int = 1024,
         cache_size: int = 0,
         refine_engine: "str | None" = None,
+        filter_engine: "str | None" = None,
     ):
         """An online :class:`~repro.serve.frontend.ServingFrontend` over this server.
 
@@ -577,6 +593,7 @@ class CloudServer:
             max_queue_depth=max_queue_depth,
             cache_size=cache_size,
             refine_engine=refine_engine,
+            filter_engine=filter_engine,
         )
 
     def answer(
@@ -585,14 +602,17 @@ class CloudServer:
         ratio_k: int | None = None,
         ef_search: int | None = None,
         refine_engine: "str | RefineEngine | None" = None,
+        filter_engine: "str | FilterEngine | None" = None,
     ) -> SearchResult | SearchResultBatch:
         """Run Algorithm 2 for one encrypted query or a whole batch.
 
         A batch fans out over the shared worker pool and amortizes
         parameter resolution, the key check and liveness filtering
         across queries; its results are element-wise identical to
-        answering each query individually.  ``refine_engine`` overrides
-        the server's configured engine for this call.
+        answering each query individually.  ``refine_engine`` /
+        ``filter_engine`` override the server's configured engines for
+        this call (``filter_engine`` applies to every mode — the filter
+        phase always runs).
         """
         if refine_engine is not None and query.request.mode == "filter_only":
             raise ParameterError(
@@ -604,6 +624,11 @@ class CloudServer:
             if refine_engine is None
             else get_refine_engine(refine_engine)
         )
+        fengine = (
+            self._filter_engine
+            if filter_engine is None
+            else get_filter_engine(filter_engine)
+        )
         if isinstance(query, EncryptedQueryBatch):
             return execute_batch(
                 self._index,
@@ -612,6 +637,7 @@ class CloudServer:
                 ratio_k=ratio_k,
                 ef_search=ef_search,
                 refine_engine=engine,
+                filter_engine=fengine,
                 data_plane=self.data_plane(),
             )
         request = query.request.resolve(
@@ -625,6 +651,7 @@ class CloudServer:
                 query,
                 ef_search=request.ef_search,
                 k_prime=request.k_prime,
+                filter_engine=fengine,
             )
         return filter_and_refine(
             self._index,
@@ -632,6 +659,7 @@ class CloudServer:
             k_prime=request.k_prime,
             ef_search=request.ef_search,
             refine_engine=engine,
+            filter_engine=fengine,
         )
 
     def answer_filter_only(
@@ -639,9 +667,21 @@ class CloudServer:
         query: EncryptedQuery,
         ef_search: int | None = None,
         k_prime: int | None = None,
+        filter_engine: "str | FilterEngine | None" = None,
     ) -> SearchResult:
         """Filter phase only (the paper's HNSW(filter) reference method)."""
-        return filter_only(self._index, query, ef_search=ef_search, k_prime=k_prime)
+        fengine = (
+            self._filter_engine
+            if filter_engine is None
+            else get_filter_engine(filter_engine)
+        )
+        return filter_only(
+            self._index,
+            query,
+            ef_search=ef_search,
+            k_prime=k_prime,
+            filter_engine=fengine,
+        )
 
     def answer_batch(
         self,

@@ -70,6 +70,11 @@ class PPANNS:
         Refine-stage engine the server runs (``"heap"`` or
         ``"vectorized"``; ``None`` selects the default — see
         :mod:`repro.core.refine`).
+    filter_engine:
+        Filter-stage engine the server runs (``"heap"`` — the seed's
+        per-query beam search — or ``"vectorized"`` — the flat CSR /
+        batched-kernel path, bit-identical; ``None`` selects the
+        default — see :mod:`repro.core.filterengine`).
     executor:
         Server-side batch execution mode: ``"threads"`` (default) or
         ``"processes"`` — the shared-memory data plane
@@ -98,6 +103,7 @@ class PPANNS:
         build_mode: str = "sequential",
         default_ratio_k: int = 8,
         refine_engine: str | None = None,
+        filter_engine: str | None = None,
         executor: str | None = None,
         workers: int | None = None,
         rng: np.random.Generator | None = None,
@@ -120,6 +126,7 @@ class PPANNS:
         self._server: CloudServer | None = None
         self._default_ratio_k = default_ratio_k
         self._refine_engine = refine_engine
+        self._filter_engine = filter_engine
         self._executor = resolve_executor(executor)
         self._workers = workers
         # Frontends created through serve(); held weakly so an
@@ -170,6 +177,7 @@ class PPANNS:
             index,
             default_ratio_k=self._default_ratio_k,
             refine_engine=self._refine_engine,
+            filter_engine=self._filter_engine,
             executor=self._executor,
             workers=self._workers,
         )
@@ -257,6 +265,7 @@ class PPANNS:
         max_queue_depth: int = 1024,
         cache_size: int = 0,
         refine_engine: str | None = None,
+        filter_engine: str | None = None,
     ):
         """An online serving frontend over the fitted server.
 
@@ -283,6 +292,7 @@ class PPANNS:
             max_queue_depth=max_queue_depth,
             cache_size=cache_size,
             refine_engine=refine_engine,
+            filter_engine=filter_engine,
         )
         self._frontends.add(frontend)
         return frontend

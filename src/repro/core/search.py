@@ -74,6 +74,11 @@ import numpy as np
 from repro.core.dce import DCETrapdoor
 from repro.core.errors import KeyMismatchError, ParameterError
 from repro.core.executor import Settled, map_settled
+from repro.core.filterengine import (
+    FILTER_ENGINES,
+    FilterEngine,
+    get_filter_engine,
+)
 from repro.core.index import EncryptedIndex
 from repro.core.protocol import (
     EncryptedQuery,
@@ -143,6 +148,14 @@ class PipelineContext:
     k_prime: int
     live_mask: np.ndarray
     engine: RefineEngine
+    #: Filter-stage engine (name, instance or None for the default);
+    #: resolved to an instance by ``stage_filter``.
+    filter_engine: "FilterEngine | str | None" = None
+    #: Precomputed filter output for this query — set by the batched
+    #: filter pre-pass in :func:`execute_batch_settled` so ``stage_filter``
+    #: consumes ``(ids, dists, shard_timings, stats, seconds)`` instead of
+    #: searching again.
+    prefiltered: tuple | None = None
 
     # -- filled in by the stages --
     ef_search: int | None = None
@@ -151,6 +164,9 @@ class PipelineContext:
     candidate_dists: np.ndarray | None = None
     shard_timings: tuple | None = None
     refine_outcome: RefineOutcome | None = None
+    #: Per-query filter wall clock from the batched pre-pass (the
+    #: batch's filter time smeared evenly); overrides the stage timer.
+    filter_seconds_override: float | None = None
     stage_seconds: dict[str, float] = field(default_factory=dict)
     result: SearchResult | None = None
 
@@ -162,13 +178,29 @@ def stage_resolve(ctx: PipelineContext) -> None:
 
 
 def stage_filter(ctx: PipelineContext) -> None:
-    """k'-ANNS over ``C_SAP`` (Line 1; scatter-gather when sharded)."""
+    """k'-ANNS over ``C_SAP`` (Line 1; scatter-gather when sharded).
+
+    When the batch executor already filtered this query through a
+    batched kernel (``ctx.prefiltered``), the stage just installs that
+    output — ids, distances, timings and stats are bit-identical to
+    searching here.
+    """
+    ctx.filter_engine = get_filter_engine(ctx.filter_engine)
+    if ctx.prefiltered is not None:
+        ids, dists, timings, stats, seconds = ctx.prefiltered
+        ctx.candidate_ids = ids
+        ctx.candidate_dists = dists
+        ctx.shard_timings = timings
+        ctx.filter_stats.merge(stats)
+        ctx.filter_seconds_override = seconds
+        return
     ctx.candidate_ids, ctx.candidate_dists, ctx.shard_timings = (
         ctx.index.filter_search(
             ctx.sap_vector,
             ctx.k_prime,
             ef_search=ctx.ef_search,
             stats=ctx.filter_stats,
+            engine=ctx.filter_engine,
         )
     )
 
@@ -191,14 +223,24 @@ def stage_refine(ctx: PipelineContext) -> None:
 def stage_respond(ctx: PipelineContext) -> None:
     """Assemble the instrumented :class:`SearchResult` from the context."""
     seconds = ctx.stage_seconds
+    filter_seconds = (
+        ctx.filter_seconds_override
+        if ctx.filter_seconds_override is not None
+        else seconds.get("filter", 0.0)
+    )
+    filter_engine = (
+        ctx.filter_engine.name if ctx.filter_engine is not None else None
+    )
     if ctx.refine_outcome is None:
         ctx.result = SearchResult(
             ids=ctx.candidate_ids[: ctx.request.k],
             filter_stats=ctx.filter_stats,
             refine_comparisons=0,
             k_prime=ctx.k_prime,
-            filter_seconds=seconds.get("filter", 0.0),
+            filter_seconds=filter_seconds,
             mask_seconds=seconds.get("mask", 0.0),
+            filter_engine=filter_engine,
+            filter_kernel_seconds=ctx.filter_stats.kernel_seconds,
             request=ctx.request,
             shard_timings=ctx.shard_timings,
         )
@@ -208,11 +250,13 @@ def stage_respond(ctx: PipelineContext) -> None:
         filter_stats=ctx.filter_stats,
         refine_comparisons=ctx.refine_outcome.comparisons,
         k_prime=ctx.k_prime,
-        filter_seconds=seconds.get("filter", 0.0),
+        filter_seconds=filter_seconds,
         mask_seconds=seconds.get("mask", 0.0),
         refine_seconds=seconds.get("refine", 0.0),
         refine_engine=ctx.engine.name,
         refine_kernel_seconds=ctx.refine_outcome.kernel_seconds,
+        filter_engine=filter_engine,
+        filter_kernel_seconds=ctx.filter_stats.kernel_seconds,
         request=ctx.request,
         shard_timings=ctx.shard_timings,
     )
@@ -253,6 +297,8 @@ def _run_single(
     k_prime: int,
     live_mask: np.ndarray,
     engine: RefineEngine,
+    filter_engine: "FilterEngine | str | None" = None,
+    prefiltered: tuple | None = None,
 ) -> SearchResult:
     """One query through the staged pipeline; parameters are pre-resolved."""
     return run_pipeline(
@@ -264,6 +310,8 @@ def _run_single(
             k_prime=k_prime,
             live_mask=live_mask,
             engine=engine,
+            filter_engine=filter_engine,
+            prefiltered=prefiltered,
         )
     )
 
@@ -302,6 +350,21 @@ def _resolve_batch(
     return request
 
 
+def _wants_batched_kernel(index) -> bool:
+    """Whether the index's backend(s) advertise a batched filter kernel."""
+    backend = getattr(index, "backend", None)
+    if backend is not None:
+        return bool(getattr(backend, "batched_kernel", False))
+    shards = getattr(index, "shards", None)
+    if shards:
+        return any(
+            shard.backend is not None
+            and getattr(shard.backend, "batched_kernel", False)
+            for shard in shards
+        )
+    return False
+
+
 def execute_batch_settled(
     index: "EncryptedIndex | ShardedEncryptedIndex",
     batch: EncryptedQueryBatch,
@@ -310,6 +373,7 @@ def execute_batch_settled(
     ef_search: int | None = None,
     mode: str | None = None,
     refine_engine: "str | RefineEngine | None" = None,
+    filter_engine: "str | FilterEngine | None" = None,
     data_plane=None,
 ) -> tuple[list[Settled[SearchResult]], float, SearchRequest]:
     """The settled form of :func:`execute_batch` (the serving primitive).
@@ -339,19 +403,72 @@ def execute_batch_settled(
     is the fan-out's start-to-finish wall clock and ``request`` the
     batch's fully resolved :class:`SearchRequest` (so callers never
     re-resolve and risk drifting from what actually executed).
+
+    ``filter_engine`` selects the filter-stage engine (bit-identical
+    results on every engine).  On the ``vectorized`` engine, backends
+    that advertise a batched kernel (brute-force, IVF) filter the whole
+    batch in one GEMM pre-pass before the per-query fan-out.  Custom
+    filter-engine *instances* (not registry singletons) are not
+    picklable by name, so such batches run on the thread path even when
+    a data plane is supplied.
     """
     engine = get_refine_engine(refine_engine)
+    fengine = get_filter_engine(filter_engine)
     request = _resolve_batch(index, batch, default_ratio_k, ratio_k, ef_search, mode)
     k_prime = request.k_prime
     live_mask = index.live_mask()
     key_id = batch.key_id
 
-    if data_plane is not None and len(batch) and not data_plane.closed:
+    if (
+        data_plane is not None
+        and len(batch)
+        and not data_plane.closed
+        and FILTER_ENGINES.get(fengine.name) is fengine
+    ):
         fanout_start = time.perf_counter()
         settled = _settled_via_plane(
-            index, batch, request, k_prime, live_mask, engine, key_id, data_plane
+            index,
+            batch,
+            request,
+            k_prime,
+            live_mask,
+            engine,
+            fengine,
+            key_id,
+            data_plane,
         )
         return settled, time.perf_counter() - fanout_start, request
+
+    prefiltered = None
+    if (
+        fengine.name == "vectorized"
+        and len(batch) > 1
+        and _wants_batched_kernel(index)
+    ):
+        # Batched filter pre-pass: one GEMM kernel answers every query's
+        # filter phase (bit-identical to the per-query path); the stage
+        # pipeline then consumes the precomputed candidates.  Any
+        # failure here falls back to the per-query path, which settles
+        # the error per query instead of poisoning the batch.
+        resolved_ef = resolve_ef_search(request.ef_search, k_prime)
+        stats_list = [SearchStats() for _ in range(len(batch))]
+        pre_start = time.perf_counter()
+        try:
+            rows = index.filter_search_batch(
+                batch.sap_vectors,
+                k_prime,
+                ef_search=resolved_ef,
+                stats_list=stats_list,
+                engine=fengine,
+            )
+        except Exception:
+            prefiltered = None
+        else:
+            share = (time.perf_counter() - pre_start) / len(batch)
+            prefiltered = [
+                (ids, dists, timings, stats_list[i], share)
+                for i, (ids, dists, timings) in enumerate(rows)
+            ]
 
     def run_query(i: int) -> SearchResult:
         return _run_single(
@@ -362,6 +479,8 @@ def execute_batch_settled(
             k_prime,
             live_mask,
             engine,
+            filter_engine=fengine,
+            prefiltered=None if prefiltered is None else prefiltered[i],
         )
 
     fanout_start = time.perf_counter()
@@ -376,6 +495,7 @@ def _settled_via_plane(
     k_prime: int,
     live_mask: np.ndarray,
     engine: RefineEngine,
+    fengine: FilterEngine,
     key_id,
     plane,
 ) -> list[Settled[SearchResult]]:
@@ -393,7 +513,9 @@ def _settled_via_plane(
     """
     count = len(batch)
     ef_search = resolve_ef_search(request.ef_search, k_prime)
-    filtered = plane.filter_batch(batch.sap_vectors, k_prime, ef_search)
+    filtered = plane.filter_batch(
+        batch.sap_vectors, k_prime, ef_search, engine=fengine.name
+    )
 
     settled: "list[Settled[SearchResult] | None]" = [None] * count
     masked: "list[tuple[int, np.ndarray, tuple | None, SearchStats, float, float]]"
@@ -428,6 +550,8 @@ def _settled_via_plane(
                     k_prime=k_prime,
                     filter_seconds=filter_s,
                     mask_seconds=mask_s,
+                    filter_engine=fengine.name,
+                    filter_kernel_seconds=stats.kernel_seconds,
                     request=request,
                     shard_timings=timings,
                 )
@@ -475,6 +599,8 @@ def _settled_via_plane(
                 refine_seconds=refine_seconds,
                 refine_engine=engine.name,
                 refine_kernel_seconds=outcome.kernel_seconds,
+                filter_engine=fengine.name,
+                filter_kernel_seconds=stats.kernel_seconds,
                 request=request,
                 shard_timings=timings,
             )
@@ -490,6 +616,7 @@ def execute_batch(
     ef_search: int | None = None,
     mode: str | None = None,
     refine_engine: "str | RefineEngine | None" = None,
+    filter_engine: "str | FilterEngine | None" = None,
     data_plane=None,
 ) -> SearchResultBatch:
     """Answer a whole encrypted batch through one pipelined, amortized pass.
@@ -505,9 +632,12 @@ def execute_batch(
 
     ``refine_engine`` selects the refine-stage implementation by name
     (``"heap"`` or ``"vectorized"``); ``None`` uses the default
-    (:data:`repro.core.refine.DEFAULT_REFINE_ENGINE`).  ``data_plane``
-    routes the batch through a process data plane exactly as in
-    :func:`execute_batch_settled`.
+    (:data:`repro.core.refine.DEFAULT_REFINE_ENGINE`).
+    ``filter_engine`` does the same for the filter stage
+    (:data:`repro.core.filterengine.DEFAULT_FILTER_ENGINE`), including
+    the batched GEMM pre-pass on backends that support it.
+    ``data_plane`` routes the batch through a process data plane exactly
+    as in :func:`execute_batch_settled`.
 
     The returned batch records the fan-out's start-to-finish wall clock
     in ``wall_seconds``; the per-query stage timings are thread-local
@@ -521,6 +651,7 @@ def execute_batch(
         ef_search=ef_search,
         mode=mode,
         refine_engine=refine_engine,
+        filter_engine=filter_engine,
         data_plane=data_plane,
     )
     results = [outcome.unwrap() for outcome in settled]
@@ -532,6 +663,7 @@ def filter_only(
     query: EncryptedQuery,
     ef_search: int | None = None,
     k_prime: int | None = None,
+    filter_engine: "str | FilterEngine | None" = None,
 ) -> SearchResult:
     """The filter phase alone — the paper's ``HNSW(filter)`` reference.
 
@@ -552,6 +684,7 @@ def filter_only(
         k_prime,
         index.live_mask(),
         get_refine_engine(None),
+        filter_engine=filter_engine,
     )
 
 
@@ -561,6 +694,7 @@ def filter_and_refine(
     k_prime: int,
     ef_search: int | None = None,
     refine_engine: "str | RefineEngine | None" = None,
+    filter_engine: "str | FilterEngine | None" = None,
 ) -> SearchResult:
     """Algorithm 2: k'-ANNS filter on the encrypted backend, DCE refine.
 
@@ -579,6 +713,9 @@ def filter_and_refine(
     refine_engine:
         Refine-stage engine name or instance (``None`` = the default
         ``vectorized`` engine; see :mod:`repro.core.refine`).
+    filter_engine:
+        Filter-stage engine name or instance (``None`` = the default
+        ``vectorized`` engine; see :mod:`repro.core.filterengine`).
 
     Returns
     -------
@@ -604,4 +741,5 @@ def filter_and_refine(
         k_prime,
         index.live_mask(),
         get_refine_engine(refine_engine),
+        filter_engine=filter_engine,
     )

@@ -38,6 +38,7 @@ from repro.core.build import BuildReport, build_shard_backends
 from repro.core.dce import DCEEncryptedDatabase
 from repro.core.errors import CiphertextFormatError, ParameterError
 from repro.core.executor import map_ordered
+from repro.core.filterengine import get_filter_engine
 from repro.core.index import IndexSizeReport
 from repro.core.protocol import ShardTiming
 from repro.hnsw.graph import HNSWIndex, HNSWParams, SearchStats
@@ -160,6 +161,7 @@ class Shard:
         k_prime: int,
         ef_search: int | None,
         stats: SearchStats,
+        engine=None,
     ) -> tuple[np.ndarray, np.ndarray, ShardTiming]:
         """Local k'-ANNS, mapped to global ids, with wall-clock timing."""
         start = time.perf_counter()
@@ -167,8 +169,8 @@ class Shard:
             ids = np.empty(0, dtype=np.int64)
             dists = np.empty(0)
         else:
-            local_ids, dists = self.backend.search(
-                sap_query, k_prime, ef_search=ef_search, stats=stats
+            local_ids, dists = get_filter_engine(engine).search(
+                self.backend, sap_query, k_prime, ef_search=ef_search, stats=stats
             )
             ids = self.global_ids[local_ids]
         timing = ShardTiming(
@@ -177,6 +179,46 @@ class Shard:
             candidates=int(ids.shape[0]),
         )
         return ids, dists, timing
+
+    def search_batch(
+        self,
+        sap_queries: np.ndarray,
+        k_prime: int,
+        ef_search: int | None,
+        stats_list: "list[SearchStats] | None",
+        engine=None,
+    ) -> tuple[list[tuple[np.ndarray, np.ndarray]], list[ShardTiming]]:
+        """Local k'-ANNS for a micro-batch, mapped to global ids.
+
+        One ``(ids, dists)`` pair and one :class:`ShardTiming` per
+        query; the shard's wall clock is smeared evenly across the
+        batch (a batched kernel answers all queries in one call).
+        """
+        start = time.perf_counter()
+        count = int(np.asarray(sap_queries).shape[0])
+        if self.backend is None:
+            results = [
+                (np.empty(0, dtype=np.int64), np.empty(0)) for _ in range(count)
+            ]
+        else:
+            results = [
+                (self.global_ids[ids], dists)
+                for ids, dists in get_filter_engine(engine).search_batch(
+                    self.backend,
+                    sap_queries,
+                    k_prime,
+                    ef_search=ef_search,
+                    stats_list=stats_list,
+                )
+            ]
+        share = (time.perf_counter() - start) / max(1, count)
+        timings = [
+            ShardTiming(
+                shard_id=self.shard_id, seconds=share, candidates=int(ids.shape[0])
+            )
+            for ids, _ in results
+        ]
+        return results, timings
 
 
 class ShardedEncryptedIndex:
@@ -351,6 +393,7 @@ class ShardedEncryptedIndex:
         k_prime: int,
         ef_search: int | None = None,
         stats: SearchStats | None = None,
+        engine=None,
     ) -> tuple[np.ndarray, np.ndarray, tuple[ShardTiming, ...]]:
         """Scatter the filter phase across shards and merge to global top-k'.
 
@@ -358,11 +401,13 @@ class ShardedEncryptedIndex:
         contains each shard's best candidates) and the gather step keeps
         the ``k_prime`` globally closest by approximate distance, ties
         broken by global id.  Returns ``(ids, dists, shard_timings)``
-        nearest-first.
+        nearest-first.  ``engine`` selects the filter engine each shard
+        runs (see :mod:`repro.core.filterengine`); results are
+        engine-independent.
         """
         shard_stats = [SearchStats() for _ in self._shards]
         outcomes = map_ordered(
-            lambda pair: pair[0].search(sap_query, k_prime, ef_search, pair[1]),
+            lambda pair: pair[0].search(sap_query, k_prime, ef_search, pair[1], engine),
             zip(self._shards, shard_stats),
         )
         if stats is not None:
@@ -373,6 +418,44 @@ class ShardedEncryptedIndex:
         all_dists = np.concatenate([dists for _, dists, _ in outcomes])
         order = np.lexsort((all_ids, all_dists))[:k_prime]
         return all_ids[order], all_dists[order], timings
+
+    def filter_search_batch(
+        self,
+        sap_queries: np.ndarray,
+        k_prime: int,
+        ef_search: int | None = None,
+        stats_list=None,
+        engine=None,
+    ) -> list[tuple[np.ndarray, np.ndarray, tuple[ShardTiming, ...]]]:
+        """Scatter a whole micro-batch across shards, merge per query.
+
+        Each shard answers the full batch in one call (batched kernels
+        amortize within the shard), then every query's per-shard pools
+        are merged exactly as in :meth:`filter_search` — so the results
+        are bit-identical to looping it.
+        """
+        queries = np.asarray(sap_queries)
+        count = int(queries.shape[0])
+        per_shard_stats = [
+            [SearchStats() for _ in range(count)] for _ in self._shards
+        ]
+        outcomes = map_ordered(
+            lambda pair: pair[0].search_batch(
+                queries, k_prime, ef_search, pair[1], engine
+            ),
+            zip(self._shards, per_shard_stats),
+        )
+        out: list[tuple[np.ndarray, np.ndarray, tuple[ShardTiming, ...]]] = []
+        for row in range(count):
+            if stats_list is not None and stats_list[row] is not None:
+                for shard_stats in per_shard_stats:
+                    stats_list[row].merge(shard_stats[row])
+            all_ids = np.concatenate([results[row][0] for results, _ in outcomes])
+            all_dists = np.concatenate([results[row][1] for results, _ in outcomes])
+            order = np.lexsort((all_ids, all_dists))[:k_prime]
+            timings = tuple(shard_timings[row] for _, shard_timings in outcomes)
+            out.append((all_ids[order], all_dists[order], timings))
+        return out
 
     # -- maintenance routing (used by repro.core.maintenance) --------------------
 

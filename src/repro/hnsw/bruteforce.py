@@ -11,7 +11,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import DimensionMismatchError, ParameterError
-from repro.hnsw.distance import squared_distances_to_many
+from repro.hnsw.distance import (
+    gemm_topk_preselect,
+    pairwise_squared_distances,
+    squared_distances_to_many,
+)
 from repro.hnsw.graph import SearchStats, sorted_id_array
 
 __all__ = ["exact_knn", "BruteForceIndex"]
@@ -52,6 +56,10 @@ class BruteForceIndex:
             )
         self._vectors = vectors
         self._deleted: set[int] = set()
+        # Row-norm cache for the batched GEMM path; keyed by array
+        # identity so the vstack in insert() invalidates it naturally.
+        self._norms: np.ndarray | None = None
+        self._norms_for: np.ndarray | None = None
 
     @classmethod
     def from_state(
@@ -119,3 +127,57 @@ class BruteForceIndex:
             keep = np.array([i not in self._deleted for i in ids.tolist()])
             ids, dists = ids[keep], dists[keep]
         return ids[:k], dists[:k]
+
+    def _row_norms(self) -> np.ndarray:
+        vectors = self._vectors
+        if self._norms_for is not vectors:
+            self._norms = np.einsum("ij,ij->i", vectors, vectors)
+            self._norms_for = vectors
+        return self._norms
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        ef_search: int | None = None,
+        stats_list: "list[SearchStats] | None" = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched exact search: one GEMM for the whole micro-batch.
+
+        Bit-identical to looping :meth:`search` per query — the GEMM
+        scores only preselect candidates whose distances are then
+        recomputed with the per-row kernel, and any query whose
+        selection has a tie (or an unsafe boundary) falls back to the
+        per-query path outright.
+        """
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise DimensionMismatchError(self.dim, queries.shape[-1], what="queries")
+        kk = min(k + len(self._deleted), self.size)
+        approx = pairwise_squared_distances(
+            queries, self._vectors, b_norms=self._row_norms()
+        )
+        out: list[tuple[np.ndarray, np.ndarray]] = []
+        for row in range(queries.shape[0]):
+            query = queries[row]
+            selected = gemm_topk_preselect(
+                approx[row],
+                kk,
+                lambda cand, q=query: squared_distances_to_many(q, self._vectors[cand]),
+                candidate_cap=4 * kk + 64,
+            )
+            if selected is None:
+                ids, dists = exact_knn(self._vectors, query, k + len(self._deleted))
+            else:
+                ids, dists = selected[0].astype(np.int64), selected[1]
+            stats = stats_list[row] if stats_list is not None else None
+            if stats is not None:
+                stats.distance_computations += self.size
+                stats.hops += 1
+            if self._deleted:
+                keep = np.array([i not in self._deleted for i in ids.tolist()])
+                ids, dists = ids[keep], dists[keep]
+            out.append((ids[:k], dists[:k]))
+        return out

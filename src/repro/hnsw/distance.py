@@ -16,6 +16,7 @@ __all__ = [
     "squared_distance",
     "squared_distances_to_many",
     "pairwise_squared_distances",
+    "gemm_topk_preselect",
     "distance_mac_count",
 ]
 
@@ -41,15 +42,52 @@ def squared_distances_to_many(query: np.ndarray, vectors: np.ndarray) -> np.ndar
     return np.einsum("ij,ij->i", diff, diff)
 
 
-def pairwise_squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def pairwise_squared_distances(
+    a: np.ndarray, b: np.ndarray, b_norms: np.ndarray | None = None
+) -> np.ndarray:
     """All squared distances between rows of ``a`` (n, d) and ``b`` (m, d).
 
     Uses the ``||a||^2 - 2ab + ||b||^2`` expansion with clipping at zero
-    (the expansion can go slightly negative in floats).
+    (the expansion can go slightly negative in floats).  ``b_norms`` lets
+    callers that sweep many query batches against one fixed matrix cache
+    the per-row ``||b||^2`` term (shape ``(m,)``).
     """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     a_norms = np.einsum("ij,ij->i", a, a)[:, None]
-    b_norms = np.einsum("ij,ij->i", b, b)[None, :]
+    if b_norms is None:
+        b_norms = np.einsum("ij,ij->i", b, b)
     cross = a @ b.T
-    return np.maximum(a_norms - 2.0 * cross + b_norms, 0.0)
+    return np.maximum(a_norms - 2.0 * cross + b_norms[None, :], 0.0)
+
+
+def gemm_topk_preselect(approx_row, kk, exact_for, candidate_cap=None):
+    """Tie-free top-``kk`` selection from approximate (GEMM) distances.
+
+    ``approx_row`` holds norm-expansion distances whose float error
+    against the per-row diff kernel is bounded well below a 1e-9
+    relative slack.  Candidates within that slack of the ``kk``-th
+    smallest approximate value are re-scored exactly via
+    ``exact_for(positions)`` (which must use the same kernel the
+    per-query oracle uses), and the selection is returned only when it
+    is *provably* identical to a stable exact sort: any tie at or
+    inside the boundary, or a boundary the candidate slack cannot
+    cover, returns ``None`` so the caller falls back to the oracle
+    path.  Returns ``(positions, exact_values)`` nearest-first.
+    """
+    thr = float(np.partition(approx_row, kk - 1)[kk - 1])
+    eps = 1e-9 * (1.0 + float(approx_row.max()))
+    cand = np.flatnonzero(approx_row <= thr + 2.0 * eps)
+    if candidate_cap is not None and cand.shape[0] > candidate_cap:
+        return None
+    exact = exact_for(cand)
+    order = np.argsort(exact, kind="stable")
+    vals = exact[order]
+    if vals.shape[0] > kk and vals[kk - 1] == vals[kk]:
+        return None  # boundary tie with an excluded candidate
+    top_vals = vals[:kk]
+    if np.any(top_vals[1:] == top_vals[:-1]):
+        return None  # tie inside the selection: oracle tie order differs
+    if float(top_vals[-1]) >= thr + eps:
+        return None  # candidate set does not provably cover the top-kk
+    return cand[order[:kk]], top_vals

@@ -28,6 +28,21 @@ neighbor-selection heuristic answers its domination tests from batched
 distance kernels (one kernel call per *selected* neighbor instead of
 one per *candidate*) — which cuts the interpreter dispatch the
 sequential loop pays per insertion.
+
+Two search modes exist as well.  :meth:`HNSWIndex.search` walks the
+per-node ``list[list[int]]`` adjacency with a Python ``set`` for
+visited bookkeeping — the oracle reference.
+:meth:`HNSWIndex.search_vectorized` runs the identical traversal over a
+**flat CSR snapshot** (:class:`_SearchMode`) compiled lazily per graph
+generation: per-layer int64 ``indptr``/``indices`` arrays, an
+epoch-stamped int32 ``visited`` scratch (reset by bumping the epoch,
+never refilled), and the same ``squared_distances_to_many`` kernel on
+CSR-gathered neighbor blocks.  Because the gathered rows, their order,
+and every heap decision match the oracle's, the vectorized path is
+bit-identical — ids, dists, ``distance_computations`` and ``hops`` —
+while skipping the per-expansion list/set churn.  Any adjacency
+mutation bumps ``_adjacency_version``, which invalidates the snapshot;
+the next vectorized search recompiles it.
 """
 
 from __future__ import annotations
@@ -35,6 +50,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -127,15 +143,21 @@ class SearchStats:
         Number of query-to-vector distance evaluations.
     hops:
         Number of node expansions across all layers.
+    kernel_seconds:
+        Wall seconds spent inside a compiled filter-engine kernel
+        (CSR/batched search paths); stays 0.0 on the oracle ``heap``
+        engine, mirroring ``RefineOutcome.kernel_seconds``.
     """
 
     distance_computations: int = 0
     hops: int = 0
+    kernel_seconds: float = 0.0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another query's stats into this one."""
         self.distance_computations += other.distance_computations
         self.hops += other.hops
+        self.kernel_seconds += other.kernel_seconds
 
 
 @dataclass
@@ -215,6 +237,227 @@ class _FlatAdjacency:
         ]
 
 
+class _SearchMode:
+    """A flat CSR snapshot of the adjacency for the vectorized search path.
+
+    One ``(indptr, indices)`` int64 pair per layer: ``indices[indptr[v] :
+    indptr[v + 1]]`` is node ``v``'s neighbor row at that layer, in
+    exactly the order the list-of-lists holds — which is what keeps the
+    vectorized traversal bit-identical to the oracle.  ``version`` pins
+    the snapshot to the ``_adjacency_version`` it was compiled from so a
+    stale snapshot can never answer for a mutated graph.
+
+    The epoch-stamped ``visited`` scratch lives here too, one per thread
+    (searches on a shared index run concurrently under the thread
+    executor): marking a node visited writes the current epoch into an
+    int32 array, and "clearing" it for the next search is a single epoch
+    bump instead of an O(n) refill.  The arrays may be read-only
+    shared-memory views (the process data plane publishes them alongside
+    ``C_SAP``); search only ever reads them.
+    """
+
+    __slots__ = ("version", "indptr", "indices", "_scratch")
+
+    def __init__(
+        self,
+        version: int,
+        indptr: "list[np.ndarray]",
+        indices: "list[np.ndarray]",
+    ) -> None:
+        self.version = version
+        self.indptr = indptr
+        self.indices = indices
+        self._scratch = threading.local()
+
+    def next_epoch(self, count: int) -> tuple[np.ndarray, int]:
+        """This thread's ``(visited, epoch)`` scratch, advanced one epoch."""
+        local = self._scratch
+        visited = getattr(local, "visited", None)
+        if visited is None or visited.shape[0] < count:
+            visited = np.zeros(max(count, 1), dtype=np.int32)
+            local.visited = visited
+            local.epoch = 0
+        epoch = local.epoch + 1
+        if epoch >= np.iinfo(np.int32).max:
+            visited.fill(0)
+            epoch = 1
+        local.epoch = epoch
+        return visited, epoch
+
+    def next_epoch_batch(self, count: int, rows: int) -> tuple[np.ndarray, int]:
+        """A ``(rows, count)`` visited scratch for lockstep batch search.
+
+        Same epoch trick as :meth:`next_epoch`, one row per in-flight
+        query, reused across micro-batches on this thread.
+        """
+        local = self._scratch
+        visited = getattr(local, "batch_visited", None)
+        if (
+            visited is None
+            or visited.shape[0] < rows
+            or visited.shape[1] < count
+        ):
+            visited = np.zeros((max(rows, 1), max(count, 1)), dtype=np.int32)
+            local.batch_visited = visited
+            local.batch_epoch = 0
+        epoch = local.batch_epoch + 1
+        if epoch >= np.iinfo(np.int32).max:
+            visited.fill(0)
+            epoch = 1
+        local.batch_epoch = epoch
+        return visited, epoch
+
+
+def compile_search_mode(
+    version: int,
+    count: int,
+    layers: "list[list[list[int]] | list[np.ndarray]]",
+) -> _SearchMode:
+    """Compile per-layer neighbor rows into a :class:`_SearchMode`.
+
+    ``layers[layer][node]`` is node ``node``'s neighbor sequence at
+    ``layer`` (empty when the node does not reach the layer).  Shared by
+    the HNSW and NSG substrates so the CSR layout cannot drift between
+    them.
+    """
+    indptr_layers: "list[np.ndarray]" = []
+    indices_layers: "list[np.ndarray]" = []
+    for rows in layers:
+        counts = np.zeros(count + 1, dtype=np.int64)
+        for node, adjacent in enumerate(rows):
+            counts[node + 1] = len(adjacent)
+        indptr = np.cumsum(counts, dtype=np.int64)
+        indices = np.fromiter(
+            itertools.chain.from_iterable(rows),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        indptr_layers.append(indptr)
+        indices_layers.append(indices)
+    return _SearchMode(version, indptr_layers, indices_layers)
+
+
+def lockstep_beam_search(
+    buffer: np.ndarray,
+    node_count: int,
+    queries: np.ndarray,
+    entry_points: "list[int]",
+    ef: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    mode: _SearchMode,
+    stats_list: "list[SearchStats | None]",
+) -> "list[list[tuple[float, int]]]":
+    """All queries' layer-0 beams, advanced in lockstep rounds.
+
+    Bit-identical per query to the single-query flat beam
+    (``HNSWIndex._search_layer_flat`` — one entry point each): every
+    query replays its own pop / termination / accept sequence exactly.
+    Each round, every still-active query pops one candidate, and the
+    round's per-row work is fused across the batch — one 2D gather and
+    scatter against the epoch-stamped visited matrix, and one
+    subtract + einsum over the concatenated neighbor rows.  Per-row
+    reductions are independent of batch composition, so the fused block
+    yields the same distances the per-query calls would — only the
+    numpy dispatch cost is amortized across the micro-batch.
+
+    The one pacing difference from the single-query loop: a popped node
+    whose neighbors are all visited makes the oracle pop again
+    immediately, while here the query just sits out the rest of the
+    round.  An empty expansion mutates nothing but the hop counter —
+    which is charged at pop time either way — so the per-query state
+    sequence is unchanged.  Queries terminate independently and drop
+    out of the lockstep; shared by the HNSW and NSG substrates.
+    """
+    num = queries.shape[0]
+    visited, epoch = mode.next_epoch_batch(node_count, num)
+    push = heapq.heappush
+    pop = heapq.heappop
+    entry_ids = np.asarray(entry_points, dtype=np.int64)
+    entry_diff = buffer.take(entry_ids, axis=0) - queries
+    entry_dists = np.einsum("ij,ij->i", entry_diff, entry_diff)
+    candidates: "list[list[tuple[float, int]]]" = []
+    results: "list[list[tuple[float, int]]]" = []
+    for row in range(num):
+        stats = stats_list[row]
+        if stats is not None:
+            stats.distance_computations += 1
+        dist = float(entry_dists[row])
+        candidates.append([(dist, entry_points[row])])
+        results.append([(-dist, entry_points[row])])
+        visited[row, entry_points[row]] = epoch
+    active = list(range(num))
+    while active:
+        survivors: "list[int]" = []
+        expanded: "list[int]" = []
+        blocks: "list[np.ndarray]" = []
+        for row in active:
+            cands = candidates[row]
+            res = results[row]
+            dist, node = pop(cands)
+            if len(res) >= ef and dist > -res[0][0]:
+                continue  # terminated: never requeued
+            stats = stats_list[row]
+            if stats is not None:
+                stats.hops += 1
+            survivors.append(row)
+            adjacent = indices[indptr[node] : indptr[node + 1]]
+            if adjacent.shape[0]:
+                expanded.append(row)
+                blocks.append(adjacent)
+        if expanded:
+            counts = [block.shape[0] for block in blocks]
+            all_adjacent = np.concatenate(blocks)
+            rep = np.repeat(np.asarray(expanded, dtype=np.intp), counts)
+            fresh_mask = visited[rep, all_adjacent] != epoch
+            all_fresh = all_adjacent[fresh_mask]
+            rep_fresh = rep[fresh_mask]
+            visited[rep_fresh, all_fresh] = epoch
+            diff = buffer.take(all_fresh, axis=0) - queries.take(rep_fresh, axis=0)
+            all_dists = np.einsum("ij,ij->i", diff, diff)
+            starts = np.cumsum([0] + counts[:-1])
+            widths = np.add.reduceat(fresh_mask, starts, dtype=np.intp)
+            # One bulk conversion per round; the accept loops slice the
+            # Python lists (cheaper than per-row array views + tolist).
+            dist_values = all_dists.tolist()
+            fresh_values = all_fresh.tolist()
+            offset = 0
+            for row, width in zip(expanded, widths.tolist()):
+                if width == 0:
+                    continue
+                end = offset + width
+                dists = dist_values[offset:end]
+                fresh = fresh_values[offset:end]
+                offset = end
+                stats = stats_list[row]
+                if stats is not None:
+                    stats.distance_computations += width
+                cands = candidates[row]
+                res = results[row]
+                if len(res) >= ef:
+                    # Full beam: the bound only tightens, so the
+                    # rejected tail never touches the heaps (same
+                    # accepted multiset as the oracle loop).
+                    bound = -res[0][0]
+                    for neighbor_dist, neighbor in zip(dists, fresh):
+                        if neighbor_dist < bound:
+                            push(cands, (neighbor_dist, neighbor))
+                            push(res, (-neighbor_dist, neighbor))
+                            pop(res)
+                            bound = -res[0][0]
+                else:
+                    bound = math.inf
+                    for neighbor_dist, neighbor in zip(dists, fresh):
+                        if neighbor_dist < bound or len(res) < ef:
+                            push(cands, (neighbor_dist, neighbor))
+                            push(res, (-neighbor_dist, neighbor))
+                            if len(res) > ef:
+                                pop(res)
+                            bound = -res[0][0] if len(res) >= ef else math.inf
+        active = [row for row in survivors if candidates[row]]
+    return [sorted((-negated, item) for negated, item in res) for res in results]
+
+
 class HNSWIndex:
     """An HNSW graph over a set of vectors.
 
@@ -251,6 +494,14 @@ class HNSWIndex:
         self._entry_point: int | None = None
         self._max_level = -1
         self._deleted: set[int] = set()
+        # Monotone counter bumped by every adjacency mutation; the CSR
+        # search mode and the reverse-adjacency map key off it.
+        self._adjacency_version = 0
+        self._search_mode: "_SearchMode | None" = None
+        # Lazily built target -> {(source, layer)} reverse-adjacency map
+        # (None until first needed), maintained incrementally by the
+        # neighbor-list write helpers.
+        self._reverse: "dict[int, set[tuple[int, int]]] | None" = None
 
     # -- properties ---------------------------------------------------------
 
@@ -356,6 +607,7 @@ class HNSWIndex:
         self._nodes.append(
             _Node(level=level, neighbors=[[] for _ in range(level + 1)])
         )
+        self._adjacency_version += 1  # node count changes the CSR shape
         if self._entry_point is None:
             self._entry_point = node_id
             self._max_level = level
@@ -370,7 +622,7 @@ class HNSWIndex:
         for layer in range(min(level, self._max_level), -1, -1):
             candidates = self._search_layer(vector, [current], ef, layer)
             selected = self._select_neighbors(vector, candidates, self._params.m, layer)
-            self._nodes[node_id].neighbors[layer] = [item for _, item in selected]
+            self._set_neighbor_list(node_id, layer, [item for _, item in selected])
             for _, neighbor in selected:
                 self._link(neighbor, node_id, layer)
             if candidates:
@@ -386,6 +638,9 @@ class HNSWIndex:
         if target in neighbor_list:
             return
         neighbor_list.append(target)
+        self._adjacency_version += 1
+        if self._reverse is not None:
+            self._reverse.setdefault(target, set()).add((source, layer))
         max_degree = self._params.max_degree(layer)
         if len(neighbor_list) > max_degree:
             source_vector = self._buffer[source]
@@ -394,7 +649,29 @@ class HNSWIndex:
             )
             candidates = sorted(zip(dists.tolist(), neighbor_list))
             selected = self._heuristic_prune(source_vector, candidates, max_degree)
-            self._nodes[source].neighbors[layer] = [item for _, item in selected]
+            self._set_neighbor_list(source, layer, [item for _, item in selected])
+
+    def _set_neighbor_list(
+        self, source: int, layer: int, neighbor_ids: list[int]
+    ) -> None:
+        """Overwrite ``source``'s neighbor row at ``layer``.
+
+        The single choke point for whole-row rewrites: it keeps the
+        reverse-adjacency map consistent (when built) and bumps the
+        adjacency version so the CSR search mode recompiles.
+        """
+        record = self._nodes[source]
+        if self._reverse is not None:
+            old = set(record.neighbors[layer])
+            new = set(neighbor_ids)
+            for target in old - new:
+                entry = self._reverse.get(target)
+                if entry is not None:
+                    entry.discard((source, layer))
+            for target in new - old:
+                self._reverse.setdefault(target, set()).add((source, layer))
+        record.neighbors[layer] = neighbor_ids
+        self._adjacency_version += 1
 
     # -- bulk construction ---------------------------------------------------
 
@@ -467,6 +744,8 @@ class HNSWIndex:
                 self._max_level = level
                 self._entry_point = node_id
         self._nodes = flat.to_nodes()
+        self._adjacency_version += 1
+        self._reverse = None
         return self
 
     def _bulk_link(
@@ -617,6 +896,54 @@ class HNSWIndex:
                 selected.append((dist, item))
         return selected
 
+    # -- flat search mode (CSR) -------------------------------------------------
+
+    def search_mode(self) -> _SearchMode:
+        """The CSR snapshot of the current adjacency, compiled lazily.
+
+        Cached per graph generation: any adjacency mutation bumps
+        ``_adjacency_version`` and the next call recompiles.  External
+        state surgery that bypasses the mutation helpers (the
+        persistence ``from_state`` hook writes ``_nodes`` directly) is
+        safe because it happens on a fresh graph, before the first
+        search compiles anything.
+        """
+        mode = self._search_mode
+        if mode is not None and mode.version == self._adjacency_version:
+            return mode
+        count = len(self._nodes)
+        layers = [
+            [
+                record.neighbors[layer] if layer <= record.level else ()
+                for record in self._nodes
+            ]
+            for layer in range(self._max_level + 1)
+        ]
+        mode = compile_search_mode(self._adjacency_version, count, layers)
+        self._search_mode = mode
+        return mode
+
+    def adopt_search_mode(
+        self, layers: "list[tuple[np.ndarray, np.ndarray]]"
+    ) -> None:
+        """Install precompiled per-layer ``(indptr, indices)`` CSR arrays.
+
+        The process data plane publishes the parent's compiled snapshot
+        through shared memory and each worker adopts the zero-copy views
+        here instead of recompiling from the list-of-lists adjacency.
+        The snapshot is pinned to the *current* adjacency version, so a
+        later mutation invalidates it exactly like a locally compiled
+        one.
+        """
+        indptr = [np.asarray(ptr, dtype=np.int64) for ptr, _ in layers]
+        indices = [np.asarray(idx, dtype=np.int64) for _, idx in layers]
+        self._search_mode = _SearchMode(self._adjacency_version, indptr, indices)
+
+    def search_mode_arrays(self) -> "list[tuple[np.ndarray, np.ndarray]]":
+        """The compiled snapshot's per-layer arrays (for shm publishing)."""
+        mode = self.search_mode()
+        return list(zip(mode.indptr, mode.indices))
+
     # -- search ----------------------------------------------------------------
 
     def _greedy_closest(
@@ -697,6 +1024,129 @@ class HNSWIndex:
         ordered = sorted((-negated, item) for negated, item in results)
         return ordered
 
+    def _greedy_closest_flat(
+        self, query: np.ndarray, start: int, layer: int, mode: _SearchMode
+    ) -> int:
+        """CSR twin of :meth:`_greedy_closest` — identical walk."""
+        indptr = mode.indptr[layer]
+        indices = mode.indices[layer]
+        buffer = self._buffer
+        current = start
+        current_dist = float(
+            squared_distances_to_many(query, buffer[current][np.newaxis])[0]
+        )
+        improved = True
+        while improved:
+            improved = False
+            neighbor_ids = indices[indptr[current] : indptr[current + 1]]
+            if neighbor_ids.shape[0] == 0:
+                break
+            dists = squared_distances_to_many(query, buffer[neighbor_ids])
+            best = int(np.argmin(dists))
+            if dists[best] < current_dist:
+                current = int(neighbor_ids[best])
+                current_dist = float(dists[best])
+                improved = True
+        return current
+
+    def _search_layer_flat(
+        self,
+        query: np.ndarray,
+        entry_points: list[int],
+        ef: int,
+        layer: int,
+        mode: _SearchMode,
+        stats: SearchStats | None = None,
+    ) -> list[tuple[float, int]]:
+        """CSR twin of :meth:`_search_layer` — bit-identical beam.
+
+        Every decision the oracle makes is replayed on the flat
+        representation: the CSR row preserves neighbor-list order, the
+        epoch-stamped mask keeps exactly the oracle's not-yet-visited
+        subsequence, and the distance block is the same
+        ``squared_distances_to_many`` einsum over the same gathered rows
+        (per-row reductions are independent of batch composition, the
+        invariant the bulk build already relies on).  Stats accounting —
+        including the hop charged on an all-visited expansion — matches
+        line for line.
+
+        Once the beam is full its acceptance bound only ever tightens
+        (every accept replaces the current worst with something
+        strictly better), so a neighbor at or beyond the bound *before*
+        the row is processed is rejected no matter what gets accepted
+        ahead of it.  That makes the reject decisions — the vast
+        majority late in the search — safe to take vectorized in one
+        mask, leaving only the few potential accepts for the sequential
+        decision loop.  Heap behavior is value-deterministic (pops
+        compare ``(dist, id)`` tuples, never insertion order), so the
+        pruned replay keeps the oracle's heap contents, and therefore
+        its traversal, exactly.
+        """
+        indptr = mode.indptr[layer]
+        indices = mode.indices[layer]
+        visited, epoch = mode.next_epoch(len(self._nodes))
+        for point in entry_points:
+            visited[point] = epoch
+        entry_dists = squared_distances_to_many(query, self._buffer[entry_points])
+        if stats is not None:
+            stats.distance_computations += len(entry_points)
+        candidates = [(float(d), p) for d, p in zip(entry_dists, entry_points)]
+        heapq.heapify(candidates)  # min-heap by distance
+        results = [(-float(d), p) for d, p in zip(entry_dists, entry_points)]
+        heapq.heapify(results)  # max-heap via negation
+        while len(results) > ef:
+            heapq.heappop(results)
+        buffer = self._buffer
+        push = heapq.heappush
+        pop = heapq.heappop
+        while candidates:
+            dist, node = pop(candidates)
+            if results and dist > -results[0][0] and len(results) >= ef:
+                break
+            if stats is not None:
+                stats.hops += 1
+            adjacent = indices[indptr[node] : indptr[node + 1]]
+            if adjacent.shape[0]:
+                fresh = adjacent[visited[adjacent] != epoch]
+            else:
+                fresh = adjacent
+            if fresh.shape[0] == 0:
+                continue
+            visited[fresh] = epoch
+            # Inlined squared_distances_to_many (one call per expansion
+            # is the hot path's dominant dispatch cost).
+            diff = buffer[fresh] - query
+            dists = np.einsum("ij,ij->i", diff, diff)
+            if stats is not None:
+                stats.distance_computations += fresh.shape[0]
+            if len(results) >= ef:
+                # Full beam: the bound is non-increasing, so reject
+                # everything at/beyond it in one mask (see docstring).
+                bound = -results[0][0]
+                keep = dists < bound
+                if not keep.all():
+                    fresh = fresh[keep]
+                    if fresh.shape[0] == 0:
+                        continue
+                    dists = dists[keep]
+                for neighbor_dist, neighbor in zip(dists.tolist(), fresh.tolist()):
+                    if neighbor_dist < bound:
+                        push(candidates, (neighbor_dist, neighbor))
+                        push(results, (-neighbor_dist, neighbor))
+                        pop(results)
+                        bound = -results[0][0]
+            else:
+                bound = math.inf
+                for neighbor_dist, neighbor in zip(dists.tolist(), fresh.tolist()):
+                    if neighbor_dist < bound or len(results) < ef:
+                        push(candidates, (neighbor_dist, neighbor))
+                        push(results, (-neighbor_dist, neighbor))
+                        if len(results) > ef:
+                            pop(results)
+                        bound = -results[0][0] if len(results) >= ef else math.inf
+        ordered = sorted((-negated, item) for negated, item in results)
+        return ordered
+
     def search(
         self,
         query: np.ndarray,
@@ -716,7 +1166,11 @@ class HNSWIndex:
         ef_search:
             Beam width at layer 0; defaults to ``max(k, 2m)``.  Larger
             values trade throughput for recall (the x-axis sweeps in the
-            paper's figures).
+            paper's figures).  When tombstones exist the layer-0 beam is
+            widened by the tombstone count so deleted nodes sitting
+            inside the beam cannot crowd live results below ``k`` (the
+            widening is a no-op on a tombstone-free graph; compaction
+            restores the narrow beam).
         stats:
             Optional accumulator for instrumentation.
         """
@@ -733,12 +1187,124 @@ class HNSWIndex:
         current = self._entry_point
         for layer in range(self._max_level, 0, -1):
             current = self._greedy_closest(query, current, layer)
-        found = self._search_layer(query, [current], ef, 0, stats=stats)
+        beam = ef + len(self._deleted)
+        found = self._search_layer(query, [current], beam, 0, stats=stats)
         live = [(dist, item) for dist, item in found if item not in self._deleted]
         top = live[:k]
         ids = np.array([item for _, item in top], dtype=np.int64)
         dists = np.array([dist for dist, _ in top])
         return ids, dists
+
+    def search_vectorized(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef_search: int | None = None,
+        stats: SearchStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bit-identical twin of :meth:`search` over the CSR search mode.
+
+        Same contract, same validation, same results (ids, dists, and
+        stats counters) — but the traversal runs on the flat
+        :class:`_SearchMode` snapshot: CSR slices instead of Python
+        lists, an epoch-stamped visited array instead of a ``set``, and
+        heap values converted once per distance block.  Compiles the
+        snapshot lazily if the adjacency changed since the last call.
+        """
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1 or query.shape[0] != self._dim:
+            raise DimensionMismatchError(self._dim, query.shape[-1], what="query")
+        if self._entry_point is None:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        ef = ef_search if ef_search is not None else max(k, 2 * self._params.m)
+        if ef < k:
+            raise ParameterError(f"ef_search ({ef}) must be >= k ({k})")
+        mode = self.search_mode()
+        current = self._entry_point
+        for layer in range(self._max_level, 0, -1):
+            current = self._greedy_closest_flat(query, current, layer, mode)
+        beam = ef + len(self._deleted)
+        found = self._search_layer_flat(query, [current], beam, 0, mode, stats=stats)
+        live = [(dist, item) for dist, item in found if item not in self._deleted]
+        top = live[:k]
+        ids = np.array([item for _, item in top], dtype=np.int64)
+        dists = np.array([dist for dist, _ in top])
+        return ids, dists
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        ef_search: int | None = None,
+        stats_list: "list[SearchStats] | None" = None,
+    ) -> "list[tuple[np.ndarray, np.ndarray]]":
+        """Lockstep multi-query twin of :meth:`search` — bit-identical
+        per query.
+
+        Every query's beam advances one node expansion per round, and
+        the round's distance blocks — one per expanding query — are
+        fused into a single gather + subtract + einsum over the
+        concatenated neighbor rows.  Per-row reductions are independent
+        of batch composition (the invariant the bulk build and the flat
+        single-query path already rely on), and each query's
+        pop/expand/accept sequence is untouched, so ids, distances and
+        stats are exactly what :meth:`search` returns for that query
+        alone; only the numpy dispatch cost is amortized across the
+        micro-batch.  Queries finish independently: a beam that hits
+        its termination bound drops out of the lockstep while the rest
+        keep marching.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self._dim:
+            raise DimensionMismatchError(
+                self._dim, queries.shape[-1], what="query batch"
+            )
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        num = queries.shape[0]
+        if self._entry_point is None or num == 0:
+            return [(np.empty(0, dtype=np.int64), np.empty(0)) for _ in range(num)]
+        ef = ef_search if ef_search is not None else max(k, 2 * self._params.m)
+        if ef < k:
+            raise ParameterError(f"ef_search ({ef}) must be >= k ({k})")
+        if stats_list is None:
+            stats_list = [None] * num
+        mode = self.search_mode()
+        beam = ef + len(self._deleted)
+        entries = []
+        for row in range(num):
+            current = self._entry_point
+            for layer in range(self._max_level, 0, -1):
+                current = self._greedy_closest_flat(queries[row], current, layer, mode)
+            entries.append(current)
+        found = lockstep_beam_search(
+            self._buffer,
+            len(self._nodes),
+            queries,
+            entries,
+            beam,
+            mode.indptr[0],
+            mode.indices[0],
+            mode,
+            stats_list,
+        )
+        out = []
+        for row in range(num):
+            live = [
+                (dist, item)
+                for dist, item in found[row]
+                if item not in self._deleted
+            ]
+            top = live[:k]
+            out.append(
+                (
+                    np.array([item for _, item in top], dtype=np.int64),
+                    np.array([dist for dist, _ in top]),
+                )
+            )
+        return out
 
     # -- maintenance -------------------------------------------------------------
 
@@ -750,22 +1316,43 @@ class HNSWIndex:
         if node == self._entry_point:
             self._reassign_entry_point()
 
+    def _ensure_reverse(self) -> "dict[int, set[tuple[int, int]]]":
+        """The target -> {(source, layer)} reverse-adjacency map.
+
+        Built with one full scan on first use, then maintained
+        incrementally by the neighbor-list write helpers — so
+        :meth:`in_neighbors` and :meth:`remove_edges_to` are O(degree)
+        per call instead of rescanning every edge in the graph.
+        """
+        if self._reverse is None:
+            reverse: "dict[int, set[tuple[int, int]]]" = {}
+            for source, record in enumerate(self._nodes):
+                for layer, adjacent in enumerate(record.neighbors):
+                    for target in adjacent:
+                        reverse.setdefault(target, set()).add((source, layer))
+            self._reverse = reverse
+        return self._reverse
+
     def in_neighbors(self, node: int, layer: int = 0) -> list[int]:
-        """Ids of live nodes with an edge *into* ``node`` at ``layer``."""
-        sources = []
-        for candidate, record in enumerate(self._nodes):
-            if candidate in self._deleted or candidate == node:
-                continue
-            if layer <= record.level and node in record.neighbors[layer]:
-                sources.append(candidate)
-        return sources
+        """Ids of live nodes with an edge *into* ``node`` at ``layer``.
+
+        Ascending id order (the order the historical full-graph scan
+        produced — deletion repair iterates this, so the order is part
+        of the semantics).
+        """
+        reverse = self._ensure_reverse()
+        return sorted(
+            source
+            for source, edge_layer in reverse.get(node, ())
+            if edge_layer == layer and source != node and source not in self._deleted
+        )
 
     def remove_edges_to(self, node: int) -> None:
         """Drop every edge pointing at ``node`` (deletion, Section V-D)."""
-        for record in self._nodes:
-            for layer_neighbors in record.neighbors:
-                if node in layer_neighbors:
-                    layer_neighbors.remove(node)
+        reverse = self._ensure_reverse()
+        for source, layer in sorted(reverse.pop(node, ())):
+            self._nodes[source].neighbors[layer].remove(node)
+        self._adjacency_version += 1
 
     def repair_node(self, node: int) -> None:
         """Re-link ``node`` by re-running neighbor selection on every layer.
@@ -790,7 +1377,7 @@ class HNSWIndex:
                 if item != node and item not in self._deleted
             ]
             selected = self._select_neighbors(vector, candidates, self._params.m, layer)
-            self._nodes[node].neighbors[layer] = [item for _, item in selected]
+            self._set_neighbor_list(node, layer, [item for _, item in selected])
             for _, neighbor in selected:
                 self._link(neighbor, node, layer)
             if candidates:

@@ -21,7 +21,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.errors import DimensionMismatchError, ParameterError
-from repro.hnsw.distance import pairwise_squared_distances, squared_distances_to_many
+from repro.hnsw.distance import (
+    gemm_topk_preselect,
+    pairwise_squared_distances,
+    squared_distances_to_many,
+)
 from repro.hnsw.graph import SearchStats, sorted_id_array
 
 __all__ = ["IVFParams", "IVFFlatIndex", "kmeans"]
@@ -136,6 +140,10 @@ class IVFFlatIndex:
             for cluster in range(self._centroids.shape[0])
         ]
         self._deleted: set[int] = set()
+        # Row-norm cache for the batched rerank path; keyed by array
+        # identity so the vstack in insert() invalidates it naturally.
+        self._norms: np.ndarray | None = None
+        self._norms_for: np.ndarray | None = None
 
     @classmethod
     def from_state(
@@ -153,6 +161,8 @@ class IVFFlatIndex:
         index._params = params
         index._centroids = np.asarray(centroids, dtype=np.float64)
         index._deleted = set(deleted) if deleted is not None else set()
+        index._norms = None
+        index._norms_for = None
         live = np.array(
             [i not in index._deleted for i in range(index._vectors.shape[0])]
         )
@@ -268,3 +278,72 @@ class IVFFlatIndex:
             stats.hops += len(probe_order)
         order = np.argsort(dists, kind="stable")[:k]
         return candidates[order].astype(np.int64), dists[order]
+
+    def _row_norms(self) -> np.ndarray:
+        vectors = self._vectors
+        if self._norms_for is not vectors:
+            self._norms = np.einsum("ij,ij->i", vectors, vectors)
+            self._norms_for = vectors
+        return self._norms
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: int = 4,
+        stats_list: "list[SearchStats] | None" = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched probe-and-rerank, bit-identical to looping :meth:`search`.
+
+        Centroid distances stay on the per-query kernel (so probe order
+        is identical); the per-candidate rerank uses a norm-cached
+        gather-GEMV to *preselect* the top ``k`` and recomputes their
+        distances with the oracle's kernel, falling back to the full
+        exact rerank whenever the selection is not provably identical
+        (see :func:`repro.hnsw.distance.gemm_topk_preselect`).
+        """
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        if nprobe < 1:
+            raise ParameterError(f"nprobe must be >= 1, got {nprobe}")
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise DimensionMismatchError(self.dim, queries.shape[-1], what="queries")
+        norms = self._row_norms()
+        out: list[tuple[np.ndarray, np.ndarray]] = []
+        for row in range(queries.shape[0]):
+            query = queries[row]
+            stats = stats_list[row] if stats_list is not None else None
+            centroid_dists = squared_distances_to_many(query, self._centroids)
+            if stats is not None:
+                stats.distance_computations += self.num_lists
+            probe_order = np.argsort(centroid_dists, kind="stable")[
+                : min(nprobe, self.num_lists)
+            ]
+            candidates = np.concatenate([self._lists[int(c)] for c in probe_order])
+            if candidates.shape[0] == 0:
+                out.append((np.empty(0, dtype=np.int64), np.empty(0)))
+                continue
+            block = self._vectors[candidates]
+            approx = np.maximum(
+                norms[candidates] - 2.0 * (block @ query) + float(query @ query), 0.0
+            )
+            kk = min(k, candidates.shape[0])
+            selected = gemm_topk_preselect(
+                approx,
+                kk,
+                lambda cand, q=query, b=block: squared_distances_to_many(q, b[cand]),
+                candidate_cap=4 * kk + 64,
+            )
+            if selected is None:
+                dists = squared_distances_to_many(query, block)
+                order = np.argsort(dists, kind="stable")[:k]
+                ids, top = candidates[order].astype(np.int64), dists[order]
+            else:
+                ids = candidates[selected[0]].astype(np.int64)
+                top = selected[1]
+            if stats is not None:
+                stats.distance_computations += candidates.shape[0]
+                stats.hops += len(probe_order)
+            out.append((ids, top))
+        return out

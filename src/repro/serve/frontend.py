@@ -113,6 +113,9 @@ class ServingFrontend:
     refine_engine:
         Refine-engine override for served traffic (``None`` = the
         server's configured engine).
+    filter_engine:
+        Filter-engine override for served traffic (``None`` = the
+        server's configured engine).
     metrics:
         An external :class:`~repro.serve.metrics.ServerMetrics` to
         aggregate into (``None`` creates a private one).
@@ -131,6 +134,7 @@ class ServingFrontend:
         max_queue_depth: int = 1024,
         cache_size: int = 0,
         refine_engine: str | None = None,
+        filter_engine: str | None = None,
         metrics: ServerMetrics | None = None,
     ) -> None:
         if max_queue_depth < 1:
@@ -142,6 +146,7 @@ class ServingFrontend:
         self._batch_window_seconds = batch_window_seconds
         self._max_queue_depth = max_queue_depth
         self._refine_engine = refine_engine
+        self._filter_engine = filter_engine
         self._metrics = metrics if metrics is not None else ServerMetrics()
         self._cache = ResultCache(cache_size)
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue_depth)
@@ -362,6 +367,12 @@ class ServingFrontend:
                 self._refine_engine
                 if self._refine_engine is not None
                 else self._server.refine_engine
+            ),
+            filter_engine=(
+                self._filter_engine
+                if self._filter_engine is not None
+                # getattr: duck-typed test servers may predate the knob.
+                else getattr(self._server, "filter_engine", None)
             ),
             data_plane=getattr(self._server, "data_plane", lambda: None)(),
         )
